@@ -1,0 +1,28 @@
+"""Benchmark: Figure 10 — combination and comparison on the TPC-H scenario."""
+
+from conftest import run_and_record
+
+from repro.bench.experiments.fig10_tpch import run_fig10
+
+
+def test_fig10_tpch_layout_comparison(benchmark):
+    result = run_and_record(
+        benchmark,
+        run_fig10,
+        scale_factor=0.005,
+        num_queries=2_000,
+        olap_fraction=0.01,
+    )
+    series = result.series[0]
+    runtimes = dict(zip(series.xs(), series.column("runtime_s")))
+    # Paper ordering: uniform layouts are slowest, the table-level
+    # recommendation is faster, the partitioned layout is fastest.
+    assert runtimes["table"] <= min(runtimes["rs_only"], runtimes["cs_only"]) * 1.02
+    assert runtimes["partitioned"] < runtimes["table"]
+    assert runtimes["partitioned"] < runtimes["cs_only"]
+    assert result.metadata["partitioned_vs_table_improvement"] > 0.05
+    assert result.metadata["partitioned_vs_cs_improvement"] > 0.10
+    # As in the paper, lineitem and orders move to the column store and are
+    # the tables selected for partitioning.
+    assert "lineitem" in result.metadata["table_level_column_tables"]
+    assert "lineitem" in result.metadata["partitioned_tables"]

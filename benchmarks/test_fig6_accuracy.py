@@ -1,0 +1,29 @@
+"""Benchmark: Figure 6 — accuracy of the cost model's runtime estimation."""
+
+from conftest import run_and_record
+
+from repro.bench.experiments.fig6_accuracy import run_fig6a, run_fig6b
+
+
+def test_fig6a_estimation_accuracy_data_scale(benchmark):
+    result = run_and_record(
+        benchmark, run_fig6a, sizes=(5_000, 10_000, 20_000, 40_000), num_aggregates=2
+    )
+    series = result.series[0]
+    # Estimates must stay close to the measured (simulated) runtimes.
+    assert max(series.column("row_error")) < 0.25
+    assert max(series.column("column_error")) < 0.25
+    # Linear trend: the largest scale is roughly 8x the smallest (40k vs 5k rows).
+    row = series.column("row_actual_ms")
+    assert row[-1] > 4 * row[0]
+
+
+def test_fig6b_estimation_accuracy_number_of_aggregates(benchmark):
+    result = run_and_record(
+        benchmark, run_fig6b, aggregate_counts=(1, 2, 3, 4, 5), num_rows=20_000
+    )
+    series = result.series[0]
+    assert max(series.column("row_error")) < 0.30
+    assert max(series.column("column_error")) < 0.30
+    # Runtimes increase with the number of aggregates for both stores.
+    assert series.column("column_actual_ms") == sorted(series.column("column_actual_ms"))

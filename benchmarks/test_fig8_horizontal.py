@@ -1,0 +1,26 @@
+"""Benchmark: Figure 8 — workload runtime for different horizontal partitionings."""
+
+from conftest import run_and_record
+
+from repro.bench.experiments.fig8_horizontal import run_fig8
+
+
+def test_fig8_horizontal_partitioning_sweep(benchmark):
+    result = run_and_record(
+        benchmark,
+        run_fig8,
+        row_store_fractions=(0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20),
+        num_rows=20_000,
+        num_queries=400,
+        olap_fraction=0.05,
+        hot_fraction=0.10,
+    )
+    series = result.series[0]
+    runtimes = dict(zip(series.xs(), series.column("runtime_s")))
+    minimum_fraction = min(runtimes, key=runtimes.get)
+    # The minimum of the sweep lies at (or right next to) the hot 10 %.
+    assert abs(minimum_fraction - 0.10) <= 0.025
+    # Shrinking the row-store partition below the hot data is clearly worse.
+    assert runtimes[0.0] > 2 * runtimes[0.10]
+    # The advisor's own heuristic identifies roughly the hot 10 %.
+    assert abs(result.metadata["advisor_row_store_fraction"] - 0.10) < 0.03

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 9 — benefit of vertical partitioning (OLAP and OLTP settings)."""
+
+from conftest import run_and_record
+
+from repro.bench.experiments.fig9_vertical import run_fig9a, run_fig9b
+
+FRACTIONS = (0.0, 0.00625, 0.0125, 0.01875, 0.025)
+
+
+def _check_vertical_benefit(result):
+    series = result.series[0]
+    pure_oltp = series.points[0]
+    # Pure OLTP: the unpartitioned row store is the best layout (paper).
+    assert pure_oltp.values["row_only_s"] <= pure_oltp.values["vertical_partitioned_s"]
+    # Every mixed workload: the vertical partitioning beats both pure layouts.
+    for point in series.points[2:]:
+        assert point.values["vertical_partitioned_s"] < point.values["row_only_s"]
+        assert point.values["vertical_partitioned_s"] < point.values["column_only_s"]
+
+
+def test_fig9a_vertical_partitioning_olap_setting(benchmark):
+    result = run_and_record(
+        benchmark, run_fig9a, fractions=FRACTIONS, num_rows=20_000, num_queries=300
+    )
+    _check_vertical_benefit(result)
+
+
+def test_fig9b_vertical_partitioning_oltp_setting(benchmark):
+    result = run_and_record(
+        benchmark, run_fig9b, fractions=FRACTIONS, num_rows=20_000, num_queries=300
+    )
+    _check_vertical_benefit(result)

@@ -1,0 +1,76 @@
+"""TPC-H scenario: compare storage layouts on a mixed enterprise workload.
+
+A scaled-down version of the paper's final experiment (Figure 10): load the
+TPC-H schema, run a mixed workload of ~1 % analytical queries and ~99 %
+transactional queries, and compare four storage layouts:
+
+* every table in the row store,
+* every table in the column store,
+* the advisor's table-level recommendation, and
+* the advisor's recommendation including horizontal/vertical partitioning.
+
+Run with::
+
+    python examples/tpch_scenario.py
+"""
+
+from repro import HybridDatabase, StorageAdvisor, Store
+from repro.core import CostModelCalibrator
+from repro.workloads.tpch import TpchGenerator, build_tpch_workload
+
+SCALE_FACTOR = 0.003
+NUM_QUERIES = 1_000
+OLAP_FRACTION = 0.01
+
+
+def fresh_database(data, store: Store) -> HybridDatabase:
+    database = HybridDatabase()
+    data.load_into(database, default_store=store)
+    return database
+
+
+def main() -> None:
+    print(f"Generating TPC-H data at scale factor {SCALE_FACTOR} ...")
+    data = TpchGenerator(scale_factor=SCALE_FACTOR).generate_all()
+    for table in ("lineitem", "orders", "customer"):
+        print(f"  {table}: {data.num_rows(table)} rows")
+    workload = build_tpch_workload(
+        data, num_queries=NUM_QUERIES, olap_fraction=OLAP_FRACTION
+    )
+    print(f"Workload: {workload.summary()}")
+
+    advisor = StorageAdvisor()
+    advisor.initialize_cost_model(CostModelCalibrator(sizes=(1_000, 3_000)))
+
+    results = {}
+
+    results["RS only"] = fresh_database(data, Store.ROW).run_workload(workload).total_runtime_s
+    results["CS only"] = fresh_database(data, Store.COLUMN).run_workload(workload).total_runtime_s
+
+    database = fresh_database(data, Store.ROW)
+    table_level = advisor.recommend(database, workload, include_partitioning=False)
+    advisor.apply(database, table_level)
+    results["Table"] = database.run_workload(workload).total_runtime_s
+    column_tables = [
+        table for table, choice in table_level.layout.choices.items()
+        if choice is Store.COLUMN
+    ]
+    print(f"\nTable-level recommendation: column store for {sorted(column_tables)}")
+
+    database = fresh_database(data, Store.ROW)
+    partitioned = advisor.recommend(database, workload, include_partitioning=True)
+    advisor.apply(database, partitioned)
+    results["Partitioned"] = database.run_workload(workload).total_runtime_s
+    print(f"Partitioned tables: {sorted(partitioned.layout.partitioned_tables())}")
+
+    print("\nSimulated workload runtimes:")
+    for layout, runtime in results.items():
+        print(f"  {layout:<12} {runtime:.3f} s")
+    print(
+        f"\nPartitioned vs Table: {1 - results['Partitioned'] / results['Table']:.1%} faster; "
+        f"Partitioned vs CS only: {1 - results['Partitioned'] / results['CS only']:.1%} faster"
+    )
+
+
+if __name__ == "__main__":
+    main()

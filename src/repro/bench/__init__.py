@@ -1,0 +1,21 @@
+"""Benchmark harness: reproduces every figure of the paper's evaluation."""
+
+from repro.bench.results import ExperimentResult, ExperimentSeries, SeriesPoint
+from repro.bench.runner import (
+    available_experiments,
+    get_experiment,
+    register,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSeries",
+    "SeriesPoint",
+    "available_experiments",
+    "get_experiment",
+    "register",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,17 @@
+"""Experiment modules, one per figure of the paper's evaluation section."""
+
+from repro.bench.experiments import (  # noqa: F401
+    fig6_accuracy,
+    fig7_table_level,
+    fig8_horizontal,
+    fig9_vertical,
+    fig10_tpch,
+)
+
+__all__ = [
+    "fig6_accuracy",
+    "fig7_table_level",
+    "fig8_horizontal",
+    "fig9_vertical",
+    "fig10_tpch",
+]

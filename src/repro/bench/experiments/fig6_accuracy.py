@@ -1,0 +1,153 @@
+"""Figure 6: accuracy of the cost model's runtime estimation.
+
+The paper runs a constant aggregation query against a 30-attribute table,
+varying (a) the data volume and (b) the number of aggregates, and compares the
+storage advisor's estimates with the measured runtimes for both stores.  Both
+sub-experiments should show a linear runtime trend per store with estimates
+close to the measured curves.
+
+Paper scale: 2 m – 20 m tuples.  Default reproduction scale: 5 k – 40 k tuples
+(the engine is a pure-Python simulator; the trends are scale-free).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.bench.results import ExperimentResult, ExperimentSeries
+from repro.bench.runner import register
+from repro.config import DEFAULT_SEED, DeviceModelConfig
+from repro.core.cost_model.calibration import CostModelCalibrator
+from repro.core.cost_model.model import CostModel
+from repro.engine.database import HybridDatabase
+from repro.engine.types import Store
+from repro.query.ast import AggregateFunction, AggregateSpec, AggregationQuery
+from repro.workloads.datagen import paper_accuracy_table
+
+DEFAULT_SIZES: Tuple[int, ...] = (5_000, 10_000, 20_000, 40_000)
+DEFAULT_AGGREGATE_COUNTS: Tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+def _calibrated_cost_model(
+    device_config: Optional[DeviceModelConfig], calibrate: bool
+) -> CostModel:
+    if not calibrate:
+        return CostModel(device_config=device_config)
+    report = CostModelCalibrator(device_config, sizes=(1_000, 3_000, 8_000)).calibrate()
+    return CostModel(parameters=report.parameters, device_config=device_config)
+
+
+def _accuracy_query(num_aggregates: int) -> AggregationQuery:
+    """The constant aggregation query of the accuracy experiments."""
+    functions = (
+        AggregateFunction.SUM,
+        AggregateFunction.AVG,
+        AggregateFunction.SUM,
+        AggregateFunction.MAX,
+        AggregateFunction.AVG,
+    )
+    aggregates = tuple(
+        AggregateSpec(functions[i], f"kf_{i}") for i in range(num_aggregates)
+    )
+    return AggregationQuery(table="facts", aggregates=aggregates, group_by=("grp_0",))
+
+
+def _measure_point(
+    cost_model: CostModel,
+    num_rows: int,
+    num_aggregates: int,
+    device_config: Optional[DeviceModelConfig],
+    seed: int,
+) -> dict:
+    """Measured and estimated runtime of the accuracy query for both stores."""
+    table = paper_accuracy_table(num_rows, seed=seed)
+    query = _accuracy_query(num_aggregates)
+    values = {}
+    for store in Store:
+        database = HybridDatabase(device_config)
+        table.load_into(database, store)
+        actual_ms = database.execute(query).runtime_ms
+        profiles = cost_model.profiles_from_catalog(database.catalog)
+        estimate_ms = cost_model.estimate_query_ms(query, {"facts": store}, profiles)
+        values[f"{store.value}_actual_ms"] = actual_ms
+        values[f"{store.value}_estimate_ms"] = estimate_ms
+        values[f"{store.value}_error"] = (
+            abs(estimate_ms - actual_ms) / actual_ms if actual_ms else 0.0
+        )
+    return values
+
+
+COLUMNS = [
+    "row_actual_ms",
+    "row_estimate_ms",
+    "row_error",
+    "column_actual_ms",
+    "column_estimate_ms",
+    "column_error",
+]
+
+
+@register("fig6a")
+def run_fig6a(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    num_aggregates: int = 2,
+    device_config: Optional[DeviceModelConfig] = None,
+    calibrate: bool = True,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Fig. 6(a): estimation accuracy for different data scales."""
+    cost_model = _calibrated_cost_model(device_config, calibrate)
+    result = ExperimentResult(
+        experiment_id="fig6a",
+        title="Accuracy of the runtime estimation - scale of data set",
+        metadata={"sizes": list(sizes), "num_aggregates": num_aggregates},
+    )
+    series = result.add_series(
+        ExperimentSeries(
+            name="runtime vs. number of tuples",
+            x_label="num_tuples",
+            columns=list(COLUMNS),
+            y_label="ms",
+        )
+    )
+    for num_rows in sizes:
+        series.add_point(num_rows, _measure_point(
+            cost_model, num_rows, num_aggregates, device_config, seed))
+    result.add_note(
+        "Paper shape: both stores grow linearly with the data volume and the "
+        "estimates track the measured runtimes closely."
+    )
+    return result
+
+
+@register("fig6b")
+def run_fig6b(
+    aggregate_counts: Sequence[int] = DEFAULT_AGGREGATE_COUNTS,
+    num_rows: int = 20_000,
+    device_config: Optional[DeviceModelConfig] = None,
+    calibrate: bool = True,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Fig. 6(b): estimation accuracy for different numbers of aggregates."""
+    cost_model = _calibrated_cost_model(device_config, calibrate)
+    result = ExperimentResult(
+        experiment_id="fig6b",
+        title="Accuracy of the runtime estimation - number of aggregates",
+        metadata={"num_rows": num_rows, "aggregate_counts": list(aggregate_counts)},
+    )
+    series = result.add_series(
+        ExperimentSeries(
+            name="runtime vs. number of aggregates",
+            x_label="num_aggregates",
+            columns=list(COLUMNS),
+            y_label="ms",
+        )
+    )
+    for count in aggregate_counts:
+        series.add_point(count, _measure_point(
+            cost_model, num_rows, count, device_config, seed))
+    result.add_note(
+        "Paper shape: runtimes grow roughly linearly with the number of "
+        "aggregates; the column store stays well below the row store."
+    )
+    return result

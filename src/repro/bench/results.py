@@ -1,0 +1,127 @@
+"""Result containers and text rendering for the experiment harness.
+
+Every experiment produces an :class:`ExperimentResult` holding one or more
+:class:`ExperimentSeries` — the rows/series the corresponding figure or table
+of the paper reports.  The containers render as aligned text tables so that
+the benchmark harness and the examples can print paper-style output, and they
+expose the raw numbers for the tests that assert the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class SeriesPoint:
+    """One x position of a series with its measured values."""
+
+    x: Any
+    values: Dict[str, float] = field(default_factory=dict)
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def value(self, column: str) -> float:
+        return self.values[column]
+
+
+@dataclass
+class ExperimentSeries:
+    """A sweep over one parameter with several measured columns."""
+
+    name: str
+    x_label: str
+    columns: List[str]
+    y_label: str = "runtime"
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add_point(self, x: Any, values: Dict[str, float],
+                  annotations: Optional[Dict[str, Any]] = None) -> SeriesPoint:
+        point = SeriesPoint(x=x, values=dict(values), annotations=dict(annotations or {}))
+        self.points.append(point)
+        return point
+
+    def column(self, name: str) -> List[float]:
+        """All values of one column, in x order."""
+        return [point.values[name] for point in self.points]
+
+    def xs(self) -> List[Any]:
+        return [point.x for point in self.points]
+
+    def to_rows(self) -> List[List[str]]:
+        header = [self.x_label] + self.columns
+        rows = [header]
+        for point in self.points:
+            row = [_format_cell(point.x)]
+            for column in self.columns:
+                row.append(_format_cell(point.values.get(column)))
+            rows.append(row)
+        return rows
+
+    def to_text(self) -> str:
+        """Render the series as an aligned text table."""
+        rows = self.to_rows()
+        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+        lines = [f"# {self.name} ({self.y_label})"]
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        rows = self.to_rows()
+        return "\n".join(",".join(row) for row in rows)
+
+
+@dataclass
+class ExperimentResult:
+    """The complete result of one experiment (one figure/table of the paper)."""
+
+    experiment_id: str
+    title: str
+    series: List[ExperimentSeries] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add_series(self, series: ExperimentSeries) -> ExperimentSeries:
+        self.series.append(series)
+        return series
+
+    def series_named(self, name: str) -> ExperimentSeries:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"no series named {name!r} in experiment {self.experiment_id}")
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the whole experiment as text (title, series tables, notes)."""
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        for key, value in sorted(self.metadata.items()):
+            lines.append(f"  {key}: {value}")
+        for series in self.series:
+            lines.append("")
+            lines.append(series.to_text())
+        if self.notes:
+            lines.append("")
+            lines.append("Notes:")
+            for note in self.notes:
+                lines.append(f"  - {note}")
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,101 @@
+"""Experiment registry and command-line entry point of the benchmark harness.
+
+Each experiment module under :mod:`repro.bench.experiments` registers a
+callable that reproduces one figure of the paper and returns an
+:class:`~repro.bench.results.ExperimentResult`.  ``python -m repro.bench.runner``
+runs one or all of them and prints the paper-style series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.results import ExperimentResult
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment under its figure/table id."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return decorator
+
+
+def available_experiments() -> List[str]:
+    _load_experiment_modules()
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    _load_experiment_modules()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment."""
+    return get_experiment(experiment_id)(**kwargs)
+
+
+def run_all(fast: bool = True) -> List[ExperimentResult]:
+    """Run every registered experiment (``fast`` keeps the default small scales)."""
+    results = []
+    for experiment_id in available_experiments():
+        results.append(run_experiment(experiment_id))
+    return results
+
+
+def _load_experiment_modules() -> None:
+    """Import the experiment modules so that their ``register`` calls run."""
+    from repro.bench.experiments import (  # noqa: F401  (imported for side effects)
+        fig6_accuracy,
+        fig7_table_level,
+        fig8_horizontal,
+        fig9_vertical,
+        fig10_tpch,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the reproduction experiments")
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (e.g. fig6a, fig7a, fig10) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    started = time.time()
+    if args.experiment == "all":
+        results = run_all()
+    else:
+        results = [run_experiment(args.experiment)]
+    for result in results:
+        print(result.render())
+        print()
+    print(f"(completed in {time.time() - started:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

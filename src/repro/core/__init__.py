@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the storage advisor and its cost model."""
+
+from repro.core.advisor import (
+    OnlineAdvisorMonitor,
+    PartitionAdvisor,
+    Recommendation,
+    StorageAdvisor,
+    StorageLayout,
+    TableLevelAdvisor,
+    TableRecommendation,
+)
+from repro.core.cost_model import (
+    CostModel,
+    CostModelCalibrator,
+    CostModelParameters,
+    TableProfile,
+    analytic_parameters,
+)
+from repro.core.statistics import WorkloadStatistics
+
+__all__ = [
+    "CostModel",
+    "CostModelCalibrator",
+    "CostModelParameters",
+    "OnlineAdvisorMonitor",
+    "PartitionAdvisor",
+    "Recommendation",
+    "StorageAdvisor",
+    "StorageLayout",
+    "TableLevelAdvisor",
+    "TableProfile",
+    "TableRecommendation",
+    "WorkloadStatistics",
+    "analytic_parameters",
+]

@@ -1,0 +1,37 @@
+"""The storage advisor: table-level and partition-level recommendations."""
+
+from repro.core.advisor.advisor import StorageAdvisor
+from repro.core.advisor.ddl import (
+    apply_layout,
+    apply_recommendation,
+    statement_for_partitioning,
+    statement_for_store,
+    statements_for_layout,
+)
+from repro.core.advisor.monitor import OnlineAdvisorMonitor
+from repro.core.advisor.partition_advisor import PartitionAdvisor, PartitioningDecision
+from repro.core.advisor.recommendation import (
+    Recommendation,
+    StorageLayout,
+    StoreChoice,
+    TableRecommendation,
+)
+from repro.core.advisor.table_level import TableLevelAdvisor, TableLevelResult
+
+__all__ = [
+    "OnlineAdvisorMonitor",
+    "PartitionAdvisor",
+    "PartitioningDecision",
+    "Recommendation",
+    "StorageAdvisor",
+    "StorageLayout",
+    "StoreChoice",
+    "TableLevelAdvisor",
+    "TableLevelResult",
+    "TableRecommendation",
+    "apply_layout",
+    "apply_recommendation",
+    "statement_for_partitioning",
+    "statement_for_store",
+    "statements_for_layout",
+]

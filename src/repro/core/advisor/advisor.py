@@ -1,0 +1,184 @@
+"""The storage advisor façade (offline and online working modes, Section 4).
+
+Typical offline usage::
+
+    advisor = StorageAdvisor()
+    advisor.initialize_cost_model()              # calibrate against the system
+    recommendation = advisor.recommend(database, workload)
+    print(recommendation.describe())
+    advisor.apply(database, recommendation)      # or hand the DDL to the DBA
+
+The online mode is provided by
+:class:`~repro.core.advisor.monitor.OnlineAdvisorMonitor`, which records the
+executed workload through an execution listener and periodically asks this
+advisor for adaptation recommendations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.config import AdvisorConfig, DeviceModelConfig
+from repro.core.advisor.ddl import apply_recommendation, statements_for_layout
+from repro.core.advisor.partition_advisor import PartitionAdvisor, PartitioningDecision
+from repro.core.advisor.recommendation import (
+    Recommendation,
+    StorageLayout,
+    TableRecommendation,
+)
+from repro.core.advisor.table_level import TableLevelAdvisor
+from repro.core.cost_model.calibration import CalibrationReport, CostModelCalibrator
+from repro.core.cost_model.estimator import TableProfile
+from repro.core.cost_model.model import CostModel
+from repro.engine.database import HybridDatabase
+from repro.engine.schema import TableSchema
+from repro.engine.statistics import TableStatistics
+from repro.engine.timing import CostBreakdown
+from repro.engine.types import Store
+from repro.errors import AdvisorError
+from repro.query.workload import Workload
+
+
+class StorageAdvisor:
+    """Recommends the storage layout of a hybrid-store database."""
+
+    def __init__(
+        self,
+        config: Optional[AdvisorConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        device_config: Optional[DeviceModelConfig] = None,
+    ) -> None:
+        self.config = config or AdvisorConfig()
+        self.device_config = device_config
+        self.cost_model = cost_model or CostModel(device_config=device_config)
+        self._table_level = TableLevelAdvisor(self.cost_model, self.config)
+        self._partition_advisor = PartitionAdvisor(self.config)
+        self.last_calibration: Optional[CalibrationReport] = None
+
+    # -- cost model initialisation (offline mode, step 1) --------------------------------
+
+    def initialize_cost_model(
+        self, calibrator: Optional[CostModelCalibrator] = None
+    ) -> CalibrationReport:
+        """Calibrate the cost model against the execution engine.
+
+        This is the paper's "initialize cost model" step: representative tests
+        are run so that base costs and adjustment functions reflect the
+        current system.  The fitted parameters replace the analytic defaults.
+        """
+        calibrator = calibrator or CostModelCalibrator(self.device_config)
+        report = calibrator.calibrate()
+        self.cost_model = CostModel(parameters=report.parameters,
+                                    device_config=self.device_config)
+        self._table_level = TableLevelAdvisor(self.cost_model, self.config)
+        self.last_calibration = report
+        return report
+
+    # -- offline recommendation -------------------------------------------------------------
+
+    def recommend(
+        self,
+        database: HybridDatabase,
+        workload: Workload,
+        include_partitioning: bool = True,
+    ) -> Recommendation:
+        """Recommend a storage layout for *database* under *workload*."""
+        database.refresh_statistics()
+        profiles = self.cost_model.profiles_from_catalog(database.catalog)
+        return self.recommend_from_profiles(workload, profiles, include_partitioning)
+
+    def recommend_offline(
+        self,
+        schemas: Mapping[str, TableSchema],
+        statistics: Mapping[str, TableStatistics],
+        workload: Workload,
+        include_partitioning: bool = True,
+    ) -> Recommendation:
+        """Offline-mode recommendation from schema + basic statistics only.
+
+        This is the cheap input path of Figure 4: no running database is
+        needed, only the schema, (expected) table statistics and a recorded or
+        expected workload.
+        """
+        profiles = {
+            name: TableProfile(schema=schemas[name], statistics=statistics[name])
+            for name in schemas
+        }
+        return self.recommend_from_profiles(workload, profiles, include_partitioning)
+
+    def recommend_from_profiles(
+        self,
+        workload: Workload,
+        profiles: Mapping[str, TableProfile],
+        include_partitioning: bool = True,
+    ) -> Recommendation:
+        """Core recommendation logic shared by the offline and online modes."""
+        if len(workload) == 0:
+            raise AdvisorError("cannot recommend a layout for an empty workload")
+        relevant = [table for table in workload.tables() if table in profiles]
+        if not relevant:
+            raise AdvisorError("the workload does not reference any known table")
+
+        table_result = self._table_level.recommend(workload, profiles)
+        layout = StorageLayout(dict(table_result.assignment))
+
+        decisions: Dict[str, PartitioningDecision] = {}
+        if include_partitioning:
+            decisions = self._partition_advisor.recommend(
+                workload, profiles, table_result.assignment
+            )
+            for table, decision in decisions.items():
+                if decision.partitioning is not None:
+                    layout.choices[table] = decision.partitioning
+
+        table_recommendations = []
+        for table in sorted(table_result.assignment):
+            costs = table_result.per_table_costs.get(table, {})
+            reason = ""
+            decision = decisions.get(table)
+            if decision is not None and decision.partitioning is not None:
+                reason = decision.reason
+            table_recommendations.append(
+                TableRecommendation(
+                    table=table,
+                    choice=layout.choices[table],
+                    estimated_ms_row=costs.get(Store.ROW, 0.0),
+                    estimated_ms_column=costs.get(Store.COLUMN, 0.0),
+                    reason=reason,
+                )
+            )
+
+        row_only = {table: Store.ROW for table in table_result.assignment}
+        column_only = {table: Store.COLUMN for table in table_result.assignment}
+        recommendation = Recommendation(
+            layout=layout,
+            table_recommendations=table_recommendations,
+            estimated_total_ms=self.cost_model.estimate_workload_ms(
+                workload, layout.store_assignment(), profiles
+            ),
+            estimated_row_only_ms=self.cost_model.estimate_workload_ms(
+                workload, row_only, profiles
+            ),
+            estimated_column_only_ms=self.cost_model.estimate_workload_ms(
+                workload, column_only, profiles
+            ),
+        )
+        recommendation.ddl_statements = statements_for_layout(layout)
+        return recommendation
+
+    # -- table-level only shortcut ----------------------------------------------------------------
+
+    def recommend_table_level(
+        self, database: HybridDatabase, workload: Workload
+    ) -> Recommendation:
+        """Recommendation restricted to whole-table store decisions."""
+        return self.recommend(database, workload, include_partitioning=False)
+
+    # -- applying recommendations ------------------------------------------------------------------
+
+    def apply(
+        self, database: HybridDatabase, recommendation: Recommendation
+    ) -> Dict[str, CostBreakdown]:
+        """Apply *recommendation* to *database* (the "automatic" option)."""
+        return apply_recommendation(database, recommendation)

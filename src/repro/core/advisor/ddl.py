@@ -1,0 +1,95 @@
+"""DDL generation and application of storage-advisor recommendations.
+
+The paper's advisor presents its recommendations to the administrator
+together with "the respective statements to move the data into the
+recommended store"; alternatively the layout can be applied automatically.
+This module renders those statements (in the SQL-ish dialect of this
+reproduction) and applies a recommendation to a running
+:class:`~repro.engine.database.HybridDatabase`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.advisor.recommendation import Recommendation, StorageLayout
+from repro.engine.database import HybridDatabase
+from repro.engine.partitioning import TablePartitioning
+from repro.engine.timing import CostBreakdown
+from repro.engine.types import Store
+
+
+def statement_for_store(table: str, store: Store) -> str:
+    """Render the statement that moves *table* into *store*."""
+    return f"ALTER TABLE {table} MOVE TO {store.value.upper()} STORE;"
+
+
+def statement_for_partitioning(table: str, partitioning: TablePartitioning) -> str:
+    """Render the statement that applies *partitioning* to *table*."""
+    clauses: List[str] = []
+    if partitioning.horizontal is not None:
+        horizontal = partitioning.horizontal
+        clauses.append(
+            f"HOT ROWS WHERE {horizontal.predicate!r} IN "
+            f"{horizontal.hot_store.value.upper()} STORE"
+        )
+        clauses.append(
+            f"REMAINING ROWS IN {horizontal.cold_store.value.upper()} STORE"
+        )
+    if partitioning.vertical is not None:
+        vertical = partitioning.vertical
+        clauses.append(
+            f"COLUMNS ({', '.join(vertical.row_store_columns)}) IN ROW STORE"
+        )
+        clauses.append(
+            f"COLUMNS ({', '.join(vertical.column_store_columns)}) IN COLUMN STORE"
+        )
+    joined = ", ".join(clauses)
+    return f"ALTER TABLE {table} PARTITION BY ({joined});"
+
+
+def statements_for_layout(
+    layout: StorageLayout, current_layout: Optional[Dict[str, Store]] = None
+) -> List[str]:
+    """Render the statements needed to reach *layout*.
+
+    When ``current_layout`` is given, tables that already reside in the
+    recommended store are skipped (partitionings are always emitted because
+    their internals cannot be compared cheaply).
+    """
+    statements: List[str] = []
+    for table in sorted(layout.choices):
+        choice = layout.choices[table]
+        if isinstance(choice, Store):
+            if current_layout is not None and current_layout.get(table) is choice:
+                continue
+            statements.append(statement_for_store(table, choice))
+        else:
+            statements.append(statement_for_partitioning(table, choice))
+    return statements
+
+
+def apply_recommendation(
+    database: HybridDatabase, recommendation: Recommendation
+) -> Dict[str, CostBreakdown]:
+    """Apply a recommendation to the database, returning per-table movement costs."""
+    return apply_layout(database, recommendation.layout)
+
+
+def apply_layout(
+    database: HybridDatabase, layout: StorageLayout
+) -> Dict[str, CostBreakdown]:
+    """Apply a storage layout to the database, returning per-table movement costs."""
+    costs: Dict[str, CostBreakdown] = {}
+    for table in sorted(layout.choices):
+        if not database.has_table(table):
+            continue
+        choice = layout.choices[table]
+        if isinstance(choice, Store):
+            entry = database.catalog.entry(table)
+            if not entry.is_partitioned and entry.store is choice:
+                continue
+            costs[table] = database.move_table(table, choice)
+        else:
+            costs[table] = database.apply_partitioning(table, choice)
+    return costs

@@ -1,0 +1,181 @@
+"""Online working mode: workload recording and periodic re-evaluation.
+
+In the online mode the advisor "continuously recommend[s] beneficial storage
+layout adaptations" from detailed workload statistics recorded at runtime
+(Section 4).  :class:`OnlineAdvisorMonitor` attaches to a
+:class:`~repro.engine.database.HybridDatabase` as an execution listener,
+records every executed query (plus the extended workload statistics), and
+after every ``online_reevaluation_interval`` queries re-runs the advisor.  An
+adaptation is reported only when the estimated improvement over the current
+layout exceeds the configured hysteresis threshold, so the layout does not
+flap on noisy workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import AdvisorConfig
+from repro.core.advisor.advisor import StorageAdvisor
+from repro.core.advisor.recommendation import Recommendation, StorageLayout
+from repro.core.statistics.workload_stats import WorkloadStatistics
+from repro.engine.database import HybridDatabase
+from repro.engine.executor.executor import QueryResult
+from repro.engine.types import Store
+from repro.query.ast import Query
+from repro.query.workload import Workload
+
+#: Callback invoked when the monitor finds a beneficial adaptation.
+AdaptationCallback = Callable[[Recommendation], None]
+
+
+@dataclass
+class MonitorState:
+    """Bookkeeping of the online monitor."""
+
+    queries_since_evaluation: int = 0
+    total_queries: int = 0
+    evaluations: int = 0
+    adaptations_found: int = 0
+    last_recommendation: Optional[Recommendation] = None
+
+
+class OnlineAdvisorMonitor:
+    """Records the executed workload and periodically re-evaluates the layout."""
+
+    def __init__(
+        self,
+        advisor: StorageAdvisor,
+        database: HybridDatabase,
+        config: Optional[AdvisorConfig] = None,
+        window_size: int = 10_000,
+        include_partitioning: bool = True,
+        on_adaptation: Optional[AdaptationCallback] = None,
+    ) -> None:
+        self.advisor = advisor
+        self.database = database
+        self.config = config or advisor.config
+        self.window_size = window_size
+        self.include_partitioning = include_partitioning
+        self.on_adaptation = on_adaptation
+        self.recorded = Workload(name="online")
+        self.statistics = WorkloadStatistics()
+        self.state = MonitorState()
+        self._attached = False
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start recording executed queries."""
+        if not self._attached:
+            self.database.add_execution_listener(self._on_query)
+            self._attached = True
+
+    def detach(self) -> None:
+        """Stop recording executed queries."""
+        if self._attached:
+            self.database.remove_execution_listener(self._on_query)
+            self._attached = False
+
+    def __enter__(self) -> "OnlineAdvisorMonitor":
+        self.attach()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # -- recording --------------------------------------------------------------------
+
+    def _on_query(self, query: Query, result: QueryResult) -> None:
+        self.recorded.add(query)
+        if len(self.recorded) > self.window_size:
+            del self.recorded.queries[: len(self.recorded) - self.window_size]
+        self.statistics.record(query)
+        self.state.total_queries += 1
+        self.state.queries_since_evaluation += 1
+        if self.state.queries_since_evaluation >= self.config.online_reevaluation_interval:
+            recommendation = self.evaluate()
+            if recommendation is not None and self.on_adaptation is not None:
+                self.on_adaptation(recommendation)
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def evaluate(self) -> Optional[Recommendation]:
+        """Re-evaluate the layout; return a recommendation if it is beneficial.
+
+        Returns ``None`` when the current layout is already within the
+        configured improvement threshold of the recommended one.
+        """
+        self.state.queries_since_evaluation = 0
+        if len(self.recorded) == 0:
+            return None
+        self.state.evaluations += 1
+        recommendation = self.advisor.recommend(
+            self.database, self.recorded, include_partitioning=self.include_partitioning
+        )
+        self.state.last_recommendation = recommendation
+        if not self._is_improvement(recommendation):
+            return None
+        self.state.adaptations_found += 1
+        return recommendation
+
+    def _is_improvement(self, recommendation: Recommendation) -> bool:
+        """Compare the recommendation against the database's current layout."""
+        current = self._current_layout()
+        profiles = self.advisor.cost_model.profiles_from_catalog(self.database.catalog)
+        tables = [
+            table for table in self.recorded.tables()
+            if table in profiles and table in current.choices
+        ]
+        if not tables:
+            return False
+        current_assignment = current.store_assignment()
+        recommended_assignment = recommendation.layout.store_assignment()
+        for table in self.recorded.tables():
+            current_assignment.setdefault(table, Store.COLUMN)
+            recommended_assignment.setdefault(table, Store.COLUMN)
+        current_ms = self.advisor.cost_model.estimate_workload_ms(
+            self.recorded, current_assignment, profiles
+        )
+        recommended_ms = self.advisor.cost_model.estimate_workload_ms(
+            self.recorded, recommended_assignment, profiles
+        )
+        if current_ms <= 0:
+            return False
+        layout_changed = self._layout_differs(current, recommendation.layout)
+        improvement = 1.0 - recommended_ms / current_ms
+        return layout_changed and improvement >= self.config.min_relative_improvement
+
+    def _current_layout(self) -> StorageLayout:
+        layout = StorageLayout()
+        for entry in self.database.catalog:
+            if entry.is_partitioned:
+                layout.choices[entry.name] = entry.partitioning
+            else:
+                layout.choices[entry.name] = entry.store
+        return layout
+
+    @staticmethod
+    def _layout_differs(current: StorageLayout, recommended: StorageLayout) -> bool:
+        for table, choice in recommended.choices.items():
+            if table not in current.choices:
+                return True
+            existing = current.choices[table]
+            if isinstance(choice, Store) != isinstance(existing, Store):
+                return True
+            if isinstance(choice, Store) and choice is not existing:
+                return True
+            if not isinstance(choice, Store) and choice != existing:
+                return True
+        return False
+
+    # -- applying ------------------------------------------------------------------------------
+
+    def apply_pending(self) -> bool:
+        """Apply the last beneficial recommendation, if any."""
+        recommendation = self.state.last_recommendation
+        if recommendation is None:
+            return False
+        self.advisor.apply(self.database, recommendation)
+        return True

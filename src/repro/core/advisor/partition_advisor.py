@@ -1,0 +1,262 @@
+"""Store-aware partitioning heuristics (Section 3.2 of the paper).
+
+Determining optimal partitions is prohibitively expensive, so the paper uses
+a simplified, heuristic approach with at most two horizontal and two vertical
+partitions per table:
+
+* **Horizontal** — if the workload contains a sufficient fraction of insert
+  queries, a row-store partition for newly arriving tuples is recommended;
+  if a contiguous region of tuples is frequently updated, that hot region is
+  recommended for the row store while the historic remainder stays columnar.
+* **Vertical** — attributes that are mainly used for updates or point
+  accesses (OLTP attributes) go to a row-store partition; keyfigures and
+  group-by attributes stay in the column store.
+
+The heuristics work purely on the workload (and standard table statistics),
+exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.config import AdvisorConfig
+from repro.core.cost_model.estimator import TableProfile
+from repro.core.statistics.workload_stats import WorkloadStatistics
+from repro.engine.partitioning import (
+    HorizontalPartitionSpec,
+    TablePartitioning,
+    VerticalPartitionSpec,
+)
+from repro.engine.types import Store
+from repro.query.ast import Query, QueryType, UpdateQuery
+from repro.query.predicates import Between, CompareOp, Comparison, Predicate, ge
+from repro.query.workload import Workload
+
+
+@dataclass
+class PartitioningDecision:
+    """The partition advisor's reasoning for one table."""
+
+    table: str
+    partitioning: Optional[TablePartitioning]
+    insert_fraction: float = 0.0
+    update_fraction: float = 0.0
+    hot_region: Optional[Tuple[str, object, object]] = None
+    oltp_attributes: Tuple[str, ...] = ()
+    olap_attributes: Tuple[str, ...] = ()
+    reason: str = ""
+
+
+class PartitionAdvisor:
+    """Heuristic horizontal/vertical partitioning recommendations."""
+
+    def __init__(self, config: Optional[AdvisorConfig] = None) -> None:
+        self.config = config or AdvisorConfig()
+
+    # -- public API ---------------------------------------------------------------------
+
+    def recommend(
+        self,
+        workload: Workload,
+        profiles: Mapping[str, TableProfile],
+        table_assignment: Optional[Mapping[str, Store]] = None,
+    ) -> Dict[str, PartitioningDecision]:
+        """Recommend partitionings for every table referenced by the workload."""
+        statistics = WorkloadStatistics.from_workload(workload)
+        decisions: Dict[str, PartitioningDecision] = {}
+        for table in workload.tables():
+            if table not in profiles:
+                continue
+            decisions[table] = self.recommend_for_table(
+                table, workload, profiles[table], statistics
+            )
+        return decisions
+
+    def recommend_for_table(
+        self,
+        table: str,
+        workload: Workload,
+        profile: TableProfile,
+        statistics: Optional[WorkloadStatistics] = None,
+    ) -> PartitioningDecision:
+        """Apply the Section 3.2 heuristics to one table."""
+        statistics = statistics or WorkloadStatistics.from_workload(workload)
+        table_stats = statistics.table(table)
+        decision = PartitioningDecision(
+            table=table,
+            partitioning=None,
+            insert_fraction=table_stats.insert_fraction,
+            update_fraction=table_stats.update_fraction,
+        )
+
+        if table_stats.num_aggregations == 0:
+            # Pure OLTP table: an unpartitioned row-store table is already the
+            # best layout, partitioning would only add union/join overhead.
+            decision.reason = "no analytical queries; keep the table unpartitioned"
+            return decision
+
+        horizontal = self._horizontal_heuristic(table, workload, profile, decision)
+        vertical = self._vertical_heuristic(table, profile, table_stats, decision)
+        if horizontal is None and vertical is None:
+            decision.reason = decision.reason or "no beneficial split found"
+            return decision
+        decision.partitioning = TablePartitioning(horizontal=horizontal, vertical=vertical)
+        return decision
+
+    # -- horizontal heuristic ----------------------------------------------------------------
+
+    def _horizontal_heuristic(
+        self,
+        table: str,
+        workload: Workload,
+        profile: TableProfile,
+        decision: PartitioningDecision,
+    ) -> Optional[HorizontalPartitionSpec]:
+        """Recommend a hot row-store partition for inserts / frequently updated rows."""
+        hot_region = self._hot_update_region(table, workload, profile)
+        wants_insert_partition = (
+            decision.insert_fraction >= self.config.insert_fraction_threshold
+        )
+        if hot_region is not None:
+            column, low, high = hot_region
+            decision.hot_region = hot_region
+            predicate: Predicate = Between(column, low, high)
+            decision.reason = (
+                f"rows with {column} in [{low}, {high}] are frequently updated"
+            )
+            return HorizontalPartitionSpec(
+                predicate=predicate, hot_store=Store.ROW, cold_store=Store.COLUMN
+            )
+        if wants_insert_partition:
+            # A partition for newly arriving tuples: everything beyond the
+            # current maximum of the primary key is routed to the row store.
+            primary_key = profile.schema.primary_key
+            if len(primary_key) == 1 and profile.statistics.has_column(primary_key[0]):
+                key = primary_key[0]
+                current_max = profile.statistics.column(key).max_value
+                if current_max is not None:
+                    decision.reason = (
+                        f"{decision.insert_fraction:.1%} of the queries are inserts; "
+                        "new tuples go to a row-store partition"
+                    )
+                    return HorizontalPartitionSpec(
+                        predicate=Comparison(key, CompareOp.GT, current_max),
+                        hot_store=Store.ROW,
+                        cold_store=Store.COLUMN,
+                    )
+        return None
+
+    def _hot_update_region(
+        self, table: str, workload: Workload, profile: TableProfile
+    ) -> Optional[Tuple[str, object, object]]:
+        """Find a contiguous region of tuples that receives most of the updates.
+
+        The region is derived from the predicates of the update queries: if
+        the bulk of them constrain the same column, the bounding range of
+        those predicates approximates the "frequently updated as a whole"
+        tuples of the paper.  The region is only reported when it covers a
+        minority of the table (otherwise the whole table is hot and a plain
+        row-store table is the better answer).
+        """
+        updates = [
+            query for query in workload.queries_for_table(table)
+            if isinstance(query, UpdateQuery) and query.predicate is not None
+        ]
+        if not updates:
+            return None
+        ranges_by_column: Dict[str, List[Tuple[object, object]]] = {}
+        for query in updates:
+            bounds = _predicate_bounds(query.predicate)
+            if bounds is None:
+                continue
+            column, low, high = bounds
+            ranges_by_column.setdefault(column, []).append((low, high))
+        if not ranges_by_column:
+            return None
+        column, ranges = max(ranges_by_column.items(), key=lambda item: len(item[1]))
+        if len(ranges) < max(2, self.config.hot_row_access_threshold * len(updates)):
+            return None
+        lows = [low for low, _ in ranges if low is not None]
+        highs = [high for _, high in ranges if high is not None]
+        if not lows or not highs:
+            return None
+        low, high = min(lows), max(highs)
+        coverage = self._range_coverage(profile, column, low, high)
+        if coverage is None or coverage > self.config.hot_row_access_threshold:
+            return None
+        return column, low, high
+
+    @staticmethod
+    def _range_coverage(
+        profile: TableProfile, column: str, low, high
+    ) -> Optional[float]:
+        if not profile.statistics.has_column(column):
+            return None
+        stats = profile.statistics.column(column)
+        minimum, maximum = stats.min_value, stats.max_value
+        if not all(isinstance(v, (int, float)) for v in (minimum, maximum, low, high)):
+            return None
+        if maximum <= minimum:
+            return None
+        return max(0.0, min(1.0, (high - low) / (maximum - minimum)))
+
+    # -- vertical heuristic -------------------------------------------------------------------
+
+    def _vertical_heuristic(
+        self,
+        table: str,
+        profile: TableProfile,
+        table_stats,
+        decision: PartitioningDecision,
+    ) -> Optional[VerticalPartitionSpec]:
+        """Split OLTP attributes into a row-store partition."""
+        key_columns = set(profile.schema.primary_key)
+        oltp_attributes: List[str] = []
+        olap_attributes: List[str] = []
+        for column in profile.schema.column_names:
+            if column in key_columns:
+                continue
+            counts = table_stats.attribute_counts.get(column)
+            if counts is None or counts.total_accesses == 0:
+                # Untouched attributes stay with the analytical partition.
+                olap_attributes.append(column)
+                continue
+            if counts.oltp_ratio >= self.config.oltp_attribute_threshold:
+                oltp_attributes.append(column)
+            else:
+                olap_attributes.append(column)
+        decision.oltp_attributes = tuple(oltp_attributes)
+        decision.olap_attributes = tuple(olap_attributes)
+        if not oltp_attributes or not olap_attributes:
+            return None
+        if not any(
+            table_stats.attribute_counts.get(column, None)
+            and table_stats.attribute_counts[column].olap_accesses > 0
+            for column in olap_attributes
+        ):
+            return None
+        reason = (
+            f"OLTP attributes {oltp_attributes} move to a row-store partition; "
+            f"analytical attributes stay columnar"
+        )
+        decision.reason = (decision.reason + "; " if decision.reason else "") + reason
+        return VerticalPartitionSpec(
+            row_store_columns=tuple(oltp_attributes),
+            column_store_columns=tuple(olap_attributes),
+        )
+
+
+def _predicate_bounds(predicate: Predicate) -> Optional[Tuple[str, object, object]]:
+    """Extract ``(column, low, high)`` bounds from a simple range/point predicate."""
+    if isinstance(predicate, Between):
+        return predicate.column, predicate.low, predicate.high
+    if isinstance(predicate, Comparison):
+        if predicate.op is CompareOp.EQ:
+            return predicate.column, predicate.value, predicate.value
+        if predicate.op in (CompareOp.GE, CompareOp.GT):
+            return predicate.column, predicate.value, None
+        if predicate.op in (CompareOp.LE, CompareOp.LT):
+            return predicate.column, None, predicate.value
+    return None

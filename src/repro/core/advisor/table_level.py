@@ -1,0 +1,172 @@
+"""Table-level store recommendation (Section 3.1 of the paper).
+
+For every table the advisor compares the estimated workload runtime with the
+table in the row store against the column store and picks the cheaper one.
+Joins couple the decisions of the participating tables — "it may be better to
+move both tables to the same store when they are often used for joins" — so
+tables connected by join queries are optimised together: their store
+combinations are enumerated exhaustively (the paper's "four estimates instead
+of two" for a two-table join), falling back to a greedy improvement search
+for very large join groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.config import AdvisorConfig
+from repro.core.cost_model.estimator import TableProfile
+from repro.core.cost_model.model import CostModel
+from repro.engine.types import Store
+from repro.errors import AdvisorError
+from repro.query.ast import AggregationQuery, Query
+from repro.query.workload import Workload
+
+
+@dataclass
+class TableLevelResult:
+    """Outcome of the table-level optimisation."""
+
+    assignment: Dict[str, Store] = field(default_factory=dict)
+    #: Estimated workload share (ms) per table and store, computed with the
+    #: other tables fixed to their recommended stores.
+    per_table_costs: Dict[str, Dict[Store, float]] = field(default_factory=dict)
+    total_ms: float = 0.0
+
+
+class TableLevelAdvisor:
+    """Chooses a store per table by minimising the estimated workload runtime."""
+
+    def __init__(self, cost_model: CostModel, config: Optional[AdvisorConfig] = None) -> None:
+        self.cost_model = cost_model
+        self.config = config or AdvisorConfig()
+
+    # -- public API -------------------------------------------------------------------
+
+    def recommend(
+        self, workload: Workload, profiles: Mapping[str, TableProfile]
+    ) -> TableLevelResult:
+        """Return the cost-minimal store assignment for the workload's tables."""
+        tables = [table for table in workload.tables() if table in profiles]
+        if not tables:
+            raise AdvisorError("the workload does not reference any known table")
+
+        groups = self._join_groups(workload, tables)
+        assignment: Dict[str, Store] = {}
+        for group in groups:
+            group_queries = [
+                query for query in workload
+                if any(table in group for table in query.tables)
+            ]
+            group_workload = Workload(group_queries, name=f"group({','.join(sorted(group))})")
+            assignment.update(self._optimise_group(sorted(group), group_workload, profiles))
+
+        result = TableLevelResult(assignment=assignment)
+        result.total_ms = self.cost_model.estimate_workload_ms(
+            workload, assignment, profiles
+        )
+        result.per_table_costs = self._per_table_costs(workload, profiles, assignment)
+        return result
+
+    # -- join groups ---------------------------------------------------------------------
+
+    @staticmethod
+    def _join_groups(workload: Workload, tables: Sequence[str]) -> List[Set[str]]:
+        """Partition the tables into groups connected by join queries."""
+        parent: Dict[str, str] = {table: table for table in tables}
+
+        def find(table: str) -> str:
+            while parent[table] != table:
+                parent[table] = parent[parent[table]]
+                table = parent[table]
+            return table
+
+        def union(left: str, right: str) -> None:
+            root_left, root_right = find(left), find(right)
+            if root_left != root_right:
+                parent[root_right] = root_left
+
+        for query in workload:
+            if isinstance(query, AggregationQuery):
+                for join in query.joins:
+                    if query.table in parent and join.table in parent:
+                        union(query.table, join.table)
+        groups: Dict[str, Set[str]] = {}
+        for table in tables:
+            groups.setdefault(find(table), set()).add(table)
+        return list(groups.values())
+
+    # -- per-group optimisation --------------------------------------------------------------
+
+    def _optimise_group(
+        self,
+        group: Sequence[str],
+        workload: Workload,
+        profiles: Mapping[str, TableProfile],
+    ) -> Dict[str, Store]:
+        if len(group) <= self.config.max_exhaustive_join_group:
+            return self._optimise_exhaustively(group, workload, profiles)
+        return self._optimise_greedily(group, workload, profiles)
+
+    def _optimise_exhaustively(
+        self,
+        group: Sequence[str],
+        workload: Workload,
+        profiles: Mapping[str, TableProfile],
+    ) -> Dict[str, Store]:
+        best_assignment: Optional[Dict[str, Store]] = None
+        best_cost = float("inf")
+        for stores in itertools.product(Store, repeat=len(group)):
+            assignment = dict(zip(group, stores))
+            cost = self.cost_model.estimate_workload_ms(workload, assignment, profiles)
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+        assert best_assignment is not None
+        return best_assignment
+
+    def _optimise_greedily(
+        self,
+        group: Sequence[str],
+        workload: Workload,
+        profiles: Mapping[str, TableProfile],
+    ) -> Dict[str, Store]:
+        assignment = {table: Store.COLUMN for table in group}
+        cost = self.cost_model.estimate_workload_ms(workload, assignment, profiles)
+        improved = True
+        while improved:
+            improved = False
+            for table in group:
+                candidate = dict(assignment)
+                candidate[table] = assignment[table].other
+                candidate_cost = self.cost_model.estimate_workload_ms(
+                    workload, candidate, profiles
+                )
+                if candidate_cost < cost:
+                    assignment = candidate
+                    cost = candidate_cost
+                    improved = True
+        return assignment
+
+    # -- reporting --------------------------------------------------------------------------------
+
+    def _per_table_costs(
+        self,
+        workload: Workload,
+        profiles: Mapping[str, TableProfile],
+        assignment: Mapping[str, Store],
+    ) -> Dict[str, Dict[Store, float]]:
+        """Estimated workload runtime with each table flipped to either store."""
+        costs: Dict[str, Dict[Store, float]] = {}
+        for table in assignment:
+            table_workload = workload.restricted_to(table)
+            costs[table] = {}
+            for store in Store:
+                candidate = dict(assignment)
+                candidate[table] = store
+                costs[table][store] = self.cost_model.estimate_workload_ms(
+                    table_workload, candidate, profiles
+                )
+        return costs

@@ -1,0 +1,142 @@
+"""Adjustment functions of the cost model.
+
+The paper expresses estimated costs as base costs multiplied by *adjustment
+functions* of the query and data characteristics — "most of these functions
+are simple linear functions (e.g. ``f_#rows``), piecewise linear functions
+(e.g. ``f_compression``) or even constants (e.g. ``c_dataType``)"
+(Section 3.1).  This module provides exactly those three function families,
+each with a ``fit`` constructor used during calibration and a compact
+serialisable representation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+class AdjustmentFunction:
+    """Base class of the adjustment function families."""
+
+    kind: str = "abstract"
+
+    def __call__(self, value: float) -> float:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: Dict) -> "AdjustmentFunction":
+        kind = data.get("kind")
+        if kind == ConstantAdjustment.kind:
+            return ConstantAdjustment(data["factor"])
+        if kind == LinearAdjustment.kind:
+            return LinearAdjustment(data["slope"], data["intercept"])
+        if kind == PiecewiseLinearAdjustment.kind:
+            return PiecewiseLinearAdjustment(
+                tuple(data["xs"]), tuple(data["ys"])
+            )
+        raise CalibrationError(f"unknown adjustment function kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ConstantAdjustment(AdjustmentFunction):
+    """A constant multiplicative factor, e.g. ``c_dataType`` or ``c_groupBy``."""
+
+    factor: float
+
+    kind = "constant"
+
+    def __call__(self, value: float = 1.0) -> float:
+        return self.factor
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "factor": self.factor}
+
+
+@dataclass(frozen=True)
+class LinearAdjustment(AdjustmentFunction):
+    """An affine adjustment ``f(x) = slope * x + intercept``, e.g. ``f_#rows``."""
+
+    slope: float
+    intercept: float = 0.0
+
+    kind = "linear"
+
+    def __call__(self, value: float) -> float:
+        return self.slope * value + self.intercept
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "slope": self.slope, "intercept": self.intercept}
+
+    @classmethod
+    def fit(cls, xs: Sequence[float], ys: Sequence[float]) -> "LinearAdjustment":
+        """Least-squares fit of an affine function to the given samples."""
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise CalibrationError("linear fit needs at least two (x, y) samples")
+        design = np.vstack([np.asarray(xs, dtype=float), np.ones(len(xs))]).T
+        slope, intercept = np.linalg.lstsq(design, np.asarray(ys, dtype=float), rcond=None)[0]
+        return cls(slope=float(slope), intercept=float(intercept))
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearAdjustment(AdjustmentFunction):
+    """A piecewise-linear adjustment, e.g. ``f_compression`` or ``f_selectivity``.
+
+    Defined by breakpoints ``xs`` (strictly increasing) and values ``ys``;
+    evaluation interpolates linearly between breakpoints and extrapolates the
+    first/last segment outside the covered range.
+    """
+
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+
+    kind = "piecewise"
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys) or len(self.xs) < 2:
+            raise CalibrationError("piecewise adjustment needs >= 2 breakpoints")
+        if any(b <= a for a, b in zip(self.xs, self.xs[1:])):
+            raise CalibrationError("piecewise breakpoints must be strictly increasing")
+        object.__setattr__(self, "xs", tuple(float(x) for x in self.xs))
+        object.__setattr__(self, "ys", tuple(float(y) for y in self.ys))
+
+    def __call__(self, value: float) -> float:
+        xs, ys = self.xs, self.ys
+        if value <= xs[0]:
+            segment = 0
+        elif value >= xs[-1]:
+            segment = len(xs) - 2
+        else:
+            segment = bisect.bisect_right(xs, value) - 1
+        x0, x1 = xs[segment], xs[segment + 1]
+        y0, y1 = ys[segment], ys[segment + 1]
+        slope = (y1 - y0) / (x1 - x0)
+        return y0 + slope * (value - x0)
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "xs": list(self.xs), "ys": list(self.ys)}
+
+    @classmethod
+    def fit(
+        cls, xs: Sequence[float], ys: Sequence[float], num_segments: int = 4
+    ) -> "PiecewiseLinearAdjustment":
+        """Fit by averaging samples into ``num_segments + 1`` breakpoints."""
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise CalibrationError("piecewise fit needs at least two (x, y) samples")
+        order = np.argsort(xs)
+        xs_sorted = np.asarray(xs, dtype=float)[order]
+        ys_sorted = np.asarray(ys, dtype=float)[order]
+        breakpoints = np.linspace(xs_sorted[0], xs_sorted[-1], num_segments + 1)
+        # Collapse duplicate breakpoints (possible when all xs are equal).
+        breakpoints = np.unique(breakpoints)
+        if len(breakpoints) < 2:
+            raise CalibrationError("piecewise fit needs a non-degenerate x range")
+        values = np.interp(breakpoints, xs_sorted, ys_sorted)
+        return cls(tuple(breakpoints.tolist()), tuple(values.tolist()))

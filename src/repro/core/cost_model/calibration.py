@@ -1,0 +1,290 @@
+"""Offline calibration of the cost model (Section 4, "Initialize cost model").
+
+The paper initialises its cost model by running representative tests on the
+target system so that the base costs and adjustment functions reflect the
+current hardware and configuration.  The calibrator does the same against our
+execution engine:
+
+1. it builds small calibration tables with a mix of data types and
+   cardinalities,
+2. it runs a suite of representative queries of every query type against both
+   stores, recording for each execution the *cost terms* the estimator
+   derives from catalog statistics alone and the *measured* (simulated)
+   runtime, and
+3. it fits, per ``(store, query type)``, non-negative per-term weights with a
+   least-squares fit.
+
+The fitted :class:`~repro.core.cost_model.parameters.CostModelParameters`
+start from the analytic defaults, so terms that never occur in the
+calibration workload keep a sensible value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.config import DEFAULT_SEED, DeviceModelConfig
+from repro.core.cost_model.estimator import TableProfile, query_contributions
+from repro.core.cost_model.parameters import (
+    COST_TERMS,
+    CostModelParameters,
+    CostTermWeights,
+    analytic_parameters,
+)
+from repro.engine.database import HybridDatabase
+from repro.engine.schema import TableSchema
+from repro.engine.types import DataType, Store
+from repro.errors import CalibrationError
+from repro.query.ast import Query, QueryType
+from repro.query.builder import aggregate, delete, insert, select, update
+from repro.query.predicates import between, eq, ge
+
+
+@dataclass
+class CalibrationSample:
+    """One observation: cost terms of a query and its measured runtime."""
+
+    store: Store
+    query_type: QueryType
+    terms: Dict[str, float]
+    runtime_ns: float
+
+
+@dataclass
+class CalibrationReport:
+    """Outcome of a calibration run."""
+
+    parameters: CostModelParameters
+    samples: List[CalibrationSample] = field(default_factory=list)
+    fitted_groups: List[Tuple[Store, QueryType]] = field(default_factory=list)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+
+class CostModelCalibrator:
+    """Calibrates cost-model parameters against the execution engine."""
+
+    #: Row counts of the calibration tables (kept small: calibration must be
+    #: cheap, as the paper notes for its offline mode).
+    DEFAULT_SIZES = (1_000, 3_000, 8_000)
+
+    def __init__(
+        self,
+        device_config: Optional[DeviceModelConfig] = None,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        seed: int = DEFAULT_SEED,
+        min_samples_per_group: int = 4,
+    ) -> None:
+        self.device_config = device_config
+        self.sizes = tuple(sizes)
+        self.seed = seed
+        self.min_samples_per_group = min_samples_per_group
+
+    # -- public API -----------------------------------------------------------------
+
+    def calibrate(self) -> CalibrationReport:
+        """Run the calibration benchmarks and fit the parameters."""
+        samples: List[CalibrationSample] = []
+        for store in Store:
+            for num_rows in self.sizes:
+                samples.extend(self._run_benchmarks(store, num_rows))
+        if not samples:
+            raise CalibrationError("calibration produced no samples")
+        parameters = self._fit(samples)
+        report = CalibrationReport(parameters=parameters, samples=samples)
+        report.fitted_groups = sorted(
+            {(sample.store, sample.query_type) for sample in samples},
+            key=lambda key: (key[0].value, key[1].value),
+        )
+        return report
+
+    # -- benchmark workload ------------------------------------------------------------
+
+    def _calibration_schema(self) -> TableSchema:
+        return TableSchema.build(
+            "calibration",
+            [
+                ("id", DataType.INTEGER),
+                ("key_int", DataType.INTEGER),
+                ("key_double", DataType.DOUBLE),
+                ("key_decimal", DataType.DECIMAL),
+                ("group_small", DataType.VARCHAR),
+                ("group_large", DataType.INTEGER),
+                ("filter_value", DataType.INTEGER),
+                ("status", DataType.VARCHAR),
+                ("payload_a", DataType.DOUBLE),
+                ("payload_b", DataType.BIGINT),
+                ("payload_c", DataType.VARCHAR),
+                ("flag", DataType.BOOLEAN),
+            ],
+            primary_key=["id"],
+        )
+
+    def _calibration_rows(self, num_rows: int) -> List[dict]:
+        rng = random.Random(self.seed + num_rows)
+        rows = []
+        for i in range(num_rows):
+            rows.append(
+                {
+                    "id": i,
+                    "key_int": rng.randint(0, 500),
+                    "key_double": rng.random() * 1_000.0,
+                    "key_decimal": round(rng.random() * 100.0, 2),
+                    "group_small": f"g{i % 8}",
+                    "group_large": i % 200,
+                    "filter_value": rng.randint(0, 999),
+                    "status": ("open", "closed", "pending")[i % 3],
+                    "payload_a": rng.random(),
+                    "payload_b": rng.randint(0, 10_000_000),
+                    "payload_c": f"text_{i % 50}",
+                    "flag": bool(i % 2),
+                }
+            )
+        return rows
+
+    def _benchmark_queries(self, num_rows: int) -> List[Query]:
+        """Representative queries covering every query type and characteristic."""
+        queries: List[Query] = [
+            aggregate("calibration").sum("key_double").build(),
+            aggregate("calibration").sum("key_int").avg("key_double").build(),
+            (
+                aggregate("calibration")
+                .sum("key_double")
+                .avg("key_int")
+                .min("key_decimal")
+                .build()
+            ),
+            aggregate("calibration").sum("key_double").group_by("group_small").build(),
+            (
+                aggregate("calibration")
+                .sum("key_double")
+                .avg("key_int")
+                .group_by("group_large")
+                .build()
+            ),
+            (
+                aggregate("calibration")
+                .sum("key_double")
+                .where(between("filter_value", 0, 499))
+                .build()
+            ),
+            aggregate("calibration").count("*").build(),
+            select("calibration").where(eq("id", num_rows // 2)).build(),
+            select("calibration").columns("id", "status").where(eq("id", 7)).build(),
+            (
+                select("calibration")
+                .columns("id", "key_double", "status")
+                .where(between("filter_value", 100, 199))
+                .build()
+            ),
+            select("calibration").where(eq("status", "open")).limit(50).build(),
+            insert("calibration", [self._new_row(num_rows, offset=0)]),
+            insert(
+                "calibration",
+                [self._new_row(num_rows, offset=i + 1) for i in range(5)],
+            ),
+            update("calibration", {"status": "closed"}, eq("id", num_rows // 3)),
+            update(
+                "calibration",
+                {"status": "archived", "flag": False},
+                between("filter_value", 900, 999),
+            ),
+            update("calibration", {"payload_a": 0.5}, eq("group_small", "g3")),
+            delete("calibration", eq("id", num_rows // 4)),
+            delete("calibration", ge("filter_value", 995)),
+        ]
+        return queries
+
+    def _new_row(self, num_rows: int, offset: int) -> dict:
+        return {
+            "id": 10_000_000 + num_rows + offset,
+            "key_int": 1,
+            "key_double": 1.0,
+            "key_decimal": 1.0,
+            "group_small": "g0",
+            "group_large": 0,
+            "filter_value": 1,
+            "status": "new",
+            "payload_a": 0.0,
+            "payload_b": 0,
+            "payload_c": "new",
+            "flag": True,
+        }
+
+    def _run_benchmarks(self, store: Store, num_rows: int) -> List[CalibrationSample]:
+        database = HybridDatabase(self.device_config)
+        schema = self._calibration_schema()
+        database.create_table(schema, store)
+        database.load_rows("calibration", self._calibration_rows(num_rows))
+
+        samples = []
+        assignment = {"calibration": store}
+        for query in self._benchmark_queries(num_rows):
+            # Terms are derived from the catalog statistics *before* the query
+            # runs (data-modifying queries change the statistics).
+            profiles = {
+                "calibration": TableProfile(
+                    schema=schema, statistics=database.statistics("calibration")
+                )
+            }
+            contributions = query_contributions(query, assignment, profiles)
+            result = database.execute(query)
+            if len(contributions) != 1:
+                continue
+            samples.append(
+                CalibrationSample(
+                    store=store,
+                    query_type=query.query_type,
+                    terms=dict(contributions[0].terms),
+                    runtime_ns=result.cost.total_ns,
+                )
+            )
+            database.refresh_statistics("calibration")
+        return samples
+
+    # -- fitting -------------------------------------------------------------------------
+
+    def _fit(self, samples: Sequence[CalibrationSample]) -> CostModelParameters:
+        parameters = analytic_parameters(self.device_config)
+        grouped: Dict[Tuple[Store, QueryType], List[CalibrationSample]] = {}
+        for sample in samples:
+            grouped.setdefault((sample.store, sample.query_type), []).append(sample)
+
+        for (store, query_type), group in grouped.items():
+            if len(group) < self.min_samples_per_group:
+                continue
+            fitted = self._fit_group(group, parameters.weights_for(store, query_type))
+            parameters.set_weights(store, query_type, fitted)
+        return parameters
+
+    def _fit_group(
+        self, samples: Sequence[CalibrationSample], fallback: CostTermWeights
+    ) -> CostTermWeights:
+        """Non-negative least-squares fit of the per-term weights of one group."""
+        active_terms = [
+            term for term in COST_TERMS
+            if any(sample.terms.get(term) for sample in samples)
+        ]
+        if not active_terms:
+            return fallback
+        design = np.array(
+            [[sample.terms.get(term, 0.0) for term in active_terms] for sample in samples],
+            dtype=float,
+        )
+        target = np.array([sample.runtime_ns for sample in samples], dtype=float)
+        # Normalise columns so that nnls is well conditioned across terms whose
+        # magnitudes differ by orders of magnitude (bytes vs. probes).
+        scales = design.max(axis=0)
+        scales[scales == 0.0] = 1.0
+        solution, _ = nnls(design / scales, target)
+        weights = dict(fallback.weights)
+        for term, value, scale in zip(active_terms, solution, scales):
+            weights[term] = float(value / scale)
+        return CostTermWeights(weights)

@@ -1,0 +1,153 @@
+"""The cost model: estimating query and workload runtimes per store.
+
+``Costs = BaseCosts · QueryAdjustment · DataAdjustment`` (Section 3.1): the
+:class:`CostModel` combines the cost terms extracted by the estimator (query
+and data characteristics) with its per-store, per-query-type parameters (base
+costs) to predict the runtime a query would have in a hypothetical storage
+layout — without executing anything.
+
+The model can be constructed from analytic defaults or from the parameters
+produced by :class:`~repro.core.cost_model.calibration.CostModelCalibrator`
+(the paper's offline "initialize cost model" step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.config import DeviceModelConfig
+from repro.core.cost_model.estimator import (
+    CostContribution,
+    TableProfile,
+    query_contributions,
+)
+from repro.core.cost_model.parameters import CostModelParameters, analytic_parameters
+from repro.engine.catalog import Catalog
+from repro.engine.statistics import TableStatistics
+from repro.engine.types import Store
+from repro.errors import EstimationError
+from repro.query.ast import Query, QueryType
+from repro.query.workload import Workload
+
+StoreAssignment = Mapping[str, Store]
+
+
+@dataclass
+class WorkloadEstimate:
+    """Estimated runtime of a workload under one store assignment."""
+
+    assignment: Dict[str, Store]
+    total_ms: float
+    per_query_ms: list = field(default_factory=list)
+    per_type_ms: Dict[QueryType, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.total_ms / 1000.0
+
+
+class CostModel:
+    """Estimates query runtimes for row-store and column-store placements."""
+
+    def __init__(
+        self,
+        parameters: Optional[CostModelParameters] = None,
+        device_config: Optional[DeviceModelConfig] = None,
+    ) -> None:
+        self.parameters = parameters or analytic_parameters(device_config)
+
+    # -- profile helpers -----------------------------------------------------------
+
+    @staticmethod
+    def profiles_from_catalog(catalog: Catalog) -> Dict[str, TableProfile]:
+        """Build the estimator's table profiles from a system catalog."""
+        return {
+            name: TableProfile(
+                schema=catalog.schema(name), statistics=catalog.statistics_of(name)
+            )
+            for name in catalog.table_names()
+        }
+
+    @staticmethod
+    def profiles_from_statistics(
+        schemas: Mapping[str, "TableSchemaLike"],
+        statistics: Mapping[str, TableStatistics],
+    ) -> Dict[str, TableProfile]:
+        """Build profiles from explicit schema and statistics mappings."""
+        return {
+            name: TableProfile(schema=schemas[name], statistics=statistics[name])
+            for name in schemas
+        }
+
+    # -- query estimation ------------------------------------------------------------
+
+    def estimate_query_ms(
+        self,
+        query: Query,
+        assignment: StoreAssignment,
+        profiles: Mapping[str, TableProfile],
+    ) -> float:
+        """Estimated runtime (ms) of *query* under *assignment*."""
+        contributions = query_contributions(query, assignment, profiles)
+        return self._price_contributions(contributions)
+
+    def estimate_query_per_store(
+        self,
+        query: Query,
+        profiles: Mapping[str, TableProfile],
+        fixed_assignment: Optional[StoreAssignment] = None,
+    ) -> Dict[Store, float]:
+        """Estimate *query* with its base table in either store.
+
+        Tables other than the query's base table keep the store given in
+        ``fixed_assignment`` (default: column store).
+        """
+        estimates = {}
+        for store in Store:
+            assignment = dict(fixed_assignment or {})
+            for table in query.tables:
+                assignment.setdefault(table, Store.COLUMN)
+            assignment[query.table] = store
+            estimates[store] = self.estimate_query_ms(query, assignment, profiles)
+        return estimates
+
+    def _price_contributions(self, contributions: Iterable[CostContribution]) -> float:
+        total_ms = 0.0
+        for contribution in contributions:
+            weights = self.parameters.weights_for(contribution.store, contribution.query_type)
+            total_ms += weights.cost_ms(contribution.terms)
+        return total_ms
+
+    # -- workload estimation -------------------------------------------------------------
+
+    def estimate_workload(
+        self,
+        workload: Workload,
+        assignment: StoreAssignment,
+        profiles: Mapping[str, TableProfile],
+    ) -> WorkloadEstimate:
+        """Estimated runtime of a whole workload under one store assignment."""
+        missing = set(workload.tables()) - set(assignment)
+        if missing:
+            raise EstimationError(
+                f"store assignment is missing tables: {sorted(missing)}"
+            )
+        estimate = WorkloadEstimate(assignment=dict(assignment), total_ms=0.0)
+        for query in workload:
+            query_ms = self.estimate_query_ms(query, assignment, profiles)
+            estimate.per_query_ms.append(query_ms)
+            estimate.per_type_ms[query.query_type] = (
+                estimate.per_type_ms.get(query.query_type, 0.0) + query_ms
+            )
+            estimate.total_ms += query_ms
+        return estimate
+
+    def estimate_workload_ms(
+        self,
+        workload: Workload,
+        assignment: StoreAssignment,
+        profiles: Mapping[str, TableProfile],
+    ) -> float:
+        """Shortcut for :meth:`estimate_workload` returning only the total."""
+        return self.estimate_workload(workload, assignment, profiles).total_ms

@@ -1,0 +1,21 @@
+"""Statistics consumed and maintained by the storage advisor."""
+
+from repro.core.statistics.table_stats import (
+    ColumnStatistics,
+    TableStatistics,
+    compute_table_statistics,
+    statistics_from_schema,
+)
+from repro.core.statistics.workload_stats import (
+    TableWorkloadStatistics,
+    WorkloadStatistics,
+)
+
+__all__ = [
+    "ColumnStatistics",
+    "TableStatistics",
+    "TableWorkloadStatistics",
+    "WorkloadStatistics",
+    "compute_table_statistics",
+    "statistics_from_schema",
+]

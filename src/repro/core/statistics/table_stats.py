@@ -1,0 +1,23 @@
+"""Table statistics used by the storage advisor.
+
+The data characteristics of the cost model (row counts, widths, distinct
+counts, compression rates) are computed by the engine and stored in the
+system catalog; this module re-exports them under the advisor's namespace so
+that advisor-side code does not need to reach into engine internals, and adds
+the offline-mode helper :func:`statistics_from_schema` for the case where the
+data does not exist yet.
+"""
+
+from repro.engine.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    compute_table_statistics,
+    statistics_from_schema,
+)
+
+__all__ = [
+    "ColumnStatistics",
+    "TableStatistics",
+    "compute_table_statistics",
+    "statistics_from_schema",
+]

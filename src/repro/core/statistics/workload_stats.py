@@ -1,0 +1,184 @@
+"""Extended workload statistics (the online mode's recorded information).
+
+Section 4 of the paper lists examples of extended workload statistics: "the
+number of inserts per table, the number of updates and aggregates per
+attribute or the number of joins between tables".  This module implements a
+recorder for exactly that information.  It can be filled in two ways:
+
+* offline — from a recorded or expected :class:`~repro.query.workload.Workload`
+  (:meth:`WorkloadStatistics.from_workload`), or
+* online — incrementally, query by query, through
+  :meth:`WorkloadStatistics.record` (used by the online monitor's execution
+  listener).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.query.ast import (
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    Query,
+    QueryType,
+    SelectQuery,
+    UpdateQuery,
+    split_qualified,
+)
+from repro.query.workload import AttributeAccessCounts, Workload
+
+
+@dataclass
+class TableWorkloadStatistics:
+    """Per-table counters of the extended workload statistics."""
+
+    table: str
+    queries_by_type: Dict[QueryType, int] = field(default_factory=dict)
+    rows_inserted: int = 0
+    attribute_counts: Dict[str, AttributeAccessCounts] = field(default_factory=dict)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.queries_by_type.values())
+
+    @property
+    def num_inserts(self) -> int:
+        return self.queries_by_type.get(QueryType.INSERT, 0)
+
+    @property
+    def num_updates(self) -> int:
+        return self.queries_by_type.get(QueryType.UPDATE, 0)
+
+    @property
+    def num_aggregations(self) -> int:
+        return self.queries_by_type.get(QueryType.AGGREGATION, 0)
+
+    @property
+    def insert_fraction(self) -> float:
+        if self.total_queries == 0:
+            return 0.0
+        return self.num_inserts / self.total_queries
+
+    @property
+    def update_fraction(self) -> float:
+        if self.total_queries == 0:
+            return 0.0
+        return self.num_updates / self.total_queries
+
+    @property
+    def olap_fraction(self) -> float:
+        if self.total_queries == 0:
+            return 0.0
+        return self.num_aggregations / self.total_queries
+
+    def attribute(self, name: str) -> AttributeAccessCounts:
+        return self.attribute_counts.setdefault(name, AttributeAccessCounts())
+
+
+class WorkloadStatistics:
+    """Extended workload statistics across all tables."""
+
+    def __init__(self) -> None:
+        self.per_table: Dict[str, TableWorkloadStatistics] = {}
+        self.join_counts: Dict[FrozenSet[str], int] = {}
+        self.total_queries = 0
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "WorkloadStatistics":
+        statistics = cls()
+        for query in workload:
+            statistics.record(query)
+        return statistics
+
+    def table(self, name: str) -> TableWorkloadStatistics:
+        return self.per_table.setdefault(name, TableWorkloadStatistics(table=name))
+
+    # -- recording ----------------------------------------------------------------------
+
+    def record(self, query: Query) -> None:
+        """Update the statistics with one executed (or expected) query."""
+        self.total_queries += 1
+        for table_name in query.tables:
+            table_stats = self.table(table_name)
+            table_stats.queries_by_type[query.query_type] = (
+                table_stats.queries_by_type.get(query.query_type, 0) + 1
+            )
+        if isinstance(query, AggregationQuery):
+            self._record_aggregation(query)
+        elif isinstance(query, SelectQuery):
+            self._record_select(query)
+        elif isinstance(query, InsertQuery):
+            self.table(query.table).rows_inserted += query.num_rows
+        elif isinstance(query, UpdateQuery):
+            self._record_update(query)
+        elif isinstance(query, DeleteQuery):
+            self._record_delete(query)
+
+    def _record_aggregation(self, query: AggregationQuery) -> None:
+        for join in query.joins:
+            key = frozenset({query.table, join.table})
+            self.join_counts[key] = self.join_counts.get(key, 0) + 1
+        for spec in query.aggregates:
+            owner, column = split_qualified(spec.column)
+            if column == "*":
+                continue
+            self.table(owner or query.table).attribute(column).aggregations += 1
+        for name in query.group_by:
+            owner, column = split_qualified(name)
+            self.table(owner or query.table).attribute(column).group_bys += 1
+        if query.predicate is not None:
+            for name in query.predicate.columns():
+                owner, column = split_qualified(name)
+                self.table(owner or query.table).attribute(column).olap_selections += 1
+
+    def _record_select(self, query: SelectQuery) -> None:
+        stats = self.table(query.table)
+        for column in query.columns:
+            stats.attribute(column).projections += 1
+        if query.predicate is not None:
+            for column in query.predicate.columns():
+                stats.attribute(column).point_selections += 1
+
+    def _record_update(self, query: UpdateQuery) -> None:
+        stats = self.table(query.table)
+        for column in query.updated_columns:
+            stats.attribute(column).updates += 1
+        if query.predicate is not None:
+            for column in query.predicate.columns():
+                stats.attribute(column).point_selections += 1
+
+    def _record_delete(self, query: DeleteQuery) -> None:
+        stats = self.table(query.table)
+        if query.predicate is not None:
+            for column in query.predicate.columns():
+                stats.attribute(column).point_selections += 1
+
+    # -- lookups ---------------------------------------------------------------------------
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.per_table))
+
+    def joins_between(self, left: str, right: str) -> int:
+        return self.join_counts.get(frozenset({left, right}), 0)
+
+    def joined_tables(self, table: str) -> Tuple[str, ...]:
+        partners = set()
+        for pair, count in self.join_counts.items():
+            if table in pair and count > 0:
+                partners |= set(pair) - {table}
+        return tuple(sorted(partners))
+
+    def summary(self) -> str:
+        lines = [f"{self.total_queries} queries recorded"]
+        for name in self.tables():
+            stats = self.per_table[name]
+            lines.append(
+                f"  {name}: {stats.total_queries} queries "
+                f"(inserts={stats.num_inserts}, updates={stats.num_updates}, "
+                f"aggregations={stats.num_aggregations})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""The hybrid-store execution engine (the paper's database substrate).
+
+Public entry points:
+
+* :class:`~repro.engine.database.HybridDatabase` — create tables, load data,
+  execute queries and workloads, move tables between stores, partition tables.
+* :class:`~repro.engine.schema.TableSchema` / :class:`~repro.engine.schema.Column`
+  — schema definition.
+* :class:`~repro.engine.types.Store` / :class:`~repro.engine.types.DataType`
+  — store and type enums.
+* :class:`~repro.engine.partitioning.TablePartitioning` and the partition
+  specs — describing store-aware partitionings.
+"""
+
+from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.database import HybridDatabase, WorkloadRunResult
+from repro.engine.partitioning import (
+    HorizontalPartitionSpec,
+    PartitionedTable,
+    TablePartitioning,
+    VerticalPartitionSpec,
+)
+from repro.engine.schema import Column, TableSchema
+from repro.engine.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    compute_table_statistics,
+    statistics_from_schema,
+)
+from repro.engine.table import StoredTable
+from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel
+from repro.engine.types import DataType, Store
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "Column",
+    "ColumnStatistics",
+    "CostAccountant",
+    "CostBreakdown",
+    "DataType",
+    "DeviceModel",
+    "HorizontalPartitionSpec",
+    "HybridDatabase",
+    "PartitionedTable",
+    "Store",
+    "StoredTable",
+    "TablePartitioning",
+    "TableSchema",
+    "TableStatistics",
+    "VerticalPartitionSpec",
+    "WorkloadRunResult",
+    "compute_table_statistics",
+    "statistics_from_schema",
+]

@@ -1,0 +1,407 @@
+"""The column store backend.
+
+Every column is kept dictionary-encoded (:mod:`repro.engine.compression`).
+Scanning a single attribute therefore touches only that column's compressed
+bytes — the source of the column store's advantage on analytical queries —
+while reconstructing complete tuples, inserting rows and updating values pay
+per-cell penalties (dictionary maintenance, random accesses across columns).
+
+The sorted dictionary also provides the "implicit index" the paper mentions
+for point and range predicates: a value predicate is translated into a code
+range and evaluated with a vectorised comparison over the code array.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.compression import CompressedColumn, code_width_bytes
+from repro.engine.schema import TableSchema
+from repro.engine.timing import CostAccountant
+from repro.engine.types import Store
+from repro.errors import ExecutionError
+from repro.query.predicates import (
+    And,
+    Between,
+    CompareOp,
+    Comparison,
+    InList,
+    Predicate,
+)
+
+#: When a position list covers more than this fraction of the table, the
+#: column store materialises the requested columns with a sequential scan of
+#: the code arrays (late materialisation) instead of one random access per
+#: cell.  The cost-model estimator uses the same threshold so that estimated
+#: and measured costs follow the same access-path choice.
+SCAN_MATERIALIZATION_THRESHOLD = 0.15
+
+
+class ColumnStoreTable:
+    """In-memory column-oriented, dictionary-compressed table."""
+
+    store = Store.COLUMN
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._columns: Dict[str, CompressedColumn] = {
+            column.name: CompressedColumn(column.name, column.dtype)
+            for column in schema.columns
+        }
+        self._num_rows = 0
+        self._pk_column: Optional[str] = None
+        if len(schema.primary_key) == 1:
+            self._pk_column = schema.primary_key[0]
+        # Primary-key uniqueness is checked against this set; the dictionary
+        # alone is not sufficient because several rows may share a code.
+        self._pk_values: set = set()
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def row_width_bytes(self) -> int:
+        return self.schema.row_width_bytes
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(column.compressed_bytes for column in self._columns.values())
+
+    def compression_rate(self, column: Optional[str] = None) -> float:
+        """Compressed-to-raw size ratio for one column or the whole table."""
+        if column is not None:
+            return self._columns[column].compression_rate
+        if self._num_rows == 0:
+            return 1.0
+        raw = sum(col.raw_bytes for col in self._columns.values())
+        compressed = sum(col.compressed_bytes for col in self._columns.values())
+        return min(1.0, compressed / raw) if raw else 1.0
+
+    def has_index(self, column: str) -> bool:
+        """Every column-store column has an implicit (dictionary) index."""
+        return True
+
+    def column_compressed_bytes(self, column: str) -> float:
+        return self._columns[column].compressed_bytes
+
+    def column_code_bytes(self, column: str) -> float:
+        """Bytes a sequential scan of *column* reads (code array only)."""
+        return self._columns[column].code_bytes
+
+    # -- loading and modification ----------------------------------------------------
+
+    def insert_rows(
+        self, rows: Sequence[Mapping[str, Any]], accountant: Optional[CostAccountant] = None
+    ) -> List[int]:
+        """Insert validated rows, returning their positions.
+
+        Every cell pays the column-store insert penalty (dictionary lookup and
+        potential re-encoding, delta append); the primary key additionally
+        pays a uniqueness probe.
+        """
+        positions = []
+        for raw_row in rows:
+            validated = self.schema.validate_row(raw_row)
+            if self._pk_column is not None:
+                key = validated[self._pk_column]
+                if accountant is not None:
+                    accountant.charge_index_probe()
+                if key in self._pk_values:
+                    raise ExecutionError(
+                        f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                    )
+                self._pk_values.add(key)
+            for name, column in self._columns.items():
+                column.append(validated[name])
+            if accountant is not None:
+                accountant.charge_cs_value_inserts(self.schema.num_columns)
+            positions.append(self._num_rows)
+            self._num_rows += 1
+        return positions
+
+    def bulk_load(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Load rows without cost accounting (used by generators and tests)."""
+        if not rows:
+            return
+        validated = [self.schema.validate_row(row) for row in rows]
+        if self._num_rows == 0:
+            for name, column in self._columns.items():
+                column.bulk_load([row[name] for row in validated])
+            self._num_rows = len(validated)
+            if self._pk_column is not None:
+                keys = [row[self._pk_column] for row in validated]
+                self._pk_values = set(keys)
+                if len(self._pk_values) != len(keys):
+                    raise ExecutionError(
+                        f"duplicate primary key while bulk loading {self.schema.name!r}"
+                    )
+        else:
+            self.insert_rows(validated, accountant=None)
+
+    def update_rows(
+        self,
+        positions: Sequence[int],
+        assignments: Mapping[str, Any],
+        accountant: Optional[CostAccountant] = None,
+    ) -> int:
+        """Update *assignments* on the rows at *positions*.
+
+        Dictionary-compressed column stores cannot modify a row in place: an
+        update invalidates the old row version and re-appends a complete new
+        version to the delta.  Accordingly every affected row is charged the
+        update penalty for *all* of the table's columns, which is the main
+        reason updates favour the row store in the paper's cost model.
+        """
+        if not assignments:
+            return 0
+        coerced = {
+            name: self.schema.column(name).dtype.coerce(value)
+            for name, value in assignments.items()
+        }
+        for position in positions:
+            for name, value in coerced.items():
+                if name == self._pk_column:
+                    old = self._columns[name].value_at(position)
+                    if value != old and value in self._pk_values:
+                        raise ExecutionError(
+                            f"duplicate primary key {value!r} in table {self.schema.name!r}"
+                        )
+                    self._pk_values.discard(old)
+                    self._pk_values.add(value)
+                self._columns[name].set_value(position, value)
+            if accountant is not None:
+                accountant.charge_cs_value_updates(self.schema.num_columns)
+        return len(positions)
+
+    def delete_rows(
+        self, positions: Sequence[int], accountant: Optional[CostAccountant] = None
+    ) -> int:
+        """Physically remove the rows at *positions* (rebuilds every column)."""
+        if len(positions) == 0:
+            return 0
+        doomed = set(int(p) for p in positions)
+        keep = [i for i in range(self._num_rows) if i not in doomed]
+        survivors = [self._row_as_dict(i) for i in keep]
+        if accountant is not None:
+            accountant.charge_cs_value_updates(len(doomed) * self.schema.num_columns)
+        self._columns = {
+            column.name: CompressedColumn(column.name, column.dtype)
+            for column in self.schema.columns
+        }
+        self._num_rows = 0
+        self._pk_values = set()
+        if survivors:
+            self.bulk_load(survivors)
+        return len(doomed)
+
+    # -- reads -----------------------------------------------------------------------
+
+    def filter_positions(
+        self, predicate: Optional[Predicate], accountant: Optional[CostAccountant] = None
+    ) -> Optional[np.ndarray]:
+        """Return positions of rows matching *predicate* (``None`` = all rows).
+
+        Simple single-column predicates are evaluated directly on the code
+        arrays using the sorted dictionary (the implicit index); arbitrary
+        predicates fall back to row-wise evaluation, which additionally pays
+        tuple-reconstruction costs for the referenced columns.
+        """
+        if predicate is None:
+            return None
+        mask = self._vectorised_mask(predicate, accountant)
+        if mask is not None:
+            return np.nonzero(mask)[0].astype(np.int64)
+        # Fallback: reconstruct the referenced columns row by row.
+        referenced = sorted(predicate.columns())
+        if accountant is not None:
+            for name in referenced:
+                accountant.charge_sequential_read(
+                    "column_scan", self._columns[name].code_bytes
+                )
+            accountant.charge_dict_decodes(self._num_rows * len(referenced))
+            accountant.charge_predicate_evals(self._num_rows)
+        columns = {name: self._columns[name].all_values() for name in referenced}
+        matches = [
+            i for i in range(self._num_rows)
+            if predicate.evaluate({name: columns[name][i] for name in referenced})
+        ]
+        return np.asarray(matches, dtype=np.int64)
+
+    def _vectorised_mask(
+        self, predicate: Predicate, accountant: Optional[CostAccountant]
+    ) -> Optional[np.ndarray]:
+        """Evaluate simple predicates directly over code arrays."""
+        if isinstance(predicate, And):
+            masks = []
+            for child in predicate.predicates:
+                mask = self._vectorised_mask(child, accountant)
+                if mask is None:
+                    return None
+                masks.append(mask)
+            combined = masks[0]
+            for mask in masks[1:]:
+                combined = combined & mask
+            return combined
+        if isinstance(predicate, (Comparison, Between, InList)):
+            column = self._columns.get(next(iter(predicate.columns())))
+            if column is None:
+                return None
+            if accountant is not None:
+                accountant.charge_index_probe()  # dictionary lookup of the literal(s)
+                accountant.charge_sequential_read("column_scan", column.code_bytes)
+                accountant.charge_vector_compares(self._num_rows)
+            codes = column.codes
+            if isinstance(predicate, Comparison):
+                return self._comparison_mask(column, codes, predicate)
+            if isinstance(predicate, Between):
+                lo, hi = column.dictionary.range_codes(
+                    predicate.low, predicate.high,
+                    predicate.include_low, predicate.include_high,
+                )
+                return (codes >= lo) & (codes < hi)
+            member_codes = [
+                column.dictionary.encode_existing(value) for value in predicate.values
+            ]
+            member_codes = [code for code in member_codes if code is not None]
+            if not member_codes:
+                return np.zeros(self._num_rows, dtype=bool)
+            return np.isin(codes, np.asarray(member_codes, dtype=np.int64))
+        return None
+
+    @staticmethod
+    def _comparison_mask(
+        column: CompressedColumn, codes: np.ndarray, predicate: Comparison
+    ) -> np.ndarray:
+        dictionary = column.dictionary
+        if predicate.op is CompareOp.EQ:
+            code = dictionary.encode_existing(predicate.value)
+            if code is None:
+                return np.zeros(len(codes), dtype=bool)
+            return codes == code
+        if predicate.op is CompareOp.NE:
+            code = dictionary.encode_existing(predicate.value)
+            if code is None:
+                return np.ones(len(codes), dtype=bool)
+            return codes != code
+        if predicate.op in (CompareOp.LT, CompareOp.LE):
+            lo, hi = dictionary.range_codes(
+                None, predicate.value, include_high=predicate.op is CompareOp.LE
+            )
+            return codes < hi
+        lo, hi = dictionary.range_codes(
+            predicate.value, None, include_low=predicate.op is CompareOp.GE
+        )
+        return codes >= lo
+
+    def fetch_rows(
+        self,
+        positions: Optional[Sequence[int]],
+        columns: Optional[Sequence[str]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> List[Dict[str, Any]]:
+        """Materialise (reconstruct) tuples from the requested columns.
+
+        Tuple reconstruction pays one random access + decode per requested
+        cell, which is why selecting many attributes of many rows is the
+        column store's weak spot.
+        """
+        selected = tuple(columns) if columns is not None else self.schema.column_names
+        for name in selected:
+            self.schema.column(name)
+        if positions is None:
+            positions = range(self._num_rows)
+        positions = list(positions)
+        if accountant is not None:
+            for name in selected:
+                self._charge_materialisation(name, len(positions), accountant)
+        values = {name: self._columns[name].values_at(positions) for name in selected}
+        return [
+            {name: values[name][i] for name in selected}
+            for i in range(len(positions))
+        ]
+
+    def _charge_materialisation(
+        self, column: str, num_positions: int, accountant: CostAccountant
+    ) -> None:
+        """Charge for materialising *num_positions* values of one column.
+
+        Sparse position lists pay one tuple-reconstruction (random access +
+        decode) per value; dense position lists are served by a sequential
+        scan of the code array plus a decode per qualifying value, which is
+        how a real column store late-materialises wide selections.
+        """
+        if self._num_rows == 0:
+            return
+        if num_positions <= self._num_rows * SCAN_MATERIALIZATION_THRESHOLD:
+            accountant.charge_tuple_reconstructions(num_positions)
+        else:
+            accountant.charge_sequential_read(
+                "column_scan", self._columns[column].code_bytes
+            )
+            accountant.charge_dict_decodes(num_positions)
+
+    def column_values(
+        self,
+        column: str,
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> List[Any]:
+        """Return the values of one column, decoding from the dictionary.
+
+        A full-column read is a sequential scan of the compressed codes plus a
+        decode per value — the column store's fast path for aggregation.
+        """
+        compressed = self._columns[column]
+        if positions is None:
+            if accountant is not None:
+                accountant.charge_sequential_read("column_scan", compressed.code_bytes)
+                accountant.charge_dict_decodes(self._num_rows)
+            return compressed.all_values()
+        if accountant is not None:
+            self._charge_materialisation(column, len(positions), accountant)
+        return compressed.values_at(list(positions))
+
+    def scan_columns(
+        self,
+        columns: Sequence[str],
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> Dict[str, List[Any]]:
+        """Read several columns; each column is scanned (or reconstructed) separately."""
+        return {
+            name: self.column_values(name, positions, accountant) for name in columns
+        }
+
+    def all_rows(self) -> List[Dict[str, Any]]:
+        """Return every row as a dict, without cost accounting (for conversions)."""
+        names = self.schema.column_names
+        columns = {name: self._columns[name].all_values() for name in names}
+        return [
+            {name: columns[name][i] for name in names} for i in range(self._num_rows)
+        ]
+
+    def _row_as_dict(self, position: int) -> Dict[str, Any]:
+        return {
+            name: self._columns[name].value_at(position)
+            for name in self.schema.column_names
+        }
+
+    # -- statistics helpers -----------------------------------------------------------
+
+    def column_distinct_count(self, column: str) -> int:
+        return self._columns[column].num_distinct
+
+    def column_min_max(self, column: str) -> Tuple[Any, Any]:
+        dictionary = self._columns[column].dictionary
+        if len(dictionary) == 0:
+            return None, None
+        values = dictionary.values
+        return values[0], values[-1]
+
+    def column_code_width(self, column: str) -> int:
+        return code_width_bytes(self._columns[column].num_distinct)

@@ -1,0 +1,221 @@
+"""HybridDatabase: the façade of the hybrid-store execution engine.
+
+A :class:`HybridDatabase` owns the system catalog, the physical table objects
+(plain :class:`~repro.engine.table.StoredTable` or
+:class:`~repro.engine.partitioning.PartitionedTable`), the device/timing model
+and the query executor.  It offers:
+
+* DDL — creating and dropping tables, moving a table between stores, applying
+  or removing a partitioning (the operations the storage advisor recommends),
+* DML and queries through :meth:`execute`, with per-query simulated costs,
+* workload execution with aggregated runtime statistics, and
+* statistics refresh for the system catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.config import DeviceModelConfig
+from repro.engine.catalog import Catalog
+from repro.engine.executor.executor import QueryExecutor, QueryResult
+from repro.engine.partitioning import PartitionedTable, TablePartitioning
+from repro.engine.schema import TableSchema
+from repro.engine.statistics import TableStatistics, compute_table_statistics
+from repro.engine.table import StoredTable
+from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel
+from repro.engine.types import Store
+from repro.errors import CatalogError
+from repro.query.ast import Query, QueryType
+from repro.query.workload import Workload
+
+TableObject = Union[StoredTable, PartitionedTable]
+
+#: Signature of execution listeners (used by the online workload monitor).
+ExecutionListener = Callable[[Query, QueryResult], None]
+
+
+@dataclass
+class WorkloadRunResult:
+    """Aggregated result of running a workload against the database."""
+
+    workload_name: str
+    query_runtimes_ms: List[float] = field(default_factory=list)
+    runtime_by_type_ms: Dict[QueryType, float] = field(default_factory=dict)
+    queries_by_type: Dict[QueryType, int] = field(default_factory=dict)
+
+    @property
+    def total_runtime_ms(self) -> float:
+        return sum(self.query_runtimes_ms)
+
+    @property
+    def total_runtime_s(self) -> float:
+        return self.total_runtime_ms / 1000.0
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.query_runtimes_ms)
+
+    @property
+    def mean_runtime_ms(self) -> float:
+        if not self.query_runtimes_ms:
+            return 0.0
+        return self.total_runtime_ms / len(self.query_runtimes_ms)
+
+    def record(self, query: Query, result: QueryResult) -> None:
+        runtime = result.runtime_ms
+        self.query_runtimes_ms.append(runtime)
+        query_type = query.query_type
+        self.runtime_by_type_ms[query_type] = (
+            self.runtime_by_type_ms.get(query_type, 0.0) + runtime
+        )
+        self.queries_by_type[query_type] = self.queries_by_type.get(query_type, 0) + 1
+
+
+class HybridDatabase:
+    """An in-memory hybrid-store database with simulated query costs."""
+
+    def __init__(self, device_config: Optional[DeviceModelConfig] = None) -> None:
+        self.catalog = Catalog()
+        self.device = DeviceModel(device_config)
+        self._tables: Dict[str, TableObject] = {}
+        self._executor = QueryExecutor(self, self.device)
+        self._listeners: List[ExecutionListener] = []
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, store: Store = Store.ROW) -> StoredTable:
+        """Create an empty table in *store* and register it in the catalog."""
+        entry = self.catalog.register_table(schema, store)
+        table = StoredTable(schema, store)
+        self._tables[schema.name] = table
+        entry.statistics = compute_table_statistics(table)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def table_object(self, name: str) -> TableObject:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def schema(self, name: str) -> TableSchema:
+        return self.catalog.schema(name)
+
+    def store_of(self, name: str) -> Optional[Store]:
+        """The store of an unpartitioned table; ``None`` for partitioned ones."""
+        entry = self.catalog.entry(name)
+        if entry.is_partitioned:
+            return None
+        return entry.store
+
+    # -- layout changes (what the advisor recommends) -----------------------------------
+
+    def move_table(self, name: str, store: Store) -> CostBreakdown:
+        """Move *name* to *store*, returning the cost of the data movement.
+
+        If the table is currently partitioned it is first collapsed back into
+        a single table.
+        """
+        accountant = CostAccountant(self.device)
+        table = self.table_object(name)
+        if isinstance(table, PartitionedTable):
+            table = table.to_stored_table(store, accountant)
+            self._tables[name] = table
+            self.catalog.clear_partitioning(name, store)
+        else:
+            table.convert_to(store, accountant)
+            self.catalog.set_store(name, store)
+        self.refresh_statistics(name)
+        return accountant.breakdown
+
+    def apply_partitioning(
+        self, name: str, partitioning: TablePartitioning
+    ) -> CostBreakdown:
+        """Split *name* according to *partitioning*, returning the movement cost."""
+        accountant = CostAccountant(self.device)
+        table = self.table_object(name)
+        if isinstance(table, PartitionedTable):
+            # Collapse first, then re-partition with the new layout.
+            table = table.to_stored_table(Store.COLUMN, accountant)
+        partitioned = PartitionedTable.from_table(table, partitioning, accountant)
+        self._tables[name] = partitioned
+        self.catalog.set_partitioning(name, partitioning)
+        self.refresh_statistics(name)
+        return accountant.breakdown
+
+    def remove_partitioning(self, name: str, store: Store) -> CostBreakdown:
+        """Collapse a partitioned table back into a single-store table."""
+        return self.move_table(name, store)
+
+    # -- data loading ---------------------------------------------------------------------
+
+    def load_rows(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Bulk load rows without cost accounting (initial data population)."""
+        table = self.table_object(name)
+        rows = list(rows)
+        if isinstance(table, PartitionedTable):
+            table.load_rows(rows)
+        else:
+            table.bulk_load(rows)
+        self.refresh_statistics(name)
+        return len(rows)
+
+    # -- statistics --------------------------------------------------------------------------
+
+    def refresh_statistics(self, name: Optional[str] = None) -> Dict[str, TableStatistics]:
+        """Recompute catalog statistics for one table (or all tables)."""
+        names = [name] if name is not None else self.table_names()
+        updated = {}
+        for table_name in names:
+            statistics = compute_table_statistics(self.table_object(table_name))
+            self.catalog.update_statistics(table_name, statistics)
+            updated[table_name] = statistics
+        return updated
+
+    def statistics(self, name: str) -> TableStatistics:
+        return self.catalog.statistics_of(name)
+
+    # -- execution -------------------------------------------------------------------------------
+
+    def add_execution_listener(self, listener: ExecutionListener) -> None:
+        """Register a callback invoked after every executed query (online mode)."""
+        self._listeners.append(listener)
+
+    def remove_execution_listener(self, listener: ExecutionListener) -> None:
+        self._listeners.remove(listener)
+
+    def execute(self, query: Query) -> QueryResult:
+        """Execute one query, returning rows and the simulated cost."""
+        result = self._executor.execute(query)
+        for listener in self._listeners:
+            listener(query, result)
+        return result
+
+    def run_workload(self, workload: Workload) -> WorkloadRunResult:
+        """Execute every query of *workload* in order and aggregate runtimes."""
+        run = WorkloadRunResult(workload_name=workload.name)
+        for query in workload:
+            result = self.execute(query)
+            run.record(query, result)
+        return run
+
+    # -- reporting --------------------------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(table.memory_bytes for table in self._tables.values())
+
+    def describe(self) -> str:
+        """Human-readable description of the current storage layout."""
+        return self.catalog.describe()

@@ -1,0 +1,14 @@
+"""Query execution: access paths, operators, joins and the executor."""
+
+from repro.engine.executor.access import AccessPath, SimpleAccessPath
+from repro.engine.executor.executor import QueryExecutor, QueryResult
+from repro.engine.executor.rewrite import PartitionedAccessPath, access_path_for
+
+__all__ = [
+    "AccessPath",
+    "PartitionedAccessPath",
+    "QueryExecutor",
+    "QueryResult",
+    "SimpleAccessPath",
+    "access_path_for",
+]

@@ -1,0 +1,145 @@
+"""Access paths: the store-aware data-access layer of the executor.
+
+An *access path* hides from the operators whether a table lives in the row
+store, the column store, or is split across partitions.  The store-specific
+behaviour that the paper's cost model captures lives here:
+
+* the row store answers multi-column reads with a single full-width tuple
+  scan,
+* the column store answers them with one compressed scan per column and pays
+  tuple reconstruction when materialising rows,
+* partitioned tables additionally pay union/join assembly costs (see
+  :mod:`repro.engine.executor.rewrite`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.table import StoredTable
+from repro.engine.timing import CostAccountant
+from repro.engine.types import Store
+from repro.query.predicates import Predicate
+
+
+class AccessPath:
+    """Interface used by the operators to read and modify one table."""
+
+    #: Human-readable description used in traces and tests.
+    description: str = "access path"
+
+    @property
+    def num_rows(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def primary_store(self) -> Store:
+        """The store whose layout dominates this table's data (for joins)."""
+        raise NotImplementedError
+
+    def collect_columns(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> Dict[str, List[Any]]:
+        """Return aligned value arrays for *columns*, filtered by *predicate*."""
+        raise NotImplementedError
+
+    def select_rows(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        limit: Optional[int],
+        accountant: CostAccountant,
+    ) -> List[Dict[str, Any]]:
+        """Return matching rows as dicts (projected to *columns* if given)."""
+        raise NotImplementedError
+
+    def insert(self, rows: Sequence[Mapping[str, Any]], accountant: CostAccountant) -> int:
+        raise NotImplementedError
+
+    def update(
+        self,
+        assignments: Mapping[str, Any],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> int:
+        raise NotImplementedError
+
+    def delete(self, predicate: Optional[Predicate], accountant: CostAccountant) -> int:
+        raise NotImplementedError
+
+
+class SimpleAccessPath(AccessPath):
+    """Access path over an unpartitioned :class:`StoredTable`."""
+
+    def __init__(self, table: StoredTable) -> None:
+        self.table = table
+        self.description = f"{table.name} ({table.store.value} store)"
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def primary_store(self) -> Store:
+        return self.table.store
+
+    # -- reads -------------------------------------------------------------------
+
+    def collect_columns(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> Dict[str, List[Any]]:
+        positions = self.table.filter_positions(predicate, accountant)
+        if self.table.store is Store.ROW:
+            # One full-width pass delivers every requested column.
+            return self.table.scan_columns(columns, positions, accountant)
+        # Column store: one compressed scan (or reconstruction) per column.
+        return {
+            name: self.table.column_values(name, positions, accountant)
+            for name in columns
+        }
+
+    def select_rows(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        limit: Optional[int],
+        accountant: CostAccountant,
+    ) -> List[Dict[str, Any]]:
+        positions = self.table.filter_positions(predicate, accountant)
+        if positions is not None and limit is not None:
+            positions = positions[:limit]
+        rows = self.table.fetch_rows(positions, columns or None, accountant)
+        if positions is None and limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    # -- writes -------------------------------------------------------------------
+
+    def insert(self, rows: Sequence[Mapping[str, Any]], accountant: CostAccountant) -> int:
+        self.table.insert_rows(rows, accountant)
+        return len(rows)
+
+    def update(
+        self,
+        assignments: Mapping[str, Any],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> int:
+        positions = self.table.filter_positions(predicate, accountant)
+        if positions is None:
+            positions = np.arange(self.table.num_rows, dtype=np.int64)
+        return self.table.update_rows(positions, assignments, accountant)
+
+    def delete(self, predicate: Optional[Predicate], accountant: CostAccountant) -> int:
+        positions = self.table.filter_positions(predicate, accountant)
+        if positions is None:
+            positions = np.arange(self.table.num_rows, dtype=np.int64)
+        return self.table.delete_rows(positions, accountant)

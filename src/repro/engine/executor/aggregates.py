@@ -1,0 +1,110 @@
+"""Aggregate functions and (grouped) accumulation.
+
+The aggregation operator collects column value arrays from an access path and
+feeds them through these accumulators.  The accumulators are deliberately
+simple — correctness is what matters here; the *cost* of aggregation is
+charged by the operator through the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.query.ast import AggregateFunction, AggregateSpec
+
+
+class Accumulator:
+    """Incremental accumulator for one aggregate function."""
+
+    def __init__(self, function: AggregateFunction) -> None:
+        self.function = function
+        self._count = 0
+        self._sum = 0.0
+        self._min: Any = None
+        self._max: Any = None
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        self._count += 1
+        if self.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+            self._sum += value
+        elif self.function is AggregateFunction.MIN:
+            self._min = value if self._min is None else min(self._min, value)
+        elif self.function is AggregateFunction.MAX:
+            self._max = value if self._max is None else max(self._max, value)
+
+    def result(self) -> Any:
+        if self.function is AggregateFunction.COUNT:
+            return self._count
+        if self.function is AggregateFunction.SUM:
+            return self._sum if self._count else None
+        if self.function is AggregateFunction.AVG:
+            return self._sum / self._count if self._count else None
+        if self.function is AggregateFunction.MIN:
+            return self._min
+        return self._max
+
+
+def aggregate_values(function: AggregateFunction, values: Iterable[Any]) -> Any:
+    """Aggregate an iterable of values in one go."""
+    accumulator = Accumulator(function)
+    for value in values:
+        accumulator.update(value)
+    return accumulator.result()
+
+
+@dataclass
+class GroupedAggregation:
+    """Group-by aggregation over aligned column arrays."""
+
+    aggregates: Sequence[AggregateSpec]
+    group_by_names: Sequence[str]
+
+    def run(
+        self,
+        aggregate_inputs: Sequence[Optional[Sequence[Any]]],
+        group_key_columns: Sequence[Sequence[Any]],
+        num_rows: int,
+    ) -> List[Dict[str, Any]]:
+        """Aggregate *num_rows* rows.
+
+        ``aggregate_inputs[i]`` is the value array feeding ``aggregates[i]``
+        (``None`` for ``COUNT(*)``); ``group_key_columns`` holds one aligned
+        array per group-by output name (empty for an ungrouped aggregation).
+        """
+        for values in aggregate_inputs:
+            if values is not None and len(values) != num_rows:
+                raise ExecutionError("aggregate input length does not match row count")
+        for values in group_key_columns:
+            if len(values) != num_rows:
+                raise ExecutionError("group-by input length does not match row count")
+
+        if not self.group_by_names:
+            row: Dict[str, Any] = {}
+            for spec, values in zip(self.aggregates, aggregate_inputs):
+                source: Iterable[Any] = values if values is not None else range(num_rows)
+                if spec.function is AggregateFunction.COUNT and values is None:
+                    row[spec.output_name] = num_rows
+                else:
+                    row[spec.output_name] = aggregate_values(spec.function, source)
+            return [row]
+
+        groups: Dict[Tuple[Any, ...], List[Accumulator]] = {}
+        for position in range(num_rows):
+            key = tuple(column[position] for column in group_key_columns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [Accumulator(spec.function) for spec in self.aggregates]
+                groups[key] = accumulators
+            for accumulator, values in zip(accumulators, aggregate_inputs):
+                accumulator.update(values[position] if values is not None else 1)
+        results = []
+        for key, accumulators in groups.items():
+            row = dict(zip(self.group_by_names, key))
+            for spec, accumulator in zip(self.aggregates, accumulators):
+                row[spec.output_name] = accumulator.result()
+            results.append(row)
+        return results

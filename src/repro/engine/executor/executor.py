@@ -1,0 +1,81 @@
+"""Query executor: dispatches queries and assembles results with their costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.executor.operators import (
+    execute_aggregation,
+    execute_delete,
+    execute_insert,
+    execute_select,
+    execute_update,
+)
+from repro.engine.executor.rewrite import access_path_for
+from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    Query,
+    SelectQuery,
+    UpdateQuery,
+)
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one query."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    affected_rows: int = 0
+    cost: CostBreakdown = field(default_factory=CostBreakdown)
+
+    @property
+    def runtime_ms(self) -> float:
+        """Simulated runtime of the query in milliseconds."""
+        return self.cost.total_ms
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class QueryExecutor:
+    """Executes queries against the table objects of a database.
+
+    The executor asks *table_provider* (the :class:`HybridDatabase`) for the
+    physical table object of each referenced table and wraps it in the
+    appropriate access path, so partitioned tables are handled transparently.
+    """
+
+    def __init__(self, table_provider, device: Optional[DeviceModel] = None) -> None:
+        self._tables = table_provider
+        self.device = device or DeviceModel()
+
+    def execute(self, query: Query) -> QueryResult:
+        accountant = CostAccountant(self.device)
+        accountant.charge_query_overhead()
+
+        paths = {
+            name: access_path_for(self._tables.table_object(name))
+            for name in query.tables
+        }
+
+        if isinstance(query, AggregationQuery):
+            rows = execute_aggregation(query, paths, accountant)
+            return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown)
+        path = paths[query.table]
+        if isinstance(query, SelectQuery):
+            rows = execute_select(query, path, accountant)
+            return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown)
+        if isinstance(query, InsertQuery):
+            affected = execute_insert(query, path, accountant)
+        elif isinstance(query, UpdateQuery):
+            affected = execute_update(query, path, accountant)
+        elif isinstance(query, DeleteQuery):
+            affected = execute_delete(query, path, accountant)
+        else:  # pragma: no cover - defensive
+            raise QueryError(f"unsupported query type: {type(query).__name__}")
+        return QueryResult(rows=[], affected_rows=affected, cost=accountant.breakdown)

@@ -1,0 +1,86 @@
+"""Hash joins between the query's base table and joined (dimension) tables.
+
+The join implementation is deliberately simple — an equi hash join that builds
+on the joined table and probes with the base table's key values.  Two costs
+matter for the storage advisor:
+
+* the build/probe work itself (proportional to the participating rows), and
+* a **layout-conversion penalty** when the two sides live in different stores
+  (the paper: keeping joined tables in the same store "saves the conversion of
+  the different memory layouts and allows for faster joins").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.executor.access import AccessPath
+from repro.engine.timing import CostAccountant
+from repro.engine.types import Store
+from repro.query.ast import JoinClause
+
+
+@dataclass
+class JoinedColumns:
+    """Result of joining one dimension table against the base rows.
+
+    ``match_mask[i]`` says whether base row *i* found a join partner; the
+    aligned ``columns`` arrays contain the dimension attributes for matching
+    rows (``None`` where there is no match — callers filter by the mask).
+    """
+
+    match_mask: np.ndarray
+    columns: Dict[str, List[Any]]
+
+
+def join_dimension(
+    base_key_values: Sequence[Any],
+    join: JoinClause,
+    dimension_path: AccessPath,
+    needed_columns: Sequence[str],
+    base_store: Store,
+    accountant: CostAccountant,
+) -> JoinedColumns:
+    """Join the base table's key values against *dimension_path*.
+
+    ``needed_columns`` are the dimension attributes the query references
+    (group-by columns, aggregated columns); the join key column is fetched in
+    addition.  The returned column arrays are aligned with
+    ``base_key_values`` and keyed by the qualified ``"table.column"`` name.
+    """
+    fetch_columns = [join.right_column] + [
+        name for name in needed_columns if name != join.right_column
+    ]
+    dimension_values = dimension_path.collect_columns(fetch_columns, None, accountant)
+    dimension_rows = len(dimension_values[join.right_column])
+
+    # Cross-store joins pay for converting the (smaller) build side's layout.
+    if dimension_path.primary_store is not base_store:
+        accountant.charge_layout_conversion(dimension_rows * len(fetch_columns))
+
+    # Build phase on the dimension table.
+    accountant.charge_hash_inserts("join_build", dimension_rows)
+    hash_table: Dict[Any, int] = {}
+    keys = dimension_values[join.right_column]
+    for position in range(dimension_rows):
+        hash_table.setdefault(keys[position], position)
+
+    # Probe phase with the base table's key values.
+    accountant.charge_hash_probes("join_probe", len(base_key_values))
+    match_mask = np.zeros(len(base_key_values), dtype=bool)
+    aligned: Dict[str, List[Any]] = {
+        f"{join.table}.{name}": [] for name in needed_columns
+    }
+    for index, key in enumerate(base_key_values):
+        position = hash_table.get(key)
+        if position is None:
+            for name in needed_columns:
+                aligned[f"{join.table}.{name}"].append(None)
+            continue
+        match_mask[index] = True
+        for name in needed_columns:
+            aligned[f"{join.table}.{name}"].append(dimension_values[name][position])
+    return JoinedColumns(match_mask=match_mask, columns=aligned)

@@ -1,0 +1,197 @@
+"""Query operators: aggregation, selection and the DML operations.
+
+Operators work against :class:`~repro.engine.executor.access.AccessPath`
+objects, so they are oblivious to stores and partitioning; all store-specific
+cost behaviour is encapsulated in the access paths, the join helper and the
+timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.executor.access import AccessPath
+from repro.engine.executor.aggregates import GroupedAggregation
+from repro.engine.executor.join import join_dimension
+from repro.engine.timing import CostAccountant
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggregateFunction,
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    SelectQuery,
+    UpdateQuery,
+    split_qualified,
+)
+
+
+def execute_aggregation(
+    query: AggregationQuery,
+    paths: Mapping[str, AccessPath],
+    accountant: CostAccountant,
+) -> List[Dict[str, Any]]:
+    """Execute an aggregation query (optionally grouped and joined)."""
+    base_path = paths[query.table]
+    base_schema = base_path.table.schema
+
+    # Determine which base-table columns have to be read.
+    base_columns: List[str] = []
+    for name in sorted(query.columns_of(query.table)):
+        if name == "*":
+            continue
+        if not base_schema.has_column(name):
+            raise QueryError(
+                f"aggregation query references unknown column {name!r} of table "
+                f"{query.table!r}"
+            )
+        base_columns.append(name)
+    if query.predicate is not None:
+        unknown = {
+            name for name in query.predicate.columns()
+            if split_qualified(name)[0] not in (None, query.table)
+        }
+        if unknown:
+            raise QueryError(
+                "predicates on joined tables are not supported; qualify only "
+                f"base-table columns (got {sorted(unknown)})"
+            )
+    if not base_columns:
+        # COUNT(*)-style query: read the narrowest column to obtain the row count.
+        narrowest = min(base_schema.columns, key=lambda column: column.width_bytes)
+        base_columns = [narrowest.name]
+
+    collected = base_path.collect_columns(base_columns, query.predicate, accountant)
+    num_rows = len(next(iter(collected.values()))) if collected else 0
+
+    # Resolve joins: fetch the referenced dimension attributes aligned with the
+    # base rows and drop base rows without a join partner.
+    joined_columns: Dict[str, List[Any]] = {}
+    for join in query.joins:
+        if join.left_column not in collected:
+            raise QueryError(
+                f"join key {join.left_column!r} is not a column of {query.table!r}"
+            )
+        dimension_path = paths[join.table]
+        needed = sorted(
+            name for name in _columns_owned_by(query, join.table)
+            if name != join.right_column
+        ) or [join.right_column]
+        result = join_dimension(
+            base_key_values=collected[join.left_column],
+            join=join,
+            dimension_path=dimension_path,
+            needed_columns=needed,
+            base_store=base_path.primary_store,
+            accountant=accountant,
+        )
+        if not bool(result.match_mask.all()):
+            keep = result.match_mask
+            collected = {
+                name: [values[i] for i in range(num_rows) if keep[i]]
+                for name, values in collected.items()
+            }
+            joined_columns = {
+                name: [values[i] for i in range(num_rows) if keep[i]]
+                for name, values in joined_columns.items()
+            }
+            result.columns = {
+                name: [values[i] for i in range(num_rows) if keep[i]]
+                for name, values in result.columns.items()
+            }
+            num_rows = int(keep.sum())
+        joined_columns.update(result.columns)
+
+    available = dict(collected)
+    available.update(joined_columns)
+
+    # Assemble the aggregation inputs.
+    aggregate_inputs: List[Optional[Sequence[Any]]] = []
+    for spec in query.aggregates:
+        if spec.function is AggregateFunction.COUNT and spec.column == "*":
+            aggregate_inputs.append(None)
+            continue
+        aggregate_inputs.append(_resolve_column(spec.column, query, available))
+    group_key_columns = [
+        _resolve_column(name, query, available) for name in query.group_by
+    ]
+
+    # Cost of the aggregation itself.
+    accountant.charge_aggregate_updates(num_rows * len(query.aggregates))
+    if query.group_by:
+        accountant.charge_group_by_updates(num_rows)
+
+    aggregation = GroupedAggregation(
+        aggregates=query.aggregates,
+        group_by_names=list(query.group_by),
+    )
+    return aggregation.run(aggregate_inputs, group_key_columns, num_rows)
+
+
+def _columns_owned_by(query: AggregationQuery, table: str) -> List[str]:
+    """Columns of *table* (a joined table) referenced by the query."""
+    columns = set()
+    for spec in query.aggregates:
+        owner, column = split_qualified(spec.column)
+        if owner == table:
+            columns.add(column)
+    for name in query.group_by:
+        owner, column = split_qualified(name)
+        if owner == table:
+            columns.add(column)
+    return sorted(columns)
+
+
+def _resolve_column(
+    name: str, query: AggregationQuery, available: Mapping[str, Sequence[Any]]
+) -> Sequence[Any]:
+    """Look up a (possibly qualified) column among the collected arrays."""
+    owner, column = split_qualified(name)
+    if owner is None or owner == query.table:
+        if column in available:
+            return available[column]
+    if name in available:
+        return available[name]
+    raise QueryError(f"column {name!r} is not available to the aggregation")
+
+
+def execute_select(
+    query: SelectQuery, path: AccessPath, accountant: CostAccountant
+) -> List[Dict[str, Any]]:
+    """Execute a point/range query."""
+    schema = path.table.schema
+    for name in query.columns:
+        if not schema.has_column(name):
+            raise QueryError(
+                f"select query references unknown column {name!r} of {query.table!r}"
+            )
+    return path.select_rows(list(query.columns), query.predicate, query.limit, accountant)
+
+
+def execute_insert(
+    query: InsertQuery, path: AccessPath, accountant: CostAccountant
+) -> int:
+    """Execute an insert query, returning the number of inserted rows."""
+    return path.insert(list(query.rows), accountant)
+
+
+def execute_update(
+    query: UpdateQuery, path: AccessPath, accountant: CostAccountant
+) -> int:
+    """Execute an update query, returning the number of affected rows."""
+    schema = path.table.schema
+    for name in query.assignments:
+        if not schema.has_column(name):
+            raise QueryError(
+                f"update query references unknown column {name!r} of {query.table!r}"
+            )
+    return path.update(dict(query.assignments), query.predicate, accountant)
+
+
+def execute_delete(
+    query: DeleteQuery, path: AccessPath, accountant: CostAccountant
+) -> int:
+    """Execute a delete query, returning the number of removed rows."""
+    return path.delete(query.predicate, accountant)

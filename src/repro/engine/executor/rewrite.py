@@ -1,0 +1,300 @@
+"""Transparent query rewriting over partitioned tables.
+
+Users (and the workload generators) write queries against logical tables; when
+the storage advisor has partitioned a table, the catalog carries a
+partitioning annotation and the executor routes the query through a
+:class:`PartitionedAccessPath` instead of a plain one (Section 4 of the paper,
+"Store-aware Partitioning").
+
+The access path implements the two assembly operations the paper describes:
+
+* **union** of the hot (row-store) and historic partitions for queries that
+  address all the data — charged as per-partition overhead, and
+* **join** of the vertical parts when a query touches attributes from both —
+  charged as a hash join over the participating rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.engine.executor.access import AccessPath, SimpleAccessPath
+from repro.engine.partitioning import PartitionedTable
+from repro.engine.table import StoredTable
+from repro.engine.timing import CostAccountant
+from repro.engine.types import Store
+from repro.query.predicates import Predicate
+
+
+class PartitionedAccessPath(AccessPath):
+    """Access path over a :class:`PartitionedTable`."""
+
+    def __init__(self, table: PartitionedTable) -> None:
+        self.table = table
+        self.description = f"{table.name} (partitioned: {table.partitioning.describe()})"
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def primary_store(self) -> Store:
+        if self.table.has_vertical_split:
+            return Store.COLUMN
+        return self.table.main_parts[0].store
+
+    # -- reads ---------------------------------------------------------------------
+
+    def collect_columns(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> Dict[str, List[Any]]:
+        segments = 0
+        combined: Dict[str, List[Any]] = {name: [] for name in columns}
+
+        main_values, main_parts_touched = self._collect_from_main(
+            columns, predicate, accountant
+        )
+        segments += main_parts_touched
+        for name in columns:
+            combined[name].extend(main_values[name])
+
+        if self.table.hot is not None and self.table.hot.num_rows > 0:
+            hot_values = SimpleAccessPath(self.table.hot).collect_columns(
+                columns, predicate, accountant
+            )
+            segments += 1
+            for name in columns:
+                combined[name].extend(hot_values[name])
+
+        accountant.charge_partition_overhead(max(segments, 1))
+        return combined
+
+    def select_rows(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        limit: Optional[int],
+        accountant: CostAccountant,
+    ) -> List[Dict[str, Any]]:
+        segments = 0
+        rows: List[Dict[str, Any]] = []
+
+        main_rows, main_parts_touched = self._select_from_main(
+            columns, predicate, accountant
+        )
+        segments += main_parts_touched
+        rows.extend(main_rows)
+
+        if self.table.hot is not None and self.table.hot.num_rows > 0:
+            hot_rows = SimpleAccessPath(self.table.hot).select_rows(
+                columns, predicate, None, accountant
+            )
+            segments += 1
+            rows.extend(hot_rows)
+
+        accountant.charge_partition_overhead(max(segments, 1))
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    # -- writes ---------------------------------------------------------------------
+
+    def insert(self, rows: Sequence[Mapping[str, Any]], accountant: CostAccountant) -> int:
+        return self.table.insert_rows(rows, accountant)
+
+    def update(
+        self,
+        assignments: Mapping[str, Any],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> int:
+        affected = 0
+        segments = 0
+        # Hot partition: behaves like an ordinary table.
+        if self.table.hot is not None and self.table.hot.num_rows > 0:
+            affected += SimpleAccessPath(self.table.hot).update(
+                assignments, predicate, accountant
+            )
+            segments += 1
+
+        affected_main, parts_touched = self._update_main(assignments, predicate, accountant)
+        affected += affected_main
+        segments += parts_touched
+        accountant.charge_partition_overhead(max(segments, 1))
+        return affected
+
+    def delete(self, predicate: Optional[Predicate], accountant: CostAccountant) -> int:
+        affected = 0
+        if self.table.hot is not None and self.table.hot.num_rows > 0:
+            affected += SimpleAccessPath(self.table.hot).delete(predicate, accountant)
+        positions, parts_touched = self._main_positions(predicate, accountant)
+        if positions is None:
+            positions = np.arange(self.table.main_num_rows, dtype=np.int64)
+        for part in self.table.main_parts:
+            part.delete_rows(positions, accountant)
+        affected += len(positions)
+        accountant.charge_partition_overhead(parts_touched + 1)
+        return affected
+
+    # -- main (historic) portion helpers -----------------------------------------------
+
+    def _collect_from_main(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ):
+        table = self.table
+        if not table.has_vertical_split:
+            values = SimpleAccessPath(table.main_parts[0]).collect_columns(
+                columns, predicate, accountant
+            )
+            return values, 1
+
+        predicate_columns: Set[str] = set(predicate.columns()) if predicate else set()
+        all_needed = set(columns) | predicate_columns
+        parts_needed = table.main_parts_for_columns(sorted(all_needed))
+        positions, _ = self._main_positions(predicate, accountant)
+        self._charge_vertical_join(parts_needed, positions, accountant)
+
+        values: Dict[str, List[Any]] = {}
+        grouped = self._group_columns_by_part(columns)
+        for part, part_columns in grouped.items():
+            if part.store is Store.ROW:
+                part_values = part.scan_columns(part_columns, positions, accountant)
+            else:
+                part_values = {
+                    name: part.column_values(name, positions, accountant)
+                    for name in part_columns
+                }
+            values.update(part_values)
+        return values, len(parts_needed)
+
+    def _select_from_main(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ):
+        table = self.table
+        if not table.has_vertical_split:
+            rows = SimpleAccessPath(table.main_parts[0]).select_rows(
+                columns, predicate, None, accountant
+            )
+            return rows, 1
+
+        requested = list(columns) if columns else list(table.schema.column_names)
+        predicate_columns: Set[str] = set(predicate.columns()) if predicate else set()
+        all_needed = set(requested) | predicate_columns
+        parts_needed = table.main_parts_for_columns(sorted(all_needed))
+        positions, _ = self._main_positions(predicate, accountant)
+        self._charge_vertical_join(parts_needed, positions, accountant)
+
+        grouped = self._group_columns_by_part(requested)
+        partial_rows: List[List[Dict[str, Any]]] = []
+        for part, part_columns in grouped.items():
+            partial_rows.append(part.fetch_rows(positions, part_columns, accountant))
+        if not partial_rows:
+            return [], len(parts_needed)
+        merged = []
+        for pieces in zip(*partial_rows):
+            row: Dict[str, Any] = {}
+            for piece in pieces:
+                row.update(piece)
+            merged.append(row)
+        return merged, len(parts_needed)
+
+    def _update_main(
+        self,
+        assignments: Mapping[str, Any],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ):
+        table = self.table
+        if not table.has_vertical_split:
+            affected = SimpleAccessPath(table.main_parts[0]).update(
+                assignments, predicate, accountant
+            )
+            return affected, 1
+
+        predicate_columns: Set[str] = set(predicate.columns()) if predicate else set()
+        all_needed = set(assignments) | predicate_columns
+        parts_needed = table.main_parts_for_columns(sorted(all_needed))
+        positions, _ = self._main_positions(predicate, accountant)
+        self._charge_vertical_join(parts_needed, positions, accountant)
+        if positions is None:
+            positions = np.arange(table.main_num_rows, dtype=np.int64)
+
+        affected = 0
+        for part in table.main_parts:
+            part_assignments = {
+                name: value for name, value in assignments.items()
+                if part.schema.has_column(name)
+            }
+            if part_assignments:
+                affected = max(
+                    affected, part.update_rows(positions, part_assignments, accountant)
+                )
+        return affected, len(parts_needed)
+
+    def _main_positions(
+        self, predicate: Optional[Predicate], accountant: CostAccountant
+    ):
+        """Positions (aligned across vertical parts) of main rows matching *predicate*."""
+        table = self.table
+        if predicate is None:
+            return None, 0
+        if not table.has_vertical_split:
+            return table.main_parts[0].filter_positions(predicate, accountant), 1
+        predicate_parts = table.main_parts_for_columns(sorted(predicate.columns()))
+        if len(predicate_parts) == 1:
+            return predicate_parts[0].filter_positions(predicate, accountant), 1
+        # The predicate spans both vertical parts: evaluate it row-wise over the
+        # aligned column values from both parts.
+        referenced = sorted(predicate.columns())
+        values: Dict[str, List[Any]] = {}
+        for name in referenced:
+            part = table.part_containing(name)
+            values[name] = part.column_values(name, None, accountant)
+        num_rows = table.main_num_rows
+        accountant.charge_predicate_evals(num_rows)
+        matching = [
+            i for i in range(num_rows)
+            if predicate.evaluate({name: values[name][i] for name in referenced})
+        ]
+        return np.asarray(matching, dtype=np.int64), len(predicate_parts)
+
+    def _charge_vertical_join(
+        self,
+        parts_needed: Sequence[StoredTable],
+        positions: Optional[np.ndarray],
+        accountant: CostAccountant,
+    ) -> None:
+        """Charge the primary-key join that re-assembles tuples across vertical parts."""
+        if len(parts_needed) < 2:
+            return
+        joined_rows = (
+            self.table.main_num_rows if positions is None else int(len(positions))
+        )
+        accountant.charge_hash_inserts("partition_join", joined_rows)
+        accountant.charge_hash_probes("partition_join", joined_rows)
+
+    def _group_columns_by_part(self, columns: Sequence[str]):
+        """Group requested columns by the main part that stores them."""
+        grouped: Dict[StoredTable, List[str]] = {}
+        for name in columns:
+            part = self.table.part_containing(name)
+            grouped.setdefault(part, []).append(name)
+        return grouped
+
+
+def access_path_for(table_object) -> AccessPath:
+    """Build the appropriate access path for a stored or partitioned table."""
+    if isinstance(table_object, PartitionedTable):
+        return PartitionedAccessPath(table_object)
+    return SimpleAccessPath(table_object)

@@ -1,0 +1,367 @@
+"""The row store backend.
+
+Rows are stored tuple-wise: each row is a list of values in schema column
+order.  This layout makes complete-tuple accesses, inserts and in-place
+updates cheap, while any scan — even one that only needs a single attribute —
+has to read full tuples (the row store's defining cost characteristic in the
+paper's cost model).
+
+Cost accounting (see :mod:`repro.engine.timing`):
+
+* a full scan charges sequential traffic of ``num_rows × row_width`` bytes,
+* an index-assisted lookup charges index probes plus one random access per
+  qualifying row,
+* inserts charge a primary-key uniqueness probe, an append of ``row_width``
+  bytes and index maintenance,
+* updates charge one in-place value write per affected cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.indexes import HashIndex, SortedIndex
+from repro.engine.schema import TableSchema
+from repro.engine.timing import CostAccountant
+from repro.engine.types import Store
+from repro.errors import ExecutionError, SchemaError
+from repro.query.predicates import Between, CompareOp, Comparison, Predicate
+
+
+class RowStoreTable:
+    """In-memory row-oriented table."""
+
+    store = Store.ROW
+
+    def __init__(self, schema: TableSchema, create_pk_index: bool = True) -> None:
+        self.schema = schema
+        self._rows: List[List[Any]] = []
+        self._hash_indexes: Dict[str, HashIndex] = {}
+        self._sorted_indexes: Dict[str, SortedIndex] = {}
+        self._pk_column: Optional[str] = None
+        if create_pk_index and len(schema.primary_key) == 1:
+            # The primary key gets both an equality (hash) and a range (sorted)
+            # index, mirroring a B-tree primary index in a real row store.
+            self._pk_column = schema.primary_key[0]
+            self._hash_indexes[self._pk_column] = HashIndex(self._pk_column, unique=True)
+            self._sorted_indexes[self._pk_column] = SortedIndex(self._pk_column)
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_width_bytes(self) -> int:
+        return self.schema.row_width_bytes
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.num_rows * self.row_width_bytes
+
+    def compression_rate(self, column: Optional[str] = None) -> float:
+        """The row store keeps data uncompressed."""
+        return 1.0
+
+    def has_index(self, column: str) -> bool:
+        return column in self._hash_indexes or column in self._sorted_indexes
+
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self._hash_indexes) | set(self._sorted_indexes)))
+
+    # -- index management ----------------------------------------------------------
+
+    def create_hash_index(self, column: str) -> None:
+        self.schema.column(column)
+        if column in self._hash_indexes:
+            return
+        index = HashIndex(column)
+        position = self.schema.index_of(column)
+        index.rebuild((row[position], i) for i, row in enumerate(self._rows))
+        self._hash_indexes[column] = index
+
+    def create_sorted_index(self, column: str) -> None:
+        self.schema.column(column)
+        if column in self._sorted_indexes:
+            return
+        index = SortedIndex(column)
+        position = self.schema.index_of(column)
+        index.rebuild([(row[position], i) for i, row in enumerate(self._rows)])
+        self._sorted_indexes[column] = index
+
+    # -- loading and modification ----------------------------------------------------
+
+    def insert_rows(
+        self, rows: Sequence[Mapping[str, Any]], accountant: Optional[CostAccountant] = None
+    ) -> List[int]:
+        """Insert validated rows, returning their positions."""
+        positions = []
+        column_names = self.schema.column_names
+        for raw_row in rows:
+            validated = self.schema.validate_row(raw_row)
+            if self._pk_column is not None:
+                key = validated[self._pk_column]
+                pk_index = self._hash_indexes[self._pk_column]
+                if accountant is not None:
+                    accountant.charge_index_probe()
+                if pk_index.contains(key):
+                    raise ExecutionError(
+                        f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                    )
+            position = len(self._rows)
+            self._rows.append([validated[name] for name in column_names])
+            if accountant is not None:
+                accountant.charge_row_appends(self.row_width_bytes)
+            for column, index in self._hash_indexes.items():
+                index.insert(validated[column], position)
+                if accountant is not None:
+                    accountant.charge_index_insert()
+            for column, index in self._sorted_indexes.items():
+                index.insert(validated[column], position)
+                if accountant is not None:
+                    accountant.charge_index_insert()
+            positions.append(position)
+        return positions
+
+    def bulk_load(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Load rows without cost accounting (used by generators and tests)."""
+        self.insert_rows(list(rows), accountant=None)
+
+    def update_rows(
+        self,
+        positions: Sequence[int],
+        assignments: Mapping[str, Any],
+        accountant: Optional[CostAccountant] = None,
+    ) -> int:
+        """Update *assignments* on the rows at *positions*."""
+        if not assignments:
+            return 0
+        coerced = {
+            name: self.schema.column(name).dtype.coerce(value)
+            for name, value in assignments.items()
+        }
+        column_positions = {name: self.schema.index_of(name) for name in coerced}
+        for position in positions:
+            row = self._rows[position]
+            for name, value in coerced.items():
+                old_value = row[column_positions[name]]
+                row[column_positions[name]] = value
+                if name in self._hash_indexes:
+                    self._hash_indexes[name].update_key(old_value, value, position)
+                    if accountant is not None:
+                        accountant.charge_index_insert()
+                if name in self._sorted_indexes:
+                    self._sorted_indexes[name].remove(old_value, position)
+                    self._sorted_indexes[name].insert(value, position)
+                    if accountant is not None:
+                        accountant.charge_index_insert()
+            if accountant is not None:
+                accountant.charge_row_value_updates(len(coerced))
+        return len(positions)
+
+    def delete_rows(
+        self, positions: Sequence[int], accountant: Optional[CostAccountant] = None
+    ) -> int:
+        """Physically remove the rows at *positions* and rebuild the indexes."""
+        if len(positions) == 0:
+            return 0
+        doomed = set(int(p) for p in positions)
+        self._rows = [row for i, row in enumerate(self._rows) if i not in doomed]
+        if accountant is not None:
+            accountant.charge_row_value_updates(len(doomed) * self.schema.num_columns)
+        self._rebuild_indexes()
+        return len(doomed)
+
+    def _rebuild_indexes(self) -> None:
+        for column, index in self._hash_indexes.items():
+            position = self.schema.index_of(column)
+            index.rebuild((row[position], i) for i, row in enumerate(self._rows))
+        for column, index in self._sorted_indexes.items():
+            position = self.schema.index_of(column)
+            index.rebuild([(row[position], i) for i, row in enumerate(self._rows)])
+
+    # -- reads -----------------------------------------------------------------------
+
+    def filter_positions(
+        self, predicate: Optional[Predicate], accountant: Optional[CostAccountant] = None
+    ) -> Optional[np.ndarray]:
+        """Return positions of rows matching *predicate* (``None`` = all rows).
+
+        Uses an index when the predicate is a simple comparison or range on an
+        indexed column; otherwise performs a full scan that reads every tuple.
+        """
+        if predicate is None:
+            return None
+        indexed = self._index_lookup(predicate, accountant)
+        if indexed is not None:
+            return indexed
+        # Full scan: the row store reads complete tuples.
+        if accountant is not None:
+            accountant.charge_sequential_read(
+                "row_scan", self.num_rows * self.row_width_bytes
+            )
+            accountant.charge_predicate_evals(self.num_rows)
+        names = self.schema.column_names
+        matches = [
+            i for i, row in enumerate(self._rows)
+            if predicate.evaluate(dict(zip(names, row)))
+        ]
+        return np.asarray(matches, dtype=np.int64)
+
+    def _index_lookup(
+        self, predicate: Predicate, accountant: Optional[CostAccountant]
+    ) -> Optional[np.ndarray]:
+        """Try to answer *predicate* from an index; return None if impossible."""
+        if isinstance(predicate, Comparison) and predicate.op is CompareOp.EQ:
+            column = predicate.column
+            if column in self._hash_indexes:
+                if accountant is not None:
+                    accountant.charge_index_probe()
+                positions = self._hash_indexes[column].lookup(predicate.value)
+                if accountant is not None:
+                    accountant.charge_random_accesses("row_fetch", len(positions))
+                return np.asarray(positions, dtype=np.int64)
+            if column in self._sorted_indexes:
+                if accountant is not None:
+                    accountant.charge_index_probe()
+                positions = self._sorted_indexes[column].lookup(predicate.value)
+                if accountant is not None:
+                    accountant.charge_random_accesses("row_fetch", len(positions))
+                return np.asarray(positions, dtype=np.int64)
+        if isinstance(predicate, Between) and predicate.column in self._sorted_indexes:
+            if accountant is not None:
+                accountant.charge_index_probe()
+            positions = self._sorted_indexes[predicate.column].range_lookup(
+                predicate.low, predicate.high, predicate.include_low, predicate.include_high
+            )
+            if accountant is not None:
+                accountant.charge_random_accesses("row_fetch", len(positions))
+            return np.asarray(positions, dtype=np.int64)
+        if (
+            isinstance(predicate, Comparison)
+            and predicate.op in (CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE)
+            and predicate.column in self._sorted_indexes
+        ):
+            index = self._sorted_indexes[predicate.column]
+            if accountant is not None:
+                accountant.charge_index_probe()
+            if predicate.op in (CompareOp.LT, CompareOp.LE):
+                positions = index.range_lookup(
+                    None, predicate.value, include_high=predicate.op is CompareOp.LE
+                )
+            else:
+                positions = index.range_lookup(
+                    predicate.value, None, include_low=predicate.op is CompareOp.GE
+                )
+            if accountant is not None:
+                accountant.charge_random_accesses("row_fetch", len(positions))
+            return np.asarray(positions, dtype=np.int64)
+        return None
+
+    def fetch_rows(
+        self,
+        positions: Optional[Sequence[int]],
+        columns: Optional[Sequence[str]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> List[Dict[str, Any]]:
+        """Materialise the rows at *positions* (``None`` = all rows).
+
+        Fetching all rows is charged as a sequential scan; fetching selected
+        positions is charged as one random access per row (the tuple is
+        contiguous, so the projected columns come along for free).
+        """
+        names = self.schema.column_names
+        selected = tuple(columns) if columns is not None else names
+        for name in selected:
+            self.schema.column(name)
+        if positions is None:
+            if accountant is not None:
+                accountant.charge_sequential_read(
+                    "row_scan", self.num_rows * self.row_width_bytes
+                )
+            rows = self._rows
+            return [
+                {name: row[i] for i, name in enumerate(names) if name in selected}
+                if columns is not None
+                else dict(zip(names, row))
+                for row in rows
+            ]
+        if accountant is not None:
+            accountant.charge_random_accesses("row_fetch", len(positions))
+        result = []
+        selected_idx = [(name, self.schema.index_of(name)) for name in selected]
+        for position in positions:
+            row = self._rows[position]
+            result.append({name: row[i] for name, i in selected_idx})
+        return result
+
+    def column_values(
+        self,
+        column: str,
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> List[Any]:
+        """Return the values of *column* (at *positions*, or for every row).
+
+        Even a single-column read has to touch full tuples in the row store,
+        which is exactly why the column store wins on wide analytical scans.
+        """
+        index = self.schema.index_of(column)
+        if positions is None:
+            if accountant is not None:
+                accountant.charge_sequential_read(
+                    "row_scan", self.num_rows * self.row_width_bytes
+                )
+            return [row[index] for row in self._rows]
+        if accountant is not None:
+            accountant.charge_random_accesses("row_fetch", len(positions))
+        return [self._rows[position][index] for position in positions]
+
+    def scan_columns(
+        self,
+        columns: Sequence[str],
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> Dict[str, List[Any]]:
+        """Read several columns with a *single* pass over the tuples.
+
+        This is the row store's natural access path for multi-aggregate
+        queries: one full-width scan, regardless of how many attributes are
+        requested.
+        """
+        for name in columns:
+            self.schema.column(name)
+        indexes = [(name, self.schema.index_of(name)) for name in columns]
+        if positions is None:
+            if accountant is not None:
+                accountant.charge_sequential_read(
+                    "row_scan", self.num_rows * self.row_width_bytes
+                )
+            source = self._rows
+        else:
+            if accountant is not None:
+                accountant.charge_random_accesses("row_fetch", len(positions))
+            source = [self._rows[position] for position in positions]
+        return {name: [row[i] for row in source] for name, i in indexes}
+
+    def all_rows(self) -> List[Dict[str, Any]]:
+        """Return every row as a dict, without cost accounting (for conversions)."""
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    # -- statistics helpers -----------------------------------------------------------
+
+    def column_distinct_count(self, column: str) -> int:
+        index = self.schema.index_of(column)
+        return len({row[index] for row in self._rows})
+
+    def column_min_max(self, column: str) -> Tuple[Any, Any]:
+        index = self.schema.index_of(column)
+        values = [row[index] for row in self._rows if row[index] is not None]
+        if not values:
+            return None, None
+        return min(values), max(values)

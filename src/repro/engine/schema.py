@@ -1,0 +1,165 @@
+"""Table schemas for the hybrid-store engine.
+
+A :class:`TableSchema` is an immutable description of a table: its name, its
+columns (each a :class:`Column` with a :class:`~repro.engine.types.DataType`)
+and its primary key.  Schemas validate incoming rows and provide the width
+information the timing and cost models rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.types import DataType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column of a table schema."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.primary_key and self.nullable:
+            raise SchemaError(f"primary key column {self.name!r} cannot be nullable")
+
+    @property
+    def width_bytes(self) -> int:
+        """In-memory width of one value of this column."""
+        return self.dtype.width_bytes
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Immutable description of a table."""
+
+    name: str
+    columns: Tuple[Column, ...]
+    _by_name: Dict[str, Column] = field(
+        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must not be empty")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        by_name: Dict[str, Column] = {}
+        for column in self.columns:
+            if column.name in by_name:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            by_name[column.name] = column
+        object.__setattr__(self, "_by_name", by_name)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        columns: Sequence[Tuple[str, DataType]] | Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> "TableSchema":
+        """Build a schema from ``(name, dtype)`` pairs or :class:`Column` objects.
+
+        ``primary_key`` lists the column names forming the primary key; they
+        are marked as primary-key columns on the resulting schema.
+        """
+        pk = set(primary_key or ())
+        cols = []
+        for item in columns:
+            if isinstance(item, Column):
+                column = item
+                if column.name in pk and not column.primary_key:
+                    column = Column(column.name, column.dtype, False, True)
+            else:
+                col_name, dtype = item
+                column = Column(col_name, dtype, nullable=False, primary_key=col_name in pk)
+            cols.append(column)
+        schema = cls(name, tuple(cols))
+        missing = pk - set(schema.column_names)
+        if missing:
+            raise SchemaError(
+                f"primary key columns {sorted(missing)} not present in table {name!r}"
+            )
+        return schema
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def primary_key(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns if column.primary_key)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def index_of(self, name: str) -> int:
+        for position, column in enumerate(self.columns):
+            if column.name == name:
+                return position
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def row_width_bytes(self) -> int:
+        """Uncompressed width of one full tuple, in bytes."""
+        return sum(column.width_bytes for column in self.columns)
+
+    def columns_width_bytes(self, names: Iterable[str]) -> int:
+        """Uncompressed width of the listed columns, in bytes."""
+        return sum(self.column(name).width_bytes for name in names)
+
+    # -- row validation --------------------------------------------------------
+
+    def validate_row(self, row: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate and coerce *row*, returning a complete column->value dict.
+
+        Unknown columns raise :class:`SchemaError`; missing nullable columns
+        are filled with ``None``; missing non-nullable columns raise.
+        """
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"row for table {self.name!r} has unknown columns: {sorted(unknown)}"
+            )
+        validated: Dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in row and row[column.name] is not None:
+                validated[column.name] = column.dtype.coerce(row[column.name])
+            elif column.nullable:
+                validated[column.name] = None
+            else:
+                raise SchemaError(
+                    f"row for table {self.name!r} is missing required column "
+                    f"{column.name!r}"
+                )
+        return validated
+
+    def subset(self, names: Sequence[str], new_name: Optional[str] = None) -> "TableSchema":
+        """Return a schema containing only the listed columns (in that order)."""
+        columns = tuple(self.column(name) for name in names)
+        return TableSchema(new_name or self.name, columns)

@@ -1,0 +1,158 @@
+"""StoredTable: a named table living in exactly one store.
+
+:class:`StoredTable` is a thin wrapper around either backend
+(:class:`~repro.engine.row_store.RowStoreTable` or
+:class:`~repro.engine.column_store.ColumnStoreTable`) that adds the table
+name, store-conversion (the physical operation the advisor's recommendations
+trigger) and convenience accessors.  The executor and the partitioning layer
+work against this wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.column_store import ColumnStoreTable
+from repro.engine.row_store import RowStoreTable
+from repro.engine.schema import TableSchema
+from repro.engine.timing import CostAccountant
+from repro.engine.types import Store
+from repro.query.predicates import Predicate
+
+Backend = Union[RowStoreTable, ColumnStoreTable]
+
+
+def create_backend(schema: TableSchema, store: Store) -> Backend:
+    """Create an empty backend of the requested store for *schema*."""
+    if store is Store.ROW:
+        return RowStoreTable(schema)
+    return ColumnStoreTable(schema)
+
+
+class StoredTable:
+    """A table stored in exactly one of the two stores."""
+
+    def __init__(self, schema: TableSchema, store: Store = Store.ROW,
+                 backend: Optional[Backend] = None) -> None:
+        self.schema = schema
+        self._backend: Backend = backend if backend is not None else create_backend(schema, store)
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def store(self) -> Store:
+        return self._backend.store
+
+    @property
+    def backend(self) -> Backend:
+        return self._backend
+
+    @property
+    def num_rows(self) -> int:
+        return self._backend.num_rows
+
+    @property
+    def row_width_bytes(self) -> int:
+        return self.schema.row_width_bytes
+
+    @property
+    def memory_bytes(self) -> float:
+        return self._backend.memory_bytes
+
+    def compression_rate(self, column: Optional[str] = None) -> float:
+        return self._backend.compression_rate(column)
+
+    def has_index(self, column: str) -> bool:
+        return self._backend.has_index(column)
+
+    # -- store conversion ---------------------------------------------------------
+
+    def convert_to(self, store: Store,
+                   accountant: Optional[CostAccountant] = None) -> "StoredTable":
+        """Move the table to *store* (no-op if it is already there).
+
+        The conversion reads every cell of the source layout and writes it to
+        the target layout, which the timing model charges as layout-conversion
+        work.  The conversion happens in place: ``self`` ends up backed by the
+        new store and is also returned for convenience.
+        """
+        if store is self.store:
+            return self
+        rows = self._backend.all_rows()
+        if accountant is not None:
+            accountant.charge_layout_conversion(len(rows) * self.schema.num_columns)
+        new_backend = create_backend(self.schema, store)
+        new_backend.bulk_load(rows)
+        if store is Store.ROW:
+            # Recreate secondary indexes equivalent to the defaults.
+            pass
+        self._backend = new_backend
+        return self
+
+    # -- index management -----------------------------------------------------------
+
+    def create_hash_index(self, column: str) -> None:
+        if isinstance(self._backend, RowStoreTable):
+            self._backend.create_hash_index(column)
+
+    def create_sorted_index(self, column: str) -> None:
+        if isinstance(self._backend, RowStoreTable):
+            self._backend.create_sorted_index(column)
+
+    # -- data access (delegation) ------------------------------------------------------
+
+    def insert_rows(self, rows: Sequence[Mapping[str, Any]],
+                    accountant: Optional[CostAccountant] = None) -> List[int]:
+        return self._backend.insert_rows(rows, accountant)
+
+    def bulk_load(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        self._backend.bulk_load(list(rows))
+
+    def update_rows(self, positions: Sequence[int], assignments: Mapping[str, Any],
+                    accountant: Optional[CostAccountant] = None) -> int:
+        return self._backend.update_rows(positions, assignments, accountant)
+
+    def delete_rows(self, positions: Sequence[int],
+                    accountant: Optional[CostAccountant] = None) -> int:
+        return self._backend.delete_rows(positions, accountant)
+
+    def filter_positions(self, predicate: Optional[Predicate],
+                         accountant: Optional[CostAccountant] = None) -> Optional[np.ndarray]:
+        return self._backend.filter_positions(predicate, accountant)
+
+    def fetch_rows(self, positions: Optional[Sequence[int]],
+                   columns: Optional[Sequence[str]] = None,
+                   accountant: Optional[CostAccountant] = None) -> List[Dict[str, Any]]:
+        return self._backend.fetch_rows(positions, columns, accountant)
+
+    def column_values(self, column: str, positions: Optional[Sequence[int]] = None,
+                      accountant: Optional[CostAccountant] = None) -> List[Any]:
+        return self._backend.column_values(column, positions, accountant)
+
+    def scan_columns(self, columns: Sequence[str],
+                     positions: Optional[Sequence[int]] = None,
+                     accountant: Optional[CostAccountant] = None) -> Dict[str, List[Any]]:
+        return self._backend.scan_columns(columns, positions, accountant)
+
+    def all_rows(self) -> List[Dict[str, Any]]:
+        return self._backend.all_rows()
+
+    # -- statistics helpers --------------------------------------------------------------
+
+    def column_distinct_count(self, column: str) -> int:
+        return self._backend.column_distinct_count(column)
+
+    def column_min_max(self, column: str) -> Tuple[Any, Any]:
+        return self._backend.column_min_max(column)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoredTable(name={self.name!r}, store={self.store.value}, "
+            f"rows={self.num_rows})"
+        )

@@ -1,0 +1,219 @@
+"""Analytic timing model of the hybrid-store engine.
+
+The paper evaluates the storage advisor by measuring wall-clock runtimes on
+SAP HANA.  A pure-Python re-implementation cannot reproduce those absolute
+numbers — interpreter overhead would dwarf the row-vs-column asymmetries the
+advisor reasons about.  Instead, every operator of our engine reports the
+primitive work it performs (bytes scanned sequentially, random accesses,
+dictionary decodes, hash probes, ...) to a :class:`CostAccountant`, and a
+:class:`DeviceModel` converts that work into deterministic simulated time.
+
+Because the counters are produced by *actual* query execution over *actual*
+data, the simulated runtimes respond to data volume, compression rate, number
+of aggregates, selectivity, and store choice exactly the way the paper's
+measurements do, which is what the estimation-accuracy and recommendation
+experiments require (see DESIGN.md, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.config import DeviceModelConfig
+
+NS_PER_MS = 1_000_000.0
+
+
+class DeviceModel:
+    """Converts primitive work counts into simulated nanoseconds."""
+
+    def __init__(self, config: Optional[DeviceModelConfig] = None) -> None:
+        self.config = config or DeviceModelConfig()
+
+    # Each method returns nanoseconds for the given amount of work.
+
+    def sequential_read(self, num_bytes: float) -> float:
+        return num_bytes * self.config.seq_read_ns_per_byte
+
+    def random_accesses(self, count: float) -> float:
+        return count * self.config.random_access_ns
+
+    def dict_decodes(self, count: float) -> float:
+        return count * self.config.dict_decode_ns
+
+    def tuple_reconstructions(self, cells: float) -> float:
+        return cells * self.config.tuple_reconstruct_ns
+
+    def predicate_evals(self, count: float) -> float:
+        return count * self.config.predicate_eval_ns
+
+    def vector_compares(self, count: float) -> float:
+        return count * self.config.vector_compare_ns
+
+    def aggregate_updates(self, count: float) -> float:
+        return count * self.config.aggregate_update_ns
+
+    def group_by_updates(self, count: float) -> float:
+        return count * self.config.group_by_update_ns
+
+    def hash_inserts(self, count: float) -> float:
+        return count * self.config.hash_insert_ns
+
+    def hash_probes(self, count: float) -> float:
+        return count * self.config.hash_probe_ns
+
+    def row_appends(self, num_bytes: float) -> float:
+        return num_bytes * self.config.row_append_ns_per_byte
+
+    def row_value_updates(self, count: float) -> float:
+        return count * self.config.row_update_value_ns
+
+    def cs_value_inserts(self, count: float) -> float:
+        return count * self.config.cs_insert_value_ns
+
+    def cs_value_updates(self, count: float) -> float:
+        return count * self.config.cs_update_value_ns
+
+    def layout_conversions(self, cells: float) -> float:
+        return cells * self.config.layout_conversion_ns_per_cell
+
+    def query_overhead(self) -> float:
+        return self.config.query_overhead_ns
+
+    def partition_overhead(self, num_partitions: int) -> float:
+        return max(0, num_partitions - 1) * self.config.partition_overhead_ns
+
+
+@dataclass
+class CostBreakdown:
+    """Simulated time of one query, broken down by cost component."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, component: str, nanoseconds: float) -> None:
+        if nanoseconds < 0:
+            raise ValueError(f"negative cost for component {component!r}")
+        self.components[component] = self.components.get(component, 0.0) + nanoseconds
+
+    def merge(self, other: "CostBreakdown") -> None:
+        for component, nanoseconds in other.components.items():
+            self.add(component, nanoseconds)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / NS_PER_MS
+
+    def component_ms(self, component: str) -> float:
+        return self.components.get(component, 0.0) / NS_PER_MS
+
+    def items(self) -> Iterator[tuple]:
+        return iter(sorted(self.components.items()))
+
+    def as_dict_ms(self) -> Dict[str, float]:
+        return {name: ns / NS_PER_MS for name, ns in self.components.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v / NS_PER_MS:.3f}ms" for k, v in sorted(self.components.items()))
+        return f"CostBreakdown(total={self.total_ms:.3f}ms, {parts})"
+
+
+class CostAccountant:
+    """Accumulates the simulated cost of one query execution.
+
+    Operators call the ``charge_*`` helpers; the accountant translates the work
+    into nanoseconds with its :class:`DeviceModel` and tags it with a component
+    label so that tests and benchmarks can inspect where the time goes.
+    """
+
+    def __init__(self, device: Optional[DeviceModel] = None) -> None:
+        self.device = device or DeviceModel()
+        self.breakdown = CostBreakdown()
+
+    # -- generic ---------------------------------------------------------------
+
+    def charge_ns(self, component: str, nanoseconds: float) -> None:
+        self.breakdown.add(component, nanoseconds)
+
+    def charge_query_overhead(self) -> None:
+        self.breakdown.add("query_overhead", self.device.query_overhead())
+
+    def charge_partition_overhead(self, num_partitions: int) -> None:
+        self.breakdown.add(
+            "partition_overhead", self.device.partition_overhead(num_partitions)
+        )
+
+    # -- scans -----------------------------------------------------------------
+
+    def charge_sequential_read(self, component: str, num_bytes: float) -> None:
+        self.breakdown.add(component, self.device.sequential_read(num_bytes))
+
+    def charge_random_accesses(self, component: str, count: float) -> None:
+        self.breakdown.add(component, self.device.random_accesses(count))
+
+    def charge_dict_decodes(self, count: float) -> None:
+        self.breakdown.add("dictionary_decode", self.device.dict_decodes(count))
+
+    def charge_tuple_reconstructions(self, cells: float) -> None:
+        self.breakdown.add(
+            "tuple_reconstruction", self.device.tuple_reconstructions(cells)
+        )
+
+    def charge_predicate_evals(self, count: float) -> None:
+        self.breakdown.add("predicate_eval", self.device.predicate_evals(count))
+
+    def charge_vector_compares(self, count: float) -> None:
+        self.breakdown.add("vector_compare", self.device.vector_compares(count))
+
+    # -- aggregation and joins ---------------------------------------------------
+
+    def charge_aggregate_updates(self, count: float) -> None:
+        self.breakdown.add("aggregate_update", self.device.aggregate_updates(count))
+
+    def charge_group_by_updates(self, count: float) -> None:
+        self.breakdown.add("group_by", self.device.group_by_updates(count))
+
+    def charge_hash_inserts(self, component: str, count: float) -> None:
+        self.breakdown.add(component, self.device.hash_inserts(count))
+
+    def charge_hash_probes(self, component: str, count: float) -> None:
+        self.breakdown.add(component, self.device.hash_probes(count))
+
+    # -- writes ------------------------------------------------------------------
+
+    def charge_row_appends(self, num_bytes: float) -> None:
+        self.breakdown.add("row_append", self.device.row_appends(num_bytes))
+
+    def charge_row_value_updates(self, count: float) -> None:
+        self.breakdown.add("row_update", self.device.row_value_updates(count))
+
+    def charge_cs_value_inserts(self, count: float) -> None:
+        self.breakdown.add("column_insert", self.device.cs_value_inserts(count))
+
+    def charge_cs_value_updates(self, count: float) -> None:
+        self.breakdown.add("column_update", self.device.cs_value_updates(count))
+
+    def charge_layout_conversion(self, cells: float) -> None:
+        self.breakdown.add("layout_conversion", self.device.layout_conversions(cells))
+
+    # -- index maintenance ---------------------------------------------------------
+
+    def charge_index_probe(self, count: float = 1.0) -> None:
+        self.breakdown.add("index_probe", self.device.hash_probes(count))
+
+    def charge_index_insert(self, count: float = 1.0) -> None:
+        self.breakdown.add("index_insert", self.device.hash_inserts(count))
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def total_ms(self) -> float:
+        return self.breakdown.total_ms
+
+    def snapshot(self) -> Mapping[str, float]:
+        """Return a copy of the per-component costs (nanoseconds)."""
+        return dict(self.breakdown.components)

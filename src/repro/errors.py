@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-level failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is invalid or violated (unknown column, bad type, ...)."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation failed (unknown table, duplicate table, ...)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown tables/columns."""
+
+
+class ExecutionError(ReproError):
+    """A query failed during execution."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning specification is invalid or cannot be applied."""
+
+
+class CalibrationError(ReproError):
+    """Cost-model calibration failed (insufficient samples, singular fit, ...)."""
+
+
+class EstimationError(ReproError):
+    """The cost model cannot produce an estimate for a query."""
+
+
+class AdvisorError(ReproError):
+    """The storage advisor could not produce a recommendation."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or generator input is invalid."""
+
+
+class ParseError(QueryError):
+    """The SQL-ish parser could not parse the given statement."""

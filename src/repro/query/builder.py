@@ -1,0 +1,140 @@
+"""Fluent builders for the query model.
+
+The builders keep examples and workload generators readable::
+
+    query = (
+        aggregate("sales")
+        .sum("revenue")
+        .avg("quantity")
+        .group_by("region")
+        .where(eq("year", 2012))
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    JoinClause,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.query.predicates import Predicate
+
+
+class AggregationBuilder:
+    """Builds :class:`~repro.query.ast.AggregationQuery` objects."""
+
+    def __init__(self, table: str) -> None:
+        self._table = table
+        self._aggregates: list = []
+        self._group_by: list = []
+        self._predicate: Optional[Predicate] = None
+        self._joins: list = []
+
+    def aggregate(self, function: AggregateFunction, column: str,
+                  alias: Optional[str] = None) -> "AggregationBuilder":
+        self._aggregates.append(AggregateSpec(function, column, alias))
+        return self
+
+    def sum(self, column: str, alias: Optional[str] = None) -> "AggregationBuilder":
+        return self.aggregate(AggregateFunction.SUM, column, alias)
+
+    def avg(self, column: str, alias: Optional[str] = None) -> "AggregationBuilder":
+        return self.aggregate(AggregateFunction.AVG, column, alias)
+
+    def min(self, column: str, alias: Optional[str] = None) -> "AggregationBuilder":
+        return self.aggregate(AggregateFunction.MIN, column, alias)
+
+    def max(self, column: str, alias: Optional[str] = None) -> "AggregationBuilder":
+        return self.aggregate(AggregateFunction.MAX, column, alias)
+
+    def count(self, column: str = "*", alias: Optional[str] = None) -> "AggregationBuilder":
+        return self.aggregate(AggregateFunction.COUNT, column, alias)
+
+    def group_by(self, *columns: str) -> "AggregationBuilder":
+        self._group_by.extend(columns)
+        return self
+
+    def where(self, predicate: Predicate) -> "AggregationBuilder":
+        self._predicate = predicate
+        return self
+
+    def join(self, table: str, left_column: str, right_column: str) -> "AggregationBuilder":
+        self._joins.append(JoinClause(table, left_column, right_column))
+        return self
+
+    def build(self) -> AggregationQuery:
+        if not self._aggregates:
+            raise QueryError("aggregation builder needs at least one aggregate")
+        return AggregationQuery(
+            table=self._table,
+            aggregates=tuple(self._aggregates),
+            group_by=tuple(self._group_by),
+            predicate=self._predicate,
+            joins=tuple(self._joins),
+        )
+
+
+class SelectBuilder:
+    """Builds :class:`~repro.query.ast.SelectQuery` objects."""
+
+    def __init__(self, table: str) -> None:
+        self._table = table
+        self._columns: list = []
+        self._predicate: Optional[Predicate] = None
+        self._limit: Optional[int] = None
+
+    def columns(self, *names: str) -> "SelectBuilder":
+        self._columns.extend(names)
+        return self
+
+    def where(self, predicate: Predicate) -> "SelectBuilder":
+        self._predicate = predicate
+        return self
+
+    def limit(self, limit: int) -> "SelectBuilder":
+        self._limit = limit
+        return self
+
+    def build(self) -> SelectQuery:
+        return SelectQuery(
+            table=self._table,
+            columns=tuple(self._columns),
+            predicate=self._predicate,
+            limit=self._limit,
+        )
+
+
+def aggregate(table: str) -> AggregationBuilder:
+    """Start building an aggregation query over *table*."""
+    return AggregationBuilder(table)
+
+
+def select(table: str) -> SelectBuilder:
+    """Start building a point/range select query over *table*."""
+    return SelectBuilder(table)
+
+
+def insert(table: str, rows: Sequence[Mapping[str, Any]]) -> InsertQuery:
+    """Build an insert query for *rows*."""
+    return InsertQuery(table=table, rows=tuple(rows))
+
+
+def update(table: str, assignments: Mapping[str, Any],
+           predicate: Optional[Predicate] = None) -> UpdateQuery:
+    """Build an update query."""
+    return UpdateQuery(table=table, assignments=dict(assignments), predicate=predicate)
+
+
+def delete(table: str, predicate: Optional[Predicate] = None) -> DeleteQuery:
+    """Build a delete query."""
+    return DeleteQuery(table=table, predicate=predicate)

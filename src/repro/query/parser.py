@@ -1,0 +1,275 @@
+"""A small SQL-ish parser for the examples and interactive use.
+
+The parser covers the statement shapes the storage advisor reasons about —
+aggregation queries (with GROUP BY and equi-joins), point/range selects,
+INSERT, UPDATE and DELETE — and produces the same query objects as the
+builders in :mod:`repro.query.builder`.  It is intentionally small: quoted
+strings, numbers, ``AND``-connected comparisons and ``BETWEEN`` are supported;
+anything fancier should be built with the builder API directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    JoinClause,
+    Query,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.query.predicates import And, Between, CompareOp, Comparison, Predicate
+
+_AGG_FUNCTIONS = {f.value: f for f in AggregateFunction}
+
+_SELECT_RE = re.compile(
+    r"^select\s+(?P<projection>.+?)\s+from\s+(?P<table>\w+)"
+    r"(?P<joins>(\s+join\s+\w+\s+on\s+[\w.]+\s*=\s*[\w.]+)*)"
+    r"(?:\s+where\s+(?P<where>.+?))?"
+    r"(?:\s+group\s+by\s+(?P<group>.+?))?"
+    r"(?:\s+limit\s+(?P<limit>\d+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_JOIN_RE = re.compile(
+    r"join\s+(?P<table>\w+)\s+on\s+(?P<left>[\w.]+)\s*=\s*(?P<right>[\w.]+)",
+    re.IGNORECASE,
+)
+_INSERT_RE = re.compile(
+    r"^insert\s+into\s+(?P<table>\w+)\s*\((?P<columns>[^)]*)\)\s*"
+    r"values\s*\((?P<values>.*)\)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_UPDATE_RE = re.compile(
+    r"^update\s+(?P<table>\w+)\s+set\s+(?P<assignments>.+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_DELETE_RE = re.compile(
+    r"^delete\s+from\s+(?P<table>\w+)(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_AGGREGATE_ITEM_RE = re.compile(
+    r"^(?P<function>\w+)\s*\(\s*(?P<column>[\w.*]+)\s*\)(?:\s+as\s+(?P<alias>\w+))?$",
+    re.IGNORECASE,
+)
+_COMPARISON_RE = re.compile(
+    r"^(?P<column>[\w.]+)\s*(?P<op>>=|<=|!=|<>|=|<|>)\s*(?P<value>.+)$",
+    re.DOTALL,
+)
+_BETWEEN_RE = re.compile(
+    r"^(?P<column>[\w.]+)\s+between\s+(?P<low>.+?)\s+and\s+(?P<high>.+)$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_OPS = {
+    "=": CompareOp.EQ,
+    "!=": CompareOp.NE,
+    "<>": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+
+def parse(statement: str) -> Query:
+    """Parse a single SQL-ish statement into a query object."""
+    text = statement.strip()
+    if not text:
+        raise ParseError("empty statement")
+    keyword = text.split(None, 1)[0].lower()
+    if keyword == "select":
+        return _parse_select(text)
+    if keyword == "insert":
+        return _parse_insert(text)
+    if keyword == "update":
+        return _parse_update(text)
+    if keyword == "delete":
+        return _parse_delete(text)
+    raise ParseError(f"unsupported statement: {statement!r}")
+
+
+# -- helpers --------------------------------------------------------------------------
+
+
+def _parse_select(text: str) -> Query:
+    match = _SELECT_RE.match(text)
+    if not match:
+        raise ParseError(f"could not parse SELECT statement: {text!r}")
+    table = match.group("table")
+    projection = match.group("projection").strip()
+    predicate = _parse_predicate(match.group("where"))
+    joins = tuple(
+        JoinClause(m.group("table"), _strip_qualifier(m.group("left"), table),
+                   _strip_qualifier(m.group("right"), m.group("table")))
+        for m in _JOIN_RE.finditer(match.group("joins") or "")
+    )
+    group_by = tuple(
+        part.strip() for part in (match.group("group") or "").split(",") if part.strip()
+    )
+    limit = int(match.group("limit")) if match.group("limit") else None
+
+    items = [item.strip() for item in projection.split(",") if item.strip()]
+    aggregates = []
+    plain_columns = []
+    for item in items:
+        aggregate_match = _AGGREGATE_ITEM_RE.match(item)
+        if aggregate_match and aggregate_match.group("function").lower() in _AGG_FUNCTIONS:
+            aggregates.append(
+                AggregateSpec(
+                    _AGG_FUNCTIONS[aggregate_match.group("function").lower()],
+                    aggregate_match.group("column"),
+                    aggregate_match.group("alias"),
+                )
+            )
+        elif item == "*":
+            plain_columns = []
+        else:
+            plain_columns.append(item)
+    if aggregates:
+        return AggregationQuery(
+            table=table,
+            aggregates=tuple(aggregates),
+            group_by=group_by,
+            predicate=predicate,
+            joins=joins,
+        )
+    if joins or group_by:
+        raise ParseError("JOIN/GROUP BY is only supported for aggregation queries")
+    return SelectQuery(table=table, columns=tuple(plain_columns), predicate=predicate,
+                       limit=limit)
+
+
+def _parse_insert(text: str) -> InsertQuery:
+    match = _INSERT_RE.match(text)
+    if not match:
+        raise ParseError(f"could not parse INSERT statement: {text!r}")
+    columns = [name.strip() for name in match.group("columns").split(",") if name.strip()]
+    values = _split_values(match.group("values"))
+    if len(columns) != len(values):
+        raise ParseError("INSERT column list and VALUES list differ in length")
+    row = {name: _parse_literal(value) for name, value in zip(columns, values)}
+    return InsertQuery(table=match.group("table"), rows=(row,))
+
+
+def _parse_update(text: str) -> UpdateQuery:
+    match = _UPDATE_RE.match(text)
+    if not match:
+        raise ParseError(f"could not parse UPDATE statement: {text!r}")
+    assignments = {}
+    for part in _split_values(match.group("assignments")):
+        if "=" not in part:
+            raise ParseError(f"bad assignment in UPDATE: {part!r}")
+        column, value = part.split("=", 1)
+        assignments[column.strip()] = _parse_literal(value.strip())
+    return UpdateQuery(
+        table=match.group("table"),
+        assignments=assignments,
+        predicate=_parse_predicate(match.group("where")),
+    )
+
+
+def _parse_delete(text: str) -> DeleteQuery:
+    match = _DELETE_RE.match(text)
+    if not match:
+        raise ParseError(f"could not parse DELETE statement: {text!r}")
+    return DeleteQuery(table=match.group("table"),
+                       predicate=_parse_predicate(match.group("where")))
+
+
+def _parse_predicate(text: Optional[str]) -> Optional[Predicate]:
+    if text is None or not text.strip():
+        return None
+    raw_parts = re.split(r"\s+and\s+", text.strip(), flags=re.IGNORECASE)
+    # Re-join the AND that belongs to a BETWEEN ... AND ... expression.
+    parts: List[str] = []
+    index = 0
+    while index < len(raw_parts):
+        part = raw_parts[index]
+        if re.search(r"\bbetween\b", part, re.IGNORECASE) and index + 1 < len(raw_parts):
+            part = f"{part} AND {raw_parts[index + 1]}"
+            index += 1
+        parts.append(part)
+        index += 1
+    predicates = [_parse_single_predicate(part.strip()) for part in parts]
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(tuple(predicates))
+
+
+def _parse_single_predicate(text: str) -> Predicate:
+    between_match = _BETWEEN_RE.match(text)
+    if between_match:
+        return Between(
+            between_match.group("column"),
+            _parse_literal(between_match.group("low").strip()),
+            _parse_literal(between_match.group("high").strip()),
+        )
+    comparison_match = _COMPARISON_RE.match(text)
+    if comparison_match:
+        return Comparison(
+            comparison_match.group("column"),
+            _OPS[comparison_match.group("op")],
+            _parse_literal(comparison_match.group("value").strip()),
+        )
+    raise ParseError(f"could not parse predicate: {text!r}")
+
+
+def _parse_literal(token: str) -> Any:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty literal")
+    if (token[0] == token[-1]) and token[0] in ("'", '"') and len(token) >= 2:
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered == "null":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_values(text: str) -> List[str]:
+    """Split a comma-separated list, respecting single/double quotes."""
+    parts: List[str] = []
+    current = []
+    quote: Optional[str] = None
+    for char in text:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+            current.append(char)
+        elif char == ",":
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return [part for part in parts if part]
+
+
+def _strip_qualifier(name: str, table: str) -> str:
+    if "." in name:
+        qualifier, column = name.split(".", 1)
+        if qualifier == table:
+            return column
+    return name

@@ -1,0 +1,210 @@
+"""Workloads: ordered collections of queries with summary statistics.
+
+A :class:`Workload` is what the storage advisor analyses — either a recorded
+or expected workload in offline mode, or the stream captured by the online
+monitor.  Besides holding the queries it provides the aggregate measures the
+paper's heuristics use (OLAP fraction, insert fraction, per-table and
+per-attribute access profiles).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.query.ast import (
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    Query,
+    QueryType,
+    SelectQuery,
+    UpdateQuery,
+    split_qualified,
+)
+
+
+@dataclass
+class Workload:
+    """An ordered collection of queries."""
+
+    queries: List[Query] = field(default_factory=list)
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        self.queries = list(self.queries)
+
+    # -- container behaviour ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, index):
+        return self.queries[index]
+
+    def add(self, query: Query) -> None:
+        self.queries.append(query)
+
+    def extend(self, queries: Iterable[Query]) -> None:
+        self.queries.extend(queries)
+
+    def merged_with(self, other: "Workload", name: Optional[str] = None) -> "Workload":
+        return Workload(self.queries + other.queries, name or f"{self.name}+{other.name}")
+
+    # -- classification -------------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def count_by_type(self) -> Dict[QueryType, int]:
+        counts: Counter = Counter(query.query_type for query in self.queries)
+        return dict(counts)
+
+    @property
+    def olap_queries(self) -> List[Query]:
+        return [query for query in self.queries if query.is_olap]
+
+    @property
+    def oltp_queries(self) -> List[Query]:
+        return [query for query in self.queries if not query.is_olap]
+
+    @property
+    def olap_fraction(self) -> float:
+        if not self.queries:
+            return 0.0
+        return len(self.olap_queries) / len(self.queries)
+
+    @property
+    def insert_fraction(self) -> float:
+        if not self.queries:
+            return 0.0
+        inserts = sum(1 for query in self.queries if query.query_type is QueryType.INSERT)
+        return inserts / len(self.queries)
+
+    @property
+    def update_fraction(self) -> float:
+        if not self.queries:
+            return 0.0
+        updates = sum(1 for query in self.queries if query.query_type is QueryType.UPDATE)
+        return updates / len(self.queries)
+
+    # -- per-table views ----------------------------------------------------------------
+
+    def tables(self) -> Tuple[str, ...]:
+        names = []
+        seen = set()
+        for query in self.queries:
+            for table in query.tables:
+                if table not in seen:
+                    seen.add(table)
+                    names.append(table)
+        return tuple(names)
+
+    def queries_for_table(self, table: str) -> List[Query]:
+        return [query for query in self.queries if table in query.tables]
+
+    def restricted_to(self, table: str, name: Optional[str] = None) -> "Workload":
+        return Workload(self.queries_for_table(table), name or f"{self.name}[{table}]")
+
+    # -- per-attribute access profile (used by the vertical-partitioning heuristic) -------
+
+    def attribute_access_profile(self, table: str) -> Dict[str, "AttributeAccessCounts"]:
+        """Count, per attribute of *table*, how it is used across the workload."""
+        profile: Dict[str, AttributeAccessCounts] = defaultdict(AttributeAccessCounts)
+        for query in self.queries_for_table(table):
+            if isinstance(query, AggregationQuery):
+                for column in query.aggregated_columns(table):
+                    profile[column].aggregations += 1
+                for name in query.group_by:
+                    owner, column = split_qualified(name)
+                    if (owner or query.table) == table:
+                        profile[column].group_bys += 1
+                if query.predicate is not None:
+                    for name in query.predicate.columns():
+                        owner, column = split_qualified(name)
+                        if (owner or query.table) == table:
+                            profile[column].olap_selections += 1
+            elif isinstance(query, SelectQuery):
+                if query.predicate is not None:
+                    for column in query.predicate.columns():
+                        profile[column].point_selections += 1
+                for column in query.columns:
+                    profile[column].projections += 1
+            elif isinstance(query, UpdateQuery):
+                for column in query.updated_columns:
+                    profile[column].updates += 1
+                if query.predicate is not None:
+                    for column in query.predicate.columns():
+                        profile[column].point_selections += 1
+            elif isinstance(query, (InsertQuery, DeleteQuery)):
+                # Inserts/deletes touch whole tuples; they do not contribute to
+                # the per-attribute OLTP/OLAP classification.
+                continue
+        return dict(profile)
+
+    def summary(self) -> str:
+        counts = self.count_by_type()
+        parts = [f"{len(self.queries)} queries"]
+        for query_type in QueryType:
+            if counts.get(query_type):
+                parts.append(f"{query_type.value}={counts[query_type]}")
+        parts.append(f"olap_fraction={self.olap_fraction:.4f}")
+        return ", ".join(parts)
+
+
+@dataclass
+class AttributeAccessCounts:
+    """How one attribute is accessed across a workload."""
+
+    aggregations: int = 0
+    group_bys: int = 0
+    olap_selections: int = 0
+    point_selections: int = 0
+    projections: int = 0
+    updates: int = 0
+
+    @property
+    def olap_accesses(self) -> int:
+        return self.aggregations + self.group_bys + self.olap_selections
+
+    @property
+    def oltp_accesses(self) -> int:
+        return self.point_selections + self.projections + self.updates
+
+    @property
+    def total_accesses(self) -> int:
+        return self.olap_accesses + self.oltp_accesses
+
+    @property
+    def oltp_ratio(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.oltp_accesses / self.total_accesses
+
+
+def interleave(workloads: Sequence[Workload], name: str = "interleaved") -> Workload:
+    """Round-robin interleave several workloads into one.
+
+    Useful for building mixed workloads whose OLAP queries are spread across
+    the run rather than clustered at the end.
+    """
+    if not workloads:
+        raise WorkloadError("interleave needs at least one workload")
+    iterators = [iter(workload.queries) for workload in workloads]
+    merged: List[Query] = []
+    exhausted = [False] * len(iterators)
+    while not all(exhausted):
+        for position, iterator in enumerate(iterators):
+            if exhausted[position]:
+                continue
+            try:
+                merged.append(next(iterator))
+            except StopIteration:
+                exhausted[position] = True
+    return Workload(merged, name)

@@ -1,0 +1,42 @@
+"""Workload and data generators for the paper's evaluation scenarios."""
+
+from repro.workloads.datagen import (
+    SyntheticTable,
+    SyntheticTableConfig,
+    TableRoles,
+    build_table,
+    olap_setting_table,
+    oltp_setting_table,
+    paper_accuracy_table,
+)
+from repro.workloads.mixed import MixedWorkloadConfig, build_mixed_workload, olap_fraction_sweep
+from repro.workloads.olap import OlapGeneratorConfig, OlapQueryGenerator
+from repro.workloads.oltp import HotRegion, OltpMix, OltpQueryGenerator
+from repro.workloads.star_schema import (
+    StarSchema,
+    StarSchemaConfig,
+    build_star_schema,
+    build_star_workload,
+)
+
+__all__ = [
+    "HotRegion",
+    "MixedWorkloadConfig",
+    "OlapGeneratorConfig",
+    "OlapQueryGenerator",
+    "OltpMix",
+    "OltpQueryGenerator",
+    "StarSchema",
+    "StarSchemaConfig",
+    "SyntheticTable",
+    "SyntheticTableConfig",
+    "TableRoles",
+    "build_mixed_workload",
+    "build_star_schema",
+    "build_star_workload",
+    "build_table",
+    "olap_fraction_sweep",
+    "olap_setting_table",
+    "oltp_setting_table",
+    "paper_accuracy_table",
+]

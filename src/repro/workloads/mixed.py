@@ -1,0 +1,100 @@
+"""Mixed OLAP/OLTP workload assembly.
+
+The paper's recommendation experiments vary "the ratio of OLAP and OLTP
+queries in the workload" (Figures 7-9).  :func:`build_mixed_workload`
+assembles such a workload from the OLAP and OLTP generators, spreading the
+OLAP queries evenly over the run so that the mix is stationary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import DEFAULT_SEED
+from repro.errors import WorkloadError
+from repro.query.ast import Query
+from repro.query.workload import Workload
+from repro.workloads.datagen import TableRoles
+from repro.workloads.olap import OlapGeneratorConfig, OlapQueryGenerator
+from repro.workloads.oltp import HotRegion, OltpMix, OltpQueryGenerator
+
+
+@dataclass
+class MixedWorkloadConfig:
+    """Description of a mixed workload."""
+
+    num_queries: int = 500
+    olap_fraction: float = 0.05
+    oltp_mix: OltpMix = None  # type: ignore[assignment]
+    olap_config: OlapGeneratorConfig = None  # type: ignore[assignment]
+    hot_region: Optional[HotRegion] = None
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.olap_fraction <= 1.0:
+            raise WorkloadError("olap_fraction must be within [0, 1]")
+        if self.num_queries < 0:
+            raise WorkloadError("num_queries must be non-negative")
+        if self.oltp_mix is None:
+            self.oltp_mix = OltpMix()
+        if self.olap_config is None:
+            self.olap_config = OlapGeneratorConfig()
+
+
+def build_mixed_workload(
+    roles: TableRoles, config: Optional[MixedWorkloadConfig] = None
+) -> Workload:
+    """Build a mixed workload over a single synthetic table."""
+    config = config or MixedWorkloadConfig()
+    olap_generator = OlapQueryGenerator(roles, config.olap_config, seed=config.seed)
+    oltp_generator = OltpQueryGenerator(
+        roles, mix=config.oltp_mix, hot_region=config.hot_region, seed=config.seed + 1
+    )
+
+    num_olap = round(config.num_queries * config.olap_fraction)
+    num_oltp = config.num_queries - num_olap
+    olap_queries = olap_generator.generate(num_olap)
+    oltp_queries = oltp_generator.generate(num_oltp)
+    queries = _spread(olap_queries, oltp_queries, seed=config.seed + 2)
+    name = f"mixed(olap={config.olap_fraction:.4f}, n={config.num_queries})"
+    return Workload(queries, name=name)
+
+
+def _spread(olap_queries: List[Query], oltp_queries: List[Query], seed: int) -> List[Query]:
+    """Spread the OLAP queries evenly across the OLTP stream."""
+    if not olap_queries:
+        return list(oltp_queries)
+    if not oltp_queries:
+        return list(olap_queries)
+    rng = random.Random(seed)
+    result: List[Query] = list(oltp_queries)
+    positions = sorted(
+        rng.sample(range(len(result) + len(olap_queries)), len(olap_queries))
+    )
+    for offset, (position, query) in enumerate(zip(positions, olap_queries)):
+        result.insert(min(position, len(result)), query)
+    return result
+
+
+def olap_fraction_sweep(
+    roles: TableRoles,
+    fractions,
+    num_queries: int = 500,
+    seed: int = DEFAULT_SEED,
+    hot_region: Optional[HotRegion] = None,
+    olap_config: Optional[OlapGeneratorConfig] = None,
+) -> List[Workload]:
+    """Build one mixed workload per OLAP fraction (the Fig. 7/9 sweeps)."""
+    workloads = []
+    for index, fraction in enumerate(fractions):
+        config = MixedWorkloadConfig(
+            num_queries=num_queries,
+            olap_fraction=fraction,
+            seed=seed + index,
+            hot_region=hot_region,
+            olap_config=olap_config or OlapGeneratorConfig(),
+        )
+        workloads.append(build_mixed_workload(roles, config))
+    return workloads

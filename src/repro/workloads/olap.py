@@ -1,0 +1,127 @@
+"""OLAP query generation.
+
+The paper's OLAP queries "aggregated different keyfigures using different
+aggregation functions" and optionally grouped the data; for the join
+experiments they additionally grouped by dimension attributes.  The generator
+below produces exactly that family of queries from a table's column roles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_SEED
+from repro.query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    AggregationQuery,
+    JoinClause,
+)
+from repro.query.predicates import Between, Predicate
+from repro.query.workload import Workload
+from repro.workloads.datagen import TableRoles
+
+#: Aggregation functions used round-robin by the generator.
+AGGREGATION_FUNCTIONS = (
+    AggregateFunction.SUM,
+    AggregateFunction.AVG,
+    AggregateFunction.MIN,
+    AggregateFunction.MAX,
+)
+
+
+@dataclass
+class OlapGeneratorConfig:
+    """Knobs of the OLAP query generator."""
+
+    #: Number of aggregates per query (inclusive range, sampled uniformly).
+    min_aggregates: int = 1
+    max_aggregates: int = 3
+    #: Probability that a query has a GROUP BY clause.
+    group_by_probability: float = 0.7
+    #: Probability that a query has a range predicate on a filter attribute.
+    predicate_probability: float = 0.3
+    #: Fraction of a filter attribute's domain covered by a range predicate.
+    predicate_coverage: float = 0.2
+
+
+class OlapQueryGenerator:
+    """Generates aggregation queries over a synthetic table."""
+
+    def __init__(
+        self,
+        roles: TableRoles,
+        config: Optional[OlapGeneratorConfig] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.roles = roles
+        self.config = config or OlapGeneratorConfig()
+        self.rng = random.Random(seed)
+
+    # -- single queries ------------------------------------------------------------------
+
+    def aggregation_query(
+        self,
+        num_aggregates: Optional[int] = None,
+        group_by: Optional[bool] = None,
+        with_predicate: Optional[bool] = None,
+        joins: Sequence[JoinClause] = (),
+        dimension_group_by: Sequence[str] = (),
+    ) -> AggregationQuery:
+        """Generate one aggregation query."""
+        config = self.config
+        if num_aggregates is None:
+            num_aggregates = self.rng.randint(config.min_aggregates, config.max_aggregates)
+        num_aggregates = max(1, min(num_aggregates, len(self.roles.keyfigures)))
+        keyfigures = self.rng.sample(list(self.roles.keyfigures), num_aggregates)
+        aggregates = tuple(
+            AggregateSpec(AGGREGATION_FUNCTIONS[i % len(AGGREGATION_FUNCTIONS)], column)
+            for i, column in enumerate(keyfigures)
+        )
+
+        group_columns: Tuple[str, ...] = ()
+        use_group_by = (
+            group_by
+            if group_by is not None
+            else (self.rng.random() < config.group_by_probability)
+        )
+        if use_group_by:
+            candidates = list(dimension_group_by) or list(self.roles.group_attrs)
+            if candidates:
+                group_columns = (self.rng.choice(candidates),)
+
+        predicate: Optional[Predicate] = None
+        use_predicate = (
+            with_predicate
+            if with_predicate is not None
+            else (self.rng.random() < config.predicate_probability)
+        )
+        if use_predicate and self.roles.filter_attrs:
+            predicate = self._range_predicate()
+
+        return AggregationQuery(
+            table=self.roles.table,
+            aggregates=aggregates,
+            group_by=group_columns,
+            predicate=predicate,
+            joins=tuple(joins),
+        )
+
+    def _range_predicate(self) -> Predicate:
+        column = self.rng.choice(list(self.roles.filter_attrs))
+        domain = self.roles.filter_cardinality
+        width = max(1, int(domain * self.config.predicate_coverage))
+        low = self.rng.randrange(max(1, domain - width))
+        return Between(column, low, low + width)
+
+    # -- batches -------------------------------------------------------------------------------
+
+    def generate(self, num_queries: int, **kwargs) -> List[AggregationQuery]:
+        """Generate a list of aggregation queries."""
+        return [self.aggregation_query(**kwargs) for _ in range(num_queries)]
+
+    def workload(self, num_queries: int, name: str = "olap", **kwargs) -> Workload:
+        """Generate a pure-OLAP workload."""
+        return Workload(self.generate(num_queries, **kwargs), name=name)

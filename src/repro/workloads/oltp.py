@@ -1,0 +1,134 @@
+"""OLTP query generation.
+
+The paper's OLTP workloads are "a mix of insert and update queries" plus
+transactional point queries.  The generator produces:
+
+* point selects by primary key,
+* updates of the OLTP (status-like) attributes, addressed either by primary
+  key or — for the horizontal-partitioning scenarios — by a range predicate
+  confined to a *hot region* of the table, and
+* inserts of new tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import DEFAULT_SEED
+from repro.errors import WorkloadError
+from repro.query.ast import InsertQuery, Query, SelectQuery, UpdateQuery
+from repro.query.predicates import Between, eq
+from repro.query.workload import Workload
+from repro.workloads.datagen import TableRoles, new_row
+
+
+@dataclass
+class OltpMix:
+    """Composition of an OLTP workload (fractions must sum to 1)."""
+
+    point_select_fraction: float = 0.4
+    update_fraction: float = 0.4
+    insert_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = (
+            self.point_select_fraction + self.update_fraction + self.insert_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"OLTP mix fractions must sum to 1 (got {total})")
+
+
+@dataclass
+class HotRegion:
+    """A contiguous, frequently updated region of the table (by a column range)."""
+
+    column: str
+    low: float
+    high: float
+    #: Width of the per-query update range inside the region.
+    span: float = 0.0
+
+
+class OltpQueryGenerator:
+    """Generates point selects, updates and inserts over a synthetic table."""
+
+    def __init__(
+        self,
+        roles: TableRoles,
+        mix: Optional[OltpMix] = None,
+        hot_region: Optional[HotRegion] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.roles = roles
+        self.mix = mix or OltpMix()
+        self.hot_region = hot_region
+        self.rng = random.Random(seed)
+
+    # -- single queries -------------------------------------------------------------------
+
+    def point_select(self) -> SelectQuery:
+        """A point query fetching a single tuple by primary key."""
+        row_id = self.rng.randrange(max(1, self.roles.num_rows))
+        columns: Tuple[str, ...] = ()
+        if self.roles.oltp_attrs and self.rng.random() < 0.5:
+            columns = (self.roles.primary_key,) + self.roles.oltp_attrs[:1]
+        return SelectQuery(
+            table=self.roles.table,
+            columns=columns,
+            predicate=eq(self.roles.primary_key, row_id),
+        )
+
+    def update(self) -> UpdateQuery:
+        """An update of (one of) the OLTP attributes."""
+        target_attrs = self.roles.oltp_attrs or self.roles.filter_attrs
+        if not target_attrs:
+            raise WorkloadError(
+                f"table {self.roles.table!r} has no updatable OLTP attribute"
+            )
+        column = self.rng.choice(list(target_attrs))
+        if column.startswith("status"):
+            value = f"s{self.rng.randrange(self.roles.oltp_cardinality)}"
+        else:
+            value = self.rng.randrange(self.roles.filter_cardinality)
+        if self.hot_region is not None:
+            predicate = self._hot_region_predicate()
+        else:
+            row_id = self.rng.randrange(max(1, self.roles.num_rows))
+            predicate = eq(self.roles.primary_key, row_id)
+        return UpdateQuery(
+            table=self.roles.table, assignments={column: value}, predicate=predicate
+        )
+
+    def _hot_region_predicate(self) -> Between:
+        region = self.hot_region
+        assert region is not None
+        if region.span and region.span < (region.high - region.low):
+            start = self.rng.uniform(region.low, region.high - region.span)
+            return Between(region.column, int(start), int(start + region.span))
+        return Between(region.column, region.low, region.high)
+
+    def insert(self, rows_per_insert: int = 1) -> InsertQuery:
+        """An insert of one (or a few) new tuples."""
+        rows = [new_row(self.roles, self.rng) for _ in range(rows_per_insert)]
+        return InsertQuery(table=self.roles.table, rows=tuple(rows))
+
+    # -- batches -----------------------------------------------------------------------------
+
+    def generate(self, num_queries: int) -> List[Query]:
+        """Generate an OLTP query mix according to the configured fractions."""
+        queries: List[Query] = []
+        for _ in range(num_queries):
+            dice = self.rng.random()
+            if dice < self.mix.point_select_fraction:
+                queries.append(self.point_select())
+            elif dice < self.mix.point_select_fraction + self.mix.update_fraction:
+                queries.append(self.update())
+            else:
+                queries.append(self.insert())
+        return queries
+
+    def workload(self, num_queries: int, name: str = "oltp") -> Workload:
+        """Generate a pure-OLTP workload."""
+        return Workload(self.generate(num_queries), name=name)

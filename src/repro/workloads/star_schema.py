@@ -1,0 +1,184 @@
+"""Star-schema scenario for the join experiments (Fig. 7(b)).
+
+The paper uses "a typical star schema" with a 10-attribute fact table of 20 m
+tuples and a 6-attribute dimension table of 1000 tuples; the OLAP queries
+aggregate keyfigures of the fact table grouped by dimension attributes, while
+the OLTP queries update and insert fact tuples.  This module builds a scaled
+version of that scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DEFAULT_SEED
+from repro.engine.database import HybridDatabase
+from repro.engine.schema import TableSchema
+from repro.engine.types import DataType, Store
+from repro.query.ast import AggregationQuery, JoinClause, Query
+from repro.query.workload import Workload
+from repro.workloads.datagen import SyntheticTableConfig, TableRoles, build_table
+from repro.workloads.mixed import MixedWorkloadConfig, _spread
+from repro.workloads.olap import OlapGeneratorConfig, OlapQueryGenerator
+from repro.workloads.oltp import OltpMix, OltpQueryGenerator
+
+
+@dataclass
+class StarSchemaConfig:
+    """Shape of the star-schema scenario."""
+
+    fact_rows: int = 50_000
+    dimension_rows: int = 1_000
+    fact_name: str = "fact"
+    dimension_name: str = "dim"
+    seed: int = DEFAULT_SEED
+
+
+@dataclass
+class StarSchema:
+    """Generated fact and dimension tables plus their column roles."""
+
+    config: StarSchemaConfig
+    fact_schema: TableSchema
+    dimension_schema: TableSchema
+    fact_rows: List[Dict] = field(default_factory=list)
+    dimension_rows: List[Dict] = field(default_factory=list)
+    fact_roles: TableRoles = None  # type: ignore[assignment]
+    dimension_group_attrs: Tuple[str, ...] = ()
+
+    @property
+    def join_clause(self) -> JoinClause:
+        return JoinClause(
+            table=self.config.dimension_name,
+            left_column="dim_id",
+            right_column="id",
+        )
+
+    def load_into(
+        self,
+        database: HybridDatabase,
+        fact_store: Store = Store.COLUMN,
+        dimension_store: Store = Store.ROW,
+    ) -> None:
+        """Create and load both tables (dimension in the row store by default,
+        as the paper does based on its preceding measurements)."""
+        database.create_table(self.fact_schema, fact_store)
+        database.load_rows(self.config.fact_name, self.fact_rows)
+        database.create_table(self.dimension_schema, dimension_store)
+        database.load_rows(self.config.dimension_name, self.dimension_rows)
+
+
+def build_star_schema(config: Optional[StarSchemaConfig] = None) -> StarSchema:
+    """Generate the star schema: a 10-attribute fact and a 6-attribute dimension."""
+    config = config or StarSchemaConfig()
+    rng = random.Random(config.seed)
+
+    # Fact table: id, foreign key, 4 keyfigures, 2 filters, 2 status attributes.
+    fact_config = SyntheticTableConfig(
+        name=config.fact_name,
+        num_rows=0,  # rows are generated below so we can add the foreign key
+        num_keyfigures=4,
+        num_group_attrs=0,
+        num_filter_attrs=2,
+        num_oltp_attrs=2,
+        seed=config.seed,
+    )
+    base = build_table(fact_config)
+    fact_columns = [("id", DataType.INTEGER), ("dim_id", DataType.INTEGER)]
+    fact_columns += [(name, DataType.DOUBLE) for name in base.roles.keyfigures]
+    fact_columns += [(name, DataType.INTEGER) for name in base.roles.filter_attrs]
+    fact_columns += [(name, DataType.VARCHAR) for name in base.roles.oltp_attrs]
+    fact_schema = TableSchema.build(config.fact_name, fact_columns, primary_key=["id"])
+
+    fact_rows = []
+    for i in range(config.fact_rows):
+        row: Dict = {"id": i, "dim_id": rng.randrange(config.dimension_rows)}
+        for name in base.roles.keyfigures:
+            row[name] = round(rng.random() * 1_000.0, 4)
+        for name in base.roles.filter_attrs:
+            row[name] = rng.randrange(fact_config.filter_cardinality)
+        for name in base.roles.oltp_attrs:
+            row[name] = f"s{rng.randrange(fact_config.oltp_cardinality)}"
+        fact_rows.append(row)
+
+    # The foreign key participates in range predicates and in newly inserted
+    # rows, so it is treated as a filter attribute by the generators.
+    fact_roles = TableRoles(
+        table=config.fact_name,
+        primary_key="id",
+        keyfigures=base.roles.keyfigures,
+        group_attrs=(),
+        filter_attrs=("dim_id",) + base.roles.filter_attrs,
+        oltp_attrs=base.roles.oltp_attrs,
+        filter_cardinality=min(fact_config.filter_cardinality, config.dimension_rows),
+        oltp_cardinality=fact_config.oltp_cardinality,
+        num_rows=config.fact_rows,
+        next_id=config.fact_rows,
+    )
+
+    # Dimension table: id plus 5 descriptive attributes (6 attributes total).
+    dimension_group_attrs = ("region", "country", "category", "segment", "channel")
+    dimension_schema = TableSchema.build(
+        config.dimension_name,
+        [("id", DataType.INTEGER)]
+        + [(name, DataType.VARCHAR) for name in dimension_group_attrs],
+        primary_key=["id"],
+    )
+    cardinalities = {"region": 8, "country": 40, "category": 15, "segment": 5, "channel": 3}
+    dimension_rows = []
+    for i in range(config.dimension_rows):
+        row = {"id": i}
+        for name in dimension_group_attrs:
+            row[name] = f"{name}_{rng.randrange(cardinalities[name])}"
+        dimension_rows.append(row)
+
+    return StarSchema(
+        config=config,
+        fact_schema=fact_schema,
+        dimension_schema=dimension_schema,
+        fact_rows=fact_rows,
+        dimension_rows=dimension_rows,
+        fact_roles=fact_roles,
+        dimension_group_attrs=dimension_group_attrs,
+    )
+
+
+def build_star_workload(
+    star: StarSchema,
+    num_queries: int = 500,
+    olap_fraction: float = 0.05,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """A mixed workload of join-OLAP queries and OLTP queries on the fact table.
+
+    The OLAP queries aggregate fact keyfigures, join the dimension table and
+    group by a dimension attribute; the OLTP queries insert into and update
+    the fact table (as in the paper's join experiment).
+    """
+    dimension = star.config.dimension_name
+    olap_generator = OlapQueryGenerator(
+        star.fact_roles,
+        OlapGeneratorConfig(group_by_probability=1.0, predicate_probability=0.2),
+        seed=seed,
+    )
+    # The paper's join workload: "the OLTP part of the workload updated tuples
+    # of the fact table and inserted new tuples into the fact table".
+    oltp_generator = OltpQueryGenerator(
+        star.fact_roles,
+        mix=OltpMix(point_select_fraction=0.1, update_fraction=0.5, insert_fraction=0.4),
+        seed=seed + 1,
+    )
+    num_olap = round(num_queries * olap_fraction)
+    num_oltp = num_queries - num_olap
+    olap_queries: List[Query] = olap_generator.generate(
+        num_olap,
+        joins=(star.join_clause,),
+        dimension_group_by=[f"{dimension}.{name}" for name in star.dimension_group_attrs],
+    )
+    oltp_queries = oltp_generator.generate(num_oltp)
+    queries = _spread(olap_queries, oltp_queries, seed=seed + 2)
+    return Workload(
+        queries, name=f"star(olap={olap_fraction:.4f}, n={num_queries})"
+    )

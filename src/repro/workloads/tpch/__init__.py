@@ -1,0 +1,28 @@
+"""Scaled-down TPC-H substrate: schemas, data generator and mixed workload."""
+
+from repro.workloads.tpch.datagen import TpchData, TpchGenerator
+from repro.workloads.tpch.queries import (
+    OLTP_TABLES,
+    TpchOlapQueryGenerator,
+    TpchOltpQueryGenerator,
+)
+from repro.workloads.tpch.schema import (
+    BASE_CARDINALITIES,
+    TPCH_TABLE_ORDER,
+    scaled_cardinality,
+    tpch_schemas,
+)
+from repro.workloads.tpch.workload import build_tpch_workload
+
+__all__ = [
+    "BASE_CARDINALITIES",
+    "OLTP_TABLES",
+    "TPCH_TABLE_ORDER",
+    "TpchData",
+    "TpchGenerator",
+    "TpchOlapQueryGenerator",
+    "TpchOltpQueryGenerator",
+    "build_tpch_workload",
+    "scaled_cardinality",
+    "tpch_schemas",
+]

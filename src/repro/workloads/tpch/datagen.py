@@ -1,0 +1,239 @@
+"""Deterministic, scaled-down TPC-H data generator.
+
+The paper loads TPC-H at scale factor 1 (≈ 6 m lineitem rows).  Running a
+pure-Python engine at that volume would be needlessly slow, so the generator
+takes a configurable scale factor and produces proportionally smaller tables
+while keeping the schema, the key relationships and the value distributions
+that matter for the experiment (dates, flags, segments, prices).  The default
+scale factor used by the benchmarks is 0.01.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.config import DEFAULT_SEED
+from repro.engine.database import HybridDatabase
+from repro.engine.types import Store
+from repro.workloads.tpch.schema import (
+    TPCH_TABLE_ORDER,
+    scaled_cardinality,
+    tpch_schemas,
+)
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+ORDER_STATUSES = ("F", "O", "P")
+RETURN_FLAGS = ("A", "N", "R")
+LINE_STATUSES = ("F", "O")
+SHIP_MODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+SHIP_INSTRUCTIONS = ("COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN")
+CONTAINERS = ("JUMBO BOX", "LG CASE", "MED BAG", "SM PKG", "WRAP JAR")
+PART_TYPES = ("ANODIZED BRASS", "BURNISHED COPPER", "ECONOMY STEEL", "PLATED TIN",
+              "POLISHED NICKEL", "PROMO BRUSHED STEEL", "STANDARD COPPER")
+#: Order dates span 1992-01-01 .. 1998-08-02 in the specification; we use day
+#: offsets from 1992-01-01 (stored as integers for cheap range predicates).
+MAX_ORDER_DATE_OFFSET = 2_400
+
+
+@dataclass
+class TpchData:
+    """Generated TPC-H tables (row dicts per table)."""
+
+    scale_factor: float
+    tables: Dict[str, List[Dict]] = field(default_factory=dict)
+
+    def num_rows(self, table: str) -> int:
+        return len(self.tables.get(table, []))
+
+    def load_into(
+        self,
+        database: HybridDatabase,
+        stores: Optional[Mapping[str, Store]] = None,
+        default_store: Store = Store.ROW,
+    ) -> None:
+        """Create and bulk load every table into *database*."""
+        schemas = tpch_schemas()
+        stores = stores or {}
+        for name in TPCH_TABLE_ORDER:
+            database.create_table(schemas[name], stores.get(name, default_store))
+            database.load_rows(name, self.tables[name])
+
+
+class TpchGenerator:
+    """Deterministic generator of scaled-down TPC-H data."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = DEFAULT_SEED) -> None:
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    def cardinality(self, table: str) -> int:
+        return scaled_cardinality(table, self.scale_factor)
+
+    # -- per-table generators --------------------------------------------------------
+
+    def generate_region(self) -> List[Dict]:
+        return [
+            {"r_regionkey": i, "r_name": name, "r_comment": f"region {name.lower()}"}
+            for i, name in enumerate(REGIONS)
+        ]
+
+    def generate_nation(self) -> List[Dict]:
+        rng = random.Random(self.seed + 1)
+        return [
+            {
+                "n_nationkey": i,
+                "n_name": name,
+                "n_regionkey": rng.randrange(len(REGIONS)),
+                "n_comment": f"nation {name.lower()}",
+            }
+            for i, name in enumerate(NATIONS)
+        ]
+
+    def generate_supplier(self) -> List[Dict]:
+        rng = random.Random(self.seed + 2)
+        count = self.cardinality("supplier")
+        return [
+            {
+                "s_suppkey": i,
+                "s_name": f"Supplier#{i:09d}",
+                "s_address": f"address {i}",
+                "s_nationkey": rng.randrange(len(NATIONS)),
+                "s_phone": f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "s_comment": f"supplier comment {i % 50}",
+            }
+            for i in range(count)
+        ]
+
+    def generate_customer(self) -> List[Dict]:
+        rng = random.Random(self.seed + 3)
+        count = self.cardinality("customer")
+        return [
+            {
+                "c_custkey": i,
+                "c_name": f"Customer#{i:09d}",
+                "c_address": f"address {i}",
+                "c_nationkey": rng.randrange(len(NATIONS)),
+                "c_phone": f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "c_mktsegment": rng.choice(MARKET_SEGMENTS),
+                "c_comment": f"customer comment {i % 50}",
+            }
+            for i in range(count)
+        ]
+
+    def generate_part(self) -> List[Dict]:
+        rng = random.Random(self.seed + 4)
+        count = self.cardinality("part")
+        return [
+            {
+                "p_partkey": i,
+                "p_name": f"part {i % 500}",
+                "p_mfgr": f"Manufacturer#{1 + i % 5}",
+                "p_brand": f"Brand#{1 + i % 25}",
+                "p_type": rng.choice(PART_TYPES),
+                "p_size": rng.randrange(1, 51),
+                "p_container": rng.choice(CONTAINERS),
+                "p_retailprice": round(900.0 + (i % 1000) + rng.random(), 2),
+                "p_comment": f"part comment {i % 40}",
+            }
+            for i in range(count)
+        ]
+
+    def generate_partsupp(self) -> List[Dict]:
+        rng = random.Random(self.seed + 5)
+        count = self.cardinality("partsupp")
+        num_parts = max(1, self.cardinality("part"))
+        num_suppliers = max(1, self.cardinality("supplier"))
+        return [
+            {
+                "ps_id": i,
+                "ps_partkey": i % num_parts,
+                "ps_suppkey": (i * 7) % num_suppliers,
+                "ps_availqty": rng.randrange(1, 10_000),
+                "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                "ps_comment": f"partsupp comment {i % 30}",
+            }
+            for i in range(count)
+        ]
+
+    def generate_orders(self) -> List[Dict]:
+        rng = random.Random(self.seed + 6)
+        count = self.cardinality("orders")
+        num_customers = max(1, self.cardinality("customer"))
+        return [
+            {
+                "o_orderkey": i,
+                "o_custkey": rng.randrange(num_customers),
+                "o_orderstatus": rng.choice(ORDER_STATUSES),
+                "o_totalprice": round(rng.uniform(900.0, 450_000.0), 2),
+                "o_orderdate": rng.randrange(MAX_ORDER_DATE_OFFSET),
+                "o_orderpriority": rng.choice(ORDER_PRIORITIES),
+                "o_clerk": f"Clerk#{rng.randrange(1000):09d}",
+                "o_shippriority": 0,
+                "o_comment": f"order comment {i % 60}",
+            }
+            for i in range(count)
+        ]
+
+    def generate_lineitem(self) -> List[Dict]:
+        rng = random.Random(self.seed + 7)
+        count = self.cardinality("lineitem")
+        num_orders = max(1, self.cardinality("orders"))
+        num_parts = max(1, self.cardinality("part"))
+        num_suppliers = max(1, self.cardinality("supplier"))
+        rows = []
+        for i in range(count):
+            orderkey = rng.randrange(num_orders)
+            ship_offset = rng.randrange(1, 122)
+            shipdate = min(MAX_ORDER_DATE_OFFSET + 60, rng.randrange(MAX_ORDER_DATE_OFFSET) + ship_offset)
+            rows.append(
+                {
+                    "l_id": i,
+                    "l_orderkey": orderkey,
+                    "l_partkey": rng.randrange(num_parts),
+                    "l_suppkey": rng.randrange(num_suppliers),
+                    "l_linenumber": 1 + i % 7,
+                    "l_quantity": float(rng.randrange(1, 51)),
+                    "l_extendedprice": round(rng.uniform(900.0, 105_000.0), 2),
+                    "l_discount": round(rng.randrange(0, 11) / 100.0, 2),
+                    "l_tax": round(rng.randrange(0, 9) / 100.0, 2),
+                    "l_returnflag": rng.choice(RETURN_FLAGS),
+                    "l_linestatus": rng.choice(LINE_STATUSES),
+                    "l_shipdate": shipdate,
+                    "l_commitdate": shipdate + rng.randrange(1, 31),
+                    "l_receiptdate": shipdate + rng.randrange(1, 31),
+                    "l_shipinstruct": rng.choice(SHIP_INSTRUCTIONS),
+                    "l_shipmode": rng.choice(SHIP_MODES),
+                }
+            )
+        return rows
+
+    # -- whole database -------------------------------------------------------------------
+
+    def generate_all(self) -> TpchData:
+        """Generate every table."""
+        generators = {
+            "region": self.generate_region,
+            "nation": self.generate_nation,
+            "supplier": self.generate_supplier,
+            "customer": self.generate_customer,
+            "part": self.generate_part,
+            "partsupp": self.generate_partsupp,
+            "orders": self.generate_orders,
+            "lineitem": self.generate_lineitem,
+        }
+        data = TpchData(scale_factor=self.scale_factor)
+        for name in TPCH_TABLE_ORDER:
+            data.tables[name] = generators[name]()
+        return data

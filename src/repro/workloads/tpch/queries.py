@@ -1,0 +1,335 @@
+"""TPC-H-style query templates for the mixed workload of Fig. 10.
+
+The paper's final experiment runs "a mixed workload of OLTP queries (inserts
+and updates for all tables but nation and region) and OLAP queries
+(aggregates with and without joins and groupings mainly on lineitem and
+orders)".  The generators below produce exactly those query families against
+the scaled TPC-H data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.config import DEFAULT_SEED
+from repro.query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    AggregationQuery,
+    InsertQuery,
+    JoinClause,
+    Query,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.query.predicates import Between, eq
+from repro.workloads.tpch.datagen import (
+    LINE_STATUSES,
+    MARKET_SEGMENTS,
+    MAX_ORDER_DATE_OFFSET,
+    ORDER_PRIORITIES,
+    ORDER_STATUSES,
+    RETURN_FLAGS,
+    SHIP_INSTRUCTIONS,
+    SHIP_MODES,
+    TpchData,
+)
+
+#: OLTP-updatable tables (all but nation and region, as the paper states).
+OLTP_TABLES = ("supplier", "customer", "part", "partsupp", "orders", "lineitem")
+
+
+class TpchOlapQueryGenerator:
+    """Aggregation queries (with and without joins) mainly on lineitem and orders."""
+
+    def __init__(self, data: TpchData, seed: int = DEFAULT_SEED) -> None:
+        self.data = data
+        self.rng = random.Random(seed)
+
+    def pricing_summary(self) -> AggregationQuery:
+        """Q1-like: aggregate lineitem measures grouped by return flag / status."""
+        return AggregationQuery(
+            table="lineitem",
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "l_quantity"),
+                AggregateSpec(AggregateFunction.SUM, "l_extendedprice"),
+                AggregateSpec(AggregateFunction.AVG, "l_discount"),
+                AggregateSpec(AggregateFunction.COUNT, "*"),
+            ),
+            group_by=("l_returnflag", "l_linestatus"),
+            predicate=Between("l_shipdate", 0, self.rng.randrange(
+                MAX_ORDER_DATE_OFFSET // 2, MAX_ORDER_DATE_OFFSET)),
+        )
+
+    def revenue_forecast(self) -> AggregationQuery:
+        """Q6-like: revenue over a shipping-date window, no grouping."""
+        start = self.rng.randrange(MAX_ORDER_DATE_OFFSET - 400)
+        return AggregationQuery(
+            table="lineitem",
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "l_extendedprice"),
+                AggregateSpec(AggregateFunction.AVG, "l_quantity"),
+            ),
+            predicate=Between("l_shipdate", start, start + 365),
+        )
+
+    def order_priority_overview(self) -> AggregationQuery:
+        """Orders aggregate grouped by priority (no join)."""
+        return AggregationQuery(
+            table="orders",
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "o_totalprice"),
+                AggregateSpec(AggregateFunction.COUNT, "*"),
+            ),
+            group_by=("o_orderpriority",),
+        )
+
+    def lineitem_order_join(self) -> AggregationQuery:
+        """Join lineitem with orders, grouped by order priority."""
+        return AggregationQuery(
+            table="lineitem",
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "l_extendedprice"),
+                AggregateSpec(AggregateFunction.AVG, "l_discount"),
+            ),
+            group_by=("orders.o_orderpriority",),
+            joins=(JoinClause("orders", "l_orderkey", "o_orderkey"),),
+            predicate=Between("l_shipdate", 0, MAX_ORDER_DATE_OFFSET // 2),
+        )
+
+    def orders_customer_join(self) -> AggregationQuery:
+        """Join orders with customer, grouped by market segment."""
+        return AggregationQuery(
+            table="orders",
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "o_totalprice"),
+                AggregateSpec(AggregateFunction.COUNT, "*"),
+            ),
+            group_by=("customer.c_mktsegment",),
+            joins=(JoinClause("customer", "o_custkey", "c_custkey"),),
+        )
+
+    def part_inventory(self) -> AggregationQuery:
+        """Partsupp availability aggregate (touches a mid-size table)."""
+        return AggregationQuery(
+            table="partsupp",
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "ps_availqty"),
+                AggregateSpec(AggregateFunction.AVG, "ps_supplycost"),
+            ),
+        )
+
+    def random_query(self) -> AggregationQuery:
+        """Draw one OLAP query; lineitem/orders queries dominate, as in the paper."""
+        choices = (
+            (self.pricing_summary, 0.30),
+            (self.revenue_forecast, 0.25),
+            (self.lineitem_order_join, 0.20),
+            (self.order_priority_overview, 0.10),
+            (self.orders_customer_join, 0.10),
+            (self.part_inventory, 0.05),
+        )
+        dice = self.rng.random()
+        cumulative = 0.0
+        for generator, weight in choices:
+            cumulative += weight
+            if dice <= cumulative:
+                return generator()
+        return self.pricing_summary()
+
+    def generate(self, num_queries: int) -> List[AggregationQuery]:
+        return [self.random_query() for _ in range(num_queries)]
+
+
+class TpchOltpQueryGenerator:
+    """Inserts and updates for all tables but nation and region, plus point reads."""
+
+    def __init__(self, data: TpchData, seed: int = DEFAULT_SEED) -> None:
+        self.data = data
+        self.rng = random.Random(seed)
+        self._next_keys: Dict[str, int] = {
+            table: data.num_rows(table) for table in OLTP_TABLES
+        }
+
+    #: Update/insert traffic concentrates on the large transactional tables,
+    #: mirroring the volume ratios of the TPC-H schema.
+    UPDATE_TABLE_WEIGHTS = (
+        ("lineitem", 0.35),
+        ("orders", 0.25),
+        ("customer", 0.12),
+        ("partsupp", 0.12),
+        ("part", 0.08),
+        ("supplier", 0.08),
+    )
+
+    # -- updates ---------------------------------------------------------------------
+
+    def update_query(self, table: Optional[str] = None) -> UpdateQuery:
+        table = table or self._weighted_table()
+        builder = getattr(self, f"_update_{table}")
+        return builder()
+
+    def _weighted_table(self) -> str:
+        dice = self.rng.random()
+        cumulative = 0.0
+        for table, weight in self.UPDATE_TABLE_WEIGHTS:
+            cumulative += weight
+            if dice <= cumulative:
+                return table
+        return "lineitem"
+
+    def _random_key(self, table: str) -> int:
+        return self.rng.randrange(max(1, self.data.num_rows(table)))
+
+    def _update_supplier(self) -> UpdateQuery:
+        return UpdateQuery(
+            "supplier",
+            {"s_acctbal": round(self.rng.uniform(-999.99, 9999.99), 2)},
+            eq("s_suppkey", self._random_key("supplier")),
+        )
+
+    def _update_customer(self) -> UpdateQuery:
+        return UpdateQuery(
+            "customer",
+            {"c_acctbal": round(self.rng.uniform(-999.99, 9999.99), 2)},
+            eq("c_custkey", self._random_key("customer")),
+        )
+
+    def _update_part(self) -> UpdateQuery:
+        return UpdateQuery(
+            "part",
+            {"p_retailprice": round(self.rng.uniform(900.0, 2000.0), 2)},
+            eq("p_partkey", self._random_key("part")),
+        )
+
+    def _update_partsupp(self) -> UpdateQuery:
+        return UpdateQuery(
+            "partsupp",
+            {"ps_availqty": self.rng.randrange(1, 10_000)},
+            eq("ps_id", self._random_key("partsupp")),
+        )
+
+    def _update_orders(self) -> UpdateQuery:
+        return UpdateQuery(
+            "orders",
+            {"o_orderstatus": self.rng.choice(ORDER_STATUSES)},
+            eq("o_orderkey", self._random_key("orders")),
+        )
+
+    def _update_lineitem(self) -> UpdateQuery:
+        # Shipping-related attributes are the transactional ones; the
+        # analytical attributes (return flag, line status, quantities) are
+        # what the OLAP queries aggregate and group by.
+        return UpdateQuery(
+            "lineitem",
+            {"l_shipmode": self.rng.choice(SHIP_MODES),
+             "l_shipinstruct": self.rng.choice(SHIP_INSTRUCTIONS)},
+            eq("l_id", self._random_key("lineitem")),
+        )
+
+    # -- point reads -----------------------------------------------------------------------
+
+    def point_select(self) -> SelectQuery:
+        table = self.rng.choice(("orders", "lineitem", "customer"))
+        key_column = {"orders": "o_orderkey", "lineitem": "l_id", "customer": "c_custkey"}[table]
+        return SelectQuery(
+            table=table, predicate=eq(key_column, self._random_key(table))
+        )
+
+    # -- inserts ----------------------------------------------------------------------------
+
+    def insert_query(self, table: Optional[str] = None) -> InsertQuery:
+        if table is None:
+            dice = self.rng.random()
+            if dice < 0.45:
+                table = "lineitem"
+            elif dice < 0.75:
+                table = "orders"
+            elif dice < 0.90:
+                table = "customer"
+            else:
+                table = "partsupp"
+        builder = getattr(self, f"_insert_{table}", None)
+        if builder is None:
+            table = "orders"
+            builder = self._insert_orders
+        return builder()
+
+    def _next_key(self, table: str) -> int:
+        key = self._next_keys[table]
+        self._next_keys[table] = key + 1
+        return key
+
+    def _insert_orders(self) -> InsertQuery:
+        key = self._next_key("orders")
+        return InsertQuery("orders", ({
+            "o_orderkey": 10_000_000 + key,
+            "o_custkey": self._random_key("customer"),
+            "o_orderstatus": "O",
+            "o_totalprice": round(self.rng.uniform(900.0, 450_000.0), 2),
+            "o_orderdate": MAX_ORDER_DATE_OFFSET,
+            "o_orderpriority": self.rng.choice(ORDER_PRIORITIES),
+            "o_clerk": f"Clerk#{self.rng.randrange(1000):09d}",
+            "o_shippriority": 0,
+            "o_comment": "new order",
+        },))
+
+    def _insert_lineitem(self) -> InsertQuery:
+        key = self._next_key("lineitem")
+        return InsertQuery("lineitem", ({
+            "l_id": 10_000_000 + key,
+            "l_orderkey": self._random_key("orders"),
+            "l_partkey": self._random_key("part"),
+            "l_suppkey": self._random_key("supplier"),
+            "l_linenumber": 1,
+            "l_quantity": float(self.rng.randrange(1, 51)),
+            "l_extendedprice": round(self.rng.uniform(900.0, 105_000.0), 2),
+            "l_discount": 0.05,
+            "l_tax": 0.02,
+            "l_returnflag": "N",
+            "l_linestatus": "O",
+            "l_shipdate": MAX_ORDER_DATE_OFFSET,
+            "l_commitdate": MAX_ORDER_DATE_OFFSET + 14,
+            "l_receiptdate": MAX_ORDER_DATE_OFFSET + 21,
+            "l_shipinstruct": self.rng.choice(SHIP_INSTRUCTIONS),
+            "l_shipmode": self.rng.choice(SHIP_MODES),
+        },))
+
+    def _insert_customer(self) -> InsertQuery:
+        key = self._next_key("customer")
+        return InsertQuery("customer", ({
+            "c_custkey": 10_000_000 + key,
+            "c_name": f"Customer#{key:09d}",
+            "c_address": "new address",
+            "c_nationkey": self.rng.randrange(25),
+            "c_phone": "00-000-0000",
+            "c_acctbal": 0.0,
+            "c_mktsegment": self.rng.choice(MARKET_SEGMENTS),
+            "c_comment": "new customer",
+        },))
+
+    def _insert_partsupp(self) -> InsertQuery:
+        key = self._next_key("partsupp")
+        return InsertQuery("partsupp", ({
+            "ps_id": 10_000_000 + key,
+            "ps_partkey": self._random_key("part"),
+            "ps_suppkey": self._random_key("supplier"),
+            "ps_availqty": self.rng.randrange(1, 10_000),
+            "ps_supplycost": round(self.rng.uniform(1.0, 1000.0), 2),
+            "ps_comment": "new partsupp",
+        },))
+
+    # -- mix ---------------------------------------------------------------------------------
+
+    def random_query(self) -> Query:
+        """OLTP mix: ~40 % updates, ~35 % inserts, ~25 % point reads."""
+        dice = self.rng.random()
+        if dice < 0.40:
+            return self.update_query()
+        if dice < 0.75:
+            return self.insert_query()
+        return self.point_select()
+
+    def generate(self, num_queries: int) -> List[Query]:
+        return [self.random_query() for _ in range(num_queries)]

@@ -1,0 +1,166 @@
+"""TPC-H table schemas.
+
+The final experiment of the paper (Fig. 10) uses the TPC-H schema with a
+mixed workload.  The eight tables are reproduced here with their standard
+columns; decimals are represented by the engine's ``DECIMAL`` type and
+variable-length strings by ``VARCHAR``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.engine.schema import TableSchema
+from repro.engine.types import DataType
+
+#: Order in which tables must be generated/loaded (respects foreign keys).
+TPCH_TABLE_ORDER: Tuple[str, ...] = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+
+def tpch_schemas() -> Dict[str, TableSchema]:
+    """Return the eight TPC-H table schemas keyed by table name."""
+    return {
+        "region": TableSchema.build(
+            "region",
+            [
+                ("r_regionkey", DataType.INTEGER),
+                ("r_name", DataType.VARCHAR),
+                ("r_comment", DataType.VARCHAR),
+            ],
+            primary_key=["r_regionkey"],
+        ),
+        "nation": TableSchema.build(
+            "nation",
+            [
+                ("n_nationkey", DataType.INTEGER),
+                ("n_name", DataType.VARCHAR),
+                ("n_regionkey", DataType.INTEGER),
+                ("n_comment", DataType.VARCHAR),
+            ],
+            primary_key=["n_nationkey"],
+        ),
+        "supplier": TableSchema.build(
+            "supplier",
+            [
+                ("s_suppkey", DataType.INTEGER),
+                ("s_name", DataType.VARCHAR),
+                ("s_address", DataType.VARCHAR),
+                ("s_nationkey", DataType.INTEGER),
+                ("s_phone", DataType.VARCHAR),
+                ("s_acctbal", DataType.DECIMAL),
+                ("s_comment", DataType.VARCHAR),
+            ],
+            primary_key=["s_suppkey"],
+        ),
+        "customer": TableSchema.build(
+            "customer",
+            [
+                ("c_custkey", DataType.INTEGER),
+                ("c_name", DataType.VARCHAR),
+                ("c_address", DataType.VARCHAR),
+                ("c_nationkey", DataType.INTEGER),
+                ("c_phone", DataType.VARCHAR),
+                ("c_acctbal", DataType.DECIMAL),
+                ("c_mktsegment", DataType.VARCHAR),
+                ("c_comment", DataType.VARCHAR),
+            ],
+            primary_key=["c_custkey"],
+        ),
+        "part": TableSchema.build(
+            "part",
+            [
+                ("p_partkey", DataType.INTEGER),
+                ("p_name", DataType.VARCHAR),
+                ("p_mfgr", DataType.VARCHAR),
+                ("p_brand", DataType.VARCHAR),
+                ("p_type", DataType.VARCHAR),
+                ("p_size", DataType.INTEGER),
+                ("p_container", DataType.VARCHAR),
+                ("p_retailprice", DataType.DECIMAL),
+                ("p_comment", DataType.VARCHAR),
+            ],
+            primary_key=["p_partkey"],
+        ),
+        "partsupp": TableSchema.build(
+            "partsupp",
+            [
+                ("ps_id", DataType.INTEGER),
+                ("ps_partkey", DataType.INTEGER),
+                ("ps_suppkey", DataType.INTEGER),
+                ("ps_availqty", DataType.INTEGER),
+                ("ps_supplycost", DataType.DECIMAL),
+                ("ps_comment", DataType.VARCHAR),
+            ],
+            primary_key=["ps_id"],
+        ),
+        "orders": TableSchema.build(
+            "orders",
+            [
+                ("o_orderkey", DataType.INTEGER),
+                ("o_custkey", DataType.INTEGER),
+                ("o_orderstatus", DataType.VARCHAR),
+                ("o_totalprice", DataType.DECIMAL),
+                ("o_orderdate", DataType.INTEGER),
+                ("o_orderpriority", DataType.VARCHAR),
+                ("o_clerk", DataType.VARCHAR),
+                ("o_shippriority", DataType.INTEGER),
+                ("o_comment", DataType.VARCHAR),
+            ],
+            primary_key=["o_orderkey"],
+        ),
+        "lineitem": TableSchema.build(
+            "lineitem",
+            [
+                ("l_id", DataType.INTEGER),
+                ("l_orderkey", DataType.INTEGER),
+                ("l_partkey", DataType.INTEGER),
+                ("l_suppkey", DataType.INTEGER),
+                ("l_linenumber", DataType.INTEGER),
+                ("l_quantity", DataType.DECIMAL),
+                ("l_extendedprice", DataType.DECIMAL),
+                ("l_discount", DataType.DECIMAL),
+                ("l_tax", DataType.DECIMAL),
+                ("l_returnflag", DataType.VARCHAR),
+                ("l_linestatus", DataType.VARCHAR),
+                ("l_shipdate", DataType.INTEGER),
+                ("l_commitdate", DataType.INTEGER),
+                ("l_receiptdate", DataType.INTEGER),
+                ("l_shipinstruct", DataType.VARCHAR),
+                ("l_shipmode", DataType.VARCHAR),
+            ],
+            primary_key=["l_id"],
+        ),
+    }
+
+
+#: Cardinalities at scale factor 1.0, per the TPC-H specification.
+BASE_CARDINALITIES: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Tables whose cardinality does not scale with the scale factor.
+FIXED_SIZE_TABLES = frozenset({"region", "nation"})
+
+
+def scaled_cardinality(table: str, scale_factor: float) -> int:
+    """Row count of *table* at the given scale factor."""
+    base = BASE_CARDINALITIES[table]
+    if table in FIXED_SIZE_TABLES:
+        return base
+    return max(1, int(round(base * scale_factor)))

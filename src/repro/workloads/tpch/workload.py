@@ -1,0 +1,34 @@
+"""Mixed TPC-H workload assembly (the workload of Fig. 10)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DEFAULT_SEED
+from repro.query.workload import Workload
+from repro.workloads.mixed import _spread
+from repro.workloads.tpch.datagen import TpchData
+from repro.workloads.tpch.queries import TpchOlapQueryGenerator, TpchOltpQueryGenerator
+
+
+def build_tpch_workload(
+    data: TpchData,
+    num_queries: int = 5_000,
+    olap_fraction: float = 0.01,
+    seed: int = DEFAULT_SEED,
+) -> Workload:
+    """Build the paper's mixed TPC-H workload.
+
+    ``num_queries`` and ``olap_fraction`` default to the values of the final
+    experiment (5000 queries, about 1 % OLAP queries).
+    """
+    olap_generator = TpchOlapQueryGenerator(data, seed=seed)
+    oltp_generator = TpchOltpQueryGenerator(data, seed=seed + 1)
+    num_olap = round(num_queries * olap_fraction)
+    num_oltp = num_queries - num_olap
+    olap_queries = olap_generator.generate(num_olap)
+    oltp_queries = oltp_generator.generate(num_oltp)
+    queries = _spread(olap_queries, oltp_queries, seed=seed + 2)
+    return Workload(
+        queries, name=f"tpch(olap={olap_fraction:.4f}, n={num_queries})"
+    )

@@ -1,0 +1,62 @@
+"""Tests for the experiment harness (result containers and registry)."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    ExperimentSeries,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestSeriesAndResults:
+    def test_series_columns_and_text_rendering(self):
+        series = ExperimentSeries(
+            name="runtime", x_label="fraction", columns=["row_s", "column_s"],
+            y_label="seconds",
+        )
+        series.add_point(0.0, {"row_s": 1.0, "column_s": 2.0})
+        series.add_point(0.5, {"row_s": 3.0, "column_s": 1.5}, annotations={"choice": "column"})
+        assert series.xs() == [0.0, 0.5]
+        assert series.column("row_s") == [1.0, 3.0]
+        text = series.to_text()
+        assert "fraction" in text and "row_s" in text
+        csv = series.to_csv()
+        assert csv.splitlines()[0] == "fraction,row_s,column_s"
+
+    def test_result_rendering_and_lookup(self):
+        result = ExperimentResult("figX", "A test experiment", metadata={"rows": 10})
+        series = result.add_series(
+            ExperimentSeries(name="s", x_label="x", columns=["y"])
+        )
+        series.add_point(1, {"y": 2.0})
+        result.add_note("a note")
+        rendered = result.render()
+        assert "figX" in rendered and "a note" in rendered and "rows: 10" in rendered
+        assert result.series_named("s") is series
+        with pytest.raises(KeyError):
+            result.series_named("missing")
+
+
+class TestRegistry:
+    def test_all_paper_experiments_are_registered(self):
+        registered = available_experiments()
+        for experiment_id in ("fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a",
+                              "fig9b", "fig10"):
+            assert experiment_id in registered
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_fig6a_runs_at_tiny_scale(self):
+        result = run_experiment("fig6a", sizes=(500, 1_000), calibrate=False)
+        series = result.series[0]
+        assert len(series.points) == 2
+        # Linear growth: doubling the rows roughly doubles the runtime.
+        row_runtimes = series.column("row_actual_ms")
+        assert row_runtimes[1] == pytest.approx(2 * row_runtimes[0], rel=0.3)
+        # Estimates exist and are positive for both stores.
+        assert all(value > 0 for value in series.column("column_estimate_ms"))

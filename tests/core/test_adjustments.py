@@ -1,0 +1,88 @@
+"""Tests for the cost-model adjustment function families."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model.adjustments import (
+    AdjustmentFunction,
+    ConstantAdjustment,
+    LinearAdjustment,
+    PiecewiseLinearAdjustment,
+)
+from repro.errors import CalibrationError
+
+
+class TestConstantAdjustment:
+    def test_ignores_input(self):
+        adjustment = ConstantAdjustment(1.4)
+        assert adjustment() == 1.4
+        assert adjustment(100.0) == 1.4
+
+    def test_round_trip_serialisation(self):
+        adjustment = ConstantAdjustment(2.5)
+        assert AdjustmentFunction.from_dict(adjustment.to_dict()) == adjustment
+
+
+class TestLinearAdjustment:
+    def test_evaluation(self):
+        adjustment = LinearAdjustment(slope=2.0, intercept=1.0)
+        assert adjustment(0.0) == 1.0
+        assert adjustment(10.0) == 21.0
+
+    def test_fit_recovers_exact_line(self):
+        xs = [0, 1, 2, 3, 4]
+        ys = [3.0 + 2.0 * x for x in xs]
+        fitted = LinearAdjustment.fit(xs, ys)
+        assert fitted.slope == pytest.approx(2.0)
+        assert fitted.intercept == pytest.approx(3.0)
+
+    def test_fit_requires_two_samples(self):
+        with pytest.raises(CalibrationError):
+            LinearAdjustment.fit([1.0], [2.0])
+
+    def test_round_trip_serialisation(self):
+        adjustment = LinearAdjustment(0.5, -1.0)
+        assert AdjustmentFunction.from_dict(adjustment.to_dict()) == adjustment
+
+    @given(
+        slope=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        intercept=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fit_is_exact_on_noiseless_data(self, slope, intercept):
+        xs = [0.0, 1.0, 2.0, 5.0, 10.0]
+        ys = [slope * x + intercept for x in xs]
+        fitted = LinearAdjustment.fit(xs, ys)
+        assert fitted(7.0) == pytest.approx(slope * 7.0 + intercept, abs=1e-6)
+
+
+class TestPiecewiseLinearAdjustment:
+    def test_interpolation_and_extrapolation(self):
+        adjustment = PiecewiseLinearAdjustment(xs=(0.0, 1.0, 2.0), ys=(0.0, 10.0, 30.0))
+        assert adjustment(0.5) == pytest.approx(5.0)
+        assert adjustment(1.5) == pytest.approx(20.0)
+        assert adjustment(-1.0) == pytest.approx(-10.0)   # extrapolate first segment
+        assert adjustment(3.0) == pytest.approx(50.0)     # extrapolate last segment
+
+    def test_invalid_breakpoints_rejected(self):
+        with pytest.raises(CalibrationError):
+            PiecewiseLinearAdjustment(xs=(0.0,), ys=(1.0,))
+        with pytest.raises(CalibrationError):
+            PiecewiseLinearAdjustment(xs=(0.0, 0.0), ys=(1.0, 2.0))
+
+    def test_fit_approximates_samples(self):
+        xs = list(range(11))
+        ys = [x * x for x in xs]
+        fitted = PiecewiseLinearAdjustment.fit(xs, ys, num_segments=5)
+        assert fitted(0.0) == pytest.approx(0.0, abs=1.0)
+        assert fitted(10.0) == pytest.approx(100.0, abs=1.0)
+        # Between breakpoints the piecewise approximation stays close.
+        assert fitted(5.0) == pytest.approx(25.0, abs=5.0)
+
+    def test_round_trip_serialisation(self):
+        adjustment = PiecewiseLinearAdjustment(xs=(0.0, 1.0), ys=(1.0, 2.0))
+        assert AdjustmentFunction.from_dict(adjustment.to_dict()) == adjustment
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CalibrationError):
+            AdjustmentFunction.from_dict({"kind": "mystery"})

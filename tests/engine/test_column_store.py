@@ -1,0 +1,162 @@
+"""Tests for the column store backend."""
+
+import pytest
+
+from repro.engine.column_store import SCAN_MATERIALIZATION_THRESHOLD, ColumnStoreTable
+from repro.engine.schema import TableSchema
+from repro.engine.timing import CostAccountant
+from repro.engine.types import DataType, Store
+from repro.errors import ExecutionError
+from repro.query.predicates import And, Or, between, eq, ge, in_list, lt, ne
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema.build(
+        "items",
+        [
+            ("id", DataType.INTEGER),
+            ("name", DataType.VARCHAR),
+            ("price", DataType.DOUBLE),
+            ("stock", DataType.INTEGER),
+        ],
+        primary_key=["id"],
+    )
+
+
+@pytest.fixture
+def table(schema) -> ColumnStoreTable:
+    store = ColumnStoreTable(schema)
+    store.bulk_load([
+        {"id": i, "name": f"item_{i % 5}", "price": i * 1.5, "stock": i % 10}
+        for i in range(100)
+    ])
+    return store
+
+
+class TestBasics:
+    def test_store_identity(self, table):
+        assert table.store is Store.COLUMN
+
+    def test_compression_rate_bounds(self, table):
+        assert 0.0 < table.compression_rate() <= 1.0
+        assert table.compression_rate("name") < 1.0  # only 5 distinct values
+
+    def test_code_bytes_smaller_than_raw_for_low_cardinality(self, table):
+        assert table.column_code_bytes("name") < 100 * DataType.VARCHAR.width_bytes
+
+    def test_implicit_index_everywhere(self, table):
+        assert table.has_index("price")
+        assert table.has_index("name")
+
+
+class TestInsertsUpdates:
+    def test_insert_appends(self, table):
+        table.insert_rows([{"id": 200, "name": "new", "price": 0.5, "stock": 3}])
+        assert table.num_rows == 101
+        assert table.column_values("name", [100]) == ["new"]
+
+    def test_duplicate_primary_key_rejected(self, table):
+        with pytest.raises(ExecutionError):
+            table.insert_rows([{"id": 0, "name": "dup", "price": 0.0, "stock": 0}])
+
+    def test_insert_charges_per_cell(self, schema):
+        table = ColumnStoreTable(schema)
+        accountant = CostAccountant()
+        table.insert_rows([{"id": 1, "name": "a", "price": 1.0, "stock": 1}], accountant)
+        assert accountant.snapshot()["column_insert"] == pytest.approx(
+            schema.num_columns * 550.0
+        )
+
+    def test_update_charges_full_row_reinsert(self, table):
+        accountant = CostAccountant()
+        table.update_rows([3], {"stock": 42}, accountant)
+        assert table.column_values("stock", [3]) == [42]
+        assert accountant.snapshot()["column_update"] == pytest.approx(
+            table.schema.num_columns * 800.0
+        )
+
+    def test_update_primary_key_checks_uniqueness(self, table):
+        with pytest.raises(ExecutionError):
+            table.update_rows([3], {"id": 4})
+        table.update_rows([3], {"id": 1000})
+        assert table.column_values("id", [3]) == [1000]
+
+    def test_delete_rows(self, table):
+        table.delete_rows([0, 1])
+        assert table.num_rows == 98
+        assert table.column_values("id", [0]) == [2]
+
+
+class TestFilterPositions:
+    def test_equality_vectorised(self, table):
+        accountant = CostAccountant()
+        positions = table.filter_positions(eq("name", "item_2"), accountant)
+        assert len(positions) == 20
+        snapshot = accountant.snapshot()
+        assert snapshot.get("column_scan", 0) > 0
+        assert snapshot.get("vector_compare", 0) > 0
+        assert "predicate_eval" not in snapshot
+
+    def test_between_uses_dictionary_ranges(self, table):
+        positions = table.filter_positions(between("id", 10, 19))
+        assert sorted(int(p) for p in positions) == list(range(10, 20))
+
+    def test_open_comparisons(self, table):
+        assert len(table.filter_positions(ge("id", 90))) == 10
+        assert len(table.filter_positions(lt("id", 10))) == 10
+        assert len(table.filter_positions(ne("name", "item_0"))) == 80
+
+    def test_in_list(self, table):
+        positions = table.filter_positions(in_list("stock", [0, 1]))
+        assert len(positions) == 20
+
+    def test_equality_with_unknown_literal(self, table):
+        assert len(table.filter_positions(eq("name", "missing"))) == 0
+
+    def test_and_of_simple_predicates_vectorised(self, table):
+        positions = table.filter_positions(
+            And((eq("name", "item_2"), ge("id", 50)))
+        )
+        assert all(int(p) >= 50 for p in positions)
+        assert len(positions) == 10
+
+    def test_or_falls_back_to_row_wise_evaluation(self, table):
+        accountant = CostAccountant()
+        positions = table.filter_positions(
+            Or((eq("name", "item_0"), eq("name", "item_1"))), accountant
+        )
+        assert len(positions) == 40
+        assert accountant.snapshot().get("predicate_eval", 0) > 0
+
+
+class TestMaterialisation:
+    def test_sparse_positions_pay_reconstruction(self, table):
+        accountant = CostAccountant()
+        table.fetch_rows([1, 2, 3], columns=["name", "price"], accountant=accountant)
+        snapshot = accountant.snapshot()
+        assert snapshot.get("tuple_reconstruction", 0) > 0
+
+    def test_dense_positions_use_scan_path(self, table):
+        accountant = CostAccountant()
+        dense = list(range(int(100 * SCAN_MATERIALIZATION_THRESHOLD) + 5))
+        table.fetch_rows(dense, columns=["name"], accountant=accountant)
+        snapshot = accountant.snapshot()
+        assert snapshot.get("column_scan", 0) > 0
+        assert "tuple_reconstruction" not in snapshot
+
+    def test_full_column_read_is_sequential(self, table):
+        accountant = CostAccountant()
+        values = table.column_values("price", None, accountant)
+        assert len(values) == 100
+        snapshot = accountant.snapshot()
+        assert snapshot.get("column_scan", 0) > 0
+        assert snapshot.get("dictionary_decode", 0) > 0
+
+    def test_all_rows_round_trip(self, table):
+        rows = table.all_rows()
+        assert rows[7] == {"id": 7, "name": "item_2", "price": 10.5, "stock": 7}
+
+    def test_statistics_helpers(self, table):
+        assert table.column_distinct_count("name") == 5
+        assert table.column_min_max("id") == (0, 99)

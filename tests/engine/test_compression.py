@@ -1,0 +1,134 @@
+"""Tests for dictionary compression, including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.compression import (
+    ColumnDictionary,
+    CompressedColumn,
+    code_width_bytes,
+)
+from repro.engine.types import DataType
+
+
+class TestCodeWidth:
+    def test_small_dictionaries_use_one_byte(self):
+        assert code_width_bytes(0) == 1
+        assert code_width_bytes(1) == 1
+        assert code_width_bytes(2) == 1
+        assert code_width_bytes(256) == 1
+
+    def test_width_grows_with_distinct_count(self):
+        assert code_width_bytes(257) == 2
+        assert code_width_bytes(70_000) == 3
+
+    def test_width_is_monotonic(self):
+        widths = [code_width_bytes(n) for n in (1, 10, 300, 70_000, 20_000_000)]
+        assert widths == sorted(widths)
+
+
+class TestColumnDictionary:
+    def test_encode_decode_round_trip_at_call_time(self):
+        dictionary = ColumnDictionary(DataType.VARCHAR)
+        for value in ["b", "a", "c", "a"]:
+            assert dictionary.decode(dictionary.encode(value)) == value
+
+    def test_encode_with_insert_reports_shift_position(self):
+        dictionary = ColumnDictionary(DataType.VARCHAR)
+        code, shifted = dictionary.encode_with_insert("b")
+        assert (code, shifted) == (0, 0)
+        code, shifted = dictionary.encode_with_insert("a")
+        assert (code, shifted) == (0, 0)  # 'b' shifted to code 1
+        code, shifted = dictionary.encode_with_insert("b")
+        assert (code, shifted) == (1, None)
+
+    def test_dictionary_is_sorted(self):
+        dictionary = ColumnDictionary(DataType.VARCHAR)
+        for value in ["delta", "alpha", "charlie", "bravo"]:
+            dictionary.encode(value)
+        assert list(dictionary.values) == ["alpha", "bravo", "charlie", "delta"]
+
+    def test_encode_existing_returns_none_for_unknown(self):
+        dictionary = ColumnDictionary(DataType.INTEGER)
+        dictionary.encode(5)
+        assert dictionary.encode_existing(5) == 0
+        assert dictionary.encode_existing(7) is None
+
+    def test_range_codes_cover_value_range(self):
+        dictionary = ColumnDictionary(DataType.INTEGER)
+        dictionary.bulk_build([10, 20, 30, 40, 50])
+        lo, hi = dictionary.range_codes(20, 40)
+        assert [dictionary.decode(c) for c in range(lo, hi)] == [20, 30, 40]
+
+    def test_range_codes_open_bounds(self):
+        dictionary = ColumnDictionary(DataType.INTEGER)
+        dictionary.bulk_build([1, 2, 3, 4])
+        lo, hi = dictionary.range_codes(None, 2)
+        assert (lo, hi) == (0, 2)
+        lo, hi = dictionary.range_codes(3, None)
+        assert (lo, hi) == (2, 4)
+
+
+class TestCompressedColumn:
+    def test_append_and_value_at(self):
+        column = CompressedColumn("status", DataType.VARCHAR)
+        for value in ["open", "closed", "open"]:
+            column.append(value)
+        assert len(column) == 3
+        assert column.value_at(0) == "open"
+        assert column.value_at(1) == "closed"
+        assert column.all_values() == ["open", "closed", "open"]
+
+    def test_bulk_load_matches_appends(self):
+        values = [i % 10 for i in range(500)]
+        bulk = CompressedColumn("v", DataType.INTEGER)
+        bulk.bulk_load(values)
+        appended = CompressedColumn("v", DataType.INTEGER)
+        appended.extend(values)
+        assert bulk.all_values() == appended.all_values()
+        assert bulk.num_distinct == appended.num_distinct == 10
+
+    def test_set_value_updates_in_place(self):
+        column = CompressedColumn("v", DataType.INTEGER)
+        column.bulk_load([1, 2, 3])
+        column.set_value(1, 99)
+        assert column.all_values() == [1, 99, 3]
+
+    def test_compression_rate_improves_with_repetition(self):
+        repetitive = CompressedColumn("v", DataType.VARCHAR)
+        repetitive.bulk_load(["x"] * 1_000)
+        diverse = CompressedColumn("v", DataType.VARCHAR)
+        diverse.bulk_load([f"value_{i}" for i in range(1_000)])
+        assert repetitive.compression_rate < diverse.compression_rate
+        assert 0.0 < repetitive.compression_rate <= 1.0
+        assert diverse.compression_rate <= 1.0
+
+    def test_empty_column_reports_no_compression(self):
+        column = CompressedColumn("v", DataType.INTEGER)
+        assert column.compression_rate == 1.0
+        assert len(column) == 0
+
+
+class TestCompressionProperties:
+    @given(st.lists(st.integers(min_value=-1_000, max_value=1_000), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_values(self, values):
+        column = CompressedColumn("v", DataType.INTEGER)
+        column.bulk_load(values)
+        assert column.all_values() == values
+
+    @given(st.lists(st.text(min_size=0, max_size=8), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_count_matches_set(self, values):
+        column = CompressedColumn("v", DataType.VARCHAR)
+        column.bulk_load(values)
+        assert column.num_distinct == len(set(values))
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_appending_after_bulk_load_keeps_order(self, values, extra):
+        column = CompressedColumn("v", DataType.INTEGER)
+        column.bulk_load(values)
+        column.append(extra)
+        assert column.all_values() == values + [extra]

@@ -1,0 +1,82 @@
+"""Tests for the HybridDatabase façade (DDL, moves, workloads, listeners)."""
+
+import pytest
+
+from repro.engine import HybridDatabase, Store, TablePartitioning, VerticalPartitionSpec
+from repro.errors import CatalogError
+from repro.query import QueryType, Workload, aggregate, eq, select, update
+
+
+class TestDdlAndMoves:
+    def test_create_and_drop(self, sales_schema):
+        database = HybridDatabase()
+        database.create_table(sales_schema, Store.ROW)
+        assert database.has_table("sales")
+        database.drop_table("sales")
+        assert not database.has_table("sales")
+        with pytest.raises(CatalogError):
+            database.table_object("sales")
+
+    def test_move_table_updates_catalog_and_returns_cost(self, row_database):
+        cost = row_database.move_table("sales", Store.COLUMN)
+        assert row_database.store_of("sales") is Store.COLUMN
+        assert cost.components.get("layout_conversion", 0) > 0
+        # Moving to the same store costs nothing.
+        cost = row_database.move_table("sales", Store.COLUMN)
+        assert cost.components.get("layout_conversion", 0) == 0
+
+    def test_apply_and_remove_partitioning(self, column_database):
+        partitioning = TablePartitioning(
+            vertical=VerticalPartitionSpec(
+                row_store_columns=("status",),
+                column_store_columns=("region", "product", "revenue", "quantity"),
+            )
+        )
+        column_database.apply_partitioning("sales", partitioning)
+        assert column_database.catalog.entry("sales").is_partitioned
+        assert column_database.store_of("sales") is None
+        column_database.remove_partitioning("sales", Store.ROW)
+        assert column_database.store_of("sales") is Store.ROW
+        rows = column_database.execute(select("sales").where(eq("id", 3)).build()).rows
+        assert rows[0]["id"] == 3
+
+    def test_statistics_refresh_after_load(self, row_database):
+        statistics = row_database.statistics("sales")
+        assert statistics.num_rows == 1_000
+        assert statistics.column("region").num_distinct == 7
+
+
+class TestWorkloadExecution:
+    def test_run_workload_aggregates_runtimes(self, row_database):
+        workload = Workload(
+            [
+                aggregate("sales").sum("revenue").build(),
+                select("sales").where(eq("id", 1)).build(),
+                update("sales", {"status": "x"}, eq("id", 2)),
+            ],
+            name="tiny",
+        )
+        run = row_database.run_workload(workload)
+        assert run.num_queries == 3
+        assert run.total_runtime_ms == pytest.approx(sum(run.query_runtimes_ms))
+        assert run.queries_by_type[QueryType.AGGREGATION] == 1
+        assert run.runtime_by_type_ms[QueryType.AGGREGATION] > 0
+        assert run.mean_runtime_ms > 0
+
+    def test_execution_listener_sees_every_query(self, row_database):
+        seen = []
+        listener = lambda query, result: seen.append((query.query_type, result.runtime_ms))
+        row_database.add_execution_listener(listener)
+        row_database.execute(select("sales").where(eq("id", 5)).build())
+        row_database.execute(aggregate("sales").count("*").build())
+        assert len(seen) == 2
+        row_database.remove_execution_listener(listener)
+        row_database.execute(select("sales").where(eq("id", 6)).build())
+        assert len(seen) == 2
+
+    def test_memory_accounting(self, row_database, column_database):
+        # The dictionary-compressed column store uses less memory for this data.
+        assert column_database.memory_bytes < row_database.memory_bytes
+
+    def test_describe_lists_tables(self, row_database):
+        assert "sales" in row_database.describe()

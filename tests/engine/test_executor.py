@@ -1,0 +1,199 @@
+"""Tests for the query executor: aggregation, selection, DML, joins.
+
+Queries are executed through :class:`HybridDatabase` against the same data in
+both stores; results must agree and match independently computed expectations.
+"""
+
+import pytest
+
+from repro.engine import HybridDatabase, Store
+from repro.engine.executor.aggregates import GroupedAggregation, aggregate_values
+from repro.query import (
+    AggregateFunction,
+    AggregateSpec,
+    AggregationQuery,
+    aggregate,
+    between,
+    delete,
+    eq,
+    ge,
+    insert,
+    select,
+    update,
+)
+from repro.errors import QueryError
+
+
+def expected_sum(rows, column, predicate=None):
+    return sum(row[column] for row in rows if predicate is None or predicate.evaluate(row))
+
+
+@pytest.mark.parametrize("store", [Store.ROW, Store.COLUMN])
+class TestAggregation:
+    def test_ungrouped_sum_and_avg(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        query = aggregate("sales").sum("revenue").avg("quantity").build()
+        result = database.execute(query)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["sum_revenue"] == pytest.approx(expected_sum(sales_rows, "revenue"))
+        assert row["avg_quantity"] == pytest.approx(
+            expected_sum(sales_rows, "quantity") / len(sales_rows)
+        )
+        assert result.runtime_ms > 0
+
+    def test_grouped_aggregation(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        query = aggregate("sales").sum("revenue").group_by("region").build()
+        result = database.execute(query)
+        assert len(result.rows) == 7  # region_0 .. region_6
+        by_region = {row["region"]: row["sum_revenue"] for row in result.rows}
+        expected = {}
+        for row in sales_rows:
+            expected[row["region"]] = expected.get(row["region"], 0.0) + row["revenue"]
+        for region, value in expected.items():
+            assert by_region[region] == pytest.approx(value)
+
+    def test_aggregation_with_predicate(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        predicate = between("product", 0, 9)
+        query = aggregate("sales").sum("revenue").where(predicate).build()
+        result = database.execute(query)
+        assert result.rows[0]["sum_revenue"] == pytest.approx(
+            expected_sum(sales_rows, "revenue", predicate)
+        )
+
+    def test_count_star(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        query = aggregate("sales").count("*").build()
+        result = database.execute(query)
+        assert result.rows[0]["count_star"] == len(sales_rows)
+
+    def test_min_max(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        query = aggregate("sales").min("revenue").max("revenue").build()
+        row = database.execute(query).rows[0]
+        assert row["min_revenue"] == pytest.approx(min(r["revenue"] for r in sales_rows))
+        assert row["max_revenue"] == pytest.approx(max(r["revenue"] for r in sales_rows))
+
+    def test_unknown_column_rejected(self, database_factory, store):
+        database = database_factory(store)
+        query = aggregate("sales").sum("missing").build()
+        with pytest.raises(QueryError):
+            database.execute(query)
+
+
+@pytest.mark.parametrize("store", [Store.ROW, Store.COLUMN])
+class TestSelect:
+    def test_point_query_by_primary_key(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        result = database.execute(select("sales").where(eq("id", 123)).build())
+        assert len(result.rows) == 1
+        assert result.rows[0]["id"] == 123
+        assert result.rows[0]["region"] == sales_rows[123]["region"]
+
+    def test_projection(self, database_factory, store):
+        database = database_factory(store)
+        result = database.execute(
+            select("sales").columns("id", "status").where(eq("id", 5)).build()
+        )
+        assert set(result.rows[0].keys()) == {"id", "status"}
+
+    def test_range_query_with_limit(self, database_factory, store):
+        database = database_factory(store)
+        result = database.execute(
+            select("sales").where(between("id", 100, 199)).limit(10).build()
+        )
+        assert len(result.rows) == 10
+
+    def test_full_scan_without_predicate(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        result = database.execute(select("sales").build())
+        assert len(result.rows) == len(sales_rows)
+
+
+@pytest.mark.parametrize("store", [Store.ROW, Store.COLUMN])
+class TestWrites:
+    def test_insert_then_read_back(self, database_factory, store):
+        database = database_factory(store)
+        new_row = {"id": 99_999, "region": "region_x", "product": 1,
+                   "revenue": 5.5, "quantity": 2, "status": "open"}
+        result = database.execute(insert("sales", [new_row]))
+        assert result.affected_rows == 1
+        read_back = database.execute(select("sales").where(eq("id", 99_999)).build())
+        assert read_back.rows[0]["region"] == "region_x"
+
+    def test_update_by_primary_key(self, database_factory, store):
+        database = database_factory(store)
+        result = database.execute(update("sales", {"status": "archived"}, eq("id", 10)))
+        assert result.affected_rows == 1
+        read_back = database.execute(select("sales").where(eq("id", 10)).build())
+        assert read_back.rows[0]["status"] == "archived"
+
+    def test_update_by_non_key_predicate(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        affected = database.execute(
+            update("sales", {"quantity": 0}, eq("region", "region_3"))
+        ).affected_rows
+        expected = sum(1 for row in sales_rows if row["region"] == "region_3")
+        assert affected == expected
+
+    def test_delete(self, database_factory, sales_rows, store):
+        database = database_factory(store)
+        result = database.execute(delete("sales", ge("id", 900)))
+        assert result.affected_rows == 100
+        remaining = database.execute(aggregate("sales").count("*").build())
+        assert remaining.rows[0]["count_star"] == len(sales_rows) - 100
+
+
+class TestCostAsymmetries:
+    """The qualitative store asymmetries that the whole paper relies on."""
+
+    def test_column_store_is_faster_for_single_column_aggregation(self, database_factory):
+        query = aggregate("sales").sum("revenue").build()
+        row_ms = database_factory(Store.ROW).execute(query).runtime_ms
+        column_ms = database_factory(Store.COLUMN).execute(query).runtime_ms
+        assert column_ms < row_ms
+
+    def test_row_store_is_faster_for_point_queries(self, database_factory):
+        query = select("sales").where(eq("id", 77)).build()
+        row_ms = database_factory(Store.ROW).execute(query).runtime_ms
+        column_ms = database_factory(Store.COLUMN).execute(query).runtime_ms
+        assert row_ms < column_ms
+
+    def test_row_store_is_faster_for_updates(self, database_factory):
+        query = update("sales", {"status": "x"}, eq("id", 50))
+        row_ms = database_factory(Store.ROW).execute(query).runtime_ms
+        column_ms = database_factory(Store.COLUMN).execute(query).runtime_ms
+        assert row_ms < column_ms
+
+    def test_row_store_is_faster_for_inserts(self, database_factory):
+        new_row = {"id": 50_000, "region": "r", "product": 0, "revenue": 0.0,
+                   "quantity": 1, "status": "new"}
+        query = insert("sales", [new_row])
+        row_ms = database_factory(Store.ROW).execute(query).runtime_ms
+        column_ms = database_factory(Store.COLUMN).execute(query).runtime_ms
+        assert row_ms < column_ms
+
+
+class TestGroupedAggregationUnit:
+    def test_aggregate_values_helpers(self):
+        assert aggregate_values(AggregateFunction.SUM, [1, 2, 3]) == 6
+        assert aggregate_values(AggregateFunction.AVG, [2, 4]) == 3
+        assert aggregate_values(AggregateFunction.MIN, [5, 1, 3]) == 1
+        assert aggregate_values(AggregateFunction.MAX, [5, 1, 3]) == 5
+        assert aggregate_values(AggregateFunction.COUNT, [5, None, 3]) == 2
+        assert aggregate_values(AggregateFunction.SUM, []) is None
+
+    def test_grouped_run_handles_nulls_and_groups(self):
+        aggregation = GroupedAggregation(
+            aggregates=(AggregateSpec(AggregateFunction.SUM, "v"),),
+            group_by_names=["g"],
+        )
+        rows = aggregation.run(
+            aggregate_inputs=[[1, None, 3, 4]],
+            group_key_columns=[["a", "a", "b", "b"]],
+            num_rows=4,
+        )
+        by_group = {row["g"]: row["sum_v"] for row in rows}
+        assert by_group == {"a": 1, "b": 7}

@@ -1,0 +1,220 @@
+"""Tests for join queries and the transparent rewriting over partitioned tables."""
+
+import pytest
+
+from repro.engine import (
+    DataType,
+    HorizontalPartitionSpec,
+    HybridDatabase,
+    Store,
+    TablePartitioning,
+    TableSchema,
+    VerticalPartitionSpec,
+)
+from repro.query import aggregate, between, delete, eq, ge, insert, select, update
+
+
+@pytest.fixture
+def star_database():
+    """A small fact/dimension pair loaded into a hybrid database."""
+    fact_schema = TableSchema.build(
+        "fact",
+        [
+            ("id", DataType.INTEGER),
+            ("dim_id", DataType.INTEGER),
+            ("value", DataType.DOUBLE),
+            ("flag", DataType.VARCHAR),
+        ],
+        primary_key=["id"],
+    )
+    dim_schema = TableSchema.build(
+        "dim",
+        [("id", DataType.INTEGER), ("label", DataType.VARCHAR)],
+        primary_key=["id"],
+    )
+    database = HybridDatabase()
+    database.create_table(fact_schema, Store.COLUMN)
+    database.create_table(dim_schema, Store.ROW)
+    database.load_rows("fact", [
+        {"id": i, "dim_id": i % 4, "value": float(i), "flag": "x"} for i in range(200)
+    ])
+    database.load_rows("dim", [
+        {"id": i, "label": f"group_{i}"} for i in range(4)
+    ])
+    return database
+
+
+class TestJoins:
+    def test_join_grouped_by_dimension_attribute(self, star_database):
+        query = (
+            aggregate("fact")
+            .sum("value")
+            .group_by("dim.label")
+            .join("dim", "dim_id", "id")
+            .build()
+        )
+        result = star_database.execute(query)
+        assert len(result.rows) == 4
+        totals = {row["dim.label"]: row["sum_value"] for row in result.rows}
+        expected = {f"group_{g}": sum(float(i) for i in range(200) if i % 4 == g)
+                    for g in range(4)}
+        assert totals == pytest.approx(expected)
+
+    def test_join_with_predicate_on_fact(self, star_database):
+        query = (
+            aggregate("fact")
+            .count("*")
+            .group_by("dim.label")
+            .join("dim", "dim_id", "id")
+            .where(between("id", 0, 99))
+            .build()
+        )
+        result = star_database.execute(query)
+        assert sum(row["count_star"] for row in result.rows) == 100
+
+    def test_unmatched_fact_rows_are_dropped(self, star_database):
+        star_database.execute(insert("fact", [
+            {"id": 10_000, "dim_id": 999, "value": 5.0, "flag": "x"}
+        ]))
+        query = (
+            aggregate("fact").count("*").join("dim", "dim_id", "id").build()
+        )
+        result = star_database.execute(query)
+        assert result.rows[0]["count_star"] == 200  # the orphan row does not join
+
+    def test_cross_store_join_charges_conversion(self, star_database):
+        query = (
+            aggregate("fact")
+            .sum("value")
+            .group_by("dim.label")
+            .join("dim", "dim_id", "id")
+            .build()
+        )
+        result = star_database.execute(query)
+        # fact is columnar, dim is row-oriented: the build side is converted.
+        assert result.cost.components.get("layout_conversion", 0) > 0
+        assert result.cost.components.get("join_build", 0) > 0
+        assert result.cost.components.get("join_probe", 0) > 0
+
+    def test_same_store_join_has_no_conversion(self, star_database):
+        star_database.move_table("dim", Store.COLUMN)
+        query = (
+            aggregate("fact")
+            .sum("value")
+            .group_by("dim.label")
+            .join("dim", "dim_id", "id")
+            .build()
+        )
+        result = star_database.execute(query)
+        assert result.cost.components.get("layout_conversion", 0) == 0
+
+
+@pytest.fixture
+def partitioned_database(sales_schema, sales_rows):
+    database = HybridDatabase()
+    database.create_table(sales_schema, Store.COLUMN)
+    database.load_rows("sales", sales_rows)
+    partitioning = TablePartitioning(
+        horizontal=HorizontalPartitionSpec(predicate=ge("id", 900)),
+        vertical=VerticalPartitionSpec(
+            row_store_columns=("status",),
+            column_store_columns=("region", "product", "revenue", "quantity"),
+        ),
+    )
+    database.apply_partitioning("sales", partitioning)
+    return database
+
+
+class TestPartitionedRewrite:
+    """Queries against a partitioned table must behave as against a plain one."""
+
+    def test_aggregation_covers_all_partitions(self, partitioned_database, sales_rows):
+        result = partitioned_database.execute(
+            aggregate("sales").sum("revenue").count("*").build()
+        )
+        assert result.rows[0]["count_star"] == len(sales_rows)
+        assert result.rows[0]["sum_revenue"] == pytest.approx(
+            sum(row["revenue"] for row in sales_rows)
+        )
+        assert result.cost.components.get("partition_overhead", 0) > 0
+
+    def test_grouped_aggregation_matches_unpartitioned(self, partitioned_database,
+                                                       database_factory):
+        query = aggregate("sales").sum("revenue").group_by("region").build()
+        partitioned = {
+            row["region"]: row["sum_revenue"]
+            for row in partitioned_database.execute(query).rows
+        }
+        plain = {
+            row["region"]: row["sum_revenue"]
+            for row in database_factory(Store.COLUMN).execute(query).rows
+        }
+        assert partitioned == pytest.approx(plain)
+
+    def test_point_select_spanning_vertical_parts(self, partitioned_database, sales_rows):
+        result = partitioned_database.execute(
+            select("sales").where(eq("id", 123)).build()
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0] == sales_rows[123]
+
+    def test_point_select_in_hot_partition(self, partitioned_database, sales_rows):
+        result = partitioned_database.execute(
+            select("sales").where(eq("id", 950)).build()
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0] == sales_rows[950]
+
+    def test_update_routes_to_the_right_parts(self, partitioned_database):
+        affected = partitioned_database.execute(
+            update("sales", {"status": "archived"}, eq("id", 10))
+        ).affected_rows
+        assert affected == 1
+        read_back = partitioned_database.execute(
+            select("sales").columns("id", "status").where(eq("id", 10)).build()
+        )
+        assert read_back.rows[0]["status"] == "archived"
+
+    def test_update_in_hot_partition(self, partitioned_database):
+        partitioned_database.execute(update("sales", {"status": "hot"}, eq("id", 990)))
+        read_back = partitioned_database.execute(
+            select("sales").columns("status").where(eq("id", 990)).build()
+        )
+        assert read_back.rows[0]["status"] == "hot"
+
+    def test_insert_goes_to_hot_partition(self, partitioned_database):
+        new_row = {"id": 5_000, "region": "region_1", "product": 3,
+                   "revenue": 9.0, "quantity": 4, "status": "new"}
+        partitioned_database.execute(insert("sales", [new_row]))
+        table = partitioned_database.table_object("sales")
+        assert table.hot.num_rows == 101  # 100 original hot rows + the new one
+        read_back = partitioned_database.execute(
+            select("sales").where(eq("id", 5_000)).build()
+        )
+        assert read_back.rows[0]["revenue"] == 9.0
+
+    def test_delete_spans_partitions(self, partitioned_database, sales_rows):
+        result = partitioned_database.execute(delete("sales", ge("id", 890)))
+        assert result.affected_rows == len([r for r in sales_rows if r["id"] >= 890])
+        count = partitioned_database.execute(aggregate("sales").count("*").build())
+        assert count.rows[0]["count_star"] == len(sales_rows) - result.affected_rows
+
+    def test_vertical_join_charged_when_parts_combined(self, partitioned_database):
+        # Selecting the full tuple touches both vertical parts -> PK join cost.
+        result = partitioned_database.execute(
+            select("sales").where(between("id", 0, 500)).build()
+        )
+        assert result.cost.components.get("partition_join", 0) > 0
+
+    def test_update_predicate_spanning_both_vertical_parts(self, partitioned_database,
+                                                           sales_rows):
+        from repro.query.predicates import And
+        predicate = And((eq("status", "open"), eq("region", "region_1")))
+        affected = partitioned_database.execute(
+            update("sales", {"quantity": 0}, predicate)
+        ).affected_rows
+        expected = sum(
+            1 for row in sales_rows
+            if row["status"] == "open" and row["region"] == "region_1"
+        )
+        assert affected == expected

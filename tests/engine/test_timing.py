@@ -1,0 +1,87 @@
+"""Tests for the device model and cost accounting."""
+
+import pytest
+
+from repro.config import DeviceModelConfig
+from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel, NS_PER_MS
+
+
+class TestDeviceModel:
+    def test_costs_scale_linearly_with_work(self):
+        device = DeviceModel()
+        assert device.sequential_read(2_000) == 2 * device.sequential_read(1_000)
+        assert device.hash_probes(10) == 10 * device.hash_probes(1)
+
+    def test_custom_config_is_used(self):
+        config = DeviceModelConfig(seq_read_ns_per_byte=2.0)
+        device = DeviceModel(config)
+        assert device.sequential_read(100) == pytest.approx(200.0)
+
+    def test_scaled_config_multiplies_every_constant(self):
+        config = DeviceModelConfig()
+        doubled = config.scaled(2.0)
+        assert doubled.seq_read_ns_per_byte == 2 * config.seq_read_ns_per_byte
+        assert doubled.query_overhead_ns == 2 * config.query_overhead_ns
+
+    def test_partition_overhead_counts_extra_partitions_only(self):
+        device = DeviceModel()
+        assert device.partition_overhead(1) == 0.0
+        assert device.partition_overhead(3) == pytest.approx(
+            2 * device.config.partition_overhead_ns
+        )
+
+
+class TestCostBreakdown:
+    def test_add_and_totals(self):
+        breakdown = CostBreakdown()
+        breakdown.add("scan", 1_000_000.0)
+        breakdown.add("scan", 500_000.0)
+        breakdown.add("probe", 250_000.0)
+        assert breakdown.total_ns == pytest.approx(1_750_000.0)
+        assert breakdown.total_ms == pytest.approx(1.75)
+        assert breakdown.component_ms("scan") == pytest.approx(1.5)
+
+    def test_negative_cost_rejected(self):
+        breakdown = CostBreakdown()
+        with pytest.raises(ValueError):
+            breakdown.add("scan", -1.0)
+
+    def test_merge(self):
+        left = CostBreakdown({"a": 10.0})
+        right = CostBreakdown({"a": 5.0, "b": 1.0})
+        left.merge(right)
+        assert left.components == {"a": 15.0, "b": 1.0}
+
+    def test_as_dict_ms(self):
+        breakdown = CostBreakdown({"a": float(NS_PER_MS)})
+        assert breakdown.as_dict_ms() == {"a": 1.0}
+
+
+class TestCostAccountant:
+    def test_charges_accumulate_by_component(self):
+        accountant = CostAccountant()
+        accountant.charge_sequential_read("row_scan", 1_000)
+        accountant.charge_sequential_read("row_scan", 1_000)
+        accountant.charge_index_probe()
+        snapshot = accountant.snapshot()
+        assert snapshot["row_scan"] == pytest.approx(1_000.0)  # 2000 bytes * 0.5 ns
+        assert snapshot["index_probe"] > 0
+
+    def test_query_overhead_charge(self):
+        accountant = CostAccountant()
+        accountant.charge_query_overhead()
+        assert accountant.total_ms == pytest.approx(
+            DeviceModelConfig().query_overhead_ns / NS_PER_MS
+        )
+
+    def test_component_vocabulary_of_write_charges(self):
+        accountant = CostAccountant()
+        accountant.charge_row_appends(10)
+        accountant.charge_row_value_updates(2)
+        accountant.charge_cs_value_inserts(3)
+        accountant.charge_cs_value_updates(4)
+        accountant.charge_layout_conversion(5)
+        snapshot = accountant.snapshot()
+        for component in ("row_append", "row_update", "column_insert",
+                          "column_update", "layout_conversion"):
+            assert snapshot[component] > 0

@@ -1,0 +1,68 @@
+"""Tests for the data type and store enums."""
+
+import datetime
+
+import pytest
+
+from repro.engine.types import DataType, Store
+from repro.errors import SchemaError
+
+
+class TestStore:
+    def test_other_flips_between_stores(self):
+        assert Store.ROW.other is Store.COLUMN
+        assert Store.COLUMN.other is Store.ROW
+
+    def test_string_value(self):
+        assert Store.ROW.value == "row"
+        assert Store.COLUMN.value == "column"
+
+
+class TestDataTypeWidths:
+    def test_every_type_has_a_positive_width(self):
+        for dtype in DataType:
+            assert dtype.width_bytes > 0
+
+    def test_every_type_has_a_positive_cost_factor(self):
+        for dtype in DataType:
+            assert dtype.cost_factor > 0
+
+    def test_integer_is_narrower_than_varchar(self):
+        assert DataType.INTEGER.width_bytes < DataType.VARCHAR.width_bytes
+
+    def test_numeric_classification(self):
+        assert DataType.DOUBLE.is_numeric
+        assert DataType.DECIMAL.is_numeric
+        assert DataType.INTEGER.is_numeric
+        assert not DataType.VARCHAR.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+
+
+class TestCoercion:
+    def test_integer_coercion(self):
+        assert DataType.INTEGER.coerce("42") == 42
+        assert DataType.INTEGER.coerce(7.0) == 7
+
+    def test_double_coercion(self):
+        assert DataType.DOUBLE.coerce("3.5") == 3.5
+
+    def test_varchar_coercion(self):
+        assert DataType.VARCHAR.coerce(123) == "123"
+
+    def test_boolean_coercion(self):
+        assert DataType.BOOLEAN.coerce("true") is True
+        assert DataType.BOOLEAN.coerce(0) is False
+        with pytest.raises(SchemaError):
+            DataType.BOOLEAN.coerce("maybe")
+
+    def test_date_coercion_from_string_and_offset(self):
+        assert DataType.DATE.coerce("2012-08-27") == datetime.date(2012, 8, 27)
+        assert DataType.DATE.coerce(0) == datetime.date(1970, 1, 1)
+        assert DataType.DATE.coerce(1) == datetime.date(1970, 1, 2)
+
+    def test_none_passes_through(self):
+        assert DataType.INTEGER.coerce(None) is None
+
+    def test_invalid_value_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            DataType.INTEGER.coerce("not a number")

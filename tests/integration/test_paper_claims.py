@@ -1,0 +1,99 @@
+"""Integration tests asserting the paper's qualitative claims at small scale.
+
+These tests run miniature versions of the evaluation experiments and assert
+the *shapes* the paper reports: estimation accuracy, the OLAP-fraction
+crossover with the advisor tracking the lower envelope, the horizontal
+partitioning minimum at the hot fraction, the vertical partitioning benefit,
+and the ordering of the four TPC-H layouts.
+"""
+
+import pytest
+
+from repro.bench import run_experiment
+from repro.engine import Store
+
+
+@pytest.fixture(scope="module")
+def fig7a_result():
+    return run_experiment(
+        "fig7a", fractions=(0.0, 0.05), num_rows=6_000, num_queries=120, calibrate=False
+    )
+
+
+class TestEstimationAccuracy:
+    def test_fig6_estimates_close_to_measurements(self):
+        result = run_experiment("fig6a", sizes=(2_000, 6_000), calibrate=True)
+        series = result.series[0]
+        for column in ("row_error", "column_error"):
+            for error in series.column(column):
+                assert error < 0.25
+
+    def test_fig6_runtimes_grow_linearly(self):
+        result = run_experiment("fig6a", sizes=(2_000, 8_000), calibrate=False)
+        series = result.series[0]
+        for column in ("row_actual_ms", "column_actual_ms"):
+            small, large = series.column(column)
+            assert large == pytest.approx(4 * small, rel=0.35)
+
+
+class TestTableLevelRecommendation:
+    def test_row_store_wins_pure_oltp_and_column_store_wins_olap(self, fig7a_result):
+        series = fig7a_result.series[0]
+        pure_oltp = series.points[0]
+        assert pure_oltp.values["row_only_s"] < pure_oltp.values["column_only_s"]
+        olap_heavy = series.points[-1]
+        assert olap_heavy.values["column_only_s"] < olap_heavy.values["row_only_s"]
+
+    def test_advisor_tracks_the_lower_envelope(self, fig7a_result):
+        series = fig7a_result.series[0]
+        for point in series.points:
+            best = min(point.values["row_only_s"], point.values["column_only_s"])
+            assert point.values["advisor_s"] <= best * 1.10
+
+
+class TestPartitioningClaims:
+    def test_fig8_minimum_at_recommended_hot_fraction(self):
+        result = run_experiment(
+            "fig8",
+            row_store_fractions=(0.0, 0.05, 0.10, 0.20),
+            num_rows=6_000,
+            num_queries=150,
+            hot_fraction=0.10,
+        )
+        series = result.series[0]
+        runtimes = dict(zip(series.xs(), series.column("runtime_s")))
+        assert runtimes[0.10] < runtimes[0.0]
+        assert runtimes[0.10] < runtimes[0.05]
+        assert runtimes[0.10] <= runtimes[0.20]
+        # The advisor's own recommendation identifies roughly the hot 10 %.
+        assert result.metadata.get("advisor_row_store_fraction", 0) == pytest.approx(
+            0.10, abs=0.03
+        )
+
+    def test_fig9_vertical_partitioning_beats_pure_stores_for_mixed_workloads(self):
+        result = run_experiment(
+            "fig9a", fractions=(0.0, 0.025), num_rows=6_000, num_queries=150
+        )
+        series = result.series[0]
+        pure_oltp = series.points[0]
+        # At 0 % OLAP the plain row store is (as in the paper) the best layout.
+        assert pure_oltp.values["row_only_s"] <= pure_oltp.values["vertical_partitioned_s"]
+        mixed = series.points[-1]
+        assert mixed.values["vertical_partitioned_s"] < mixed.values["row_only_s"]
+        assert mixed.values["vertical_partitioned_s"] < mixed.values["column_only_s"]
+
+
+class TestTpchCombination:
+    def test_fig10_layout_ordering(self):
+        result = run_experiment("fig10", scale_factor=0.002, num_queries=600,
+                                calibrate=True)
+        series = result.series[0]
+        runtimes = dict(zip(series.xs(), series.column("runtime_s")))
+        # The advisor's layouts beat both uniform layouts; partitioning wins overall.
+        assert runtimes["table"] <= min(runtimes["rs_only"], runtimes["cs_only"]) * 1.02
+        assert runtimes["partitioned"] < runtimes["table"]
+        assert runtimes["partitioned"] < runtimes["cs_only"]
+        # lineitem ends up in the column store at table level, as in the paper.
+        assert "lineitem" in result.metadata.get("table_level_column_tables", "")
+        # lineitem and orders are the partitioned tables, as in the paper.
+        assert "lineitem" in result.metadata.get("partitioned_tables", "")

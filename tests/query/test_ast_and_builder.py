@@ -1,0 +1,164 @@
+"""Tests for the query AST, the fluent builders and workload containers."""
+
+import pytest
+
+from repro.errors import QueryError, WorkloadError
+from repro.query import (
+    AggregateFunction,
+    AggregationQuery,
+    DeleteQuery,
+    InsertQuery,
+    QueryType,
+    SelectQuery,
+    UpdateQuery,
+    Workload,
+    aggregate,
+    between,
+    delete,
+    eq,
+    insert,
+    interleave,
+    select,
+    update,
+)
+from repro.query.ast import AggregateSpec, JoinClause, split_qualified
+
+
+class TestAst:
+    def test_split_qualified(self):
+        assert split_qualified("dim.label") == ("dim", "label")
+        assert split_qualified("label") == (None, "label")
+
+    def test_aggregation_query_properties(self):
+        query = AggregationQuery(
+            table="fact",
+            aggregates=(AggregateSpec(AggregateFunction.SUM, "value"),),
+            group_by=("dim.label",),
+            predicate=eq("flag", "x"),
+            joins=(JoinClause("dim", "dim_id", "id"),),
+        )
+        assert query.query_type is QueryType.AGGREGATION
+        assert query.is_olap
+        assert query.tables == ("fact", "dim")
+        assert query.has_group_by
+        assert query.columns_of("fact") == frozenset({"value", "flag", "dim_id"})
+        assert query.columns_of("dim") == frozenset({"label", "id"})
+        assert query.aggregated_columns("fact") == frozenset({"value"})
+
+    def test_aggregation_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(table="t", aggregates=())
+
+    def test_select_query_properties(self):
+        query = SelectQuery("t", columns=("a",), predicate=eq("b", 1))
+        assert not query.is_olap
+        assert query.columns_of("t") == frozenset({"a", "b"})
+        assert not query.selects_all_columns
+        assert SelectQuery("t").selects_all_columns
+
+    def test_insert_query_properties(self):
+        query = InsertQuery("t", ({"a": 1, "b": 2},))
+        assert query.num_rows == 1
+        assert query.columns_of("t") == frozenset({"a", "b"})
+        with pytest.raises(QueryError):
+            InsertQuery("t", ())
+
+    def test_update_delete_properties(self):
+        query = UpdateQuery("t", {"a": 1}, eq("b", 2))
+        assert query.updated_columns == frozenset({"a"})
+        assert query.columns_of("t") == frozenset({"a", "b"})
+        with pytest.raises(QueryError):
+            UpdateQuery("t", {})
+        assert DeleteQuery("t", eq("a", 1)).columns_of("t") == frozenset({"a"})
+
+    def test_output_name_of_aggregates(self):
+        assert AggregateSpec(AggregateFunction.SUM, "revenue").output_name == "sum_revenue"
+        assert AggregateSpec(AggregateFunction.AVG, "dim.qty").output_name == "avg_dim_qty"
+        assert AggregateSpec(AggregateFunction.SUM, "x", alias="total").output_name == "total"
+
+
+class TestBuilders:
+    def test_aggregate_builder(self):
+        query = (
+            aggregate("sales")
+            .sum("revenue")
+            .avg("quantity")
+            .min("revenue")
+            .max("revenue")
+            .count("*")
+            .group_by("region")
+            .where(between("product", 1, 10))
+            .join("dim", "product", "id")
+            .build()
+        )
+        assert len(query.aggregates) == 5
+        assert query.group_by == ("region",)
+        assert query.joins[0].table == "dim"
+
+    def test_empty_aggregate_builder_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate("sales").build()
+
+    def test_select_builder(self):
+        query = select("sales").columns("id", "status").where(eq("id", 1)).limit(5).build()
+        assert query.columns == ("id", "status")
+        assert query.limit == 5
+
+    def test_dml_builders(self):
+        assert insert("t", [{"a": 1}]).num_rows == 1
+        assert update("t", {"a": 2}, eq("id", 1)).assignments == {"a": 2}
+        assert delete("t", eq("id", 1)).table == "t"
+
+
+class TestWorkload:
+    def build_workload(self):
+        return Workload(
+            [
+                aggregate("sales").sum("revenue").group_by("region").build(),
+                select("sales").where(eq("id", 1)).build(),
+                update("sales", {"status": "x"}, eq("id", 2)),
+                insert("sales", [{"id": 10}]),
+                aggregate("other").sum("v").build(),
+            ],
+            name="test",
+        )
+
+    def test_fractions_and_counts(self):
+        workload = self.build_workload()
+        assert workload.num_queries == 5
+        assert workload.olap_fraction == pytest.approx(0.4)
+        assert workload.insert_fraction == pytest.approx(0.2)
+        assert workload.update_fraction == pytest.approx(0.2)
+        assert workload.count_by_type()[QueryType.AGGREGATION] == 2
+
+    def test_tables_and_restriction(self):
+        workload = self.build_workload()
+        assert workload.tables() == ("sales", "other")
+        restricted = workload.restricted_to("sales")
+        assert restricted.num_queries == 4
+
+    def test_attribute_access_profile(self):
+        workload = self.build_workload()
+        profile = workload.attribute_access_profile("sales")
+        assert profile["revenue"].aggregations == 1
+        assert profile["region"].group_bys == 1
+        assert profile["status"].updates == 1
+        assert profile["id"].point_selections >= 2
+        assert profile["status"].oltp_ratio == 1.0
+
+    def test_merge_and_interleave(self):
+        left = Workload([select("t").build()] * 3, name="left")
+        right = Workload([insert("t", [{"a": 1}])] * 2, name="right")
+        merged = left.merged_with(right)
+        assert merged.num_queries == 5
+        mixed = interleave([left, right])
+        assert mixed.num_queries == 5
+        assert mixed[0].query_type is QueryType.SELECT
+        assert mixed[1].query_type is QueryType.INSERT
+        with pytest.raises(WorkloadError):
+            interleave([])
+
+    def test_summary_mentions_counts(self):
+        summary = self.build_workload().summary()
+        assert "5 queries" in summary
+        assert "olap_fraction" in summary

@@ -1,0 +1,104 @@
+"""Tests for the SQL-ish parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import AggregateFunction, QueryType
+from repro.query.parser import parse
+from repro.query.predicates import And, Between, CompareOp, Comparison
+
+
+class TestSelectParsing:
+    def test_aggregation_with_group_by_and_where(self):
+        query = parse(
+            "SELECT sum(revenue), avg(quantity) AS qty FROM sales "
+            "WHERE product BETWEEN 1 AND 10 GROUP BY region;"
+        )
+        assert query.query_type is QueryType.AGGREGATION
+        assert query.table == "sales"
+        assert [spec.function for spec in query.aggregates] == [
+            AggregateFunction.SUM, AggregateFunction.AVG,
+        ]
+        assert query.aggregates[1].alias == "qty"
+        assert query.group_by == ("region",)
+        assert isinstance(query.predicate, Between)
+
+    def test_count_star(self):
+        query = parse("SELECT count(*) FROM sales")
+        assert query.aggregates[0].column == "*"
+
+    def test_join_query(self):
+        query = parse(
+            "SELECT sum(revenue) FROM fact JOIN dim ON fact.dim_id = dim.id "
+            "GROUP BY dim.label"
+        )
+        assert query.joins[0].table == "dim"
+        assert query.joins[0].left_column == "dim_id"
+        assert query.joins[0].right_column == "id"
+        assert query.group_by == ("dim.label",)
+
+    def test_point_select(self):
+        query = parse("SELECT id, status FROM sales WHERE id = 42 LIMIT 5")
+        assert query.query_type is QueryType.SELECT
+        assert query.columns == ("id", "status")
+        assert query.limit == 5
+        assert query.predicate == Comparison("id", CompareOp.EQ, 42)
+
+    def test_select_star(self):
+        query = parse("SELECT * FROM sales WHERE region = 'west'")
+        assert query.selects_all_columns
+        assert query.predicate.value == "west"
+
+    def test_and_connected_predicates(self):
+        query = parse("SELECT * FROM sales WHERE region = 'west' AND product >= 5")
+        assert isinstance(query.predicate, And)
+        assert len(query.predicate.predicates) == 2
+
+    def test_group_by_on_plain_select_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT id FROM sales GROUP BY region")
+
+
+class TestDmlParsing:
+    def test_insert(self):
+        query = parse(
+            "INSERT INTO sales (id, region, revenue, open_flag) "
+            "VALUES (7, 'west', 12.5, true)"
+        )
+        assert query.query_type is QueryType.INSERT
+        assert query.rows[0] == {"id": 7, "region": "west", "revenue": 12.5,
+                                 "open_flag": True}
+
+    def test_insert_length_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse("INSERT INTO sales (id, region) VALUES (1)")
+
+    def test_update(self):
+        query = parse("UPDATE sales SET status = 'shipped', quantity = 3 WHERE id = 9")
+        assert query.query_type is QueryType.UPDATE
+        assert query.assignments == {"status": "shipped", "quantity": 3}
+        assert query.predicate == Comparison("id", CompareOp.EQ, 9)
+
+    def test_delete(self):
+        query = parse("DELETE FROM sales WHERE id >= 100")
+        assert query.query_type is QueryType.DELETE
+        assert query.predicate == Comparison("id", CompareOp.GE, 100)
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse("CREATE TABLE t (a int)")
+        with pytest.raises(ParseError):
+            parse("")
+
+
+class TestParserEndToEnd:
+    def test_parsed_queries_execute_on_the_engine(self, row_database, sales_rows):
+        result = row_database.execute(
+            parse("SELECT sum(revenue) FROM sales GROUP BY region")
+        )
+        assert len(result.rows) == 7
+        result = row_database.execute(parse("SELECT id, status FROM sales WHERE id = 3"))
+        assert result.rows[0]["id"] == 3
+        row_database.execute(parse("UPDATE sales SET status = 'x' WHERE id = 3"))
+        result = row_database.execute(parse("SELECT status FROM sales WHERE id = 3"))
+        assert result.rows[0]["status"] == "x"

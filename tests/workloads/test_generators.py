@@ -1,0 +1,158 @@
+"""Tests for the synthetic, star-schema and mixed workload generators."""
+
+import pytest
+
+from repro.engine import HybridDatabase, Store
+from repro.errors import WorkloadError
+from repro.query import QueryType
+from repro.workloads import (
+    HotRegion,
+    MixedWorkloadConfig,
+    OlapQueryGenerator,
+    OltpMix,
+    OltpQueryGenerator,
+    SyntheticTableConfig,
+    build_mixed_workload,
+    build_star_schema,
+    build_star_workload,
+    build_table,
+    olap_fraction_sweep,
+    olap_setting_table,
+    oltp_setting_table,
+    paper_accuracy_table,
+)
+
+
+class TestSyntheticTables:
+    def test_paper_accuracy_table_has_30_attributes(self):
+        table = paper_accuracy_table(100)
+        assert table.schema.num_columns == 30
+        assert len(table.rows) == 100
+        assert table.roles.keyfigures == tuple(f"kf_{i}" for i in range(10))
+
+    def test_fig9_table_shapes(self):
+        olap_table = olap_setting_table(50)
+        assert len(olap_table.roles.keyfigures) == 10
+        assert len(olap_table.roles.group_attrs) == 8
+        assert len(olap_table.roles.oltp_attrs) == 2
+        oltp_table = oltp_setting_table(50)
+        assert len(oltp_table.roles.oltp_attrs) == 18
+        assert len(oltp_table.roles.keyfigures) == 1
+
+    def test_generation_is_deterministic(self):
+        config = SyntheticTableConfig(num_rows=200, seed=7)
+        assert build_table(config).rows == build_table(config).rows
+
+    def test_rows_validate_against_schema(self):
+        table = build_table(SyntheticTableConfig(num_rows=50))
+        for row in table.rows[:10]:
+            table.schema.validate_row(row)
+
+    def test_load_into_database(self):
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        database = HybridDatabase()
+        table.load_into(database, Store.COLUMN)
+        assert database.statistics("facts").num_rows == 100
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticTableConfig(num_rows=-1)
+        with pytest.raises(WorkloadError):
+            SyntheticTableConfig(num_keyfigures=0)
+
+
+class TestQueryGenerators:
+    def test_olap_generator_produces_valid_aggregations(self):
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        generator = OlapQueryGenerator(table.roles, seed=1)
+        queries = generator.generate(20)
+        assert all(query.query_type is QueryType.AGGREGATION for query in queries)
+        assert any(query.has_group_by for query in queries)
+        for query in queries:
+            for spec in query.aggregates:
+                assert spec.column in table.roles.keyfigures
+
+    def test_oltp_generator_respects_mix(self):
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        generator = OltpQueryGenerator(
+            table.roles, mix=OltpMix(0.0, 0.0, 1.0), seed=2
+        )
+        queries = generator.generate(10)
+        assert all(query.query_type is QueryType.INSERT for query in queries)
+        # Inserted ids continue after the existing rows (no PK collisions).
+        ids = [query.rows[0]["id"] for query in queries]
+        assert min(ids) >= 100
+        assert len(set(ids)) == len(ids)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            OltpMix(0.5, 0.2, 0.1)
+
+    def test_hot_region_updates_stay_in_region(self):
+        table = build_table(SyntheticTableConfig(num_rows=1_000))
+        generator = OltpQueryGenerator(
+            table.roles,
+            mix=OltpMix(0.0, 1.0, 0.0),
+            hot_region=HotRegion(column="id", low=900, high=999, span=10),
+            seed=3,
+        )
+        for query in generator.generate(20):
+            predicate = query.predicate
+            assert predicate.low >= 900 and predicate.high <= 999
+
+
+class TestMixedWorkloads:
+    def test_olap_fraction_is_respected(self):
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        workload = build_mixed_workload(
+            table.roles, MixedWorkloadConfig(num_queries=200, olap_fraction=0.1)
+        )
+        assert workload.num_queries == 200
+        assert workload.olap_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_zero_and_full_olap_fractions(self):
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        pure_oltp = build_mixed_workload(
+            table.roles, MixedWorkloadConfig(num_queries=50, olap_fraction=0.0)
+        )
+        assert pure_oltp.olap_fraction == 0.0
+        pure_olap = build_mixed_workload(
+            table.roles, MixedWorkloadConfig(num_queries=50, olap_fraction=1.0)
+        )
+        assert pure_olap.olap_fraction == 1.0
+
+    def test_sweep_builds_one_workload_per_fraction(self):
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        workloads = olap_fraction_sweep(table.roles, (0.0, 0.05, 0.1), num_queries=40)
+        assert len(workloads) == 3
+        assert [w.olap_fraction for w in workloads] == pytest.approx([0.0, 0.05, 0.1])
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            MixedWorkloadConfig(olap_fraction=1.5)
+
+
+class TestStarSchema:
+    def test_star_schema_shapes(self):
+        star = build_star_schema()
+        assert star.fact_schema.num_columns == 10
+        assert star.dimension_schema.num_columns == 6
+        assert len(star.dimension_rows) == 1_000
+
+    def test_star_workload_joins_the_dimension(self):
+        star = build_star_schema()
+        workload = build_star_workload(star, num_queries=100, olap_fraction=0.1)
+        olap_queries = workload.olap_queries
+        assert olap_queries
+        assert all(query.joins and query.joins[0].table == "dim" for query in olap_queries)
+
+    def test_star_workload_executes_on_database(self):
+        from repro.workloads.star_schema import StarSchemaConfig
+
+        star = build_star_schema(StarSchemaConfig(fact_rows=500, dimension_rows=50))
+        database = HybridDatabase()
+        star.load_into(database)
+        workload = build_star_workload(star, num_queries=30, olap_fraction=0.1)
+        run = database.run_workload(workload)
+        assert run.num_queries == 30
+        assert run.total_runtime_ms > 0

@@ -1,0 +1,97 @@
+"""Tests for the TPC-H schema, data generator and workload."""
+
+import pytest
+
+from repro.engine import HybridDatabase, Store
+from repro.query import QueryType
+from repro.workloads.tpch import (
+    OLTP_TABLES,
+    TPCH_TABLE_ORDER,
+    TpchGenerator,
+    TpchOlapQueryGenerator,
+    TpchOltpQueryGenerator,
+    build_tpch_workload,
+    scaled_cardinality,
+    tpch_schemas,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_tpch():
+    return TpchGenerator(scale_factor=0.001, seed=11).generate_all()
+
+
+class TestSchemas:
+    def test_all_eight_tables_defined(self):
+        schemas = tpch_schemas()
+        assert set(schemas) == set(TPCH_TABLE_ORDER)
+        assert schemas["lineitem"].num_columns == 16
+        assert schemas["orders"].primary_key == ("o_orderkey",)
+
+    def test_scaled_cardinalities(self):
+        assert scaled_cardinality("region", 0.01) == 5       # fixed-size table
+        assert scaled_cardinality("nation", 0.01) == 25
+        assert scaled_cardinality("lineitem", 0.01) == 60_000
+        assert scaled_cardinality("lineitem", 0.001) == 6_000
+
+
+class TestDataGenerator:
+    def test_row_counts_match_scale(self, tiny_tpch):
+        assert tiny_tpch.num_rows("lineitem") == 6_000
+        assert tiny_tpch.num_rows("orders") == 1_500
+        assert tiny_tpch.num_rows("region") == 5
+
+    def test_rows_validate_against_schema(self, tiny_tpch):
+        schemas = tpch_schemas()
+        for name in TPCH_TABLE_ORDER:
+            schema = schemas[name]
+            for row in tiny_tpch.tables[name][:5]:
+                schema.validate_row(row)
+
+    def test_foreign_keys_reference_existing_rows(self, tiny_tpch):
+        num_orders = tiny_tpch.num_rows("orders")
+        num_customers = tiny_tpch.num_rows("customer")
+        for row in tiny_tpch.tables["lineitem"][:200]:
+            assert 0 <= row["l_orderkey"] < num_orders
+        for row in tiny_tpch.tables["orders"][:200]:
+            assert 0 <= row["o_custkey"] < num_customers
+
+    def test_generation_is_deterministic(self):
+        first = TpchGenerator(scale_factor=0.001, seed=11).generate_all()
+        second = TpchGenerator(scale_factor=0.001, seed=11).generate_all()
+        assert first.tables["orders"][:50] == second.tables["orders"][:50]
+
+    def test_load_into_database(self, tiny_tpch):
+        database = HybridDatabase()
+        tiny_tpch.load_into(database, default_store=Store.ROW)
+        assert set(database.table_names()) == set(TPCH_TABLE_ORDER)
+        assert database.statistics("lineitem").num_rows == 6_000
+
+
+class TestTpchWorkload:
+    def test_olap_queries_target_lineitem_and_orders(self, tiny_tpch):
+        generator = TpchOlapQueryGenerator(tiny_tpch, seed=3)
+        queries = generator.generate(40)
+        tables = [query.table for query in queries]
+        assert tables.count("lineitem") + tables.count("orders") >= 30
+        assert any(query.joins for query in queries)
+
+    def test_oltp_queries_avoid_nation_and_region(self, tiny_tpch):
+        generator = TpchOltpQueryGenerator(tiny_tpch, seed=4)
+        queries = generator.generate(100)
+        for query in queries:
+            assert query.table in OLTP_TABLES
+            assert query.table not in ("nation", "region")
+
+    def test_workload_mix_matches_requested_fraction(self, tiny_tpch):
+        workload = build_tpch_workload(tiny_tpch, num_queries=300, olap_fraction=0.02)
+        assert workload.num_queries == 300
+        assert workload.olap_fraction == pytest.approx(0.02, abs=0.005)
+
+    def test_workload_executes_end_to_end(self, tiny_tpch):
+        database = HybridDatabase()
+        tiny_tpch.load_into(database, default_store=Store.ROW)
+        workload = build_tpch_workload(tiny_tpch, num_queries=60, olap_fraction=0.05)
+        run = database.run_workload(workload)
+        assert run.num_queries == 60
+        assert run.runtime_by_type_ms.get(QueryType.AGGREGATION, 0) > 0
