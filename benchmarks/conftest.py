@@ -13,6 +13,13 @@ import pytest
 _RESULTS = []
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock perf smoke tests gated against BENCH_pipeline.json",
+    )
+
+
 def run_and_record(benchmark, experiment_fn, **kwargs):
     """Run *experiment_fn* once under pytest-benchmark and record its result."""
     result = benchmark.pedantic(lambda: experiment_fn(**kwargs), rounds=1, iterations=1)

@@ -1,0 +1,151 @@
+"""Perf smoke test for the vectorized columnar batch pipeline.
+
+``BENCH_pipeline.json`` (committed next to this file) records the wall-clock
+of the read-pipeline microbenchmarks on the machine that produced it:
+
+* ``seed_baseline`` — the scalar row-at-a-time pipeline before the batch
+  refactor,
+* ``recorded`` — the vectorized pipeline at the time the refactor landed,
+* ``speedup`` — the ratio of the two.
+
+The tests here re-measure the hot benchmarks and fail when they regress more
+than :data:`REGRESSION_FACTOR` against the recorded baseline, so a future
+change that silently de-vectorizes a hot path shows up in CI.  Run them
+explicitly with ``pytest -m perf benchmarks/test_perf_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.engine.database import HybridDatabase
+from repro.engine.schema import TableSchema
+from repro.engine.types import DataType, Store
+from repro.query.builder import aggregate
+
+BENCH_FILE = pathlib.Path(__file__).with_name("BENCH_pipeline.json")
+
+#: A perf benchmark fails when it is more than this factor slower than the
+#: wall-clock recorded in ``BENCH_pipeline.json``.
+REGRESSION_FACTOR = 2.0
+
+#: Noise floor for the sub-millisecond aggregation gates: on a slower or
+#: loaded machine a 2x factor on a ~0.05 ms recording would flake, so the
+#: budget never drops below this.  The scalar pipeline measured ~30 ms, so a
+#: true de-vectorization still trips the gate by a wide margin.
+MIN_AGG_BUDGET_MS = 5.0
+
+AGG_ROWS = 100_000
+
+
+def build_aggregation_database(store: Store) -> HybridDatabase:
+    schema = TableSchema.build(
+        "facts",
+        [
+            ("id", DataType.INTEGER),
+            ("region", DataType.VARCHAR),
+            ("amount", DataType.DOUBLE),
+            ("quantity", DataType.INTEGER),
+        ],
+        primary_key=["id"],
+    )
+    rng = random.Random(42)
+    rows = [
+        {
+            "id": i,
+            "region": f"region_{rng.randrange(8)}",
+            "amount": round(rng.uniform(0, 1000), 2),
+            "quantity": rng.randrange(1, 50),
+        }
+        for i in range(AGG_ROWS)
+    ]
+    database = HybridDatabase()
+    database.create_table(schema, store=store)
+    database.load_rows("facts", rows)
+    return database
+
+
+def best_of(callable_, repetitions: int = 5) -> float:
+    """Best wall-clock (seconds) of *repetitions* runs."""
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_aggregation_ms(store: Store) -> float:
+    """Wall-clock of the 100k-row single-column SUM through the executor."""
+    database = build_aggregation_database(store)
+    query = aggregate("facts").sum("amount").build()
+    return best_of(lambda: database.execute(query)) * 1000.0
+
+
+def measure_fig10_s() -> float:
+    from repro.bench.experiments.fig10_tpch import run_fig10
+
+    start = time.perf_counter()
+    run_fig10(scale_factor=0.005, num_queries=2_000, olap_fraction=0.01)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    with BENCH_FILE.open() as handle:
+        return json.load(handle)["recorded"]
+
+
+@pytest.mark.perf
+def test_agg_100k_column_store_has_not_regressed(recorded):
+    measured_ms = measure_aggregation_ms(Store.COLUMN)
+    budget_ms = max(recorded["agg_100k_column_ms"] * REGRESSION_FACTOR, MIN_AGG_BUDGET_MS)
+    assert measured_ms <= budget_ms, (
+        f"100k-row column-store aggregation took {measured_ms:.3f}ms, "
+        f"budget is {budget_ms:.3f}ms (recorded {recorded['agg_100k_column_ms']:.3f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_agg_100k_row_store_has_not_regressed(recorded):
+    measured_ms = measure_aggregation_ms(Store.ROW)
+    budget_ms = max(recorded["agg_100k_row_ms"] * REGRESSION_FACTOR, MIN_AGG_BUDGET_MS)
+    assert measured_ms <= budget_ms, (
+        f"100k-row row-store aggregation took {measured_ms:.3f}ms, "
+        f"budget is {budget_ms:.3f}ms (recorded {recorded['agg_100k_row_ms']:.3f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_fig10_scenario_has_not_regressed(recorded):
+    measured_s = measure_fig10_s()
+    budget_s = recorded["fig10_s"] * REGRESSION_FACTOR
+    assert measured_s <= budget_s, (
+        f"fig10 TPC-H scenario took {measured_s:.2f}s, "
+        f"budget is {budget_s:.2f}s (recorded {recorded['fig10_s']:.2f}s)"
+    )
+
+
+if __name__ == "__main__":
+    # Re-record the "recorded" section (run after intentional perf changes):
+    #   PYTHONPATH=src python benchmarks/test_perf_pipeline.py
+    payload = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
+    payload["recorded"] = {
+        "agg_100k_column_ms": measure_aggregation_ms(Store.COLUMN),
+        "agg_100k_row_ms": measure_aggregation_ms(Store.ROW),
+        "fig10_s": measure_fig10_s(),
+    }
+    baseline = payload.get("seed_baseline")
+    if baseline:
+        payload["speedup"] = {
+            key: baseline[key] / value
+            for key, value in payload["recorded"].items()
+            if baseline.get(key)
+        }
+    BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))

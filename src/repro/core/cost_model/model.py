@@ -55,7 +55,32 @@ class CostModel:
         parameters: Optional[CostModelParameters] = None,
         device_config: Optional[DeviceModelConfig] = None,
     ) -> None:
-        self.parameters = parameters or analytic_parameters(device_config)
+        self._parameters = parameters or analytic_parameters(device_config)
+        # Per-(query, referenced stores, profiles) estimate memo.  The
+        # advisor's exhaustive join-group enumeration and per-table cost
+        # reports re-estimate the same queries under assignments that only
+        # differ for *other* tables; the memo collapses those repeats.
+        # Keys are built from object identities (query, per-table profile);
+        # each entry pins those exact objects, so a key's ids can never be
+        # reused by different live objects and a refreshed profile (a new
+        # object, new id) simply misses.  The cache is generational: once it
+        # reaches the limit it is cleared wholesale, which bounds memory in
+        # long-running online-monitor loops (each re-profiling cycle creates
+        # new profile objects whose old entries could never hit again).
+        self._estimate_cache: Dict[tuple, tuple] = {}
+        self._estimate_cache_limit = 100_000
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def parameters(self) -> CostModelParameters:
+        return self._parameters
+
+    @parameters.setter
+    def parameters(self, value: CostModelParameters) -> None:
+        # Cached estimates were priced under the old parameters.
+        self._parameters = value
+        self.reset_cache()
 
     # -- profile helpers -----------------------------------------------------------
 
@@ -88,9 +113,53 @@ class CostModel:
         assignment: StoreAssignment,
         profiles: Mapping[str, TableProfile],
     ) -> float:
-        """Estimated runtime (ms) of *query* under *assignment*."""
+        """Estimated runtime (ms) of *query* under *assignment*.
+
+        Estimates are memoized per (query, stores-of-referenced-tables,
+        profiles-of-referenced-tables): assignments that only differ on
+        tables the query does not touch share one cache entry.
+        """
+        key = None
+        tables = query.tables
+        try:
+            if len(tables) == 1:
+                table = tables[0]
+                key = (id(query), table, assignment[table], id(profiles[table]))
+            else:
+                key = (id(query),) + tuple(
+                    (table, assignment[table], id(profiles[table]))
+                    for table in tables
+                )
+        except KeyError:
+            pass  # incomplete assignment/profiles: let the estimator raise
+        if key is not None:
+            entry = self._estimate_cache.get(key)
+            if entry is not None:
+                self.cache_hits += 1
+                return entry[2]
         contributions = query_contributions(query, assignment, profiles)
-        return self._price_contributions(contributions)
+        estimate = self._price_contributions(contributions)
+        if key is not None:
+            self.cache_misses += 1
+            if len(self._estimate_cache) >= self._estimate_cache_limit:
+                self._estimate_cache.clear()
+            self._estimate_cache[key] = (
+                query,
+                tuple(profiles[table] for table in tables),
+                estimate,
+            )
+        return estimate
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of estimate calls served from the memo (0.0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def reset_cache(self) -> None:
+        self._estimate_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def estimate_query_per_store(
         self,
@@ -149,5 +218,18 @@ class CostModel:
         assignment: StoreAssignment,
         profiles: Mapping[str, TableProfile],
     ) -> float:
-        """Shortcut for :meth:`estimate_workload` returning only the total."""
-        return self.estimate_workload(workload, assignment, profiles).total_ms
+        """Shortcut for :meth:`estimate_workload` returning only the total.
+
+        Skips the per-query/per-type bookkeeping — this is the advisor's hot
+        enumeration path.  The left-to-right sum matches
+        :meth:`estimate_workload`'s accumulation exactly.
+        """
+        missing = set(workload.tables()) - set(assignment)
+        if missing:
+            raise EstimationError(
+                f"store assignment is missing tables: {sorted(missing)}"
+            )
+        total_ms = 0.0
+        for query in workload:
+            total_ms += self.estimate_query_ms(query, assignment, profiles)
+        return total_ms

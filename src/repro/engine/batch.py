@@ -1,0 +1,360 @@
+"""Columnar batches: the vectorized interchange format of the read pipeline.
+
+A :class:`ColumnBatch` is a set of aligned numpy value arrays (one per
+column) plus optional null masks.  The storage backends produce batches
+(dictionary codes are decoded with one fancy-indexing gather per column) and
+the executor's operators consume them with numpy reductions, so no per-value
+Python loop runs between the storage layer and the ``QueryResult`` boundary.
+Row dicts are materialised lazily, only when a result actually needs rows.
+
+The module also hosts :func:`vectorized_value_mask`, the value-level
+vectorized predicate evaluator shared by the row store's full scan and the
+column store's complex-predicate fallback.  It mirrors the row-at-a-time
+semantics of :mod:`repro.query.predicates` exactly (``NULL`` never matches a
+comparison, ``IS NULL`` matches only ``None``); predicates it cannot express
+vectorially return ``None`` and the caller falls back to the scalar loop.
+
+Wall-clock optimisation only: producing or consuming batches never changes
+what a query costs — all :class:`~repro.engine.timing.CostAccountant` charges
+are made by the storage backends and operators exactly as in the scalar
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.query.predicates import (
+    And,
+    Between,
+    CompareOp,
+    Comparison,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = [
+    "ColumnBatch",
+    "evaluate_predicate_mask",
+    "null_mask_of",
+    "values_to_array",
+    "vectorized_value_mask",
+]
+
+
+def values_to_array(values: Sequence[Any]) -> np.ndarray:
+    """Convert a Python value sequence to the best-fitting numpy array.
+
+    Numeric and string columns get native dtypes (vectorized reductions and
+    comparisons); anything numpy cannot represent natively — ``None`` mixed
+    into a column, dates, mixed types — falls back to an object array, which
+    still supports elementwise comparisons and fancy-indexed gathers.
+    """
+    if isinstance(values, np.ndarray):
+        return values
+    try:
+        array = np.asarray(values)
+    except (TypeError, ValueError, OverflowError):
+        return np.asarray(values, dtype=object)
+    if array.ndim == 1:
+        if array.dtype.kind in "Oiufb":
+            return array
+        if array.dtype.kind == "U" and array.tolist() == list(values):
+            # The round trip guards numpy's fixed-width 'U' dtype silently
+            # truncating trailing NUL characters ('0\x00' -> '0'); strings
+            # that don't survive it stay Python objects.
+            return array
+    # Datetimes, timedeltas, ragged inputs etc.: keep the Python objects.
+    result = np.empty(len(values), dtype=object)
+    result[:] = values
+    return result
+
+
+def null_mask_of(array: np.ndarray) -> Optional[np.ndarray]:
+    """Boolean mask of NULL (``None``) entries, or ``None`` when there are none.
+
+    Only object arrays can hold ``None``; native arrays never have nulls.
+    """
+    if array.dtype != object:
+        return None
+    mask = np.fromiter((value is None for value in array), dtype=bool, count=len(array))
+    return mask if mask.any() else None
+
+
+class ColumnBatch:
+    """Aligned per-column value arrays — the unit of the vectorized pipeline."""
+
+    __slots__ = ("_columns", "num_rows")
+
+    def __init__(self, columns: Dict[str, np.ndarray], num_rows: Optional[int] = None):
+        self._columns = columns
+        if num_rows is None:
+            num_rows = len(next(iter(columns.values()))) if columns else 0
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_lists(cls, columns: Mapping[str, Sequence[Any]]) -> "ColumnBatch":
+        return cls({name: values_to_array(values) for name, values in columns.items()})
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def column_list(self, name: str) -> List[Any]:
+        return self._columns[name].tolist()
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    def null_mask(self, name: str) -> Optional[np.ndarray]:
+        return null_mask_of(self._columns[name])
+
+    # -- construction / transformation -------------------------------------------
+
+    def take(self, selector: np.ndarray) -> "ColumnBatch":
+        """Select rows by boolean mask or index array (numpy semantics)."""
+        taken = {name: values[selector] for name, values in self._columns.items()}
+        return ColumnBatch(taken)
+
+    @classmethod
+    def concat(cls, batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Stack batches with identical column sets (e.g. partition segments)."""
+        if not batches:
+            return cls({})
+        total_rows = sum(batch.num_rows for batch in batches)
+        names = batches[0].column_names
+        columns: Dict[str, np.ndarray] = {}
+        for name in names:
+            parts = [batch.column(name) for batch in batches if batch.num_rows]
+            if not parts:
+                columns[name] = batches[0].column(name)
+            elif len(parts) == 1:
+                columns[name] = parts[0]
+            else:
+                if any(part.dtype == object for part in parts):
+                    parts = [part.astype(object) for part in parts]
+                columns[name] = np.concatenate(parts)
+        return cls(columns, num_rows=total_rows)
+
+    # -- lazy row materialisation ---------------------------------------------------
+
+    def to_rows(self, names: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """Materialise row dicts — the ``QueryResult`` boundary only."""
+        selected = list(names) if names is not None else self.column_names
+        lists = [self._columns[name].tolist() for name in selected]
+        return [dict(zip(selected, values)) for values in zip(*lists)] if lists else []
+
+
+# -- vectorized predicate evaluation over value arrays ---------------------------------
+
+
+def evaluate_predicate_mask(
+    predicate: Predicate, arrays: Mapping[str, np.ndarray], num_rows: int
+) -> np.ndarray:
+    """Boolean mask of *predicate* over aligned value *arrays* — always.
+
+    Vectorized when :func:`vectorized_value_mask` supports the predicate,
+    otherwise the scalar ``Predicate.evaluate`` loop over the referenced
+    columns.  This is the one shared fallback for every store's complex-
+    predicate path, so NULL and fallback semantics cannot drift between
+    call sites.
+    """
+    mask = vectorized_value_mask(predicate, arrays, num_rows)
+    if mask is not None:
+        return mask
+    referenced = sorted(arrays)
+    lists = {name: arrays[name].tolist() for name in referenced}
+    return np.fromiter(
+        (
+            predicate.evaluate({name: lists[name][i] for name in referenced})
+            for i in range(num_rows)
+        ),
+        dtype=bool,
+        count=num_rows,
+    )
+
+
+def vectorized_value_mask(
+    predicate: Predicate, arrays: Mapping[str, np.ndarray], num_rows: int
+) -> Optional[np.ndarray]:
+    """Evaluate *predicate* over aligned value *arrays*, or ``None`` if unsupported.
+
+    Matches :meth:`Predicate.evaluate` row-at-a-time semantics: comparisons
+    against ``NULL`` (on either side) are false, ``IS NULL`` is true exactly
+    for ``None``.  Type errors from exotic value mixes abort vectorisation
+    (returning ``None``) rather than guessing.
+    """
+    try:
+        return _value_mask(predicate, arrays, num_rows, _NullMaskCache())
+    except TypeError:
+        return None
+
+
+class _NullMaskCache:
+    """Per-evaluation memo of each column's null mask.
+
+    The null mask of an object column is an O(n) Python-level pass; a
+    predicate tree referencing the same nullable column several times (e.g.
+    a BETWEEN, or an AND of comparisons) must not repeat it.
+    """
+
+    __slots__ = ("_masks",)
+
+    def __init__(self) -> None:
+        self._masks: Dict[int, Optional[np.ndarray]] = {}
+
+    def get(self, array: np.ndarray) -> Optional[np.ndarray]:
+        key = id(array)
+        if key not in self._masks:
+            self._masks[key] = null_mask_of(array)
+        return self._masks[key]
+
+
+def _value_mask(
+    predicate: Predicate,
+    arrays: Mapping[str, np.ndarray],
+    num_rows: int,
+    nulls: _NullMaskCache,
+) -> Optional[np.ndarray]:
+    if isinstance(predicate, TruePredicate):
+        return np.ones(num_rows, dtype=bool)
+    if isinstance(predicate, And):
+        return _combine(predicate.predicates, arrays, num_rows, nulls, np.logical_and)
+    if isinstance(predicate, Or):
+        return _combine(predicate.predicates, arrays, num_rows, nulls, np.logical_or)
+    if isinstance(predicate, Not):
+        mask = _value_mask(predicate.predicate, arrays, num_rows, nulls)
+        return None if mask is None else ~mask
+    if isinstance(predicate, IsNull):
+        array = arrays.get(predicate.column)
+        if array is None:
+            return None
+        mask = nulls.get(array)
+        return mask if mask is not None else np.zeros(len(array), dtype=bool)
+    if isinstance(predicate, Comparison):
+        array = arrays.get(predicate.column)
+        if array is None:
+            return None
+        return _comparison_mask(array, predicate.op, predicate.value, nulls)
+    if isinstance(predicate, Between):
+        array = arrays.get(predicate.column)
+        if array is None:
+            return None
+        # Mirror the scalar evaluator's *exclusion* tests exactly: it rejects
+        # a row when ``value < low`` (or ``> high``), so NaN — for which every
+        # comparison is False — passes, as it does row-at-a-time.
+        mask = np.ones(len(array), dtype=bool)
+        null_mask = nulls.get(array)
+        if null_mask is not None:
+            mask &= ~null_mask
+        if predicate.low is not None:
+            op = CompareOp.LT if predicate.include_low else CompareOp.LE
+            mask &= ~_comparison_mask(array, op, predicate.low, nulls)
+        if predicate.high is not None:
+            op = CompareOp.GT if predicate.include_high else CompareOp.GE
+            mask &= ~_comparison_mask(array, op, predicate.high, nulls)
+        return mask
+    if isinstance(predicate, InList):
+        array = arrays.get(predicate.column)
+        if array is None:
+            return None
+        mask = np.zeros(len(array), dtype=bool)
+        for value in predicate.values:
+            if value is None:
+                null_mask = nulls.get(array)
+                if null_mask is not None:
+                    mask |= null_mask
+            else:
+                _reject_nul_string_literal(value)
+                if isinstance(value, float) and value != value:
+                    # ``x in (nan, ...)`` matches NaN by object identity in
+                    # the scalar reference; only the fallback can honour that
+                    # (and only for object columns — native arrays re-box
+                    # their floats, so the original identity is gone).
+                    raise TypeError("NaN IN-list literal cannot be vectorized")
+                mask |= np.asarray(array == value, dtype=bool)
+        return mask
+    return None
+
+
+def _reject_nul_string_literal(value: Any) -> None:
+    """Abort vectorization for string literals containing NUL characters.
+
+    numpy coerces comparison literals to its fixed-width string dtype, which
+    silently drops trailing ``\\x00`` — such comparisons must take the scalar
+    path (the raised TypeError triggers the fallback).
+    """
+    if isinstance(value, str) and "\x00" in value:
+        raise TypeError("NUL-containing string literal cannot be vectorized")
+
+
+def _combine(
+    predicates: Iterable[Predicate],
+    arrays: Mapping[str, np.ndarray],
+    num_rows: int,
+    nulls: _NullMaskCache,
+    combiner,
+) -> Optional[np.ndarray]:
+    combined: Optional[np.ndarray] = None
+    for child in predicates:
+        mask = _value_mask(child, arrays, num_rows, nulls)
+        if mask is None:
+            return None
+        combined = mask if combined is None else combiner(combined, mask)
+    return combined
+
+
+def _comparison_mask(
+    array: np.ndarray, op: CompareOp, value: Any, nulls: _NullMaskCache
+) -> np.ndarray:
+    if value is None:
+        # ``column <op> NULL`` never matches, regardless of the operator.
+        return np.zeros(len(array), dtype=bool)
+    null_mask = nulls.get(array)
+    if null_mask is not None:
+        # Ordered comparisons would raise on None; compare non-nulls only.
+        mask = np.zeros(len(array), dtype=bool)
+        keep = ~null_mask
+        mask[keep] = _compare(array[keep], op, value)
+        return mask
+    return _compare(array, op, value)
+
+
+def _compare(array: np.ndarray, op: CompareOp, value: Any) -> np.ndarray:
+    _reject_nul_string_literal(value)
+    if op is CompareOp.EQ:
+        result = array == value
+    elif op is CompareOp.NE:
+        result = array != value
+    elif op is CompareOp.LT:
+        result = array < value
+    elif op is CompareOp.LE:
+        result = array <= value
+    elif op is CompareOp.GT:
+        result = array > value
+    else:
+        result = array >= value
+    result = np.asarray(result)
+    if result.dtype != bool:
+        result = result.astype(bool)
+    if result.shape != array.shape:
+        # A scalar result means numpy refused elementwise comparison.
+        raise TypeError("comparison did not vectorize")
+    return result

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.batch import ColumnBatch, evaluate_predicate_mask
 from repro.engine.compression import CompressedColumn, code_width_bytes
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
@@ -30,6 +31,20 @@ from repro.query.predicates import (
     InList,
     Predicate,
 )
+
+def _nan_code(dictionary) -> Optional[int]:
+    """Code of a NaN dictionary entry, or ``None``.
+
+    ``np.unique`` sorts NaN after every real value, so if present it is the
+    last entry of the dictionary.
+    """
+    size = len(dictionary)
+    if size:
+        last = dictionary.decode(size - 1)
+        if isinstance(last, float) and last != last:
+            return size - 1
+    return None
+
 
 #: When a position list covers more than this fraction of the table, the
 #: column store materialises the requested columns with a sequential scan of
@@ -125,23 +140,48 @@ class ColumnStoreTable:
         return positions
 
     def bulk_load(self, rows: Sequence[Mapping[str, Any]]) -> None:
-        """Load rows without cost accounting (used by generators and tests)."""
+        """Load rows without cost accounting (used by generators and tests).
+
+        Rows are validated column-at-a-time and each column dictionary is
+        built in one bulk pass — no intermediate row dicts.
+        """
         if not rows:
             return
-        validated = [self.schema.validate_row(row) for row in rows]
         if self._num_rows == 0:
+            columns = self.schema.validate_rows_columnar(rows)
             for name, column in self._columns.items():
-                column.bulk_load([row[name] for row in validated])
-            self._num_rows = len(validated)
+                column.bulk_load(columns[name])
+            self._num_rows = len(rows)
             if self._pk_column is not None:
-                keys = [row[self._pk_column] for row in validated]
+                keys = columns[self._pk_column]
                 self._pk_values = set(keys)
                 if len(self._pk_values) != len(keys):
                     raise ExecutionError(
                         f"duplicate primary key while bulk loading {self.schema.name!r}"
                     )
         else:
+            validated = [self.schema.validate_row(row) for row in rows]
             self.insert_rows(validated, accountant=None)
+
+    def bulk_load_columns(self, columns: Mapping[str, Any], num_rows: int) -> None:
+        """Adopt already-validated column data (store-conversion fast path).
+
+        Each column is dictionary-encoded in one bulk pass; no row dict is
+        ever built.  Values must be coerced already (they come from the other
+        store's backend).
+        """
+        if self._num_rows:
+            raise ExecutionError("bulk_load_columns requires an empty table")
+        for name, compressed in self._columns.items():
+            compressed.bulk_load(columns[name])
+        self._num_rows = num_rows
+        if self._pk_column is not None:
+            keys = columns[self._pk_column]
+            self._pk_values = set(keys.tolist() if isinstance(keys, np.ndarray) else keys)
+            if len(self._pk_values) != num_rows:
+                raise ExecutionError(
+                    f"duplicate primary key while bulk loading {self.schema.name!r}"
+                )
 
     def update_rows(
         self,
@@ -181,22 +221,30 @@ class ColumnStoreTable:
     def delete_rows(
         self, positions: Sequence[int], accountant: Optional[CostAccountant] = None
     ) -> int:
-        """Physically remove the rows at *positions* (rebuilds every column)."""
+        """Physically remove the rows at *positions* (rebuilds every column).
+
+        The rebuild is columnar: each column masks its code array and shrinks
+        its dictionary to the surviving codes — no row is ever reconstructed
+        as a dict.
+        """
         if len(positions) == 0:
             return 0
-        doomed = set(int(p) for p in positions)
-        keep = [i for i in range(self._num_rows) if i not in doomed]
-        survivors = [self._row_as_dict(i) for i in keep]
+        doomed = np.unique(np.asarray(positions, dtype=np.int64))
         if accountant is not None:
             accountant.charge_cs_value_updates(len(doomed) * self.schema.num_columns)
-        self._columns = {
-            column.name: CompressedColumn(column.name, column.dtype)
-            for column in self.schema.columns
-        }
-        self._num_rows = 0
-        self._pk_values = set()
-        if survivors:
-            self.bulk_load(survivors)
+        in_range = doomed[(doomed >= 0) & (doomed < self._num_rows)]
+        if len(in_range):
+            keep_mask = np.ones(self._num_rows, dtype=bool)
+            keep_mask[in_range] = False
+            if self._pk_column is not None:
+                removed_keys = self._columns[self._pk_column].values_at(in_range)
+                self._pk_values.difference_update(removed_keys)
+            for column in self._columns.values():
+                kept_codes = column.codes[keep_mask]
+                column.load_codes(column.dictionary.rebuild_from_codes(kept_codes)
+                                  if len(kept_codes)
+                                  else column.dictionary.bulk_build([]))
+            self._num_rows = int(keep_mask.sum())
         return len(doomed)
 
     # -- reads -----------------------------------------------------------------------
@@ -216,7 +264,9 @@ class ColumnStoreTable:
         mask = self._vectorised_mask(predicate, accountant)
         if mask is not None:
             return np.nonzero(mask)[0].astype(np.int64)
-        # Fallback: reconstruct the referenced columns row by row.
+        # Fallback: decode the referenced columns (vectorized gather) and
+        # evaluate the predicate over the value arrays; predicates the
+        # vectorized evaluator cannot express run the row-at-a-time loop.
         referenced = sorted(predicate.columns())
         if accountant is not None:
             for name in referenced:
@@ -225,12 +275,9 @@ class ColumnStoreTable:
                 )
             accountant.charge_dict_decodes(self._num_rows * len(referenced))
             accountant.charge_predicate_evals(self._num_rows)
-        columns = {name: self._columns[name].all_values() for name in referenced}
-        matches = [
-            i for i in range(self._num_rows)
-            if predicate.evaluate({name: columns[name][i] for name in referenced})
-        ]
-        return np.asarray(matches, dtype=np.int64)
+        arrays = {name: self._columns[name].values_array_at() for name in referenced}
+        mask = evaluate_predicate_mask(predicate, arrays, self._num_rows)
+        return np.nonzero(mask)[0].astype(np.int64)
 
     def _vectorised_mask(
         self, predicate: Predicate, accountant: Optional[CostAccountant]
@@ -263,7 +310,13 @@ class ColumnStoreTable:
                     predicate.low, predicate.high,
                     predicate.include_low, predicate.include_high,
                 )
-                return (codes >= lo) & (codes < hi)
+                mask = (codes >= lo) & (codes < hi)
+                nan_code = _nan_code(column.dictionary)
+                if nan_code is not None:
+                    # The scalar evaluator tests Between by *exclusion*
+                    # (value < low / value > high), which NaN never fails.
+                    mask |= codes == nan_code
+                return mask
             member_codes = [
                 column.dictionary.encode_existing(value) for value in predicate.values
             ]
@@ -288,15 +341,23 @@ class ColumnStoreTable:
             if code is None:
                 return np.ones(len(codes), dtype=bool)
             return codes != code
+        # Ordered comparisons never match NaN row-at-a-time (every comparison
+        # is False); a NaN dictionary entry sorts last, so exclude its code
+        # from the range masks explicitly.
+        nan_code = _nan_code(dictionary)
         if predicate.op in (CompareOp.LT, CompareOp.LE):
             lo, hi = dictionary.range_codes(
                 None, predicate.value, include_high=predicate.op is CompareOp.LE
             )
-            return codes < hi
-        lo, hi = dictionary.range_codes(
-            predicate.value, None, include_low=predicate.op is CompareOp.GE
-        )
-        return codes >= lo
+            mask = codes < hi
+        else:
+            lo, hi = dictionary.range_codes(
+                predicate.value, None, include_low=predicate.op is CompareOp.GE
+            )
+            mask = codes >= lo
+        if nan_code is not None:
+            mask &= codes != nan_code
+        return mask
 
     def fetch_rows(
         self,
@@ -314,16 +375,19 @@ class ColumnStoreTable:
         for name in selected:
             self.schema.column(name)
         if positions is None:
-            positions = range(self._num_rows)
-        positions = list(positions)
+            gather = None
+            num_positions = self._num_rows
+        else:
+            gather = np.asarray(positions, dtype=np.int64)
+            num_positions = len(gather)
         if accountant is not None:
             for name in selected:
-                self._charge_materialisation(name, len(positions), accountant)
-        values = {name: self._columns[name].values_at(positions) for name in selected}
-        return [
-            {name: values[name][i] for name in selected}
-            for i in range(len(positions))
-        ]
+                self._charge_materialisation(name, num_positions, accountant)
+        batch = ColumnBatch(
+            {name: self._columns[name].values_array_at(gather) for name in selected},
+            num_rows=num_positions,
+        )
+        return batch.to_rows()
 
     def _charge_materialisation(
         self, column: str, num_positions: int, accountant: CostAccountant
@@ -356,15 +420,28 @@ class ColumnStoreTable:
         A full-column read is a sequential scan of the compressed codes plus a
         decode per value — the column store's fast path for aggregation.
         """
+        return self.column_array(column, positions, accountant).tolist()
+
+    def column_array(
+        self,
+        column: str,
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`column_values`: decode straight into a numpy array.
+
+        Charges are identical to the scalar accessor — the batch pipeline is a
+        wall-clock optimisation, not a cost-model change.
+        """
         compressed = self._columns[column]
         if positions is None:
             if accountant is not None:
                 accountant.charge_sequential_read("column_scan", compressed.code_bytes)
                 accountant.charge_dict_decodes(self._num_rows)
-            return compressed.all_values()
+            return compressed.values_array_at(None)
         if accountant is not None:
             self._charge_materialisation(column, len(positions), accountant)
-        return compressed.values_at(list(positions))
+        return compressed.values_array_at(np.asarray(positions, dtype=np.int64))
 
     def scan_columns(
         self,
@@ -377,13 +454,29 @@ class ColumnStoreTable:
             name: self.column_values(name, positions, accountant) for name in columns
         }
 
+    def scan_batch(
+        self,
+        columns: Sequence[str],
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> ColumnBatch:
+        """Batch variant of :meth:`scan_columns`: one decoded array per column."""
+        if positions is not None and not isinstance(positions, np.ndarray):
+            positions = np.asarray(positions, dtype=np.int64)
+        num_rows = self._num_rows if positions is None else len(positions)
+        return ColumnBatch(
+            {name: self.column_array(name, positions, accountant) for name in columns},
+            num_rows=num_rows,
+        )
+
     def all_rows(self) -> List[Dict[str, Any]]:
         """Return every row as a dict, without cost accounting (for conversions)."""
         names = self.schema.column_names
-        columns = {name: self._columns[name].all_values() for name in names}
-        return [
-            {name: columns[name][i] for name in names} for i in range(self._num_rows)
-        ]
+        batch = ColumnBatch(
+            {name: self._columns[name].values_array_at(None) for name in names},
+            num_rows=self._num_rows,
+        )
+        return batch.to_rows()
 
     def _row_as_dict(self, position: int) -> Dict[str, Any]:
         return {

@@ -38,12 +38,18 @@ def code_width_bytes(num_distinct: int) -> int:
 
 
 class ColumnDictionary:
-    """Sorted dictionary of the distinct values of one column."""
+    """Sorted dictionary of the distinct values of one column.
+
+    Because the values are kept sorted, the value→code mapping *is* a binary
+    search — no separate hash map has to be maintained (inserting a value
+    mid-dictionary would otherwise re-number every larger value's hash-map
+    entry one by one).
+    """
 
     def __init__(self, dtype: DataType) -> None:
         self.dtype = dtype
         self._values: List[Any] = []
-        self._codes: Dict[Any, int] = {}
+        self._values_array: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._values)
@@ -52,6 +58,22 @@ class ColumnDictionary:
     def values(self) -> Sequence[Any]:
         return tuple(self._values)
 
+    @property
+    def values_array(self) -> np.ndarray:
+        """The sorted dictionary values as a numpy array (cached).
+
+        Decoding a whole code array is one fancy-indexing gather
+        (``values_array[codes]``) instead of a per-value Python loop.
+        """
+        if self._values_array is None:
+            from repro.engine.batch import values_to_array
+
+            self._values_array = values_to_array(self._values)
+        return self._values_array
+
+    def _invalidate(self) -> None:
+        self._values_array = None
+
     def encode_with_insert(self, value: Any) -> Tuple[int, Optional[int]]:
         """Return ``(code, shift_position)`` for *value*, inserting it if new.
 
@@ -59,18 +81,27 @@ class ColumnDictionary:
         of every larger value by one.  ``shift_position`` is the insertion
         position when that happened (the caller must re-map already stored
         codes ``>= shift_position``), or ``None`` if the value already existed.
+        The shift itself is implicit — codes are positions in the sorted value
+        list; the *cost* of dictionary maintenance is accounted for by the
+        device model, not by Python runtime.
         """
-        if value in self._codes:
-            return self._codes[value], None
+        if value is None:
+            # NULL cannot be ordered against other values; it only ever lives
+            # in an all-NULL dictionary (as at position 0).
+            if self._values:
+                if self._values[0] is None:
+                    return 0, None
+                raise TypeError(
+                    "cannot mix NULL with values in a sorted dictionary"
+                )
+            self._values.append(None)
+            self._invalidate()
+            return 0, 0
         position = bisect.bisect_left(self._values, value) if self._values else 0
+        if position < len(self._values) and self._values[position] == value:
+            return position, None
         self._values.insert(position, value)
-        # Re-number the codes of shifted values.  For the in-memory model we
-        # simply rebuild the mapping; the *cost* of dictionary maintenance is
-        # accounted for by the device model, not by Python runtime.
-        if position == len(self._values) - 1:
-            self._codes[value] = position
-        else:
-            self._codes = {v: i for i, v in enumerate(self._values)}
+        self._invalidate()
         return position, position
 
     def encode(self, value: Any) -> int:
@@ -85,14 +116,38 @@ class ColumnDictionary:
 
     def encode_existing(self, value: Any) -> Optional[int]:
         """Return the code for *value* or ``None`` if it is not present."""
-        return self._codes.get(value)
+        if value is None:
+            return 0 if (self._values and self._values[0] is None) else None
+        try:
+            position = bisect.bisect_left(self._values, value)
+        except TypeError:
+            # Literal of an incomparable type can never be in the dictionary.
+            return None
+        if position < len(self._values) and self._values[position] == value:
+            return position
+        return None
 
     def decode(self, code: int) -> Any:
         return self._values[code]
 
     def decode_many(self, codes: Iterable[int]) -> List[Any]:
-        values = self._values
-        return [values[code] for code in codes]
+        return self.decode_array(np.fromiter(codes, dtype=np.int64)).tolist()
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Decode a code array with one fancy-indexing gather.
+
+        Small gathers against a cold cache (typical for point/range selects
+        right after a dictionary insert invalidated it) decode per value
+        instead of rebuilding the whole values array.
+        """
+        if len(self._values) == 0:
+            return np.empty(0, dtype=object)
+        if self._values_array is None and len(codes) * 4 < len(self._values):
+            from repro.engine.batch import values_to_array
+
+            values = self._values
+            return values_to_array([values[code] for code in codes.tolist()])
+        return self.values_array[codes]
 
     def range_codes(self, low: Any, high: Any,
                     include_low: bool = True, include_high: bool = True) -> Tuple[int, int]:
@@ -115,11 +170,64 @@ class ColumnDictionary:
 
     def bulk_build(self, values: Sequence[Any]) -> np.ndarray:
         """Build the dictionary from *values* in one pass and return the codes."""
+        from repro.engine.batch import values_to_array
+
+        self._invalidate()
+        array = values_to_array(values)
+        if array.dtype != object:
+            # Native values: sort, dedup and encode entirely in numpy.
+            distinct, codes = np.unique(array, return_inverse=True)
+            self._values = distinct.tolist()
+            return codes.reshape(-1).astype(np.int64, copy=False)
         distinct = sorted(set(values))
         self._values = list(distinct)
-        self._codes = {v: i for i, v in enumerate(self._values)}
-        return np.fromiter((self._codes[v] for v in values), dtype=np.int64,
+        code_of = {v: i for i, v in enumerate(self._values)}
+        return np.fromiter((code_of[v] for v in values), dtype=np.int64,
                            count=len(values))
+
+    def bulk_codes(self, values: Sequence[Any]) -> np.ndarray:
+        """Codes for *values*, all of which must already be in the dictionary."""
+        from repro.engine.batch import values_to_array
+
+        array = self.values_array
+        if array.dtype != object:
+            candidate = values_to_array(values)
+            if candidate.dtype != object:
+                return np.searchsorted(array, candidate).astype(np.int64, copy=False)
+        code_of = {v: i for i, v in enumerate(self._values)}
+        return np.fromiter(
+            (code_of[v] for v in values), dtype=np.int64, count=len(values)
+        )
+
+    def merge_values(self, new_values: Sequence[Any]) -> Optional[np.ndarray]:
+        """Insert any not-yet-present values of *new_values* in one pass.
+
+        Returns the old-code → new-code remap array (the caller re-maps its
+        stored codes), or ``None`` when the dictionary did not change.
+        """
+        fresh = [value for value in set(new_values) if self.encode_existing(value) is None]
+        if not fresh:
+            return None
+        old_values = self._values
+        merged = sorted(old_values + fresh)
+        self._values = merged
+        self._invalidate()
+        code_of = {v: i for i, v in enumerate(merged)}
+        return np.fromiter(
+            (code_of[v] for v in old_values), dtype=np.int64, count=len(old_values)
+        )
+
+    def rebuild_from_codes(self, kept_codes: np.ndarray) -> np.ndarray:
+        """Shrink the dictionary to the codes in *kept_codes* (columnar delete).
+
+        Returns *kept_codes* re-mapped to the shrunken dictionary.  The
+        surviving values keep their sort order, so the result is exactly the
+        dictionary a fresh bulk build over the surviving rows would produce.
+        """
+        used = np.unique(kept_codes)
+        self._values = [self._values[int(code)] for code in used]
+        self._invalidate()
+        return np.searchsorted(used, kept_codes).astype(np.int64, copy=False)
 
 
 class CompressedColumn:
@@ -166,8 +274,27 @@ class CompressedColumn:
         self._size += 1
 
     def extend(self, values: Sequence[Any]) -> None:
-        for value in values:
-            self.append(value)
+        """Append *values*, merging new distinct values in one dictionary pass.
+
+        Bulk encoding re-sorts the dictionary at most once per batch (instead
+        of once per new value) and re-maps the stored codes with a single
+        vectorized gather.
+        """
+        values = values if isinstance(values, list) else list(values)
+        if not values:
+            return
+        if len(values) == 1:
+            self.append(values[0])
+            return
+        dictionary = self.dictionary
+        remap = dictionary.merge_values(values)
+        if remap is not None and self._size:
+            live = self._codes[: self._size]
+            live[:] = remap[live]
+        new_codes = dictionary.bulk_codes(values)
+        self._ensure_capacity(len(values))
+        self._codes[self._size: self._size + len(values)] = new_codes
+        self._size += len(values)
 
     def bulk_load(self, values: Sequence[Any]) -> None:
         """Replace the column contents with *values* (fast path for loads)."""
@@ -175,15 +302,28 @@ class CompressedColumn:
         self._codes = codes
         self._size = len(values)
 
+    def load_codes(self, codes: np.ndarray) -> None:
+        """Adopt a pre-encoded code array (columnar rebuild fast path)."""
+        self._codes = np.ascontiguousarray(codes, dtype=np.int64)
+        self._size = len(codes)
+
     def value_at(self, position: int) -> Any:
         return self.dictionary.decode(int(self._codes[position]))
 
     def values_at(self, positions: Sequence[int]) -> List[Any]:
         codes = self._codes[np.asarray(positions, dtype=np.int64)]
-        return self.dictionary.decode_many(codes.tolist())
+        return self.dictionary.decode_array(codes).tolist()
+
+    def values_array_at(self, positions: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Decoded values as a numpy array (all rows, or a position gather)."""
+        if positions is None:
+            codes = self.codes
+        else:
+            codes = self._codes[np.asarray(positions, dtype=np.int64)]
+        return self.dictionary.decode_array(codes)
 
     def all_values(self) -> List[Any]:
-        return self.dictionary.decode_many(self.codes.tolist())
+        return self.dictionary.decode_array(self.codes).tolist()
 
     def set_value(self, position: int, value: Any) -> None:
         code = self._encode_maintaining_codes(value)

@@ -1,11 +1,43 @@
-"""Query execution: access paths, operators, joins and the executor."""
+"""Query execution: access paths, operators, joins and the executor.
 
+Architecture note — the columnar batch pipeline
+===============================================
+
+Read queries flow through the executor as **columnar batches**
+(:class:`~repro.engine.batch.ColumnBatch`: aligned numpy value arrays, one
+per column), not as lists of row dicts:
+
+* the storage backends decode straight into arrays — the column store with
+  one fancy-indexing gather over its dictionary (``values[codes]``), the row
+  store from cached per-column views of its tuples;
+* access paths (:class:`SimpleAccessPath`, :class:`PartitionedAccessPath`)
+  expose :meth:`~AccessPath.collect_batch`, concatenating partition segments
+  columnarly;
+* the operators consume batches: aggregations run as numpy reductions with an
+  ``np.unique``-factorized group-by, hash joins probe on key arrays and
+  gather dimension attributes with one fancy-indexing pass per column, and
+  complex predicates are evaluated vectorially over value arrays
+  (:func:`~repro.engine.batch.vectorized_value_mask`);
+* row dicts are materialised **lazily**, only at the :class:`QueryResult`
+  boundary (``fetch_rows`` / ``ColumnBatch.to_rows``) — an aggregation over a
+  100k-row table never builds a single intermediate row dict.
+
+The batch pipeline is purely a wall-clock optimisation of the simulator:
+every :class:`~repro.engine.timing.CostAccountant` charge is identical to the
+scalar row-at-a-time pipeline (same components, same amounts, same order), so
+the advisor's estimated-vs-measured calibration is unaffected.  Value mixes
+numpy cannot express (NULLs in object columns, unsortable group keys) fall
+back to the scalar implementations, which remain the semantic reference.
+"""
+
+from repro.engine.batch import ColumnBatch
 from repro.engine.executor.access import AccessPath, SimpleAccessPath
 from repro.engine.executor.executor import QueryExecutor, QueryResult
 from repro.engine.executor.rewrite import PartitionedAccessPath, access_path_for
 
 __all__ = [
     "AccessPath",
+    "ColumnBatch",
     "PartitionedAccessPath",
     "QueryExecutor",
     "QueryResult",

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.batch import ColumnBatch
 from repro.engine.table import StoredTable
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
@@ -39,14 +40,32 @@ class AccessPath:
         """The store whose layout dominates this table's data (for joins)."""
         raise NotImplementedError
 
+    def collect_batch(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+    ) -> ColumnBatch:
+        """Return a columnar batch of *columns*, filtered by *predicate*.
+
+        This is the operators' read entry point: data stays in aligned numpy
+        arrays from the storage backend to the aggregation/join operators.
+        """
+        raise NotImplementedError
+
     def collect_columns(
         self,
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
     ) -> Dict[str, List[Any]]:
-        """Return aligned value arrays for *columns*, filtered by *predicate*."""
-        raise NotImplementedError
+        """Return aligned value lists for *columns*, filtered by *predicate*.
+
+        Scalar convenience wrapper around :meth:`collect_batch` (identical
+        cost charges); kept for callers that want plain Python lists.
+        """
+        batch = self.collect_batch(columns, predicate, accountant)
+        return {name: batch.column_list(name) for name in columns}
 
     def select_rows(
         self,
@@ -90,21 +109,25 @@ class SimpleAccessPath(AccessPath):
 
     # -- reads -------------------------------------------------------------------
 
-    def collect_columns(
+    def collect_batch(
         self,
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
-    ) -> Dict[str, List[Any]]:
+    ) -> ColumnBatch:
         positions = self.table.filter_positions(predicate, accountant)
         if self.table.store is Store.ROW:
             # One full-width pass delivers every requested column.
-            return self.table.scan_columns(columns, positions, accountant)
+            return self.table.scan_batch(columns, positions, accountant)
         # Column store: one compressed scan (or reconstruction) per column.
-        return {
-            name: self.table.column_values(name, positions, accountant)
-            for name in columns
-        }
+        num_rows = self.table.num_rows if positions is None else len(positions)
+        return ColumnBatch(
+            {
+                name: self.table.column_array(name, positions, accountant)
+                for name in columns
+            },
+            num_rows=num_rows,
+        )
 
     def select_rows(
         self,

@@ -1,15 +1,22 @@
 """Aggregate functions and (grouped) accumulation.
 
-The aggregation operator collects column value arrays from an access path and
-feeds them through these accumulators.  The accumulators are deliberately
-simple — correctness is what matters here; the *cost* of aggregation is
-charged by the operator through the timing model.
+The aggregation operator collects columnar batches from an access path and
+feeds the value arrays through numpy reductions: ungrouped aggregates are
+single reductions, grouped aggregates factorize the key columns with
+``np.unique`` and reduce per group with ``bincount``/``reduceat``.  Value
+arrays numpy cannot reduce (mixed objects, NULLs in object columns) fall back
+to the scalar :class:`Accumulator` loop, which remains the semantic reference.
+
+The *cost* of aggregation is charged by the operator through the timing
+model; vectorized and scalar execution charge identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ExecutionError
 from repro.query.ast import AggregateFunction, AggregateSpec
@@ -56,6 +63,43 @@ def aggregate_values(function: AggregateFunction, values: Iterable[Any]) -> Any:
     return accumulator.result()
 
 
+def _is_reducible(values: Any) -> bool:
+    """Whether numpy can reduce *values* directly (native dtype, no NULLs)."""
+    return isinstance(values, np.ndarray) and values.dtype.kind in "iufb"
+
+
+def _minmax_is_order_dependent(function: AggregateFunction, values: np.ndarray) -> bool:
+    """Whether numpy min/max would diverge from the scalar fold.
+
+    Python's ``min``/``max`` fold is order-dependent in the presence of NaN
+    while numpy's reductions propagate NaN; such columns take the scalar
+    reference path.
+    """
+    return (
+        function in (AggregateFunction.MIN, AggregateFunction.MAX)
+        and values.dtype.kind == "f"
+        and bool(np.isnan(values).any())
+    )
+
+
+def _reduce_column(function: AggregateFunction, values: np.ndarray) -> Any:
+    """Ungrouped numpy reduction over a native value array (no NULLs)."""
+    count = len(values)
+    if function is AggregateFunction.COUNT:
+        return count
+    if count == 0:
+        return None
+    if function is AggregateFunction.SUM:
+        return float(np.sum(values, dtype=np.float64))
+    if function is AggregateFunction.AVG:
+        return float(np.sum(values, dtype=np.float64)) / count
+    if _minmax_is_order_dependent(function, values):
+        return aggregate_values(function, values.tolist())
+    if function is AggregateFunction.MIN:
+        return values.min().item()
+    return values.max().item()
+
+
 @dataclass
 class GroupedAggregation:
     """Group-by aggregation over aligned column arrays."""
@@ -85,13 +129,154 @@ class GroupedAggregation:
         if not self.group_by_names:
             row: Dict[str, Any] = {}
             for spec, values in zip(self.aggregates, aggregate_inputs):
-                source: Iterable[Any] = values if values is not None else range(num_rows)
                 if spec.function is AggregateFunction.COUNT and values is None:
                     row[spec.output_name] = num_rows
+                elif _is_reducible(values):
+                    row[spec.output_name] = _reduce_column(spec.function, values)
                 else:
+                    source: Iterable[Any] = (
+                        values if values is not None else range(num_rows)
+                    )
+                    if isinstance(source, np.ndarray):
+                        source = source.tolist()
                     row[spec.output_name] = aggregate_values(spec.function, source)
             return [row]
 
+        grouped = self._run_grouped_vectorized(
+            aggregate_inputs, group_key_columns, num_rows
+        )
+        if grouped is not None:
+            return grouped
+        return self._run_grouped_scalar(aggregate_inputs, group_key_columns, num_rows)
+
+    def _run_grouped_vectorized(
+        self,
+        aggregate_inputs: Sequence[Optional[Sequence[Any]]],
+        group_key_columns: Sequence[Sequence[Any]],
+        num_rows: int,
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Group-by via ``np.unique`` factorization; ``None`` if keys resist it.
+
+        Groups are emitted in first-occurrence order, exactly like the scalar
+        accumulator loop, so both paths produce identical result lists.
+        """
+        key_arrays = []
+        for column in group_key_columns:
+            array = column if isinstance(column, np.ndarray) else np.asarray(column, dtype=object)
+            if array.dtype.kind == "f" and np.isnan(array).any():
+                # np.unique would merge NaN keys into one group; the scalar
+                # reference keys groups per NaN object.
+                return None
+            key_arrays.append(array)
+        try:
+            factorized = [np.unique(array, return_inverse=True) for array in key_arrays]
+        except TypeError:
+            # Unsortable key mix (e.g. NULLs in an object column).
+            return None
+        key_space = 1
+        for uniques, _ in factorized:
+            key_space *= max(len(uniques), 1)
+        if key_space > 2 ** 62:
+            return None  # combined key would overflow int64
+        combined = np.zeros(num_rows, dtype=np.int64)
+        for uniques, inverse in factorized:
+            combined = combined * max(len(uniques), 1) + inverse.reshape(-1)
+        _, first_index, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        num_groups = len(first_index)
+        # Renumber groups by first occurrence to match scalar emission order.
+        order = np.argsort(first_index, kind="stable")
+        rank = np.empty(num_groups, dtype=np.int64)
+        rank[order] = np.arange(num_groups)
+        group_of_row = rank[inverse]
+        first_rows = first_index[order]
+
+        key_values = [array[first_rows].tolist() for array in key_arrays]
+        # Row order sorted by group (stable): the slice [starts[g]:starts[g+1]]
+        # of the reordered inputs holds exactly group g's rows.
+        row_order = np.argsort(group_of_row, kind="stable")
+        starts = np.searchsorted(group_of_row[row_order], np.arange(num_groups))
+        bounds = np.append(starts, num_rows)
+
+        columns: List[List[Any]] = []
+        for spec, values in zip(self.aggregates, aggregate_inputs):
+            columns.append(
+                self._grouped_aggregate(
+                    spec.function, values, group_of_row, row_order, bounds, num_groups
+                )
+            )
+        results = []
+        for group in range(num_groups):
+            row = {
+                name: key_values[j][group]
+                for j, name in enumerate(self.group_by_names)
+            }
+            for spec, column in zip(self.aggregates, columns):
+                row[spec.output_name] = column[group]
+            results.append(row)
+        return results
+
+    @staticmethod
+    def _grouped_aggregate(
+        function: AggregateFunction,
+        values: Optional[Sequence[Any]],
+        group_of_row: np.ndarray,
+        row_order: np.ndarray,
+        bounds: np.ndarray,
+        num_groups: int,
+    ) -> List[Any]:
+        """Per-group results for one aggregate (vectorized when possible)."""
+        counts = np.bincount(group_of_row, minlength=num_groups)
+        if values is None:
+            # COUNT(*): every row counts.
+            return counts.tolist()
+        if _is_reducible(values):
+            if function is AggregateFunction.COUNT:
+                return counts.tolist()
+            if function in (AggregateFunction.SUM, AggregateFunction.AVG):
+                sums = np.bincount(
+                    group_of_row, weights=values.astype(np.float64, copy=False),
+                    minlength=num_groups,
+                )
+                if function is AggregateFunction.SUM:
+                    return sums.tolist()
+                return (sums / counts).tolist()
+            if not _minmax_is_order_dependent(function, values):
+                ordered = values[row_order]
+                if function is AggregateFunction.MIN:
+                    return np.minimum.reduceat(ordered, bounds[:-1]).tolist()
+                return np.maximum.reduceat(ordered, bounds[:-1]).tolist()
+        # Object/string values: scalar-aggregate each group's slice, which
+        # preserves exact NULL-skipping semantics.
+        ordered_values = (
+            values[row_order].tolist()
+            if isinstance(values, np.ndarray)
+            else [values[i] for i in row_order.tolist()]
+        )
+        return [
+            aggregate_values(
+                function, ordered_values[bounds[group]: bounds[group + 1]]
+            )
+            for group in range(num_groups)
+        ]
+
+    def _run_grouped_scalar(
+        self,
+        aggregate_inputs: Sequence[Optional[Sequence[Any]]],
+        group_key_columns: Sequence[Sequence[Any]],
+        num_rows: int,
+    ) -> List[Dict[str, Any]]:
+        """Reference implementation: per-row accumulator updates."""
+        aggregate_inputs = [
+            values.tolist() if isinstance(values, np.ndarray) else values
+            for values in aggregate_inputs
+        ]
+        group_key_columns = [
+            column.tolist() if isinstance(column, np.ndarray) else column
+            for column in group_key_columns
+        ]
         groups: Dict[Tuple[Any, ...], List[Accumulator]] = {}
         for position in range(num_rows):
             key = tuple(column[position] for column in group_key_columns)

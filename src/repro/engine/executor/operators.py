@@ -63,14 +63,15 @@ def execute_aggregation(
         narrowest = min(base_schema.columns, key=lambda column: column.width_bytes)
         base_columns = [narrowest.name]
 
-    collected = base_path.collect_columns(base_columns, query.predicate, accountant)
-    num_rows = len(next(iter(collected.values()))) if collected else 0
+    batch = base_path.collect_batch(base_columns, query.predicate, accountant)
+    num_rows = batch.num_rows
 
     # Resolve joins: fetch the referenced dimension attributes aligned with the
-    # base rows and drop base rows without a join partner.
-    joined_columns: Dict[str, List[Any]] = {}
+    # base rows and drop base rows without a join partner.  Everything stays
+    # columnar — filtering by the match mask is one fancy-indexing pass.
+    joined_columns: Dict[str, np.ndarray] = {}
     for join in query.joins:
-        if join.left_column not in collected:
+        if join.left_column not in batch:
             raise QueryError(
                 f"join key {join.left_column!r} is not a column of {query.table!r}"
             )
@@ -80,7 +81,7 @@ def execute_aggregation(
             if name != join.right_column
         ) or [join.right_column]
         result = join_dimension(
-            base_key_values=collected[join.left_column],
+            base_key_values=batch.column(join.left_column),
             join=join,
             dimension_path=dimension_path,
             needed_columns=needed,
@@ -89,22 +90,17 @@ def execute_aggregation(
         )
         if not bool(result.match_mask.all()):
             keep = result.match_mask
-            collected = {
-                name: [values[i] for i in range(num_rows) if keep[i]]
-                for name, values in collected.items()
-            }
+            batch = batch.take(keep)
             joined_columns = {
-                name: [values[i] for i in range(num_rows) if keep[i]]
-                for name, values in joined_columns.items()
+                name: values[keep] for name, values in joined_columns.items()
             }
             result.columns = {
-                name: [values[i] for i in range(num_rows) if keep[i]]
-                for name, values in result.columns.items()
+                name: values[keep] for name, values in result.columns.items()
             }
-            num_rows = int(keep.sum())
+            num_rows = batch.num_rows
         joined_columns.update(result.columns)
 
-    available = dict(collected)
+    available = batch.arrays()
     available.update(joined_columns)
 
     # Assemble the aggregation inputs.

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.engine.batch import ColumnBatch, evaluate_predicate_mask
 from repro.engine.executor.access import AccessPath, SimpleAccessPath
 from repro.engine.partitioning import PartitionedTable
 from repro.engine.table import StoredTable
@@ -47,32 +48,30 @@ class PartitionedAccessPath(AccessPath):
 
     # -- reads ---------------------------------------------------------------------
 
-    def collect_columns(
+    def collect_batch(
         self,
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
-    ) -> Dict[str, List[Any]]:
+    ) -> ColumnBatch:
         segments = 0
-        combined: Dict[str, List[Any]] = {name: [] for name in columns}
+        batches: List[ColumnBatch] = []
 
-        main_values, main_parts_touched = self._collect_from_main(
+        main_batch, main_parts_touched = self._collect_from_main(
             columns, predicate, accountant
         )
         segments += main_parts_touched
-        for name in columns:
-            combined[name].extend(main_values[name])
+        batches.append(main_batch)
 
         if self.table.hot is not None and self.table.hot.num_rows > 0:
-            hot_values = SimpleAccessPath(self.table.hot).collect_columns(
+            hot_batch = SimpleAccessPath(self.table.hot).collect_batch(
                 columns, predicate, accountant
             )
             segments += 1
-            for name in columns:
-                combined[name].extend(hot_values[name])
+            batches.append(hot_batch)
 
         accountant.charge_partition_overhead(max(segments, 1))
-        return combined
+        return ColumnBatch.concat(batches)
 
     def select_rows(
         self,
@@ -151,10 +150,10 @@ class PartitionedAccessPath(AccessPath):
     ):
         table = self.table
         if not table.has_vertical_split:
-            values = SimpleAccessPath(table.main_parts[0]).collect_columns(
+            batch = SimpleAccessPath(table.main_parts[0]).collect_batch(
                 columns, predicate, accountant
             )
-            return values, 1
+            return batch, 1
 
         predicate_columns: Set[str] = set(predicate.columns()) if predicate else set()
         all_needed = set(columns) | predicate_columns
@@ -162,18 +161,18 @@ class PartitionedAccessPath(AccessPath):
         positions, _ = self._main_positions(predicate, accountant)
         self._charge_vertical_join(parts_needed, positions, accountant)
 
-        values: Dict[str, List[Any]] = {}
+        num_rows = table.main_num_rows if positions is None else len(positions)
+        arrays: Dict[str, np.ndarray] = {}
         grouped = self._group_columns_by_part(columns)
         for part, part_columns in grouped.items():
             if part.store is Store.ROW:
-                part_values = part.scan_columns(part_columns, positions, accountant)
+                part_batch = part.scan_batch(part_columns, positions, accountant)
+                for name in part_columns:
+                    arrays[name] = part_batch.column(name)
             else:
-                part_values = {
-                    name: part.column_values(name, positions, accountant)
-                    for name in part_columns
-                }
-            values.update(part_values)
-        return values, len(parts_needed)
+                for name in part_columns:
+                    arrays[name] = part.column_array(name, positions, accountant)
+        return ColumnBatch(arrays, num_rows=num_rows), len(parts_needed)
 
     def _select_from_main(
         self,
@@ -254,20 +253,17 @@ class PartitionedAccessPath(AccessPath):
         predicate_parts = table.main_parts_for_columns(sorted(predicate.columns()))
         if len(predicate_parts) == 1:
             return predicate_parts[0].filter_positions(predicate, accountant), 1
-        # The predicate spans both vertical parts: evaluate it row-wise over the
-        # aligned column values from both parts.
+        # The predicate spans both vertical parts: evaluate it over the
+        # aligned column arrays from both parts (vectorized when possible).
         referenced = sorted(predicate.columns())
-        values: Dict[str, List[Any]] = {}
+        arrays: Dict[str, np.ndarray] = {}
         for name in referenced:
             part = table.part_containing(name)
-            values[name] = part.column_values(name, None, accountant)
+            arrays[name] = part.column_array(name, None, accountant)
         num_rows = table.main_num_rows
         accountant.charge_predicate_evals(num_rows)
-        matching = [
-            i for i in range(num_rows)
-            if predicate.evaluate({name: values[name][i] for name in referenced})
-        ]
-        return np.asarray(matching, dtype=np.int64), len(predicate_parts)
+        mask = evaluate_predicate_mask(predicate, arrays, num_rows)
+        return np.nonzero(mask)[0].astype(np.int64), len(predicate_parts)
 
     def _charge_vertical_join(
         self,

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.engine.schema import TableSchema
 from repro.engine.table import StoredTable
 from repro.engine.timing import CostAccountant
@@ -195,10 +197,17 @@ class PartitionedTable:
         recommendation would trigger.
         """
         partitioned = cls(table.schema, partitioning)
-        rows = table.all_rows()
+        num_rows = table.num_rows
         if accountant is not None:
-            accountant.charge_layout_conversion(len(rows) * table.schema.num_columns)
-        partitioned.load_rows(rows)
+            accountant.charge_layout_conversion(num_rows * table.schema.num_columns)
+        # Migrate columnarly: the source serves whole columns, the horizontal
+        # predicate routes rows with one vectorized mask, and each part adopts
+        # its columns without rebuilding row dicts (the values were validated
+        # when they entered the source table).
+        columns = {
+            name: table.column_values(name) for name in table.schema.column_names
+        }
+        partitioned._load_columns_trusted(columns, num_rows)
         return partitioned
 
     def load_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
@@ -225,6 +234,47 @@ class PartitionedTable:
             )
         else:
             self.main_parts[0].bulk_load(rows)
+
+    def _load_columns_trusted(
+        self, columns: Mapping[str, Sequence[Any]], num_rows: int
+    ) -> None:
+        """Bulk load already-validated column data into empty partitions.
+
+        Used by :meth:`from_table`: the horizontal predicate is evaluated
+        vectorially over the column arrays (falling back to row-at-a-time for
+        predicates the vectorizer cannot express) and every part adopts its
+        share columnarly.
+        """
+        from repro.engine.batch import evaluate_predicate_mask, values_to_array
+
+        arrays = {name: values_to_array(values) for name, values in columns.items()}
+        horizontal = self.partitioning.horizontal
+        if horizontal is not None:
+            referenced = {
+                name: arrays[name]
+                for name in horizontal.predicate.columns()
+                if name in arrays
+            }
+            mask = evaluate_predicate_mask(horizontal.predicate, referenced, num_rows)
+            if self.hot is not None:
+                self.hot.backend.bulk_load_columns(
+                    {name: array[mask] for name, array in arrays.items()},
+                    int(mask.sum()),
+                )
+            keep = ~mask
+            cold_arrays = {name: array[keep] for name, array in arrays.items()}
+            cold_rows = int(keep.sum())
+        else:
+            cold_arrays = arrays
+            cold_rows = num_rows
+        if self._vertical_row_part is not None:
+            for part in (self._vertical_row_part, self._vertical_col_part):
+                part.backend.bulk_load_columns(
+                    {name: cold_arrays[name] for name in part.schema.column_names},
+                    cold_rows,
+                )
+        else:
+            self.main_parts[0].backend.bulk_load_columns(cold_arrays, cold_rows)
 
     # -- identity -------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.batch import ColumnBatch, evaluate_predicate_mask, values_to_array
 from repro.engine.indexes import HashIndex, SortedIndex
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
@@ -40,6 +41,11 @@ class RowStoreTable:
         self._rows: List[List[Any]] = []
         self._hash_indexes: Dict[str, HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
+        # Per-column numpy views of the tuple data, built lazily on the first
+        # scan and reused until the next mutation.  Scans and aggregations of
+        # a row-store table are served from these arrays; the *cost* charged
+        # stays the full-width tuple scan of the row-store model.
+        self._column_cache: Dict[str, np.ndarray] = {}
         self._pk_column: Optional[str] = None
         if create_pk_index and len(schema.primary_key) == 1:
             # The primary key gets both an equality (hash) and a range (sorted)
@@ -125,11 +131,61 @@ class RowStoreTable:
                 if accountant is not None:
                     accountant.charge_index_insert()
             positions.append(position)
+        # Appends keep the column cache valid: _column_array extends stale
+        # entries with just the new suffix.
         return positions
 
+    def bulk_load_columns(self, columns: Mapping[str, Sequence[Any]], num_rows: int) -> None:
+        """Adopt already-validated column data (store-conversion fast path).
+
+        Values must be coerced and primary-key-unique already (they come from
+        the other store's backend); rows are assembled columnarly and the
+        indexes rebuilt once, skipping per-row validation entirely.
+        """
+        if self._rows:
+            raise ExecutionError("bulk_load_columns requires an empty table")
+        names = self.schema.column_names
+        aligned = [
+            columns[name].tolist()
+            if isinstance(columns[name], np.ndarray)
+            else columns[name]
+            for name in names
+        ]
+        self._rows = [list(row) for row in zip(*aligned)] if num_rows else []
+        self._rebuild_indexes()
+        self._column_cache.clear()
+
     def bulk_load(self, rows: Iterable[Mapping[str, Any]]) -> None:
-        """Load rows without cost accounting (used by generators and tests)."""
-        self.insert_rows(list(rows), accountant=None)
+        """Load rows without cost accounting (used by generators and tests).
+
+        Rows are validated up front (column-at-a-time) and appended in bulk,
+        with one index rebuild at the end instead of per-row index
+        maintenance; a validation error therefore leaves the table unchanged.
+        Loads that would violate primary-key uniqueness take the per-row
+        insert path, which raises at the offending row exactly like repeated
+        :meth:`insert_rows` calls would.
+        """
+        rows = list(rows)
+        if not rows:
+            return
+        column_names = self.schema.column_names
+        columns = self.schema.validate_rows_columnar(rows)
+        aligned = [columns[name] for name in column_names]
+        if self._pk_column is not None:
+            keys = columns[self._pk_column]
+            existing = self._hash_indexes[self._pk_column]
+            if len(set(keys)) != len(keys) or any(
+                existing.contains(key) for key in keys
+            ):
+                # Let the per-row path raise (and keep its partial-state
+                # semantics) on the duplicate.
+                self.insert_rows(
+                    [dict(zip(column_names, row)) for row in zip(*aligned)],
+                    accountant=None,
+                )
+                return
+        self._rows.extend(list(row) for row in zip(*aligned))
+        self._rebuild_indexes()
 
     def update_rows(
         self,
@@ -161,6 +217,11 @@ class RowStoreTable:
                         accountant.charge_index_insert()
             if accountant is not None:
                 accountant.charge_row_value_updates(len(coerced))
+        if len(positions):
+            # Only the assigned columns changed; their cache entries go, the
+            # rest stay valid.
+            for name in coerced:
+                self._column_cache.pop(name, None)
         return len(positions)
 
     def delete_rows(
@@ -174,6 +235,7 @@ class RowStoreTable:
         if accountant is not None:
             accountant.charge_row_value_updates(len(doomed) * self.schema.num_columns)
         self._rebuild_indexes()
+        self._column_cache.clear()
         return len(doomed)
 
     def _rebuild_indexes(self) -> None:
@@ -186,6 +248,30 @@ class RowStoreTable:
 
     # -- reads -----------------------------------------------------------------------
 
+    def _column_array(self, column: str) -> np.ndarray:
+        """Cached numpy view of one column.
+
+        Appends extend a stale cache entry with just the new suffix (the
+        common OLTP case: single-row inserts between scans); updates and
+        deletes invalidate (see the mutators), forcing a rebuild.
+        """
+        array = self._column_cache.get(column)
+        num_rows = len(self._rows)
+        if array is not None and len(array) == num_rows:
+            return array
+        index = self.schema.index_of(column)
+        if array is not None and len(array) < num_rows:
+            suffix = values_to_array(
+                [row[index] for row in self._rows[len(array):]]
+            )
+            if suffix.dtype == array.dtype:
+                array = np.concatenate([array, suffix])
+                self._column_cache[column] = array
+                return array
+        array = values_to_array([row[index] for row in self._rows])
+        self._column_cache[column] = array
+        return array
+
     def filter_positions(
         self, predicate: Optional[Predicate], accountant: Optional[CostAccountant] = None
     ) -> Optional[np.ndarray]:
@@ -193,6 +279,8 @@ class RowStoreTable:
 
         Uses an index when the predicate is a simple comparison or range on an
         indexed column; otherwise performs a full scan that reads every tuple.
+        The full scan is evaluated vectorially over the cached column views
+        when the predicate supports it (same cost charges either way).
         """
         if predicate is None:
             return None
@@ -205,12 +293,10 @@ class RowStoreTable:
                 "row_scan", self.num_rows * self.row_width_bytes
             )
             accountant.charge_predicate_evals(self.num_rows)
-        names = self.schema.column_names
-        matches = [
-            i for i, row in enumerate(self._rows)
-            if predicate.evaluate(dict(zip(names, row)))
-        ]
-        return np.asarray(matches, dtype=np.int64)
+        referenced = sorted(predicate.columns() & set(self.schema.column_names))
+        arrays = {name: self._column_array(name) for name in referenced}
+        mask = evaluate_predicate_mask(predicate, arrays, self.num_rows)
+        return np.nonzero(mask)[0].astype(np.int64)
 
     def _index_lookup(
         self, predicate: Predicate, accountant: Optional[CostAccountant]
@@ -310,16 +396,26 @@ class RowStoreTable:
         Even a single-column read has to touch full tuples in the row store,
         which is exactly why the column store wins on wide analytical scans.
         """
-        index = self.schema.index_of(column)
+        return self.column_array(column, positions, accountant).tolist()
+
+    def column_array(
+        self,
+        column: str,
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`column_values`, served from the cached column view."""
+        self.schema.column(column)
         if positions is None:
             if accountant is not None:
                 accountant.charge_sequential_read(
                     "row_scan", self.num_rows * self.row_width_bytes
                 )
-            return [row[index] for row in self._rows]
+            return self._column_array(column)
         if accountant is not None:
             accountant.charge_random_accesses("row_fetch", len(positions))
-        return [self._rows[position][index] for position in positions]
+        gather = np.asarray(positions, dtype=np.int64)
+        return self._column_array(column)[gather]
 
     def scan_columns(
         self,
@@ -333,20 +429,38 @@ class RowStoreTable:
         queries: one full-width scan, regardless of how many attributes are
         requested.
         """
+        batch = self.scan_batch(columns, positions, accountant)
+        return {name: batch.column_list(name) for name in columns}
+
+    def scan_batch(
+        self,
+        columns: Sequence[str],
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> ColumnBatch:
+        """Batch variant of :meth:`scan_columns` over the cached column views.
+
+        The cost charged is still one full-width tuple scan (or one random
+        access per requested row) — only the Python-level work is vectorized.
+        """
         for name in columns:
             self.schema.column(name)
-        indexes = [(name, self.schema.index_of(name)) for name in columns]
         if positions is None:
             if accountant is not None:
                 accountant.charge_sequential_read(
                     "row_scan", self.num_rows * self.row_width_bytes
                 )
-            source = self._rows
-        else:
-            if accountant is not None:
-                accountant.charge_random_accesses("row_fetch", len(positions))
-            source = [self._rows[position] for position in positions]
-        return {name: [row[i] for row in source] for name, i in indexes}
+            return ColumnBatch(
+                {name: self._column_array(name) for name in columns},
+                num_rows=self.num_rows,
+            )
+        if accountant is not None:
+            accountant.charge_random_accesses("row_fetch", len(positions))
+        gather = np.asarray(positions, dtype=np.int64)
+        return ColumnBatch(
+            {name: self._column_array(name)[gather] for name in columns},
+            num_rows=len(gather),
+        )
 
     def all_rows(self) -> List[Dict[str, Any]]:
         """Return every row as a dict, without cost accounting (for conversions)."""
@@ -356,12 +470,16 @@ class RowStoreTable:
     # -- statistics helpers -----------------------------------------------------------
 
     def column_distinct_count(self, column: str) -> int:
-        index = self.schema.index_of(column)
-        return len({row[index] for row in self._rows})
+        array = self._column_array(column)
+        if array.dtype != object:
+            return int(len(np.unique(array)))
+        return len(set(array.tolist()))
 
     def column_min_max(self, column: str) -> Tuple[Any, Any]:
-        index = self.schema.index_of(column)
-        values = [row[index] for row in self._rows if row[index] is not None]
+        array = self._column_array(column)
+        if array.dtype.kind in "iufb" and len(array):
+            return array.min().item(), array.max().item()
+        values = [value for value in array.tolist() if value is not None]
         if not values:
             return None, None
         return min(values), max(values)

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.engine.batch import ColumnBatch
 from repro.engine.column_store import ColumnStoreTable
 from repro.engine.row_store import RowStoreTable
 from repro.engine.schema import TableSchema
@@ -84,14 +85,18 @@ class StoredTable:
         """
         if store is self.store:
             return self
-        rows = self._backend.all_rows()
+        num_rows = self._backend.num_rows
         if accountant is not None:
-            accountant.charge_layout_conversion(len(rows) * self.schema.num_columns)
+            accountant.charge_layout_conversion(num_rows * self.schema.num_columns)
         new_backend = create_backend(self.schema, store)
-        new_backend.bulk_load(rows)
-        if store is Store.ROW:
-            # Recreate secondary indexes equivalent to the defaults.
-            pass
+        # The conversion moves data columnarly: the source serves each column
+        # as one array and the target adopts them without re-validating every
+        # row (the values were validated when they entered the source store).
+        columns = {
+            name: self._backend.column_values(name)
+            for name in self.schema.column_names
+        }
+        new_backend.bulk_load_columns(columns, num_rows)
         self._backend = new_backend
         return self
 
@@ -135,10 +140,19 @@ class StoredTable:
                       accountant: Optional[CostAccountant] = None) -> List[Any]:
         return self._backend.column_values(column, positions, accountant)
 
+    def column_array(self, column: str, positions: Optional[Sequence[int]] = None,
+                     accountant: Optional[CostAccountant] = None) -> np.ndarray:
+        return self._backend.column_array(column, positions, accountant)
+
     def scan_columns(self, columns: Sequence[str],
                      positions: Optional[Sequence[int]] = None,
                      accountant: Optional[CostAccountant] = None) -> Dict[str, List[Any]]:
         return self._backend.scan_columns(columns, positions, accountant)
+
+    def scan_batch(self, columns: Sequence[str],
+                   positions: Optional[Sequence[int]] = None,
+                   accountant: Optional[CostAccountant] = None) -> "ColumnBatch":
+        return self._backend.scan_batch(columns, positions, accountant)
 
     def all_rows(self) -> List[Dict[str, Any]]:
         return self._backend.all_rows()

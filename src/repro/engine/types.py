@@ -69,8 +69,12 @@ class DataType(enum.Enum):
         """
         if value is None:
             return None
+        if type(value) is self._exact_type:
+            # Already the canonical representation — the common case on every
+            # bulk load, insert and store conversion.
+            return value
         try:
-            return _COERCERS[self](value)
+            return self._coercer(value)
         except (TypeError, ValueError) as exc:
             raise SchemaError(
                 f"value {value!r} is not valid for data type {self.value}"
@@ -134,3 +138,24 @@ _COERCERS = {
     DataType.DATE: _coerce_date,
     DataType.BOOLEAN: _coerce_bool,
 }
+
+#: Exact (canonical) Python type per data type: a value of exactly this type
+#: passes :meth:`DataType.coerce` unchanged, so it can be returned as-is.
+#: Exact type checks keep subclass corner cases (``bool`` for INTEGER,
+#: ``datetime`` for DATE) on the slow, semantically-checked path.
+_EXACT_TYPES = {
+    DataType.INTEGER: int,
+    DataType.BIGINT: int,
+    DataType.DOUBLE: float,
+    DataType.DECIMAL: float,
+    DataType.VARCHAR: str,
+    DataType.DATE: datetime.date,
+    DataType.BOOLEAN: bool,
+}
+
+# Bind the per-type helpers as member attributes: coerce() runs on every cell
+# of every load, and plain attribute access avoids an enum hash per value.
+for _member in DataType:
+    _member._exact_type = _EXACT_TYPES[_member]
+    _member._coercer = _COERCERS[_member]
+del _member

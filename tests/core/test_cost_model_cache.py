@@ -1,0 +1,69 @@
+"""The CostModel's per-(query, stores, profiles) estimate memoization."""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.engine import Store
+from repro.query import Workload, aggregate, eq, select
+
+
+@pytest.fixture
+def profiles(row_database):
+    return CostModel.profiles_from_catalog(row_database.catalog)
+
+
+class TestEstimateMemoization:
+    def test_repeat_estimates_hit_the_cache(self, profiles):
+        model = CostModel()
+        query = aggregate("sales").sum("revenue").build()
+        first = model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        assert model.cache_hits == 0 and model.cache_misses == 1
+        second = model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        assert second == first
+        assert model.cache_hits == 1
+        assert model.cache_hit_rate == pytest.approx(0.5)
+
+    def test_cached_estimates_match_fresh_model(self, profiles):
+        queries = [
+            aggregate("sales").sum("revenue").group_by("region").build(),
+            select("sales").where(eq("id", 5)).build(),
+        ]
+        workload = Workload(queries, name="memo")
+        cached_model = CostModel()
+        for _ in range(3):
+            cached_total = cached_model.estimate_workload_ms(
+                workload, {"sales": Store.COLUMN}, profiles
+            )
+        fresh_total = CostModel().estimate_workload_ms(
+            workload, {"sales": Store.COLUMN}, profiles
+        )
+        assert cached_total == fresh_total
+        assert cached_model.cache_hits > 0
+
+    def test_store_flip_is_a_distinct_entry(self, profiles):
+        model = CostModel()
+        query = aggregate("sales").sum("revenue").build()
+        row_ms = model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        column_ms = model.estimate_query_ms(query, {"sales": Store.COLUMN}, profiles)
+        assert model.cache_misses == 2
+        assert row_ms != column_ms
+
+    def test_refreshed_profiles_invalidate(self, row_database):
+        model = CostModel()
+        query = aggregate("sales").sum("revenue").build()
+        profiles = CostModel.profiles_from_catalog(row_database.catalog)
+        model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        # A refreshed catalog produces new profile objects; the memo must
+        # re-estimate rather than serve the stale entry.
+        refreshed = CostModel.profiles_from_catalog(row_database.catalog)
+        model.estimate_query_ms(query, {"sales": Store.ROW}, refreshed)
+        assert model.cache_misses == 2
+
+    def test_reset_cache(self, profiles):
+        model = CostModel()
+        query = select("sales").where(eq("id", 1)).build()
+        model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        model.reset_cache()
+        assert model.cache_hits == 0 and model.cache_misses == 0
+        assert model.cache_hit_rate == 0.0
