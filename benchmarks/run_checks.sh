@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Full verification gate in one command:
+#
+#   tier-1   — the complete test + figure-reproduction suite (pytest from the
+#              repo root, exactly the ROADMAP command),
+#   perf     — the wall-clock regression smoke against BENCH_pipeline.json,
+#   fuzz     — the seeded cross-store differential fuzz suite, standalone
+#              (it also runs inside tier-1; this run proves the marker works).
+#
+# Usage, from the repository root or this directory:
+#   benchmarks/run_checks.sh
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+PYTHONPATH="$root/src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1: full suite =="
+python -m pytest -x -q
+
+echo "== perf smoke: BENCH_pipeline.json gates =="
+python -m pytest -m perf -q benchmarks/test_perf_pipeline.py
+
+echo "== fuzz: cross-store differential suite =="
+python -m pytest -m fuzz -q tests
+
+echo "All checks passed."

@@ -3,15 +3,19 @@
 ``BENCH_pipeline.json`` (committed next to this file) records the wall-clock
 of the read-pipeline microbenchmarks on the machine that produced it:
 
-* ``seed_baseline`` — the scalar row-at-a-time pipeline before the batch
-  refactor,
-* ``recorded`` — the vectorized pipeline at the time the refactor landed,
+* ``seed_baseline`` — the pipeline *before* the optimisation that the
+  scenario pins: the scalar row-at-a-time pipeline for the ``agg_100k`` and
+  ``fig10`` scenarios (PR 1), the decode-up-front batch pipeline for the
+  ``group_by_string_100k`` scenario (late materialization),
+* ``recorded`` — the current pipeline at the time the optimisation landed,
 * ``speedup`` — the ratio of the two.
 
 The tests here re-measure the hot benchmarks and fail when they regress more
 than :data:`REGRESSION_FACTOR` against the recorded baseline, so a future
-change that silently de-vectorizes a hot path shows up in CI.  Run them
-explicitly with ``pytest -m perf benchmarks/test_perf_pipeline.py``.
+change that silently de-vectorizes a hot path shows up in CI.  The
+string-group-by gate additionally pins the late-materialization acceptance
+bar: the recorded speedup over the decode-up-front pipeline must stay >= 2x.
+Run them explicitly with ``pytest -m perf benchmarks/test_perf_pipeline.py``.
 """
 
 from __future__ import annotations
@@ -42,8 +46,12 @@ MIN_AGG_BUDGET_MS = 5.0
 
 AGG_ROWS = 100_000
 
+#: Distinct string keys of the group-by scenario: enough that re-sorting the
+#: decoded strings (the pre-late-materialization np.unique path) dominates.
+GROUP_BY_DISTINCT = 256
 
-def build_aggregation_database(store: Store) -> HybridDatabase:
+
+def build_aggregation_database(store: Store, distinct_regions: int = 8) -> HybridDatabase:
     schema = TableSchema.build(
         "facts",
         [
@@ -58,7 +66,7 @@ def build_aggregation_database(store: Store) -> HybridDatabase:
     rows = [
         {
             "id": i,
-            "region": f"region_{rng.randrange(8)}",
+            "region": f"region_{rng.randrange(distinct_regions):04d}",
             "amount": round(rng.uniform(0, 1000), 2),
             "quantity": rng.randrange(1, 50),
         }
@@ -84,6 +92,18 @@ def measure_aggregation_ms(store: Store) -> float:
     """Wall-clock of the 100k-row single-column SUM through the executor."""
     database = build_aggregation_database(store)
     query = aggregate("facts").sum("amount").build()
+    return best_of(lambda: database.execute(query)) * 1000.0
+
+
+def measure_string_group_by_ms() -> float:
+    """Wall-clock of a 100k-row group-by on a dictionary-encoded string column.
+
+    The late-materialized pipeline factorizes the carried codes in O(n); the
+    decode-up-front pipeline gathered 100k strings and re-sorted them with
+    ``np.unique``.
+    """
+    database = build_aggregation_database(Store.COLUMN, GROUP_BY_DISTINCT)
+    query = aggregate("facts").count().group_by("region").build()
     return best_of(lambda: database.execute(query)) * 1000.0
 
 
@@ -122,6 +142,27 @@ def test_agg_100k_row_store_has_not_regressed(recorded):
 
 
 @pytest.mark.perf
+def test_string_group_by_has_not_regressed(recorded):
+    measured_ms = measure_string_group_by_ms()
+    budget_ms = max(
+        recorded["group_by_string_100k_ms"] * REGRESSION_FACTOR, MIN_AGG_BUDGET_MS
+    )
+    assert measured_ms <= budget_ms, (
+        f"100k-row string group-by took {measured_ms:.3f}ms, "
+        f"budget is {budget_ms:.3f}ms "
+        f"(recorded {recorded['group_by_string_100k_ms']:.3f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_string_group_by_speedup_is_recorded():
+    """The late-materialization acceptance bar: >=2x over decode-up-front."""
+    with BENCH_FILE.open() as handle:
+        payload = json.load(handle)
+    assert payload["speedup"]["group_by_string_100k_ms"] >= 2.0
+
+
+@pytest.mark.perf
 def test_fig10_scenario_has_not_regressed(recorded):
     measured_s = measure_fig10_s()
     budget_s = recorded["fig10_s"] * REGRESSION_FACTOR
@@ -138,6 +179,7 @@ if __name__ == "__main__":
     payload["recorded"] = {
         "agg_100k_column_ms": measure_aggregation_ms(Store.COLUMN),
         "agg_100k_row_ms": measure_aggregation_ms(Store.ROW),
+        "group_by_string_100k_ms": measure_string_group_by_ms(),
         "fig10_s": measure_fig10_s(),
     }
     baseline = payload.get("seed_baseline")

@@ -9,6 +9,17 @@ layout — without executing anything.
 The model can be constructed from analytic defaults or from the parameters
 produced by :class:`~repro.core.cost_model.calibration.CostModelCalibrator`
 (the paper's offline "initialize cost model" step).
+
+Invariant against the execution engine: the estimator prices the *model* of
+an access path (sequential bytes, decodes, probes, ...), and the engine's
+:class:`~repro.engine.timing.CostAccountant` charges that same model during
+execution.  Wall-clock rewrites of the engine — the vectorized batch
+pipeline, the late-materialized dictionary-code pipeline — must keep the
+charged :class:`~repro.engine.timing.CostBreakdown` bit-identical to the
+scalar reference (a column scan still charges one dictionary decode per
+value even when the codes travel undecoded), otherwise the calibrated
+weights and the estimation-accuracy figures silently drift.  The equivalence
+is pinned by ``tests/engine/test_late_materialization.py``.
 """
 
 from __future__ import annotations

@@ -1,11 +1,26 @@
 """Columnar batches: the vectorized interchange format of the read pipeline.
 
-A :class:`ColumnBatch` is a set of aligned numpy value arrays (one per
-column) plus optional null masks.  The storage backends produce batches
-(dictionary codes are decoded with one fancy-indexing gather per column) and
-the executor's operators consume them with numpy reductions, so no per-value
-Python loop runs between the storage layer and the ``QueryResult`` boundary.
-Row dicts are materialised lazily, only when a result actually needs rows.
+A :class:`ColumnBatch` is a set of aligned columns plus optional null masks.
+Each column is either
+
+* a plain numpy **value array**, or
+* an :class:`EncodedColumn` — a ``(codes, dictionary)`` pair carried straight
+  from the column store's dictionary encoding (**late materialisation**).
+
+The codes-vs-values contract: producers hand the executor whichever
+representation they already have (the column store its int64 code arrays, the
+row store its cached value arrays); operators work on the representation they
+receive — group-by factorizes dictionary codes in O(n) without decoding, hash
+joins probe on code arrays when both sides share a dictionary, predicate
+masks on dictionary columns are evaluated as code ranges in the storage
+layer — and the dictionary is consulted only for the values that actually
+reach the result: group keys decode once per *group*, and full decodes happen
+only at the ``QueryResult`` boundary (:meth:`ColumnBatch.to_rows` /
+``fetch_rows``).  Consumers that need values call :meth:`ColumnBatch.column`
+(decodes encoded columns, one fancy-indexing gather, cached); consumers that
+can exploit codes call :meth:`ColumnBatch.raw` and check for
+:class:`EncodedColumn`.  Row dicts are materialised lazily, only when a
+result actually needs rows.
 
 The module also hosts :func:`vectorized_value_mask`, the value-level
 vectorized predicate evaluator shared by the row store's full scan and the
@@ -22,7 +37,7 @@ pipeline.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,8 +56,11 @@ from repro.query.predicates import (
 
 __all__ = [
     "ColumnBatch",
+    "EncodedColumn",
+    "decoded_array",
     "evaluate_predicate_mask",
     "null_mask_of",
+    "take_column",
     "values_to_array",
     "vectorized_value_mask",
 ]
@@ -87,12 +105,81 @@ def null_mask_of(array: np.ndarray) -> Optional[np.ndarray]:
     return mask if mask.any() else None
 
 
+class EncodedColumn:
+    """A dictionary-compressed column travelling through the batch pipeline.
+
+    Holds the int64 ``codes`` array together with the (sorted)
+    ``dictionary`` that decodes them — the column store's native
+    representation, carried through the executor unchanged so that group-by,
+    joins and row selection can operate on the compact codes.  ``values``
+    decodes on first use (one fancy-indexing gather) and caches the result;
+    operators that only need codes never trigger it.
+    """
+
+    __slots__ = ("codes", "dictionary", "_values")
+
+    def __init__(self, codes: np.ndarray, dictionary) -> None:
+        self.codes = codes
+        self.dictionary = dictionary
+        self._values: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The decoded value array (gathered lazily, cached)."""
+        if self._values is None:
+            self._values = self.dictionary.decode_array(self.codes)
+        return self._values
+
+    def tolist(self) -> List[Any]:
+        return self.values.tolist()
+
+    def take(self, selector: np.ndarray) -> "EncodedColumn":
+        """Row selection without decoding: gather the codes only."""
+        return EncodedColumn(self.codes[selector], self.dictionary)
+
+    def factorize(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Return ``(distinct_codes, inverse)`` in O(n) — no value sort.
+
+        Because the dictionary is sorted, the codes already carry the value
+        order: marking the used codes and compacting them with a running sum
+        yields exactly what ``np.unique(values, return_inverse=True)`` would,
+        without decoding a single value.
+        """
+        codes = self.codes
+        used = np.zeros(max(len(self.dictionary), 1), dtype=bool)
+        used[codes] = True
+        remap = np.cumsum(used) - 1
+        return np.nonzero(used)[0], remap[codes]
+
+
+BatchColumn = Union[np.ndarray, EncodedColumn]
+
+
+def decoded_array(values: BatchColumn) -> np.ndarray:
+    """The value array of a batch column (decoding if it is encoded)."""
+    return values.values if isinstance(values, EncodedColumn) else values
+
+
+def take_column(values: BatchColumn, selector: np.ndarray) -> BatchColumn:
+    """Row-select a batch column, staying encoded when it is encoded."""
+    if isinstance(values, EncodedColumn):
+        return values.take(selector)
+    return values[selector]
+
+
 class ColumnBatch:
-    """Aligned per-column value arrays — the unit of the vectorized pipeline."""
+    """Aligned per-column arrays — the unit of the vectorized pipeline.
+
+    Columns are value arrays or :class:`EncodedColumn` ``(codes, dictionary)``
+    pairs; see the module docstring for the codes-vs-values contract.
+    """
 
     __slots__ = ("_columns", "num_rows")
 
-    def __init__(self, columns: Dict[str, np.ndarray], num_rows: Optional[int] = None):
+    def __init__(self, columns: Dict[str, BatchColumn], num_rows: Optional[int] = None):
         self._columns = columns
         if num_rows is None:
             num_rows = len(next(iter(columns.values()))) if columns else 0
@@ -115,42 +202,79 @@ class ColumnBatch:
         return self.num_rows
 
     def column(self, name: str) -> np.ndarray:
+        """The value array of *name* (decoding an encoded column)."""
+        return decoded_array(self._columns[name])
+
+    def raw(self, name: str) -> BatchColumn:
+        """The column as carried: a value array or an :class:`EncodedColumn`."""
         return self._columns[name]
 
+    def encoded(self, name: str) -> Optional[EncodedColumn]:
+        """The column's ``(codes, dictionary)`` pair, or ``None`` if plain."""
+        values = self._columns[name]
+        return values if isinstance(values, EncodedColumn) else None
+
     def column_list(self, name: str) -> List[Any]:
-        return self._columns[name].tolist()
+        return self.column(name).tolist()
 
     def arrays(self) -> Dict[str, np.ndarray]:
+        """All columns as value arrays (decodes encoded columns)."""
+        return {name: decoded_array(values) for name, values in self._columns.items()}
+
+    def raw_columns(self) -> Dict[str, BatchColumn]:
+        """All columns as carried — no decode."""
         return dict(self._columns)
 
     def null_mask(self, name: str) -> Optional[np.ndarray]:
-        return null_mask_of(self._columns[name])
+        return null_mask_of(self.column(name))
 
     # -- construction / transformation -------------------------------------------
 
     def take(self, selector: np.ndarray) -> "ColumnBatch":
-        """Select rows by boolean mask or index array (numpy semantics)."""
-        taken = {name: values[selector] for name, values in self._columns.items()}
+        """Select rows by boolean mask or index array (numpy semantics).
+
+        Encoded columns stay encoded: only their codes are gathered.
+        """
+        taken = {
+            name: take_column(values, selector)
+            for name, values in self._columns.items()
+        }
         return ColumnBatch(taken)
 
     @classmethod
     def concat(cls, batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
-        """Stack batches with identical column sets (e.g. partition segments)."""
+        """Stack batches with identical column sets (e.g. partition segments).
+
+        Encoded parts sharing one dictionary object concatenate codes;
+        mixed representations (different partitions have independent
+        dictionaries) decode first, exactly like the pre-late-materialisation
+        pipeline did.
+        """
         if not batches:
             return cls({})
         total_rows = sum(batch.num_rows for batch in batches)
         names = batches[0].column_names
-        columns: Dict[str, np.ndarray] = {}
+        columns: Dict[str, BatchColumn] = {}
         for name in names:
-            parts = [batch.column(name) for batch in batches if batch.num_rows]
+            parts = [batch.raw(name) for batch in batches if batch.num_rows]
             if not parts:
-                columns[name] = batches[0].column(name)
+                columns[name] = batches[0].raw(name)
             elif len(parts) == 1:
                 columns[name] = parts[0]
+            elif all(
+                isinstance(part, EncodedColumn)
+                and part.dictionary is parts[0].dictionary
+                for part in parts
+            ):
+                columns[name] = EncodedColumn(
+                    np.concatenate([part.codes for part in parts]),
+                    parts[0].dictionary,
+                )
             else:
-                if any(part.dtype == object for part in parts):
-                    parts = [part.astype(object) for part in parts]
-                columns[name] = np.concatenate(parts)
+                arrays = [decoded_array(part) for part in parts]
+                if any(array.dtype == object for array in arrays):
+                    arrays = [array.astype(object) for array in arrays]
+                columns[name] = np.concatenate(arrays)
         return cls(columns, num_rows=total_rows)
 
     # -- lazy row materialisation ---------------------------------------------------
@@ -158,7 +282,7 @@ class ColumnBatch:
     def to_rows(self, names: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
         """Materialise row dicts — the ``QueryResult`` boundary only."""
         selected = list(names) if names is not None else self.column_names
-        lists = [self._columns[name].tolist() for name in selected]
+        lists = [self.column(name).tolist() for name in selected]
         return [dict(zip(selected, values)) for values in zip(*lists)] if lists else []
 
 

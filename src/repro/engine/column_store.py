@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.batch import ColumnBatch, evaluate_predicate_mask
+from repro.engine.batch import ColumnBatch, EncodedColumn, evaluate_predicate_mask
 from repro.engine.compression import CompressedColumn, code_width_bytes
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
@@ -31,20 +31,6 @@ from repro.query.predicates import (
     InList,
     Predicate,
 )
-
-def _nan_code(dictionary) -> Optional[int]:
-    """Code of a NaN dictionary entry, or ``None``.
-
-    ``np.unique`` sorts NaN after every real value, so if present it is the
-    last entry of the dictionary.
-    """
-    size = len(dictionary)
-    if size:
-        last = dictionary.decode(size - 1)
-        if isinstance(last, float) and last != last:
-            return size - 1
-    return None
-
 
 #: When a position list covers more than this fraction of the table, the
 #: column store materialises the requested columns with a sequential scan of
@@ -117,27 +103,91 @@ class ColumnStoreTable:
 
         Every cell pays the column-store insert penalty (dictionary lookup and
         potential re-encoding, delta append); the primary key additionally
-        pays a uniqueness probe.
+        pays a uniqueness probe.  The *charges* are per row, but the physical
+        append is columnar — one :meth:`CompressedColumn.extend` per column,
+        so each dictionary merges the batch's new values in a single pass.
+
+        A validation error or duplicate primary key aborts the batch at the
+        offending row: every earlier row of the batch is inserted (and
+        charged), the offending and later rows are not — exactly the
+        partial-state contract of the original per-row append loop.  A value
+        the dictionaries cannot encode (NULL mixed into a column that holds
+        values, or vice versa) aborts the whole batch cleanly: nothing is
+        inserted, no primary key stays registered, and the ``TypeError``
+        propagates.
         """
-        positions = []
+        pending: List[Dict[str, Any]] = []
+        failure: Optional[Exception] = None
         for raw_row in rows:
-            validated = self.schema.validate_row(raw_row)
-            if self._pk_column is not None:
-                key = validated[self._pk_column]
+            try:
+                validated = self.schema.validate_row(raw_row)
+                if self._pk_column is not None:
+                    key = validated[self._pk_column]
+                    if accountant is not None:
+                        accountant.charge_index_probe()
+                    if key in self._pk_values:
+                        raise ExecutionError(
+                            f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                        )
+                    self._pk_values.add(key)
+            except Exception as exc:
+                failure = exc
+                break
+            pending.append(validated)
+        positions = []
+        if pending:
+            try:
+                self._check_batch_encodable(pending)
+                self._extend_columns(pending)
+            except Exception:
+                if self._pk_column is not None:
+                    for row in pending:
+                        self._pk_values.discard(row[self._pk_column])
+                raise
+            for _ in pending:
                 if accountant is not None:
-                    accountant.charge_index_probe()
-                if key in self._pk_values:
-                    raise ExecutionError(
-                        f"duplicate primary key {key!r} in table {self.schema.name!r}"
-                    )
-                self._pk_values.add(key)
-            for name, column in self._columns.items():
-                column.append(validated[name])
-            if accountant is not None:
-                accountant.charge_cs_value_inserts(self.schema.num_columns)
-            positions.append(self._num_rows)
-            self._num_rows += 1
+                    accountant.charge_cs_value_inserts(self.schema.num_columns)
+                positions.append(self._num_rows)
+                self._num_rows += 1
+        if failure is not None:
+            raise failure
         return positions
+
+    def _check_batch_encodable(self, pending: Sequence[Mapping[str, Any]]) -> None:
+        """Raise (before any column is touched) if a dictionary would reject the batch.
+
+        The sorted dictionary cannot order NULL against real values: a column
+        may be all-NULL or NULL-free, never mixed.  Checking up front keeps a
+        failing batch from leaving the columns half-extended.
+        """
+        for name, column in self._columns.items():
+            has_null = any(row[name] is None for row in pending)
+            has_value = any(row[name] is not None for row in pending)
+            holds_values = len(column.dictionary) and not column.dictionary.holds_null
+            if (has_null and (has_value or holds_values)) or (
+                has_value and column.dictionary.holds_null
+            ):
+                raise TypeError(
+                    "cannot mix NULL with values in a sorted dictionary "
+                    f"(column {name!r} of table {self.schema.name!r})"
+                )
+
+    def _extend_columns(self, pending: Sequence[Mapping[str, Any]]) -> None:
+        """One :meth:`CompressedColumn.extend` per column, atomically.
+
+        If a column unexpectedly rejects its values the already-extended
+        columns are truncated back, so the table never ends up with
+        misaligned column lengths.
+        """
+        extended: List[Tuple[CompressedColumn, int]] = []
+        try:
+            for name, column in self._columns.items():
+                extended.append((column, len(column)))
+                column.extend([row[name] for row in pending])
+        except Exception:
+            for column, old_size in extended:
+                column.truncate(old_size)
+            raise
 
     def bulk_load(self, rows: Sequence[Mapping[str, Any]]) -> None:
         """Load rows without cost accounting (used by generators and tests).
@@ -298,39 +348,70 @@ class ColumnStoreTable:
             column = self._columns.get(next(iter(predicate.columns())))
             if column is None:
                 return None
+            mask = self._code_mask(column, predicate)
+            if mask is None:
+                # The dictionary cannot answer this predicate (incomparable
+                # literal types); fall back without having charged anything.
+                return None
             if accountant is not None:
                 accountant.charge_index_probe()  # dictionary lookup of the literal(s)
                 accountant.charge_sequential_read("column_scan", column.code_bytes)
                 accountant.charge_vector_compares(self._num_rows)
-            codes = column.codes
+            return mask
+        return None
+
+    def _code_mask(
+        self, column: CompressedColumn, predicate: Predicate
+    ) -> Optional[np.ndarray]:
+        """Mask of a simple predicate over *column*'s code array, or ``None``.
+
+        Value constants translate to code ranges through the sorted
+        dictionary (``bisect``); a ``TypeError`` from comparing a literal of
+        an incomparable type against the dictionary values aborts the
+        translation (the caller falls back to the value-level evaluator,
+        which mirrors the row store's behaviour exactly).
+        """
+        codes = column.codes
+        dictionary = column.dictionary
+        try:
             if isinstance(predicate, Comparison):
                 return self._comparison_mask(column, codes, predicate)
             if isinstance(predicate, Between):
-                lo, hi = column.dictionary.range_codes(
+                if dictionary.holds_null:
+                    # BETWEEN never matches NULL, and the all-NULL dictionary
+                    # cannot order its bounds.
+                    return np.zeros(len(codes), dtype=bool)
+                lo, hi = dictionary.range_codes(
                     predicate.low, predicate.high,
                     predicate.include_low, predicate.include_high,
                 )
                 mask = (codes >= lo) & (codes < hi)
-                nan_code = _nan_code(column.dictionary)
+                nan_code = dictionary.nan_code
                 if nan_code is not None:
                     # The scalar evaluator tests Between by *exclusion*
                     # (value < low / value > high), which NaN never fails.
                     mask |= codes == nan_code
                 return mask
             member_codes = [
-                column.dictionary.encode_existing(value) for value in predicate.values
+                dictionary.encode_existing(value) for value in predicate.values
             ]
             member_codes = [code for code in member_codes if code is not None]
             if not member_codes:
-                return np.zeros(self._num_rows, dtype=bool)
+                return np.zeros(len(codes), dtype=bool)
             return np.isin(codes, np.asarray(member_codes, dtype=np.int64))
-        return None
+        except TypeError:
+            return None
 
     @staticmethod
     def _comparison_mask(
         column: CompressedColumn, codes: np.ndarray, predicate: Comparison
     ) -> np.ndarray:
         dictionary = column.dictionary
+        if predicate.value is None or dictionary.holds_null:
+            # ``column <op> NULL`` never matches, and neither does any
+            # comparison over an all-NULL column (row-at-a-time semantics:
+            # a comparison involving NULL is false, whatever the operator).
+            return np.zeros(len(codes), dtype=bool)
         if predicate.op is CompareOp.EQ:
             code = dictionary.encode_existing(predicate.value)
             if code is None:
@@ -341,10 +422,15 @@ class ColumnStoreTable:
             if code is None:
                 return np.ones(len(codes), dtype=bool)
             return codes != code
+        if isinstance(predicate.value, float) and predicate.value != predicate.value:
+            # Ordered comparison against a NaN literal is false for every
+            # value (bisect would place NaN at position 0 and wrongly match
+            # everything for >=).
+            return np.zeros(len(codes), dtype=bool)
         # Ordered comparisons never match NaN row-at-a-time (every comparison
         # is False); a NaN dictionary entry sorts last, so exclude its code
         # from the range masks explicitly.
-        nan_code = _nan_code(dictionary)
+        nan_code = dictionary.nan_code
         if predicate.op in (CompareOp.LT, CompareOp.LE):
             lo, hi = dictionary.range_codes(
                 None, predicate.value, include_high=predicate.op is CompareOp.LE
@@ -442,6 +528,31 @@ class ColumnStoreTable:
         if accountant is not None:
             self._charge_materialisation(column, len(positions), accountant)
         return compressed.values_array_at(np.asarray(positions, dtype=np.int64))
+
+    def column_encoded(
+        self,
+        column: str,
+        positions: Optional[Sequence[int]] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> EncodedColumn:
+        """Late-materialized read: the column's ``(codes, dictionary)`` pair.
+
+        No value is decoded — downstream operators work on the codes and the
+        dictionary is consulted only for the values that reach the result.
+        The *charges* are identical to :meth:`column_array` (including the
+        per-value decode charge): carrying codes is a wall-clock optimisation
+        of the simulator, not a cost-model change — the simulated system
+        still decodes each value it returns.
+        """
+        compressed = self._columns[column]
+        if positions is None:
+            if accountant is not None:
+                accountant.charge_sequential_read("column_scan", compressed.code_bytes)
+                accountant.charge_dict_decodes(self._num_rows)
+            return EncodedColumn(compressed.codes_at(None), compressed.dictionary)
+        if accountant is not None:
+            self._charge_materialisation(column, len(positions), accountant)
+        return EncodedColumn(compressed.codes_at(positions), compressed.dictionary)
 
     def scan_columns(
         self,

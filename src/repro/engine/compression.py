@@ -24,6 +24,10 @@ import numpy as np
 from repro.engine.types import DataType
 
 
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and value != value
+
+
 def code_width_bytes(num_distinct: int) -> int:
     """Width in bytes of one dictionary code for ``num_distinct`` values.
 
@@ -97,6 +101,20 @@ class ColumnDictionary:
             self._values.append(None)
             self._invalidate()
             return 0, 0
+        if _is_nan(value):
+            # NaN defeats bisect (every comparison is false would place it
+            # first); it sorts *last* by convention, like np.unique puts it.
+            code = self.nan_code
+            if code is not None:
+                return code, None
+            if self.holds_null:
+                raise TypeError(
+                    "cannot mix NULL with values in a sorted dictionary"
+                )
+            self._values.append(value)
+            self._invalidate()
+            # Appended behind every existing value: no stored code shifts.
+            return len(self._values) - 1, None
         position = bisect.bisect_left(self._values, value) if self._values else 0
         if position < len(self._values) and self._values[position] == value:
             return position, None
@@ -125,6 +143,29 @@ class ColumnDictionary:
             return None
         if position < len(self._values) and self._values[position] == value:
             return position
+        return None
+
+    @property
+    def holds_null(self) -> bool:
+        """Whether this is the all-NULL dictionary (``None`` at code 0).
+
+        ``None`` cannot be ordered against real values, so it only ever lives
+        alone in a dictionary; any comparison predicate over such a column is
+        false for every row.
+        """
+        return bool(self._values) and self._values[0] is None
+
+    @property
+    def nan_code(self) -> Optional[int]:
+        """Code of a NaN dictionary entry, or ``None``.
+
+        ``np.unique`` (and :func:`bisect`) sort NaN after every real value, so
+        if present it is the last entry of the dictionary.
+        """
+        if self._values:
+            last = self._values[-1]
+            if isinstance(last, float) and last != last:
+                return len(self._values) - 1
         return None
 
     def decode(self, code: int) -> Any:
@@ -203,13 +244,31 @@ class ColumnDictionary:
         """Insert any not-yet-present values of *new_values* in one pass.
 
         Returns the old-code → new-code remap array (the caller re-maps its
-        stored codes), or ``None`` when the dictionary did not change.
+        stored codes), or ``None`` when the dictionary did not change.  NaN
+        is kept out of the sort (it would poison Python's ``sorted``) and
+        re-appended last, where :attr:`nan_code` expects it.
         """
-        fresh = [value for value in set(new_values) if self.encode_existing(value) is None]
-        if not fresh:
+        fresh = []
+        fresh_nan = False
+        for value in set(new_values):
+            if _is_nan(value):
+                fresh_nan = True
+            elif self.encode_existing(value) is None:
+                fresh.append(value)
+        old_nan = self.nan_code is not None
+        if not fresh and not (fresh_nan and not old_nan):
             return None
+        if self.holds_null:
+            # The all-NULL dictionary admits nothing orderable next to None.
+            raise TypeError("cannot mix NULL with values in a sorted dictionary")
         old_values = self._values
-        merged = sorted(old_values + fresh)
+        merged = sorted((old_values[:-1] if old_nan else old_values) + fresh)
+        if old_nan:
+            # Reuse the stored NaN object so the identity-based remap lookup
+            # below still finds it.
+            merged.append(old_values[-1])
+        elif fresh_nan:
+            merged.append(float("nan"))
         self._values = merged
         self._invalidate()
         code_of = {v: i for i, v in enumerate(merged)}
@@ -306,6 +365,21 @@ class CompressedColumn:
         """Adopt a pre-encoded code array (columnar rebuild fast path)."""
         self._codes = np.ascontiguousarray(codes, dtype=np.int64)
         self._size = len(codes)
+
+    def truncate(self, size: int) -> None:
+        """Roll the live code region back to *size* rows (batch-insert abort).
+
+        Values merged into the dictionary by the aborted batch may survive as
+        unused entries; the remap applied alongside the merge kept every live
+        code decoding to its original value, so the column stays consistent.
+        """
+        self._size = size
+
+    def codes_at(self, positions: Optional[Sequence[int]] = None) -> np.ndarray:
+        """The code array (all rows, or a position gather) — no decoding."""
+        if positions is None:
+            return self.codes
+        return self._codes[np.asarray(positions, dtype=np.int64)]
 
     def value_at(self, position: int) -> Any:
         return self.dictionary.decode(int(self._codes[position]))

@@ -4,33 +4,46 @@ Architecture note — the columnar batch pipeline
 ===============================================
 
 Read queries flow through the executor as **columnar batches**
-(:class:`~repro.engine.batch.ColumnBatch`: aligned numpy value arrays, one
-per column), not as lists of row dicts:
+(:class:`~repro.engine.batch.ColumnBatch`), not as lists of row dicts.  A
+batch column is either a plain numpy value array or — for dictionary-
+compressed column-store data — an :class:`~repro.engine.batch.EncodedColumn`
+``(codes, dictionary)`` pair carried through the pipeline undecoded (**late
+materialization**):
 
-* the storage backends decode straight into arrays — the column store with
-  one fancy-indexing gather over its dictionary (``values[codes]``), the row
-  store from cached per-column views of its tuples;
+* the row store serves cached per-column views of its tuples; the column
+  store hands out its int64 code arrays with the sorted dictionary attached
+  — no fancy-indexing decode gather on the scan path;
 * access paths (:class:`SimpleAccessPath`, :class:`PartitionedAccessPath`)
   expose :meth:`~AccessPath.collect_batch`, concatenating partition segments
-  columnarly;
-* the operators consume batches: aggregations run as numpy reductions with an
-  ``np.unique``-factorized group-by, hash joins probe on key arrays and
-  gather dimension attributes with one fancy-indexing pass per column, and
-  complex predicates are evaluated vectorially over value arrays
+  columnarly (segments sharing a dictionary concatenate codes; mixed
+  representations decode first);
+* the operators consume batches in whichever representation they carry:
+  group-bys factorize encoded keys straight from the sorted codes in O(n)
+  (no ``np.unique`` re-sort of decoded strings) and decode one key value per
+  *group*; hash joins probe int64 code arrays when both sides share a
+  dictionary, resolve each probe-dictionary value once otherwise, and fall
+  back to value arrays for plain columns; predicate masks on dictionary
+  columns are translated to code ranges via ``bisect`` in the storage layer;
+  aggregate *inputs* are reduced by value (one decode gather); complex
+  predicates are evaluated vectorially over value arrays
   (:func:`~repro.engine.batch.vectorized_value_mask`);
-* row dicts are materialised **lazily**, only at the :class:`QueryResult`
-  boundary (``fetch_rows`` / ``ColumnBatch.to_rows``) — an aggregation over a
-  100k-row table never builds a single intermediate row dict.
+* values materialise only at the :class:`QueryResult` boundary
+  (``fetch_rows`` / ``ColumnBatch.to_rows``) — an aggregation over a
+  100k-row table never builds an intermediate row dict and never decodes its
+  group-key column.
 
 The batch pipeline is purely a wall-clock optimisation of the simulator:
 every :class:`~repro.engine.timing.CostAccountant` charge is identical to the
-scalar row-at-a-time pipeline (same components, same amounts, same order), so
-the advisor's estimated-vs-measured calibration is unaffected.  Value mixes
-numpy cannot express (NULLs in object columns, unsortable group keys) fall
-back to the scalar implementations, which remain the semantic reference.
+scalar row-at-a-time pipeline (same components, same amounts, same order) —
+including the per-value decode charges of scans whose decode never physically
+happens — so the advisor's estimated-vs-measured calibration is unaffected.
+Value mixes numpy cannot express (NULLs in object columns, unsortable or
+NaN group keys) fall back to the scalar implementations, which remain the
+semantic reference; the cross-store differential fuzz suite
+(``tests/engine/test_differential_fuzz.py``) pins the equivalence.
 """
 
-from repro.engine.batch import ColumnBatch
+from repro.engine.batch import ColumnBatch, EncodedColumn
 from repro.engine.executor.access import AccessPath, SimpleAccessPath
 from repro.engine.executor.executor import QueryExecutor, QueryResult
 from repro.engine.executor.rewrite import PartitionedAccessPath, access_path_for
@@ -38,6 +51,7 @@ from repro.engine.executor.rewrite import PartitionedAccessPath, access_path_for
 __all__ = [
     "AccessPath",
     "ColumnBatch",
+    "EncodedColumn",
     "PartitionedAccessPath",
     "QueryExecutor",
     "QueryResult",

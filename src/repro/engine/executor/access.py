@@ -120,10 +120,12 @@ class SimpleAccessPath(AccessPath):
             # One full-width pass delivers every requested column.
             return self.table.scan_batch(columns, positions, accountant)
         # Column store: one compressed scan (or reconstruction) per column.
+        # The batch carries the (codes, dictionary) pairs undecoded — values
+        # materialise only where the query result actually needs them.
         num_rows = self.table.num_rows if positions is None else len(positions)
         return ColumnBatch(
             {
-                name: self.table.column_array(name, positions, accountant)
+                name: self.table.column_batched(name, positions, accountant)
                 for name in columns
             },
             num_rows=num_rows,

@@ -2,13 +2,16 @@
 
 The aggregation operator collects columnar batches from an access path and
 feeds the value arrays through numpy reductions: ungrouped aggregates are
-single reductions, grouped aggregates factorize the key columns with
-``np.unique`` and reduce per group with ``bincount``/``reduceat``.  Value
-arrays numpy cannot reduce (mixed objects, NULLs in object columns) fall back
-to the scalar :class:`Accumulator` loop, which remains the semantic reference.
+single reductions, grouped aggregates factorize the key columns and reduce
+per group with ``bincount``/``reduceat``.  A dictionary-encoded group key
+(:class:`~repro.engine.batch.EncodedColumn`) factorizes straight from its
+sorted codes in O(n) — no value is decoded until the per-*group* key values
+are emitted; plain value arrays factorize with ``np.unique``.  Value arrays
+numpy cannot reduce (mixed objects, NULLs in object columns) fall back to the
+scalar :class:`Accumulator` loop, which remains the semantic reference.
 
 The *cost* of aggregation is charged by the operator through the timing
-model; vectorized and scalar execution charge identically.
+model; vectorized, code-based and scalar execution charge identically.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.batch import EncodedColumn
 from repro.errors import ExecutionError
 from repro.query.ast import AggregateFunction, AggregateSpec
 
@@ -61,6 +65,44 @@ def aggregate_values(function: AggregateFunction, values: Iterable[Any]) -> Any:
     for value in values:
         accumulator.update(value)
     return accumulator.result()
+
+
+class _GroupOrdering:
+    """Lazy group-sorted row order of one aggregation.
+
+    ``bincount``-served aggregates (COUNT/SUM/AVG over native arrays) never
+    need the rows sorted by group; the stable argsort — the single most
+    expensive step of a large group-by — runs only when a min/max ``reduceat``
+    or a scalar per-group fold asks for it, and at most once.
+    """
+
+    __slots__ = ("_group_of_row", "_num_groups", "_num_rows", "_cached")
+
+    def __init__(self, group_of_row: np.ndarray, num_groups: int, num_rows: int) -> None:
+        self._group_of_row = group_of_row
+        self._num_groups = num_groups
+        self._num_rows = num_rows
+        self._cached: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def get(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row_order, bounds)``: the slice [bounds[g]:bounds[g+1]] of the
+        reordered rows holds exactly group g's rows."""
+        if self._cached is None:
+            row_order = np.argsort(self._group_of_row, kind="stable")
+            starts = np.searchsorted(
+                self._group_of_row[row_order], np.arange(self._num_groups)
+            )
+            bounds = np.append(starts, self._num_rows)
+            self._cached = (row_order, bounds)
+        return self._cached
+
+
+def _key_values_at(column: Any, first_rows: np.ndarray) -> List[Any]:
+    """Group key values at the groups' first rows (one decode per group)."""
+    if isinstance(column, EncodedColumn):
+        return column.dictionary.decode_array(column.codes[first_rows]).tolist()
+    array = column if isinstance(column, np.ndarray) else np.asarray(column, dtype=object)
+    return array[first_rows].tolist()
 
 
 def _is_reducible(values: Any) -> bool:
@@ -118,7 +160,14 @@ class GroupedAggregation:
         ``aggregate_inputs[i]`` is the value array feeding ``aggregates[i]``
         (``None`` for ``COUNT(*)``); ``group_key_columns`` holds one aligned
         array per group-by output name (empty for an ungrouped aggregation).
+        Group key columns may be :class:`EncodedColumn` pairs, which
+        factorize from their codes without decoding; aggregate *inputs* are
+        reduced by value and decode up front.
         """
+        aggregate_inputs = [
+            values.values if isinstance(values, EncodedColumn) else values
+            for values in aggregate_inputs
+        ]
         for values in aggregate_inputs:
             if values is not None and len(values) != num_rows:
                 raise ExecutionError("aggregate input length does not match row count")
@@ -155,37 +204,62 @@ class GroupedAggregation:
         group_key_columns: Sequence[Sequence[Any]],
         num_rows: int,
     ) -> Optional[List[Dict[str, Any]]]:
-        """Group-by via ``np.unique`` factorization; ``None`` if keys resist it.
+        """Group-by via key factorization; ``None`` if the keys resist it.
 
-        Groups are emitted in first-occurrence order, exactly like the scalar
-        accumulator loop, so both paths produce identical result lists.
+        Dictionary-encoded key columns factorize from their sorted codes in
+        O(n) (:meth:`EncodedColumn.factorize`) and decode one value per
+        *group*; plain arrays factorize with ``np.unique``.  Groups are
+        emitted in first-occurrence order, exactly like the scalar
+        accumulator loop, so all paths produce identical result lists.
         """
-        key_arrays = []
+        sizes: List[int] = []
+        inverses: List[np.ndarray] = []
         for column in group_key_columns:
+            if isinstance(column, EncodedColumn):
+                nan_code = column.dictionary.nan_code
+                if nan_code is not None and bool((column.codes == nan_code).any()):
+                    # Decoding boxes every NaN key separately and the scalar
+                    # reference keys groups per NaN object; defer to it.
+                    return None
+                distinct_codes, inverse = column.factorize()
+                sizes.append(len(distinct_codes))
+                inverses.append(inverse)
+                continue
             array = column if isinstance(column, np.ndarray) else np.asarray(column, dtype=object)
             if array.dtype.kind == "f" and np.isnan(array).any():
                 # np.unique would merge NaN keys into one group; the scalar
                 # reference keys groups per NaN object.
                 return None
-            key_arrays.append(array)
-        try:
-            factorized = [np.unique(array, return_inverse=True) for array in key_arrays]
-        except TypeError:
-            # Unsortable key mix (e.g. NULLs in an object column).
-            return None
-        key_space = 1
-        for uniques, _ in factorized:
-            key_space *= max(len(uniques), 1)
-        if key_space > 2 ** 62:
-            return None  # combined key would overflow int64
-        combined = np.zeros(num_rows, dtype=np.int64)
-        for uniques, inverse in factorized:
-            combined = combined * max(len(uniques), 1) + inverse.reshape(-1)
-        _, first_index, inverse = np.unique(
-            combined, return_index=True, return_inverse=True
-        )
-        inverse = inverse.reshape(-1)
-        num_groups = len(first_index)
+            try:
+                uniques, inverse = np.unique(array, return_inverse=True)
+            except TypeError:
+                # Unsortable key mix (e.g. NULLs in an object column).
+                return None
+            sizes.append(len(uniques))
+            inverses.append(inverse.reshape(-1))
+        if len(sizes) == 1:
+            # A single key is already factorized densely (codes 0..G-1), so
+            # first-occurrence positions come from one reverse assignment —
+            # no second sort.  Assigning positions in reverse row order
+            # leaves, per group, the smallest row index written last.
+            num_groups = sizes[0]
+            inverse = inverses[0]
+            first_index = np.empty(num_groups, dtype=np.int64)
+            first_index[inverse[::-1]] = np.arange(num_rows - 1, -1, -1)
+        else:
+            key_space = 1
+            for size in sizes:
+                key_space *= max(size, 1)
+            if key_space > 2 ** 62:
+                return None  # combined key would overflow int64
+            combined = np.zeros(num_rows, dtype=np.int64)
+            for size, inverse in zip(sizes, inverses):
+                combined = combined * max(size, 1) + inverse
+            _, first_index, inverse = np.unique(
+                combined, return_index=True, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            num_groups = len(first_index)
         # Renumber groups by first occurrence to match scalar emission order.
         order = np.argsort(first_index, kind="stable")
         rank = np.empty(num_groups, dtype=np.int64)
@@ -193,18 +267,16 @@ class GroupedAggregation:
         group_of_row = rank[inverse]
         first_rows = first_index[order]
 
-        key_values = [array[first_rows].tolist() for array in key_arrays]
-        # Row order sorted by group (stable): the slice [starts[g]:starts[g+1]]
-        # of the reordered inputs holds exactly group g's rows.
-        row_order = np.argsort(group_of_row, kind="stable")
-        starts = np.searchsorted(group_of_row[row_order], np.arange(num_groups))
-        bounds = np.append(starts, num_rows)
+        key_values = [
+            _key_values_at(column, first_rows) for column in group_key_columns
+        ]
+        ordering = _GroupOrdering(group_of_row, num_groups, num_rows)
 
         columns: List[List[Any]] = []
         for spec, values in zip(self.aggregates, aggregate_inputs):
             columns.append(
                 self._grouped_aggregate(
-                    spec.function, values, group_of_row, row_order, bounds, num_groups
+                    spec.function, values, group_of_row, ordering, num_groups
                 )
             )
         results = []
@@ -223,8 +295,7 @@ class GroupedAggregation:
         function: AggregateFunction,
         values: Optional[Sequence[Any]],
         group_of_row: np.ndarray,
-        row_order: np.ndarray,
-        bounds: np.ndarray,
+        ordering: "_GroupOrdering",
         num_groups: int,
     ) -> List[Any]:
         """Per-group results for one aggregate (vectorized when possible)."""
@@ -244,12 +315,14 @@ class GroupedAggregation:
                     return sums.tolist()
                 return (sums / counts).tolist()
             if not _minmax_is_order_dependent(function, values):
+                row_order, bounds = ordering.get()
                 ordered = values[row_order]
                 if function is AggregateFunction.MIN:
                     return np.minimum.reduceat(ordered, bounds[:-1]).tolist()
                 return np.maximum.reduceat(ordered, bounds[:-1]).tolist()
         # Object/string values: scalar-aggregate each group's slice, which
         # preserves exact NULL-skipping semantics.
+        row_order, bounds = ordering.get()
         ordered_values = (
             values[row_order].tolist()
             if isinstance(values, np.ndarray)
@@ -270,11 +343,11 @@ class GroupedAggregation:
     ) -> List[Dict[str, Any]]:
         """Reference implementation: per-row accumulator updates."""
         aggregate_inputs = [
-            values.tolist() if isinstance(values, np.ndarray) else values
+            values.tolist() if isinstance(values, (np.ndarray, EncodedColumn)) else values
             for values in aggregate_inputs
         ]
         group_key_columns = [
-            column.tolist() if isinstance(column, np.ndarray) else column
+            column.tolist() if isinstance(column, (np.ndarray, EncodedColumn)) else column
             for column in group_key_columns
         ]
         groups: Dict[Tuple[Any, ...], List[Accumulator]] = {}

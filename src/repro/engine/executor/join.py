@@ -12,7 +12,12 @@ matter for the storage advisor:
 The implementation is vectorized: when both key columns are native numpy
 arrays the build/probe runs as a sort + binary search, otherwise a Python
 hash table is built once and the dimension attributes are gathered with one
-fancy-indexing pass per column.  Either way the *charged* cost is the same
+fancy-indexing pass per column.  Dictionary-encoded key columns
+(:class:`~repro.engine.batch.EncodedColumn`) stay late-materialized: when
+both sides share one dictionary the probe runs directly on the int64 code
+arrays; otherwise an encoded probe side resolves each *dictionary* value
+once (``|dictionary|`` value probes instead of one per row) and maps its
+codes through the result.  Either way the *charged* cost is the same
 hash-join build/probe work as the scalar implementation.
 """
 
@@ -23,7 +28,12 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.engine.batch import ColumnBatch
+from repro.engine.batch import (
+    BatchColumn,
+    ColumnBatch,
+    EncodedColumn,
+    decoded_array,
+)
 from repro.engine.executor.access import AccessPath
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
@@ -35,12 +45,14 @@ class JoinedColumns:
     """Result of joining one dimension table against the base rows.
 
     ``match_mask[i]`` says whether base row *i* found a join partner; the
-    aligned ``columns`` arrays contain the dimension attributes for matching
-    rows (``None`` where there is no match — callers filter by the mask).
+    aligned ``columns`` contain the dimension attributes for matching rows
+    (``None`` where there is no match — callers filter by the mask).  A
+    column may still be dictionary-encoded (:class:`EncodedColumn`) when the
+    gather could stay on codes.
     """
 
     match_mask: np.ndarray
-    columns: Dict[str, np.ndarray]
+    columns: Dict[str, BatchColumn]
 
 
 def _probe_positions(
@@ -71,6 +83,52 @@ def _probe_positions(
     )
 
 
+def _keyed_positions(build: BatchColumn, probe: BatchColumn) -> np.ndarray:
+    """Build-side position of every probe key, exploiting dictionary codes.
+
+    Three paths, all with identical match semantics (first build occurrence,
+    ``-1`` for no match):
+
+    * both sides encoded with the *same* dictionary object — probe the int64
+      code arrays directly, no value is ever compared;
+    * encoded probe side — resolve each probe-*dictionary* value against the
+      build keys once and gather the per-row answer through the codes
+      (``|dictionary|`` value probes instead of one per row);
+    * plain arrays — value-level sort/hash probe as before.
+    """
+    if isinstance(probe, EncodedColumn):
+        if isinstance(build, EncodedColumn) and build.dictionary is probe.dictionary:
+            positions = _probe_positions(build.codes, probe.codes)
+            nan_code = probe.dictionary.nan_code
+            if nan_code is not None:
+                # The NaN code would match itself, but NaN keys never join by
+                # value (NaN != NaN), exactly like the decoded probe paths.
+                positions = np.where(probe.codes == nan_code, -1, positions)
+            return positions
+        if len(probe.dictionary) == 0:
+            return np.full(len(probe), -1, dtype=np.int64)
+        dictionary_positions = _probe_positions(
+            decoded_array(build), probe.dictionary.values_array
+        )
+        return dictionary_positions[probe.codes]
+    return _probe_positions(decoded_array(build), probe)
+
+
+def _gather_column(
+    values: BatchColumn, positions: np.ndarray, match_mask: np.ndarray
+) -> BatchColumn:
+    """Gather a dimension column at *positions*, staying encoded if possible.
+
+    An encoded column with a full match gathers codes only; a partial match
+    needs ``None`` fill values, which forces the decoded object-array path.
+    """
+    if isinstance(values, EncodedColumn):
+        if match_mask.all():
+            return values.take(positions)
+        values = values.values
+    return _gather(values, positions, match_mask)
+
+
 def _gather(values: np.ndarray, positions: np.ndarray, match_mask: np.ndarray) -> np.ndarray:
     """Gather *values* at *positions*, filling ``None`` where there is no match."""
     if match_mask.all():
@@ -86,7 +144,7 @@ def _gather(values: np.ndarray, positions: np.ndarray, match_mask: np.ndarray) -
 
 
 def join_dimension(
-    base_key_values: Union[np.ndarray, Sequence[Any]],
+    base_key_values: Union[np.ndarray, EncodedColumn, Sequence[Any]],
     join: JoinClause,
     dimension_path: AccessPath,
     needed_columns: Sequence[str],
@@ -112,18 +170,18 @@ def join_dimension(
 
     # Build phase on the dimension table, probe phase with the base keys.
     accountant.charge_hash_inserts("join_build", dimension_rows)
-    probe_keys = (
+    probe_keys: BatchColumn = (
         base_key_values
-        if isinstance(base_key_values, np.ndarray)
+        if isinstance(base_key_values, (np.ndarray, EncodedColumn))
         else np.asarray(base_key_values, dtype=object)
     )
     accountant.charge_hash_probes("join_probe", len(probe_keys))
-    positions = _probe_positions(dimension_batch.column(join.right_column), probe_keys)
+    positions = _keyed_positions(dimension_batch.raw(join.right_column), probe_keys)
     match_mask = positions >= 0
 
-    aligned: Dict[str, np.ndarray] = {}
+    aligned: Dict[str, BatchColumn] = {}
     for name in needed_columns:
-        aligned[f"{join.table}.{name}"] = _gather(
-            dimension_batch.column(name), positions, match_mask
+        aligned[f"{join.table}.{name}"] = _gather_column(
+            dimension_batch.raw(name), positions, match_mask
         )
     return JoinedColumns(match_mask=match_mask, columns=aligned)

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-import numpy as np
-
+from repro.engine.batch import BatchColumn, take_column
 from repro.engine.executor.access import AccessPath
 from repro.engine.executor.aggregates import GroupedAggregation
 from repro.engine.executor.join import join_dimension
@@ -68,8 +67,9 @@ def execute_aggregation(
 
     # Resolve joins: fetch the referenced dimension attributes aligned with the
     # base rows and drop base rows without a join partner.  Everything stays
-    # columnar — filtering by the match mask is one fancy-indexing pass.
-    joined_columns: Dict[str, np.ndarray] = {}
+    # columnar — filtering by the match mask is one fancy-indexing pass, over
+    # the codes alone for dictionary-encoded columns.
+    joined_columns: Dict[str, BatchColumn] = {}
     for join in query.joins:
         if join.left_column not in batch:
             raise QueryError(
@@ -81,7 +81,7 @@ def execute_aggregation(
             if name != join.right_column
         ) or [join.right_column]
         result = join_dimension(
-            base_key_values=batch.column(join.left_column),
+            base_key_values=batch.raw(join.left_column),
             join=join,
             dimension_path=dimension_path,
             needed_columns=needed,
@@ -92,15 +92,20 @@ def execute_aggregation(
             keep = result.match_mask
             batch = batch.take(keep)
             joined_columns = {
-                name: values[keep] for name, values in joined_columns.items()
+                name: take_column(values, keep)
+                for name, values in joined_columns.items()
             }
             result.columns = {
-                name: values[keep] for name, values in result.columns.items()
+                name: take_column(values, keep)
+                for name, values in result.columns.items()
             }
             num_rows = batch.num_rows
         joined_columns.update(result.columns)
 
-    available = batch.arrays()
+    # Group keys keep their carried representation (encoded columns factorize
+    # from codes); aggregate inputs are reduced by value inside the
+    # aggregation, which decodes them there.
+    available = batch.raw_columns()
     available.update(joined_columns)
 
     # Assemble the aggregation inputs.

@@ -162,7 +162,7 @@ class PartitionedAccessPath(AccessPath):
         self._charge_vertical_join(parts_needed, positions, accountant)
 
         num_rows = table.main_num_rows if positions is None else len(positions)
-        arrays: Dict[str, np.ndarray] = {}
+        arrays: Dict[str, Any] = {}
         grouped = self._group_columns_by_part(columns)
         for part, part_columns in grouped.items():
             if part.store is Store.ROW:
@@ -170,8 +170,11 @@ class PartitionedAccessPath(AccessPath):
                 for name in part_columns:
                     arrays[name] = part_batch.column(name)
             else:
+                # Column-store parts contribute their (codes, dictionary)
+                # pairs undecoded; ColumnBatch.concat decodes only if the
+                # hot partition forces a mixed-representation stack.
                 for name in part_columns:
-                    arrays[name] = part.column_array(name, positions, accountant)
+                    arrays[name] = part.column_batched(name, positions, accountant)
         return ColumnBatch(arrays, num_rows=num_rows), len(parts_needed)
 
     def _select_from_main(

@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.engine.batch import ColumnBatch
+from repro.engine.batch import BatchColumn, ColumnBatch
 from repro.engine.column_store import ColumnStoreTable
 from repro.engine.row_store import RowStoreTable
 from repro.engine.schema import TableSchema
@@ -143,6 +143,19 @@ class StoredTable:
     def column_array(self, column: str, positions: Optional[Sequence[int]] = None,
                      accountant: Optional[CostAccountant] = None) -> np.ndarray:
         return self._backend.column_array(column, positions, accountant)
+
+    def column_batched(self, column: str, positions: Optional[Sequence[int]] = None,
+                       accountant: Optional[CostAccountant] = None) -> "BatchColumn":
+        """The column in its cheapest batch representation (same cost charges).
+
+        The column store hands out its ``(codes, dictionary)`` pair without
+        decoding (late materialisation); the row store serves its cached
+        value array.
+        """
+        backend = self._backend
+        if isinstance(backend, ColumnStoreTable):
+            return backend.column_encoded(column, positions, accountant)
+        return backend.column_array(column, positions, accountant)
 
     def scan_columns(self, columns: Sequence[str],
                      positions: Optional[Sequence[int]] = None,

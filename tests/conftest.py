@@ -18,6 +18,14 @@ from repro.engine import DataType, HybridDatabase, Store, TableSchema
 SALES_NUM_ROWS = 1_000
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "fuzz: seeded cross-store differential fuzz suite (runs in tier-1; "
+        "select standalone with -m fuzz)",
+    )
+
+
 @pytest.fixture(scope="session")
 def sales_schema() -> TableSchema:
     return TableSchema.build(

@@ -1,0 +1,65 @@
+"""Golden-value pin of the vectorized calibration data generator.
+
+``CostModelCalibrator._calibration_rows`` feeds the least-squares fit of the
+cost-model parameters: the figure reproductions (fig6/fig7/fig10) depend on
+the exact sample stream, so the numpy ``Generator`` rewrite is pinned to the
+byte — a silent change of the stream (different bit generator, different
+seed mixing, re-ordered draws) fails here before it surfaces as an
+inscrutable advisor regression.
+"""
+
+import hashlib
+import json
+
+from repro.core.cost_model.calibration import CostModelCalibrator
+
+GOLDEN_SHA256 = "6b7ba5a771017898d465f3a7ef890bf865fbe10a62248294c7545bbab4e71cf1"
+
+GOLDEN_FIRST_ROW = {
+    "id": 0,
+    "key_int": 96,
+    "key_double": 211.0444279372443,
+    "key_decimal": 31.1,
+    "group_small": "g0",
+    "group_large": 0,
+    "filter_value": 456,
+    "status": "open",
+    "payload_a": 0.21944239042376978,
+    "payload_b": 707710,
+    "payload_c": "text_0",
+    "flag": False,
+}
+
+
+class TestCalibrationRowsGolden:
+    def test_default_seed_stream_is_pinned(self):
+        rows = CostModelCalibrator()._calibration_rows(1000)
+        assert rows[0] == GOLDEN_FIRST_ROW
+        assert sum(row["key_int"] for row in rows) == 253601
+        assert sum(row["filter_value"] for row in rows) == 506979
+        digest = hashlib.sha256(
+            json.dumps(rows, sort_keys=True).encode()
+        ).hexdigest()
+        assert digest == GOLDEN_SHA256
+
+    def test_same_seed_same_rows(self):
+        first = CostModelCalibrator()._calibration_rows(3000)
+        second = CostModelCalibrator()._calibration_rows(3000)
+        assert first == second
+
+    def test_seed_and_size_change_the_stream(self):
+        base = CostModelCalibrator()._calibration_rows(1000)
+        other_seed = CostModelCalibrator(seed=99)._calibration_rows(1000)
+        assert base != other_seed
+        longer = CostModelCalibrator()._calibration_rows(3000)
+        # Distinct streams per table size, not a shared-prefix stream.
+        assert longer[:1000] != base
+
+    def test_rows_carry_plain_python_scalars(self):
+        # DataType.coerce expects native scalars; numpy ints would slip
+        # through isinstance checks differently.
+        row = CostModelCalibrator()._calibration_rows(10)[3]
+        assert type(row["key_int"]) is int
+        assert type(row["key_double"]) is float
+        assert type(row["payload_b"]) is int
+        assert type(row["flag"]) is bool

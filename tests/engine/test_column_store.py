@@ -68,6 +68,114 @@ class TestInsertsUpdates:
             schema.num_columns * 550.0
         )
 
+    def test_duplicate_pk_mid_batch_keeps_earlier_rows(self, schema):
+        """Partial-state contract of the columnar multi-row insert.
+
+        A duplicate primary key aborts the batch at the offending row: the
+        earlier rows of the batch are inserted (and charged per row), the
+        offending and later rows are not — exactly like the per-row append
+        loop behaved.
+        """
+        table = ColumnStoreTable(schema)
+        table.insert_rows([{"id": 0, "name": "seed", "price": 0.0, "stock": 0}])
+        accountant = CostAccountant()
+        batch = [
+            {"id": 1, "name": "a", "price": 1.0, "stock": 1},
+            {"id": 2, "name": "b", "price": 2.0, "stock": 2},
+            {"id": 0, "name": "dup", "price": 9.0, "stock": 9},  # duplicate
+            {"id": 3, "name": "c", "price": 3.0, "stock": 3},  # never reached
+        ]
+        with pytest.raises(ExecutionError, match="duplicate primary key"):
+            table.insert_rows(batch, accountant)
+        assert table.num_rows == 3
+        assert table.column_values("id") == [0, 1, 2]
+        assert table.column_values("name") == ["seed", "a", "b"]
+        # The two inserted rows are charged per row; the duplicate row pays
+        # its uniqueness probe but no insert, the row after it nothing.
+        snapshot = accountant.snapshot()
+        assert snapshot["column_insert"] == pytest.approx(
+            2 * schema.num_columns * 550.0
+        )
+        assert snapshot["index_probe"] == pytest.approx(
+            accountant.device.hash_probes(3)
+        )
+        # The failed batch leaves the table fully usable: re-inserting the
+        # remaining rows (with a fresh id for the duplicate) succeeds and the
+        # duplicate key is still taken.
+        with pytest.raises(ExecutionError):
+            table.insert_rows([{"id": 0, "name": "x", "price": 0.0, "stock": 0}])
+        table.insert_rows([{"id": 3, "name": "c", "price": 3.0, "stock": 3}])
+        assert table.column_values("id") == [0, 1, 2, 3]
+
+    def test_intra_batch_duplicate_pk_keeps_first_occurrence(self, schema):
+        table = ColumnStoreTable(schema)
+        with pytest.raises(ExecutionError, match="duplicate primary key"):
+            table.insert_rows([
+                {"id": 7, "name": "first", "price": 1.0, "stock": 1},
+                {"id": 7, "name": "second", "price": 2.0, "stock": 2},
+            ])
+        assert table.num_rows == 1
+        assert table.column_values("name") == ["first"]
+
+    def test_validation_error_mid_batch_keeps_earlier_rows(self, schema):
+        table = ColumnStoreTable(schema)
+        with pytest.raises(Exception):
+            table.insert_rows([
+                {"id": 1, "name": "ok", "price": 1.0, "stock": 1},
+                {"id": 2, "name": "bad", "price": "not-a-price", "stock": 2},
+            ])
+        assert table.num_rows == 1
+        assert table.column_values("name") == ["ok"]
+
+    def test_unencodable_batch_aborts_cleanly(self):
+        """NULL into a valued column rejects the whole batch, changing nothing.
+
+        The sorted dictionary cannot mix NULL with values; the batch insert
+        must fail before any column is extended — no misaligned column
+        lengths, no primary keys left registered for rows that never landed.
+        """
+        from repro.engine.schema import Column
+        from repro.engine.types import DataType as DT
+
+        nullable = TableSchema(
+            "n",
+            (
+                Column("id", DT.INTEGER, primary_key=True),
+                Column("v", DT.DOUBLE, nullable=True),
+            ),
+        )
+        table = ColumnStoreTable(nullable)
+        table.insert_rows([{"id": 0, "v": 1.0}])
+        with pytest.raises(TypeError, match="cannot mix NULL"):
+            table.insert_rows([{"id": 1, "v": None}, {"id": 2, "v": 2.0}])
+        assert table.num_rows == 1
+        assert table.all_rows() == [{"id": 0, "v": 1.0}]
+        # The aborted rows' keys are free again; the columns stay aligned.
+        table.insert_rows([{"id": 1, "v": 3.0}, {"id": 2, "v": 4.0}])
+        assert table.all_rows() == [
+            {"id": 0, "v": 1.0}, {"id": 1, "v": 3.0}, {"id": 2, "v": 4.0}
+        ]
+
+    def test_value_into_all_null_column_aborts_cleanly(self):
+        from repro.engine.schema import Column
+        from repro.engine.types import DataType as DT
+
+        nullable = TableSchema(
+            "n",
+            (
+                Column("id", DT.INTEGER, primary_key=True),
+                Column("v", DT.DOUBLE, nullable=True),
+            ),
+        )
+        table = ColumnStoreTable(nullable)
+        table.insert_rows([{"id": 0}])
+        for bad in (2.0, float("nan")):
+            with pytest.raises(TypeError, match="cannot mix NULL"):
+                table.insert_rows([{"id": 1, "v": bad}])
+        assert table.num_rows == 1
+        table.insert_rows([{"id": 1}])
+        assert table.column_values("v") == [None, None]
+
     def test_update_charges_full_row_reinsert(self, table):
         accountant = CostAccountant()
         table.update_rows([3], {"stock": 42}, accountant)

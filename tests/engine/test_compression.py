@@ -132,3 +132,42 @@ class TestCompressionProperties:
         column.bulk_load(values)
         column.append(extra)
         assert column.all_values() == values + [extra]
+
+
+class TestNaNDictionaryMaintenance:
+    """NaN sorts last by convention; no maintenance path may break that.
+
+    Regression guards for two corruptions the differential fuzzer surfaced:
+    ``merge_values`` ran ``sorted()`` over a NaN-containing list (poisoning
+    the sort and mis-encoding the batch), and a per-row ``append(nan)``
+    bisected NaN to position 0.
+    """
+
+    def test_extend_into_nan_dictionary_keeps_sort_and_values(self):
+        nan = float("nan")
+        column = CompressedColumn("v", DataType.DOUBLE)
+        column.bulk_load([5.0, nan, 1.0])
+        column.extend([2.0, 7.0])
+        assert repr(column.all_values()) == repr([5.0, nan, 1.0, 2.0, 7.0])
+        assert list(column.dictionary.values)[:-1] == [1.0, 2.0, 5.0, 7.0]
+        assert column.dictionary.nan_code == 4
+
+    def test_append_nan_lands_last(self):
+        nan = float("nan")
+        column = CompressedColumn("v", DataType.DOUBLE)
+        column.bulk_load([5.0, 1.0])
+        column.append(nan)
+        column.append(3.0)
+        assert repr(column.all_values()) == repr([5.0, 1.0, nan, 3.0])
+        assert column.dictionary.nan_code == len(column.dictionary) - 1
+
+    def test_extend_with_only_new_nan(self):
+        nan = float("nan")
+        column = CompressedColumn("v", DataType.DOUBLE)
+        column.bulk_load([2.0, 1.0])
+        column.extend([nan, nan, 1.0])
+        assert repr(column.all_values()) == repr([2.0, 1.0, nan, nan, 1.0])
+        assert column.dictionary.nan_code == 2
+        # A second NaN batch reuses the entry instead of growing the dictionary.
+        column.extend([nan, 0.0])
+        assert column.num_distinct == 4
