@@ -3,9 +3,13 @@
 #
 #   tier-1   — the complete test + figure-reproduction suite (pytest from the
 #              repo root, exactly the ROADMAP command),
-#   perf     — the wall-clock regression smoke against BENCH_pipeline.json,
-#   fuzz     — the seeded cross-store differential fuzz suite, standalone
-#              (it also runs inside tier-1; this run proves the marker works).
+#   perf     — the wall-clock regression smokes against BENCH_pipeline.json
+#              plus the session plan-cache smoke (prepared re-execution must
+#              beat cold parse+plan by >= 2x),
+#   fuzz     — the seeded differential suites, standalone (cross-store and
+#              session-vs-legacy; they also run inside tier-1; this run
+#              proves the marker works),
+#   examples — the session-API examples as executable documentation.
 #
 # Usage, from the repository root or this directory:
 #   benchmarks/run_checks.sh
@@ -19,10 +23,15 @@ export PYTHONPATH
 echo "== tier-1: full suite =="
 python -m pytest -x -q
 
-echo "== perf smoke: BENCH_pipeline.json gates =="
-python -m pytest -m perf -q benchmarks/test_perf_pipeline.py
+echo "== perf smoke: BENCH_pipeline.json + plan-cache gates =="
+python -m pytest -m perf -q benchmarks
 
-echo "== fuzz: cross-store differential suite =="
+echo "== fuzz: differential suites =="
 python -m pytest -m fuzz -q tests
+
+echo "== examples: session API smoke =="
+python examples/session_api.py > /dev/null
+python examples/quickstart.py > /dev/null
+echo "examples ran clean."
 
 echo "All checks passed."

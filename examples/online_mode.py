@@ -1,17 +1,20 @@
 """Online mode: the advisor watches the running workload and adapts the layout.
 
-The database starts with its table in the row store and an OLTP-style
+The session starts with its table in the row store and an OLTP-style
 workload.  Over time the workload drifts towards analytics; the online
-monitor records the executed queries, re-evaluates the layout every
-``online_reevaluation_interval`` queries and recommends moving the table to
-the column store once that pays off (Section 4 of the paper, "Online Mode").
+monitor — attached to the *session*, so it consumes the same plan objects
+the executor runs — records every executed query, re-evaluates the layout
+every ``online_reevaluation_interval`` queries and recommends moving the
+table to the column store once that pays off (Section 4 of the paper,
+"Online Mode").  Because the monitor sees the plans, it also tracks how far
+the cost model's estimates drift from the actual (simulated) runtimes.
 
 Run with::
 
     python examples/online_mode.py
 """
 
-from repro import AdvisorConfig, HybridDatabase, StorageAdvisor, Store
+from repro import AdvisorConfig, Store, connect
 from repro.core import CostModelCalibrator, OnlineAdvisorMonitor
 from repro.workloads import (
     MixedWorkloadConfig,
@@ -30,10 +33,12 @@ PHASES = (
 
 def main() -> None:
     table = build_table(SyntheticTableConfig(num_rows=NUM_ROWS))
-    database = HybridDatabase()
-    table.load_into(database, Store.ROW)
+    session = connect(
+        advisor_config=AdvisorConfig(online_reevaluation_interval=150)
+    )
+    table.load_into(session.database, Store.ROW)
 
-    advisor = StorageAdvisor(AdvisorConfig(online_reevaluation_interval=150))
+    advisor = session.advisor()
     advisor.initialize_cost_model(CostModelCalibrator(sizes=(1_000, 3_000)))
 
     adaptations = []
@@ -43,11 +48,11 @@ def main() -> None:
         print("  -> adaptation recommended:")
         for statement in recommendation.ddl_statements:
             print(f"       {statement}")
-        advisor.apply(database, recommendation)
-        print("     applied automatically.")
+        session.apply(recommendation)
+        print("     applied automatically (cached plans invalidated).")
 
-    monitor = OnlineAdvisorMonitor(
-        advisor, database, include_partitioning=False, on_adaptation=on_adaptation
+    monitor = OnlineAdvisorMonitor.for_session(
+        session, include_partitioning=False, on_adaptation=on_adaptation
     )
 
     with monitor:
@@ -57,14 +62,22 @@ def main() -> None:
                 MixedWorkloadConfig(num_queries=300, olap_fraction=olap_fraction),
             )
             print(f"\nPhase '{phase_name}' (OLAP fraction {olap_fraction:.0%}):")
-            run = database.run_workload(workload)
+            run = session.run_workload(workload)
             print(
                 f"  executed {run.num_queries} queries in {run.total_runtime_ms:.1f} ms "
-                f"(simulated); current layout: {database.catalog.entry('facts').describe_layout()}"
+                f"(simulated); current layout: "
+                f"{session.database.catalog.entry('facts').describe_layout()}"
             )
 
     print(f"\nThe monitor evaluated the layout {monitor.state.evaluations} times and "
           f"found {len(adaptations)} beneficial adaptation(s).")
+    print(f"Estimate drift over the monitored stream: "
+          f"{monitor.state.estimation_drift:.2f}x "
+          "(plans' estimated / actual runtime)")
+    stats = session.stats()
+    print(f"Plan cache: {stats.plan_cache_hits} hits / "
+          f"{stats.plan_cache_misses} misses "
+          f"({stats.plan_cache_hit_rate:.0%} hit rate)")
 
 
 if __name__ == "__main__":

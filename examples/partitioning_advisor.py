@@ -16,7 +16,7 @@ Run with::
     python examples/partitioning_advisor.py
 """
 
-from repro import HybridDatabase, StorageAdvisor, Store
+from repro import Session, Store, connect
 from repro.core import CostModelCalibrator
 from repro.workloads import (
     HotRegion,
@@ -33,10 +33,12 @@ OLAP_FRACTION = 0.05
 HOT_FRACTION = 0.10
 
 
-def fresh_database(store: Store) -> HybridDatabase:
-    database = HybridDatabase()
-    build_table(SyntheticTableConfig(num_rows=NUM_ROWS)).load_into(database, store)
-    return database
+def fresh_session(store: Store) -> Session:
+    session = connect()
+    build_table(SyntheticTableConfig(num_rows=NUM_ROWS)).load_into(
+        session.database, store
+    )
+    return session
 
 
 def main() -> None:
@@ -57,17 +59,17 @@ def main() -> None:
 
     baselines = {}
     for store in Store:
-        baselines[store] = fresh_database(store).run_workload(workload).total_runtime_s
+        baselines[store] = fresh_session(store).run_workload(workload).total_runtime_s
         print(f"  {store.value}-store only: {baselines[store]:.3f} s (simulated)")
 
-    advisor = StorageAdvisor()
+    session = fresh_session(Store.COLUMN)
+    advisor = session.advisor()
     advisor.initialize_cost_model(CostModelCalibrator(sizes=(1_000, 3_000)))
-    database = fresh_database(Store.COLUMN)
-    recommendation = advisor.recommend(database, workload, include_partitioning=True)
+    recommendation = session.recommend(workload, include_partitioning=True)
     print("\n" + recommendation.describe())
 
-    advisor.apply(database, recommendation)
-    partitioned = database.run_workload(workload).total_runtime_s
+    session.apply(recommendation)
+    partitioned = session.run_workload(workload).total_runtime_s
     print(f"\n  partitioned layout: {partitioned:.3f} s (simulated)")
     best_baseline = min(baselines.values())
     print(f"  improvement over the best unpartitioned layout: "

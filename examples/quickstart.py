@@ -1,24 +1,27 @@
-"""Quickstart: ask the storage advisor where to keep a table.
+"""Quickstart: connect a session, run SQL, and ask the advisor for a layout.
 
-This example walks through the complete offline workflow of the paper:
+This example walks through the complete offline workflow of the paper using
+the session API (``parse → bind → plan → execute``):
 
-1. build a hybrid-store database and load a table,
-2. describe the (expected) workload,
-3. calibrate the cost model against the running system,
-4. ask the advisor for a recommendation, and
-5. apply it and verify that the workload indeed got faster.
+1. ``connect()`` a session and load a table,
+2. run SQL — including a prepared statement and ``EXPLAIN``,
+3. describe the (expected) workload,
+4. calibrate the cost model against the running system,
+5. ask the advisor for a recommendation, apply it, and verify that the
+   workload indeed got faster (the plan cache invalidates automatically on
+   the store move).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import HybridDatabase, StorageAdvisor, Store, DataType, TableSchema
+from repro import DataType, Store, TableSchema, connect
 from repro.core import CostModelCalibrator
 from repro.query import Workload, aggregate, eq, insert, select, update
 
 
-def build_database() -> HybridDatabase:
+def build_session():
     """A small sales table, initially kept in the row store."""
     schema = TableSchema.build(
         "sales",
@@ -32,8 +35,8 @@ def build_database() -> HybridDatabase:
         ],
         primary_key=["id"],
     )
-    database = HybridDatabase()
-    database.create_table(schema, Store.ROW)
+    session = connect()
+    session.create_table(schema, Store.ROW)
     rows = [
         {
             "id": i,
@@ -45,8 +48,8 @@ def build_database() -> HybridDatabase:
         }
         for i in range(30_000)
     ]
-    database.load_rows("sales", rows)
-    return database
+    session.load_rows("sales", rows)
+    return session
 
 
 def build_workload() -> Workload:
@@ -71,30 +74,51 @@ def build_workload() -> Workload:
 
 
 def main() -> None:
-    database = build_database()
-    workload = build_workload()
+    session = build_session()
 
-    print("Current layout:")
-    print(database.describe())
-    before = database.run_workload(workload)
+    # Plain SQL through the session pipeline.
+    top = session.sql(
+        "SELECT sum(revenue) AS total, count(*) FROM sales GROUP BY region"
+    )
+    print(f"{len(top.rows)} regions, first: {top.rows[0]}")
+
+    # Prepared statement: parsed, bound and planned once.
+    lookup = session.prepare("SELECT status FROM sales WHERE id = ?")
+    print("status of #42:", lookup.execute([42]).rows[0]["status"])
+
+    # EXPLAIN shows the physical plan with the cost model's estimate.
+    print("\n" + session.explain("SELECT sum(revenue) FROM sales GROUP BY region"))
+
+    workload = build_workload()
+    print("\nCurrent layout:")
+    print(session.describe())
+    before = session.run_workload(workload)
     print(f"Workload runtime before: {before.total_runtime_ms:.1f} ms (simulated)")
 
-    advisor = StorageAdvisor()
+    advisor = session.advisor()
     print("\nCalibrating the cost model (offline initialisation)...")
     report = advisor.initialize_cost_model(CostModelCalibrator(sizes=(1_000, 3_000)))
     print(f"  fitted from {report.num_samples} calibration samples")
 
-    recommendation = advisor.recommend(database, workload)
+    recommendation = session.recommend(workload)
     print("\n" + recommendation.describe())
 
-    advisor.apply(database, recommendation)
+    session.apply(recommendation)
     print("\nLayout after applying the recommendation:")
-    print(database.describe())
+    print(session.describe())
 
-    after = database.run_workload(workload)
+    after = session.run_workload(workload)
     print(f"\nWorkload runtime after: {after.total_runtime_ms:.1f} ms (simulated)")
     improvement = 1.0 - after.total_runtime_ms / before.total_runtime_ms
     print(f"Improvement: {improvement:.1%}")
+
+    stats = session.stats()
+    print(
+        f"\nSession stats: {stats.queries_executed} queries, plan cache "
+        f"{stats.plan_cache_hits} hits / {stats.plan_cache_misses} misses "
+        f"({stats.plan_cache_hit_rate:.0%}), estimate memo "
+        f"{stats.estimate_memo_hits} hits"
+    )
 
 
 if __name__ == "__main__":

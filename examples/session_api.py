@@ -1,0 +1,96 @@
+"""Tour of the session API: the explicit parse → bind → plan → execute pipeline.
+
+Shows what the session layer adds over ``HybridDatabase.execute``:
+
+* placeholders and prepared statements (positional ``?`` and named ``:name``),
+* the plan cache — hits on repetition, invalidation on layout changes,
+* ``EXPLAIN`` / ``EXPLAIN ANALYZE`` with estimated vs. actual costs, and
+* ``session.stats()`` counters.
+
+Run with::
+
+    python examples/session_api.py
+"""
+
+from repro import DataType, Store, TableSchema, connect
+
+
+def main() -> None:
+    session = connect()
+    schema = TableSchema.build(
+        "orders",
+        [
+            ("id", DataType.INTEGER),
+            ("customer", DataType.VARCHAR),
+            ("amount", DataType.DOUBLE),
+            ("priority", DataType.INTEGER),
+        ],
+        primary_key=["id"],
+    )
+    session.create_table(schema, Store.ROW)
+    session.load_rows(
+        "orders",
+        [
+            {"id": i, "customer": f"c{i % 100:03d}", "amount": (i * 13 % 500) / 2.0,
+             "priority": i % 5}
+            for i in range(20_000)
+        ],
+    )
+
+    # -- 1. plain SQL -------------------------------------------------------------
+    result = session.sql(
+        "SELECT sum(amount), count(*) FROM orders WHERE priority >= 3 "
+        "GROUP BY customer"
+    )
+    print(f"grouped rows: {len(result.rows)}, "
+          f"simulated runtime {result.runtime_ms:.3f} ms")
+
+    # -- 2. prepared statements ----------------------------------------------------
+    lookup = session.prepare("SELECT amount FROM orders WHERE id = ?")
+    for order_id in (1, 2, 3, 4, 5):
+        lookup.execute([order_id])
+    ranged = session.prepare(
+        "SELECT count(*) FROM orders WHERE amount BETWEEN :low AND :high"
+    )
+    count = ranged.execute({"low": 10.0, "high": 50.0}).rows[0]["count_star"]
+    print(f"orders with amount in [10, 50]: {count}")
+
+    # -- 3. EXPLAIN ----------------------------------------------------------------
+    print("\nEXPLAIN of the prepared lookup (placeholder unbound):")
+    print(lookup.explain())
+    print("\nEXPLAIN ANALYZE (estimated vs. actual):")
+    print(session.explain(
+        "SELECT sum(amount) FROM orders GROUP BY priority", analyze=True
+    ))
+
+    # -- 4. the plan cache ---------------------------------------------------------
+    stats = session.stats()
+    print(
+        f"\nplan cache: {stats.plan_cache_hits} hits, "
+        f"{stats.plan_cache_misses} misses ({stats.plan_cache_hit_rate:.0%} "
+        f"hit rate) over {stats.queries_executed} queries"
+    )
+
+    # A store move bumps the table's layout version: cached plans for the
+    # table become unreachable and the next execution re-plans.
+    session.move_table("orders", Store.COLUMN)
+    session.sql("SELECT sum(amount), count(*) FROM orders WHERE priority >= 3 "
+                "GROUP BY customer")
+    plan = session.plan_for("SELECT amount FROM orders WHERE id = ?")
+    print(f"\nafter move_table: lookup now plans as "
+          f"'{plan.table_plans[0].access}' on the "
+          f"{plan.table_plans[0].store.value} store")
+
+    final = session.stats()
+    print(
+        f"final counters: {final.queries_executed} executed, "
+        f"{final.statements_parsed} parsed "
+        f"({final.parse_cache_hits} parse-cache hits), "
+        f"{final.prepared_statements} prepared, "
+        f"estimate memo {final.estimate_memo_hits}/{final.estimate_memo_misses} "
+        "hits/misses"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ Run with::
 
 import time
 
-from repro import HybridDatabase, StorageAdvisor, Store
+from repro import Session, StorageAdvisor, Store, connect
 from repro.core import CostModelCalibrator
 from repro.workloads.tpch import TpchGenerator, build_tpch_workload
 
@@ -25,10 +25,10 @@ NUM_QUERIES = 1_000
 OLAP_FRACTION = 0.01
 
 
-def fresh_database(data, store: Store) -> HybridDatabase:
-    database = HybridDatabase()
-    data.load_into(database, default_store=store)
-    return database
+def fresh_session(data, store: Store) -> Session:
+    session = connect()
+    data.load_into(session.database, default_store=store)
+    return session
 
 
 def main() -> None:
@@ -46,23 +46,25 @@ def main() -> None:
 
     results = {}
 
-    results["RS only"] = fresh_database(data, Store.ROW).run_workload(workload).total_runtime_s
-    results["CS only"] = fresh_database(data, Store.COLUMN).run_workload(workload).total_runtime_s
+    results["RS only"] = fresh_session(data, Store.ROW).run_workload(workload).total_runtime_s
+    results["CS only"] = fresh_session(data, Store.COLUMN).run_workload(workload).total_runtime_s
 
-    database = fresh_database(data, Store.ROW)
-    table_level = advisor.recommend(database, workload, include_partitioning=False)
-    advisor.apply(database, table_level)
-    results["Table"] = database.run_workload(workload).total_runtime_s
+    session = fresh_session(data, Store.ROW)
+    table_level = advisor.recommend(session.database, workload,
+                                    include_partitioning=False)
+    advisor.apply(session.database, table_level)
+    results["Table"] = session.run_workload(workload).total_runtime_s
     column_tables = [
         table for table, choice in table_level.layout.choices.items()
         if choice is Store.COLUMN
     ]
     print(f"\nTable-level recommendation: column store for {sorted(column_tables)}")
 
-    database = fresh_database(data, Store.ROW)
-    partitioned = advisor.recommend(database, workload, include_partitioning=True)
-    advisor.apply(database, partitioned)
-    results["Partitioned"] = database.run_workload(workload).total_runtime_s
+    session = fresh_session(data, Store.ROW)
+    partitioned = advisor.recommend(session.database, workload,
+                                    include_partitioning=True)
+    advisor.apply(session.database, partitioned)
+    results["Partitioned"] = session.run_workload(workload).total_runtime_s
     print(f"Partitioned tables: {sorted(partitioned.layout.partitioned_tables())}")
 
     print("\nSimulated workload runtimes:")

@@ -1,7 +1,11 @@
 """repro — reproduction of "A Storage Advisor for Hybrid-Store Databases".
 
-The package has four layers:
+The package has five layers:
 
+* :mod:`repro.api` — the public session API: ``connect()`` returns a
+  :class:`~repro.api.Session` driving the explicit
+  ``parse → bind → plan → execute`` pipeline with prepared statements, a
+  plan cache and ``EXPLAIN``;
 * :mod:`repro.engine` — a from-scratch in-memory hybrid-store database
   (row store + dictionary-compressed column store, partitioning, executor)
   with a deterministic analytic timing model;
@@ -14,6 +18,7 @@ The package has four layers:
   (:mod:`repro.bench`).
 """
 
+from repro.api import PreparedStatement, Session, connect
 from repro.config import AdvisorConfig, DeviceModelConfig, ReproConfig
 from repro.core import (
     CostModel,
@@ -47,8 +52,11 @@ __all__ = [
     "HorizontalPartitionSpec",
     "HybridDatabase",
     "OnlineAdvisorMonitor",
+    "PreparedStatement",
     "Recommendation",
     "ReproConfig",
+    "Session",
+    "connect",
     "StorageAdvisor",
     "StorageLayout",
     "Store",

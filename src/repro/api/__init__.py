@@ -1,0 +1,54 @@
+"""repro.api — the session API over the hybrid-store engine.
+
+This package is the public entry point of the system: ``connect()`` opens a
+:class:`~repro.api.session.Session` that drives every statement through the
+explicit ``parse → bind → plan → execute`` pipeline, with
+
+* **prepared statements** (:meth:`Session.prepare`) — ``?``/named
+  placeholders, bound and type-checked against the catalog schema,
+* a **plan cache** keyed by ``(query fingerprint, layout/statistics
+  fingerprint)`` — invalidated by DDL, store moves, repartitioning and
+  statistics refresh,
+* **EXPLAIN** (:meth:`Session.explain` or ``session.sql("EXPLAIN ...")``) —
+  the physical plan tree with estimated (and optionally actual) costs, and
+* the **storage advisor** (:meth:`Session.advisor`) sharing the planner's
+  content-keyed estimate memo.
+
+The legacy façades (``HybridDatabase.execute``, the standalone
+``StorageAdvisor``) remain available and cost-identical; the session wires
+them together.
+"""
+
+from repro.api.binder import bind, statement_parameters
+from repro.api.explain import describe_predicate, render_plan
+from repro.api.plan import (
+    CostEstimate,
+    LogicalPlan,
+    PhysicalPlan,
+    PlanCache,
+    Planner,
+    TableAccessPlan,
+)
+from repro.api.session import (
+    PreparedStatement,
+    Session,
+    SessionStats,
+    connect,
+)
+
+__all__ = [
+    "CostEstimate",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "PlanCache",
+    "Planner",
+    "PreparedStatement",
+    "Session",
+    "SessionStats",
+    "TableAccessPlan",
+    "bind",
+    "connect",
+    "describe_predicate",
+    "render_plan",
+    "statement_parameters",
+]

@@ -1,0 +1,379 @@
+"""The session API: one entry point over the hybrid-store engine.
+
+``connect()`` opens a :class:`Session`, which drives every statement through
+the explicit pipeline
+
+    parse → bind → plan (LogicalPlan → PhysicalPlan) → execute
+
+with a plan cache keyed by ``(query fingerprint, layout/statistics
+fingerprint)``: repeated and prepared statements skip re-planning, and any
+DDL, store move, repartitioning or statistics refresh makes the affected
+plans unreachable.  The same :class:`~repro.api.plan.PhysicalPlan` objects
+feed ``EXPLAIN`` (:meth:`Session.explain`), the storage advisor
+(:meth:`Session.advisor` — estimates share one content-keyed memo with the
+planner) and the online monitor
+(:meth:`repro.core.advisor.monitor.OnlineAdvisorMonitor.attach_session`).
+
+Executing through a session charges *bit-identical*
+:class:`~repro.engine.timing.CostBreakdown` costs to the legacy
+``HybridDatabase.execute`` path — plans pre-resolve access paths, they never
+change what a query costs.
+
+Typical usage::
+
+    from repro.api import connect
+
+    session = connect()
+    session.create_table(schema, Store.ROW)
+    session.load_rows("sales", rows)
+
+    result = session.sql("SELECT sum(revenue) FROM sales GROUP BY region")
+    lookup = session.prepare("SELECT * FROM sales WHERE id = ?")
+    row = lookup.execute([42])
+    print(session.explain("SELECT sum(revenue) FROM sales GROUP BY region"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.api.binder import Params, bind, statement_parameters
+from repro.api.explain import render_plan
+from repro.api.plan import PhysicalPlan, PlanCache, Planner
+from repro.config import AdvisorConfig, DeviceModelConfig
+from repro.core.advisor.advisor import StorageAdvisor
+from repro.core.advisor.recommendation import Recommendation
+from repro.engine.database import HybridDatabase, WorkloadRunResult
+from repro.engine.executor.executor import QueryResult
+from repro.engine.partitioning import TablePartitioning
+from repro.engine.schema import TableSchema
+from repro.engine.statistics import TableStatistics
+from repro.engine.timing import CostBreakdown
+from repro.engine.types import Store
+from repro.errors import BindError
+from repro.query.ast import Parameter, Query
+from repro.query.parser import parse
+from repro.query.workload import Workload
+
+#: Signature of session plan listeners: (bound query, plan, result).
+PlanExecutionListener = Callable[[Query, PhysicalPlan, QueryResult], None]
+
+_PARSE_CACHE_LIMIT = 1024
+
+
+@dataclass
+class SessionStats:
+    """Counter snapshot of one session (see :meth:`Session.stats`)."""
+
+    queries_executed: int
+    statements_parsed: int
+    parse_cache_hits: int
+    prepared_statements: int
+    plan_cache_size: int
+    plan_cache_hits: int
+    plan_cache_misses: int
+    plan_cache_evictions: int
+    estimate_memo_hits: int
+    estimate_memo_misses: int
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+
+class PreparedStatement:
+    """A parsed, validated statement whose plan survives re-execution.
+
+    Produced by :meth:`Session.prepare`.  The plan is built from the
+    *template* (placeholders contribute default selectivities) and cached by
+    the session's plan cache, so ``execute`` only binds the parameter values
+    and runs — no re-parse, no re-plan, until DDL/store moves/statistics
+    refresh invalidate the plan.
+    """
+
+    def __init__(self, session: "Session", sql: str, template: Query) -> None:
+        self.session = session
+        self.sql = sql
+        self.template = template
+        #: The statement's placeholders (positional first, in index order).
+        self.parameters: Tuple[Parameter, ...] = statement_parameters(template)
+
+    def execute(self, params: Params = None) -> QueryResult:
+        """Bind *params* and execute through the cached plan."""
+        return self.session.execute(self.template, params=params)
+
+    __call__ = execute
+
+    def plan(self) -> PhysicalPlan:
+        """The statement's current physical plan (re-planned if stale)."""
+        return self.session.plan_for(self.template)
+
+    def explain(self, params: Params = None, analyze: bool = False) -> str:
+        return self.session.explain(self.template, params=params, analyze=analyze)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PreparedStatement({self.sql!r})"
+
+
+class Session:
+    """A connection-like façade over one :class:`HybridDatabase`."""
+
+    def __init__(
+        self,
+        database: Optional[HybridDatabase] = None,
+        device_config: Optional[DeviceModelConfig] = None,
+        advisor_config: Optional[AdvisorConfig] = None,
+        plan_cache_capacity: int = 512,
+    ) -> None:
+        self.database = database if database is not None else HybridDatabase(device_config)
+        self._advisor = StorageAdvisor(
+            config=advisor_config, device_config=self.database.device.config
+        )
+        self._planner = Planner(self.database, lambda: self._advisor.cost_model)
+        self._plan_cache = PlanCache(capacity=plan_cache_capacity)
+        self._parse_cache: Dict[str, Query] = {}
+        self._plan_listeners: List[PlanExecutionListener] = []
+        self._queries_executed = 0
+        self._statements_parsed = 0
+        self._parse_cache_hits = 0
+        self._prepared_statements = 0
+
+    # -- context management -------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release cached plans (the database itself stays usable)."""
+        self._plan_cache.clear()
+        self._parse_cache.clear()
+
+    # -- the pipeline -------------------------------------------------------------
+
+    def parse(self, statement: str) -> Query:
+        """Parse *statement* (cached by its exact text)."""
+        cached = self._parse_cache.get(statement)
+        if cached is not None:
+            self._parse_cache_hits += 1
+            return cached
+        query = parse(statement)
+        self._statements_parsed += 1
+        if len(self._parse_cache) >= _PARSE_CACHE_LIMIT:
+            self._parse_cache.clear()
+        self._parse_cache[statement] = query
+        return query
+
+    def bind(self, query_or_sql: Union[Query, str], params: Params = None,
+             partial: bool = False) -> Query:
+        """Bind a statement against the catalog (names, types, parameters)."""
+        template = self._template(query_or_sql)
+        return bind(template, self.database.catalog, params, partial=partial)
+
+    def plan_for(self, query_or_sql: Union[Query, str]) -> PhysicalPlan:
+        """The physical plan of a statement under the current layout.
+
+        Served from the plan cache when the statement's fingerprint and the
+        participating tables' layout/statistics versions both match;
+        re-planned otherwise.
+        """
+        template = self._template(query_or_sql)
+        return self._cached_plan(template)
+
+    def execute(self, query_or_sql: Union[Query, str], params: Params = None) -> QueryResult:
+        """Run one statement through parse → bind → plan → execute."""
+        template = self._template(query_or_sql)
+        bound = bind(template, self.database.catalog, params)
+        plan = self._cached_plan(template)
+        result = self.database.execute_with_paths(bound, plan.paths)
+        plan.record_execution(result)
+        self._queries_executed += 1
+        for listener in self._plan_listeners:
+            listener(bound, plan, result)
+        return result
+
+    def sql(self, statement: str, params: Params = None) -> QueryResult:
+        """Execute a SQL-ish statement.
+
+        ``EXPLAIN <statement>`` (optionally ``EXPLAIN ANALYZE``) returns the
+        rendered plan as rows with a single ``plan`` column instead of
+        executing the statement (``ANALYZE`` executes it once to show actual
+        costs).
+        """
+        stripped = statement.strip()
+        lowered = stripped.lower()
+        if lowered.startswith("explain"):
+            rest = stripped[len("explain"):].strip()
+            analyze = rest.lower().startswith("analyze")
+            if analyze:
+                rest = rest[len("analyze"):].strip()
+            text = self.explain(rest, params=params, analyze=analyze)
+            return QueryResult(
+                rows=[{"plan": line} for line in text.splitlines()],
+                affected_rows=0,
+                cost=CostBreakdown(),
+            )
+        return self.execute(stripped, params=params)
+
+    def prepare(self, statement: str) -> PreparedStatement:
+        """Parse, validate and plan *statement* once for repeated execution."""
+        template = self.parse(statement)
+        # Validate names/types now; placeholders stay unbound until execute.
+        bind(template, self.database.catalog, None, partial=True)
+        self._cached_plan(template)  # warm the plan cache
+        self._prepared_statements += 1
+        return PreparedStatement(self, statement, template)
+
+    def explain(self, query_or_sql: Union[Query, str], params: Params = None,
+                analyze: bool = False) -> str:
+        """Render the physical plan (``analyze=True`` also executes once)."""
+        template = self._template(query_or_sql)
+        bound = bind(template, self.database.catalog, params,
+                     partial=params is None)
+        plan = self._cached_plan(template)
+        actual: Optional[QueryResult] = None
+        if analyze:
+            if statement_parameters(bound):
+                raise BindError(
+                    "EXPLAIN ANALYZE needs parameter values for a "
+                    "parameterized statement"
+                )
+            actual = self.database.execute_with_paths(bound, plan.paths)
+            plan.record_execution(actual)
+            self._queries_executed += 1
+            for listener in self._plan_listeners:
+                listener(bound, plan, actual)
+        return render_plan(plan, actual)
+
+    # -- workloads ---------------------------------------------------------------
+
+    def run_workload(self, workload: Workload) -> WorkloadRunResult:
+        """Execute every workload query through the session pipeline."""
+        run = WorkloadRunResult(workload_name=workload.name)
+        for query in workload:
+            result = self.execute(query)
+            run.record(query, result)
+        return run
+
+    # -- advisor ------------------------------------------------------------------
+
+    def advisor(self) -> StorageAdvisor:
+        """The session's storage advisor.
+
+        It shares the planner's cost model (and therefore the content-keyed
+        estimate memo): estimates computed while planning pre-warm the
+        advisor's evaluation of the current layout, and vice versa.
+        """
+        return self._advisor
+
+    def recommend(self, workload: Workload,
+                  include_partitioning: bool = True) -> Recommendation:
+        return self._advisor.recommend(
+            self.database, workload, include_partitioning=include_partitioning
+        )
+
+    def apply(self, recommendation: Recommendation) -> None:
+        """Apply a recommendation (DDL bumps versions → plans invalidate)."""
+        self._advisor.apply(self.database, recommendation)
+
+    # -- plan listeners (consumed by the online monitor) ---------------------------
+
+    def add_plan_listener(self, listener: PlanExecutionListener) -> None:
+        self._plan_listeners.append(listener)
+
+    def remove_plan_listener(self, listener: PlanExecutionListener) -> None:
+        self._plan_listeners.remove(listener)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def stats(self) -> SessionStats:
+        """Counter snapshot: pipeline, plan-cache and estimate-memo activity."""
+        memo = self._advisor.cost_model.memo
+        return SessionStats(
+            queries_executed=self._queries_executed,
+            statements_parsed=self._statements_parsed,
+            parse_cache_hits=self._parse_cache_hits,
+            prepared_statements=self._prepared_statements,
+            plan_cache_size=len(self._plan_cache),
+            plan_cache_hits=self._plan_cache.hits,
+            plan_cache_misses=self._plan_cache.misses,
+            plan_cache_evictions=self._plan_cache.evictions,
+            estimate_memo_hits=memo.hits,
+            estimate_memo_misses=memo.misses,
+        )
+
+    # -- DDL / data conveniences (delegation) --------------------------------------
+
+    def create_table(self, schema: TableSchema, store: Store = Store.ROW):
+        return self.database.create_table(schema, store)
+
+    def drop_table(self, name: str) -> None:
+        self.database.drop_table(name)
+
+    def load_rows(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        return self.database.load_rows(name, rows)
+
+    def move_table(self, name: str, store: Store) -> CostBreakdown:
+        return self.database.move_table(name, store)
+
+    def apply_partitioning(self, name: str,
+                           partitioning: TablePartitioning) -> CostBreakdown:
+        return self.database.apply_partitioning(name, partitioning)
+
+    def remove_partitioning(self, name: str, store: Store) -> CostBreakdown:
+        return self.database.remove_partitioning(name, store)
+
+    def refresh_statistics(
+        self, name: Optional[str] = None
+    ) -> Dict[str, TableStatistics]:
+        return self.database.refresh_statistics(name)
+
+    def describe(self) -> str:
+        return self.database.describe()
+
+    def table_names(self) -> List[str]:
+        return self.database.table_names()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _template(self, query_or_sql: Union[Query, str]) -> Query:
+        if isinstance(query_or_sql, str):
+            return self.parse(query_or_sql)
+        return query_or_sql
+
+    def _cached_plan(self, template: Query) -> PhysicalPlan:
+        planner = self._planner
+        key = (
+            planner.logical(template).fingerprint,
+            self.database.layout_fingerprint(template.tables),
+            self._advisor.cost_model.parameters_fingerprint,
+        )
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            # Planning needs the tables to exist; surface a BindError (not a
+            # CatalogError) so callers see one error family for bad names.
+            for name in template.tables:
+                if not self.database.catalog.has_table(name):
+                    raise BindError(f"unknown table {name!r}")
+            plan = planner.plan(template)
+            self._plan_cache.put(key, plan)
+        return plan
+
+
+def connect(
+    database: Optional[HybridDatabase] = None,
+    device_config: Optional[DeviceModelConfig] = None,
+    advisor_config: Optional[AdvisorConfig] = None,
+    plan_cache_capacity: int = 512,
+) -> Session:
+    """Open a :class:`Session` over a new (or an existing) database."""
+    return Session(
+        database=database,
+        device_config=device_config,
+        advisor_config=advisor_config,
+        plan_cache_capacity=plan_cache_capacity,
+    )

@@ -69,8 +69,11 @@ class StorageAdvisor:
         """
         calibrator = calibrator or CostModelCalibrator(self.device_config)
         report = calibrator.calibrate()
+        # The memo carries over: its keys include a parameters fingerprint,
+        # so entries priced under the old parameters can never be served.
         self.cost_model = CostModel(parameters=report.parameters,
-                                    device_config=self.device_config)
+                                    device_config=self.device_config,
+                                    memo=self.cost_model.memo)
         self._table_level = TableLevelAdvisor(self.cost_model, self.config)
         self.last_calibration = report
         return report

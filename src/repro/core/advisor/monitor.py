@@ -39,6 +39,17 @@ class MonitorState:
     evaluations: int = 0
     adaptations_found: int = 0
     last_recommendation: Optional[Recommendation] = None
+    # Estimate drift, tracked when attached to a Session: sums of the plans'
+    # estimated runtimes vs. the executions' actual (simulated) runtimes.
+    estimated_ms_total: float = 0.0
+    actual_ms_total: float = 0.0
+
+    @property
+    def estimation_drift(self) -> float:
+        """``estimated / actual`` over all session-monitored queries (1.0 = spot on)."""
+        if self.actual_ms_total <= 0.0:
+            return 1.0
+        return self.estimated_ms_total / self.actual_ms_total
 
 
 class OnlineAdvisorMonitor:
@@ -63,12 +74,31 @@ class OnlineAdvisorMonitor:
         self.statistics = WorkloadStatistics()
         self.state = MonitorState()
         self._attached = False
+        self._session = None
 
     # -- lifecycle -------------------------------------------------------------------
 
+    @classmethod
+    def for_session(cls, session, **kwargs) -> "OnlineAdvisorMonitor":
+        """Build a monitor over a :class:`repro.api.Session` and attach it.
+
+        The monitor consumes the session's plan objects: besides recording
+        every executed query for re-evaluation, it tracks the drift between
+        the plans' estimated runtimes and the actual execution costs
+        (:attr:`MonitorState.estimation_drift`) — no estimate is re-derived.
+        """
+        monitor = cls(session.advisor(), session.database, **kwargs)
+        monitor.attach_session(session)
+        return monitor
+
     def attach(self) -> None:
-        """Start recording executed queries."""
-        if not self._attached:
+        """Start recording queries executed directly on the database.
+
+        A no-op while a session is attached: session executions reach the
+        database listeners too, so listening on both levels would record
+        every session query twice.
+        """
+        if not self._attached and self._session is None:
             self.database.add_execution_listener(self._on_query)
             self._attached = True
 
@@ -78,14 +108,37 @@ class OnlineAdvisorMonitor:
             self.database.remove_execution_listener(self._on_query)
             self._attached = False
 
+    def attach_session(self, session) -> None:
+        """Record the session's executions, consuming its plan objects.
+
+        Supersedes an engine-level :meth:`attach` (which is detached first):
+        session executions reach the database listeners too, so listening on
+        both levels would record every query twice.
+        """
+        if self._session is None:
+            self.detach()
+            self._session = session
+            session.add_plan_listener(self._on_plan_execution)
+
+    def detach_session(self) -> None:
+        if self._session is not None:
+            self._session.remove_plan_listener(self._on_plan_execution)
+            self._session = None
+
     def __enter__(self) -> "OnlineAdvisorMonitor":
         self.attach()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.detach()
+        self.detach_session()
 
     # -- recording --------------------------------------------------------------------
+
+    def _on_plan_execution(self, query: Query, plan, result: QueryResult) -> None:
+        self.state.estimated_ms_total += plan.estimated_ms
+        self.state.actual_ms_total += result.runtime_ms
+        self._on_query(query, result)
 
     def _on_query(self, query: Query, result: QueryResult) -> None:
         self.recorded.add(query)

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
+import hashlib
+
 from repro.config import DeviceModelConfig
 from repro.core.cost_model.estimator import (
     CostContribution,
@@ -39,9 +41,57 @@ from repro.engine.statistics import TableStatistics
 from repro.engine.types import Store
 from repro.errors import EstimationError
 from repro.query.ast import Query, QueryType
+from repro.query.fingerprint import query_fingerprint
 from repro.query.workload import Workload
 
 StoreAssignment = Mapping[str, Store]
+
+
+class EstimateMemo:
+    """Shared estimate memo keyed by content fingerprints.
+
+    Keys combine the *query fingerprint* with, per referenced table, the
+    hypothetical store and the *statistics fingerprint* — the same keying the
+    session plan cache uses — plus a fingerprint of the model parameters the
+    estimate was priced under.  Because keys are content-derived (never
+    object identities), one memo can safely be shared between cost-model
+    instances, between the advisor's enumeration and the session planner, and
+    across statistics refreshes that did not change anything.
+
+    The memo is generational: when it reaches *limit* entries it is cleared
+    wholesale, which bounds memory in long-running online-monitor loops.
+    """
+
+    def __init__(self, limit: int = 100_000) -> None:
+        self._entries: Dict[tuple, float] = {}
+        self._limit = limit
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: tuple) -> Optional[float]:
+        estimate = self._entries.get(key)
+        if estimate is not None:
+            self.hits += 1
+        return estimate
+
+    def put(self, key: tuple, estimate: float) -> None:
+        self.misses += 1
+        if len(self._entries) >= self._limit:
+            self._entries.clear()
+        self._entries[key] = estimate
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 @dataclass
@@ -65,33 +115,38 @@ class CostModel:
         self,
         parameters: Optional[CostModelParameters] = None,
         device_config: Optional[DeviceModelConfig] = None,
+        memo: Optional[EstimateMemo] = None,
     ) -> None:
         self._parameters = parameters or analytic_parameters(device_config)
-        # Per-(query, referenced stores, profiles) estimate memo.  The
+        self._parameters_fp = _parameters_fingerprint(self._parameters)
+        # Estimate memo keyed by (parameters, query fingerprint, per-table
+        # (store, statistics fingerprint)) — see :class:`EstimateMemo`.  The
         # advisor's exhaustive join-group enumeration and per-table cost
         # reports re-estimate the same queries under assignments that only
-        # differ for *other* tables; the memo collapses those repeats.
-        # Keys are built from object identities (query, per-table profile);
-        # each entry pins those exact objects, so a key's ids can never be
-        # reused by different live objects and a refreshed profile (a new
-        # object, new id) simply misses.  The cache is generational: once it
-        # reaches the limit it is cleared wholesale, which bounds memory in
-        # long-running online-monitor loops (each re-profiling cycle creates
-        # new profile objects whose old entries could never hit again).
-        self._estimate_cache: Dict[tuple, tuple] = {}
-        self._estimate_cache_limit = 100_000
-        self.cache_hits = 0
-        self.cache_misses = 0
+        # differ for *other* tables; the memo collapses those repeats, and —
+        # because the keying is content-based — it is shared with the session
+        # planner: a query planned through the session API pre-warms the
+        # entries the advisor and online monitor consult for the current
+        # layout.  Pass an explicit *memo* to share one across models (the
+        # parameters fingerprint in the key keeps differently-calibrated
+        # models from colliding).
+        self.memo = memo if memo is not None else EstimateMemo()
 
     @property
     def parameters(self) -> CostModelParameters:
         return self._parameters
 
+    @property
+    def parameters_fingerprint(self) -> str:
+        """Content fingerprint of the current parameters (keys caches)."""
+        return self._parameters_fp
+
     @parameters.setter
     def parameters(self, value: CostModelParameters) -> None:
-        # Cached estimates were priced under the old parameters.
+        # The parameters fingerprint keys the memo, so entries priced under
+        # the old parameters simply stop matching — no clear needed.
         self._parameters = value
-        self.reset_cache()
+        self._parameters_fp = _parameters_fingerprint(value)
 
     # -- profile helpers -----------------------------------------------------------
 
@@ -126,51 +181,56 @@ class CostModel:
     ) -> float:
         """Estimated runtime (ms) of *query* under *assignment*.
 
-        Estimates are memoized per (query, stores-of-referenced-tables,
-        profiles-of-referenced-tables): assignments that only differ on
-        tables the query does not touch share one cache entry.
+        Estimates are memoized in :attr:`memo` per (query fingerprint,
+        stores-of-referenced-tables, statistics-fingerprints-of-referenced-
+        tables): assignments that only differ on tables the query does not
+        touch share one entry, as do structurally identical query objects and
+        statistics refreshes that did not change the data characteristics.
         """
-        key = None
-        tables = query.tables
-        try:
-            if len(tables) == 1:
-                table = tables[0]
-                key = (id(query), table, assignment[table], id(profiles[table]))
-            else:
-                key = (id(query),) + tuple(
-                    (table, assignment[table], id(profiles[table]))
-                    for table in tables
-                )
-        except KeyError:
-            pass  # incomplete assignment/profiles: let the estimator raise
+        key = self.estimate_key(query, assignment, profiles)
         if key is not None:
-            entry = self._estimate_cache.get(key)
-            if entry is not None:
-                self.cache_hits += 1
-                return entry[2]
+            estimate = self.memo.get(key)
+            if estimate is not None:
+                return estimate
         contributions = query_contributions(query, assignment, profiles)
         estimate = self._price_contributions(contributions)
         if key is not None:
-            self.cache_misses += 1
-            if len(self._estimate_cache) >= self._estimate_cache_limit:
-                self._estimate_cache.clear()
-            self._estimate_cache[key] = (
-                query,
-                tuple(profiles[table] for table in tables),
-                estimate,
-            )
+            self.memo.put(key, estimate)
         return estimate
+
+    def estimate_key(
+        self,
+        query: Query,
+        assignment: StoreAssignment,
+        profiles: Mapping[str, TableProfile],
+    ) -> Optional[tuple]:
+        """The memo key of one estimate, or ``None`` for incomplete inputs."""
+        try:
+            return (
+                self._parameters_fp,
+                query_fingerprint(query),
+            ) + tuple(
+                (table, assignment[table].value, profiles[table].statistics.fingerprint)
+                for table in query.tables
+            )
+        except KeyError:
+            return None  # incomplete assignment/profiles: let the estimator raise
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memo.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.memo.misses
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of estimate calls served from the memo (0.0 when unused)."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        return self.memo.hit_rate
 
     def reset_cache(self) -> None:
-        self._estimate_cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.memo.clear()
 
     def estimate_query_per_store(
         self,
@@ -191,6 +251,11 @@ class CostModel:
             assignment[query.table] = store
             estimates[store] = self.estimate_query_ms(query, assignment, profiles)
         return estimates
+
+    def price_contribution_ms(self, contribution: CostContribution) -> float:
+        """Price one table's contribution (used by EXPLAIN term breakdowns)."""
+        weights = self.parameters.weights_for(contribution.store, contribution.query_type)
+        return weights.cost_ms(contribution.terms)
 
     def _price_contributions(self, contributions: Iterable[CostContribution]) -> float:
         total_ms = 0.0
@@ -244,3 +309,15 @@ class CostModel:
         for query in workload:
             total_ms += self.estimate_query_ms(query, assignment, profiles)
         return total_ms
+
+
+def _parameters_fingerprint(parameters: CostModelParameters) -> str:
+    """Content fingerprint of a parameter set (keys the estimate memo)."""
+    tokens = []
+    as_dict = parameters.to_dict()
+    for key in sorted(as_dict):
+        weights = as_dict[key]
+        tokens.append(key)
+        for name in sorted(weights):
+            tokens.append(f"{name}={weights[name]!r}")
+    return hashlib.blake2b("|".join(tokens).encode("utf-8"), digest_size=8).hexdigest()

@@ -82,6 +82,14 @@ class HybridDatabase:
         self._tables: Dict[str, TableObject] = {}
         self._executor = QueryExecutor(self, self.device)
         self._listeners: List[ExecutionListener] = []
+        # Per-table layout/statistics version, bumped by every DDL operation,
+        # store move, (re)partitioning and statistics refresh.  The session
+        # plan cache keys plans by these versions, so any such change makes
+        # cached plans unreachable (= invalidates them) without the engine
+        # knowing about plan caches.  Plain DML does not bump versions: it
+        # changes data, not layout or recorded statistics.
+        self._table_versions: Dict[str, int] = {}
+        self._version_counter = 0
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -91,11 +99,15 @@ class HybridDatabase:
         table = StoredTable(schema, store)
         self._tables[schema.name] = table
         entry.statistics = compute_table_statistics(table)
+        self._bump_version(schema.name)
         return table
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
         del self._tables[name]
+        # The version entry stays (and bumps): a plan cached against the
+        # dropped table must not resurface if a same-named table reappears.
+        self._bump_version(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -180,8 +192,29 @@ class HybridDatabase:
         for table_name in names:
             statistics = compute_table_statistics(self.table_object(table_name))
             self.catalog.update_statistics(table_name, statistics)
+            self._bump_version(table_name)
             updated[table_name] = statistics
         return updated
+
+    # -- layout/statistics versioning (consumed by the session plan cache) ---------------
+
+    def _bump_version(self, name: str) -> None:
+        self._version_counter += 1
+        self._table_versions[name] = self._version_counter
+
+    def table_version(self, name: str) -> int:
+        """Monotonic layout/statistics version of one table.
+
+        Bumped by DDL (create/drop), store moves, applying or removing a
+        partitioning, and statistics refresh (which bulk loads trigger too).
+        Unknown tables report version 0, which a subsequent ``CREATE``
+        necessarily replaces with a larger number.
+        """
+        return self._table_versions.get(name, 0)
+
+    def layout_fingerprint(self, tables: Iterable[str]) -> tuple:
+        """Version tuple of *tables* — the plan-cache's invalidation key."""
+        return tuple((name, self.table_version(name)) for name in tables)
 
     def statistics(self, name: str) -> TableStatistics:
         return self.catalog.statistics_of(name)
@@ -196,8 +229,30 @@ class HybridDatabase:
         self._listeners.remove(listener)
 
     def execute(self, query: Query) -> QueryResult:
-        """Execute one query, returning rows and the simulated cost."""
+        """Execute one query, returning rows and the simulated cost.
+
+        This is the legacy single-shot entry point (parse-and-run callers,
+        existing tests); :class:`repro.api.Session` drives the same executor
+        through explicit :class:`~repro.api.plan.PhysicalPlan` objects and
+        charges bit-identical costs.
+        """
         result = self._executor.execute(query)
+        for listener in self._listeners:
+            listener(query, result)
+        return result
+
+    def resolve_access_paths(self, query: Query):
+        """Resolve the physical access path of every table *query* references."""
+        return self._executor.resolve_paths(query)
+
+    def execute_with_paths(self, query: Query, paths) -> QueryResult:
+        """Execute *query* over pre-resolved access paths (the plan path).
+
+        Used by the session layer to run a cached physical plan without
+        re-resolving tables; execution listeners fire exactly as for
+        :meth:`execute`.
+        """
+        result = self._executor.execute_with_paths(query, paths)
         for listener in self._listeners:
             listener(query, result)
         return result

@@ -45,11 +45,16 @@ class AccessPath:
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
+        encode_columns: Sequence[str] = (),
     ) -> ColumnBatch:
         """Return a columnar batch of *columns*, filtered by *predicate*.
 
         This is the operators' read entry point: data stays in aligned numpy
         arrays from the storage backend to the aggregation/join operators.
+        *encode_columns* lists columns the consumer prefers dictionary-
+        encoded (group-by keys): stores that can serve an interned
+        ``(codes, dictionary)`` pair for them do so; plain value arrays
+        remain a correct fallback.  Cost charges never depend on it.
         """
         raise NotImplementedError
 
@@ -114,11 +119,14 @@ class SimpleAccessPath(AccessPath):
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
+        encode_columns: Sequence[str] = (),
     ) -> ColumnBatch:
         positions = self.table.filter_positions(predicate, accountant)
         if self.table.store is Store.ROW:
-            # One full-width pass delivers every requested column.
-            return self.table.scan_batch(columns, positions, accountant)
+            # One full-width pass delivers every requested column; group-by
+            # keys come interned from the factorization cache when possible.
+            return self.table.scan_batch(columns, positions, accountant,
+                                         encode=encode_columns)
         # Column store: one compressed scan (or reconstruction) per column.
         # The batch carries the (codes, dictionary) pairs undecoded — values
         # materialise only where the query result actually needs them.

@@ -54,14 +54,33 @@ class QueryExecutor:
         self._tables = table_provider
         self.device = device or DeviceModel()
 
-    def execute(self, query: Query) -> QueryResult:
-        accountant = CostAccountant(self.device)
-        accountant.charge_query_overhead()
+    def resolve_paths(self, query: Query) -> Dict[str, "AccessPath"]:
+        """Resolve the access path of every table the query references.
 
-        paths = {
+        This is the physical half of planning: the returned paths capture the
+        store and partitioning each table is currently read through.  The
+        session planner calls it once per (query, layout) and caches the
+        result inside a :class:`~repro.api.plan.PhysicalPlan`; the legacy
+        :meth:`execute` entry point re-resolves per query.
+        """
+        return {
             name: access_path_for(self._tables.table_object(name))
             for name in query.tables
         }
+
+    def execute(self, query: Query) -> QueryResult:
+        return self.execute_with_paths(query, self.resolve_paths(query))
+
+    def execute_with_paths(
+        self, query: Query, paths: Dict[str, "AccessPath"]
+    ) -> QueryResult:
+        """Execute *query* over already-resolved access *paths*.
+
+        The cost charges are exactly those of :meth:`execute` — re-using a
+        plan's paths never changes what a query costs.
+        """
+        accountant = CostAccountant(self.device)
+        accountant.charge_query_overhead()
 
         if isinstance(query, AggregationQuery):
             rows = execute_aggregation(query, paths, accountant)

@@ -62,7 +62,17 @@ def execute_aggregation(
         narrowest = min(base_schema.columns, key=lambda column: column.width_bytes)
         base_columns = [narrowest.name]
 
-    batch = base_path.collect_batch(base_columns, query.predicate, accountant)
+    # Group-by keys benefit from a dictionary-encoded representation (the
+    # aggregation factorizes codes in O(n)); ask the access path to serve
+    # them interned/encoded where the store can.
+    encode_columns = []
+    for name in query.group_by:
+        owner, column = split_qualified(name)
+        if (owner is None or owner == query.table) and column in base_columns:
+            encode_columns.append(column)
+    batch = base_path.collect_batch(
+        base_columns, query.predicate, accountant, encode_columns=encode_columns
+    )
     num_rows = batch.num_rows
 
     # Resolve joins: fetch the referenced dimension attributes aligned with the

@@ -53,12 +53,18 @@ class PartitionedAccessPath(AccessPath):
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
+        encode_columns: Sequence[str] = (),
     ) -> ColumnBatch:
         segments = 0
         batches: List[ColumnBatch] = []
 
+        # A populated hot partition forces a mixed-dictionary concat that
+        # would decode interned columns again; only ask the main portion for
+        # encoded columns when the whole result comes from it.
+        hot_active = self.table.hot is not None and self.table.hot.num_rows > 0
         main_batch, main_parts_touched = self._collect_from_main(
-            columns, predicate, accountant
+            columns, predicate, accountant,
+            encode_columns=() if hot_active else encode_columns,
         )
         segments += main_parts_touched
         batches.append(main_batch)
@@ -147,11 +153,12 @@ class PartitionedAccessPath(AccessPath):
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
+        encode_columns: Sequence[str] = (),
     ):
         table = self.table
         if not table.has_vertical_split:
             batch = SimpleAccessPath(table.main_parts[0]).collect_batch(
-                columns, predicate, accountant
+                columns, predicate, accountant, encode_columns=encode_columns
             )
             return batch, 1
 

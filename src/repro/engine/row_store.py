@@ -22,13 +22,53 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.batch import ColumnBatch, evaluate_predicate_mask, values_to_array
+from repro.engine.batch import (
+    ColumnBatch,
+    EncodedColumn,
+    evaluate_predicate_mask,
+    values_to_array,
+)
 from repro.engine.indexes import HashIndex, SortedIndex
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
 from repro.errors import ExecutionError, SchemaError
 from repro.query.predicates import Between, CompareOp, Comparison, Predicate
+
+
+class InternedDictionary:
+    """Read-only sorted dictionary over a row-store string column.
+
+    The row store keeps values uncompressed; this dictionary exists purely as
+    a *wall-clock* cache: ``np.unique``-factorizing 100k strings costs ~20 ms,
+    so the factorization is computed once per table state and handed to the
+    executor as an :class:`~repro.engine.batch.EncodedColumn`, whose group-by
+    runs on the int codes in O(n).  It mirrors the subset of the
+    :class:`~repro.engine.compression.ColumnDictionary` interface the batch
+    pipeline consumes.  Interning never changes a query's *charged* cost —
+    the row store still bills full-width tuple scans.
+
+    Only pure-string columns are interned (numpy ``U`` dtype), so the
+    dictionary can never contain NULL or NaN entries.
+    """
+
+    __slots__ = ("values_array",)
+
+    def __init__(self, values_array: np.ndarray) -> None:
+        self.values_array = values_array
+
+    def __len__(self) -> int:
+        return len(self.values_array)
+
+    @property
+    def nan_code(self) -> Optional[int]:
+        return None
+
+    def decode(self, code: int) -> Any:
+        return self.values_array[code]
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        return self.values_array[codes]
 
 
 class RowStoreTable:
@@ -46,6 +86,12 @@ class RowStoreTable:
         # a row-store table are served from these arrays; the *cost* charged
         # stays the full-width tuple scan of the row-store model.
         self._column_cache: Dict[str, np.ndarray] = {}
+        # Per-column interning/factorization cache for string columns:
+        # column -> (codes aligned with the rows, sorted InternedDictionary).
+        # Invalidated exactly like _column_cache (popped on update, cleared
+        # on delete/bulk rebuild); appends extend the codes with just the new
+        # suffix when the new values already intern, else rebuild lazily.
+        self._factorized: Dict[str, Tuple[np.ndarray, InternedDictionary]] = {}
         self._pk_column: Optional[str] = None
         if create_pk_index and len(schema.primary_key) == 1:
             # The primary key gets both an equality (hash) and a range (sorted)
@@ -154,6 +200,7 @@ class RowStoreTable:
         self._rows = [list(row) for row in zip(*aligned)] if num_rows else []
         self._rebuild_indexes()
         self._column_cache.clear()
+        self._factorized.clear()
 
     def bulk_load(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Load rows without cost accounting (used by generators and tests).
@@ -222,6 +269,7 @@ class RowStoreTable:
             # rest stay valid.
             for name in coerced:
                 self._column_cache.pop(name, None)
+                self._factorized.pop(name, None)
         return len(positions)
 
     def delete_rows(
@@ -236,6 +284,7 @@ class RowStoreTable:
             accountant.charge_row_value_updates(len(doomed) * self.schema.num_columns)
         self._rebuild_indexes()
         self._column_cache.clear()
+        self._factorized.clear()
         return len(doomed)
 
     def _rebuild_indexes(self) -> None:
@@ -271,6 +320,38 @@ class RowStoreTable:
         array = values_to_array([row[index] for row in self._rows])
         self._column_cache[column] = array
         return array
+
+    def column_interned(self, column: str) -> Optional[EncodedColumn]:
+        """The interned ``(codes, dictionary)`` view of a string column.
+
+        Returns ``None`` for columns that do not intern (non-string dtype,
+        NULLs present, empty table).  The factorization is cached per table
+        state; appends since the last factorization re-intern only the new
+        suffix when every new value is already in the dictionary.
+        """
+        array = self._column_array(column)
+        num_rows = len(array)
+        if num_rows == 0 or array.dtype.kind != "U":
+            return None
+        cached = self._factorized.get(column)
+        if cached is not None:
+            codes, dictionary = cached
+            if len(codes) == num_rows:
+                return EncodedColumn(codes, dictionary)
+            if len(codes) < num_rows:
+                suffix = array[len(codes):]
+                slots = np.searchsorted(dictionary.values_array, suffix)
+                slots = np.minimum(slots, len(dictionary) - 1)
+                if bool((dictionary.values_array[slots] == suffix).all()):
+                    codes = np.concatenate([codes, slots.astype(np.int64)])
+                    self._factorized[column] = (codes, dictionary)
+                    return EncodedColumn(codes, dictionary)
+            # Shrunk or new values appeared: fall through to a full rebuild.
+        uniques, inverse = np.unique(array, return_inverse=True)
+        codes = inverse.reshape(-1).astype(np.int64)
+        dictionary = InternedDictionary(uniques)
+        self._factorized[column] = (codes, dictionary)
+        return EncodedColumn(codes, dictionary)
 
     def filter_positions(
         self, predicate: Optional[Predicate], accountant: Optional[CostAccountant] = None
@@ -437,28 +518,49 @@ class RowStoreTable:
         columns: Sequence[str],
         positions: Optional[Sequence[int]] = None,
         accountant: Optional[CostAccountant] = None,
+        encode: Sequence[str] = (),
     ) -> ColumnBatch:
         """Batch variant of :meth:`scan_columns` over the cached column views.
 
-        The cost charged is still one full-width tuple scan (or one random
-        access per requested row) — only the Python-level work is vectorized.
+        Columns listed in *encode* (the operators pass the group-by keys) are
+        served as interned :class:`~repro.engine.batch.EncodedColumn` pairs
+        when they intern (see :meth:`column_interned`), so the group-by
+        factorizes int codes instead of ``np.unique``-sorting strings.  The
+        cost charged is still one full-width tuple scan (or one random access
+        per requested row) — only the Python-level work is vectorized.
         """
         for name in columns:
             self.schema.column(name)
+        encode_set = set(encode)
+
+        def batch_column(name: str) -> Any:
+            if name in encode_set:
+                interned = self.column_interned(name)
+                if interned is not None:
+                    return interned
+            return self._column_array(name)
+
         if positions is None:
             if accountant is not None:
                 accountant.charge_sequential_read(
                     "row_scan", self.num_rows * self.row_width_bytes
                 )
             return ColumnBatch(
-                {name: self._column_array(name) for name in columns},
+                {name: batch_column(name) for name in columns},
                 num_rows=self.num_rows,
             )
         if accountant is not None:
             accountant.charge_random_accesses("row_fetch", len(positions))
         gather = np.asarray(positions, dtype=np.int64)
+
+        def gathered_column(name: str) -> Any:
+            column = batch_column(name)
+            if isinstance(column, EncodedColumn):
+                return column.take(gather)
+            return column[gather]
+
         return ColumnBatch(
-            {name: self._column_array(name)[gather] for name in columns},
+            {name: gathered_column(name) for name in columns},
             num_rows=len(gather),
         )
 

@@ -8,6 +8,7 @@ of the paper).  This module computes those statistics from a stored table.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -71,6 +72,36 @@ class TableStatistics:
 
     def has_column(self, name: str) -> bool:
         return name in self.columns
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of these statistics (cached; the object is frozen).
+
+        Two statistics objects computed from identical data get identical
+        fingerprints, so content-keyed caches (the session plan cache, the
+        cost model's estimate memo) survive a statistics refresh that did not
+        actually change anything — and miss as soon as row counts, distinct
+        counts, value ranges or the store annotation move.
+        """
+        cached = self.__dict__.get("_fingerprint") if hasattr(self, "__dict__") else None
+        if cached is not None:
+            return cached
+        tokens = [
+            self.table,
+            str(self.num_rows),
+            str(self.row_width_bytes),
+            self.store.value if self.store is not None else "-",
+        ]
+        for name in sorted(self.columns):
+            stats = self.columns[name]
+            tokens.append(
+                f"{name}:{stats.dtype.value}:{stats.num_distinct}"
+                f":{stats.min_value!r}:{stats.max_value!r}"
+            )
+        digest = hashlib.blake2b("|".join(tokens).encode("utf-8"),
+                                 digest_size=8).hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     @property
     def compression_rate(self) -> float:

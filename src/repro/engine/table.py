@@ -164,7 +164,13 @@ class StoredTable:
 
     def scan_batch(self, columns: Sequence[str],
                    positions: Optional[Sequence[int]] = None,
-                   accountant: Optional[CostAccountant] = None) -> "ColumnBatch":
+                   accountant: Optional[CostAccountant] = None,
+                   encode: Sequence[str] = ()) -> "ColumnBatch":
+        if encode and isinstance(self._backend, RowStoreTable):
+            # Row store: serve the listed columns interned when possible (the
+            # column store is always dictionary-encoded anyway).
+            return self._backend.scan_batch(columns, positions, accountant,
+                                            encode=encode)
         return self._backend.scan_batch(columns, positions, accountant)
 
     def all_rows(self) -> List[Dict[str, Any]]:

@@ -48,5 +48,27 @@ class WorkloadError(ReproError):
     """A workload definition or generator input is invalid."""
 
 
+class BindError(QueryError):
+    """A query could not be bound against the catalog.
+
+    Raised by the session layer's bind step (:mod:`repro.api.binder`) when a
+    statement references unknown tables or columns, a literal or bound
+    parameter does not type-check against the catalog schema, or the supplied
+    parameters do not match the statement's placeholders.
+    """
+
+
 class ParseError(QueryError):
-    """The SQL-ish parser could not parse the given statement."""
+    """The SQL-ish parser could not parse the given statement.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    the parser can locate it (both are ``None`` otherwise).
+    """
+
+    def __init__(self, message: str, line: "int | None" = None,
+                 column: "int | None" = None) -> None:
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column

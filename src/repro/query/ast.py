@@ -44,6 +44,33 @@ class AggregateFunction(enum.Enum):
     COUNT = "count"
 
 
+@dataclass(frozen=True)
+class Parameter:
+    """A placeholder for a literal, bound at execute time.
+
+    The parser produces one per ``?`` (positional, numbered left to right
+    from 0) or ``:name`` (named) placeholder; the session layer's bind step
+    (:mod:`repro.api.binder`) substitutes the actual value — type-checked and
+    coerced against the catalog schema — before execution.  A query carrying
+    unbound parameters can be *planned* (placeholders contribute default
+    selectivities) but never executed.
+    """
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.index is None) == (self.name is None):
+            raise QueryError("a parameter is either positional or named")
+
+    @property
+    def label(self) -> str:
+        return "?" if self.name is None else f":{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.label})"
+
+
 def split_qualified(name: str) -> Tuple[Optional[str], str]:
     """Split ``"table.column"`` into ``(table, column)``; plain names get ``None``."""
     if "." in name:

@@ -6,6 +6,16 @@ INSERT, UPDATE and DELETE — and produces the same query objects as the
 builders in :mod:`repro.query.builder`.  It is intentionally small: quoted
 strings, numbers, ``AND``-connected comparisons and ``BETWEEN`` are supported;
 anything fancier should be built with the builder API directly.
+
+Two session-layer features surface here:
+
+* **placeholders** — ``?`` (positional, numbered left to right) and ``:name``
+  (named) parse into :class:`~repro.query.ast.Parameter` markers wherever a
+  literal may appear; the session's bind step substitutes the actual values
+  (see :mod:`repro.api.binder`), and
+* **positioned errors** — :class:`~repro.errors.ParseError` carries the
+  1-based line/column of the offending token whenever the parser can locate
+  it (malformed predicates, dangling ``AND``, bad literals).
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from repro.query.ast import (
     DeleteQuery,
     InsertQuery,
     JoinClause,
+    Parameter,
     Query,
     SelectQuery,
     UpdateQuery,
@@ -67,6 +78,9 @@ _BETWEEN_RE = re.compile(
     r"^(?P<column>[\w.]+)\s+between\s+(?P<low>.+?)\s+and\s+(?P<high>.+)$",
     re.IGNORECASE | re.DOTALL,
 )
+_NAMED_PARAM_RE = re.compile(r"^:(?P<name>[A-Za-z_]\w*)$")
+_DANGLING_AND_RE = re.compile(r"(?:^|\s)(and)\s*$", re.IGNORECASE)
+_LEADING_AND_RE = re.compile(r"^(and)(?:\s|$)", re.IGNORECASE)
 
 _OPS = {
     "=": CompareOp.EQ,
@@ -79,33 +93,77 @@ _OPS = {
 }
 
 
+class _ParseContext:
+    """Per-statement parsing state: source text for positions, ``?`` numbering."""
+
+    def __init__(self, statement: str) -> None:
+        self.statement = statement
+        self._next_positional = 0
+
+    def next_parameter(self) -> Parameter:
+        parameter = Parameter(index=self._next_positional)
+        self._next_positional += 1
+        return parameter
+
+    def locate(self, fragment: str) -> Tuple[Optional[int], Optional[int]]:
+        """Best-effort 1-based (line, column) of *fragment* in the statement."""
+        if not fragment:
+            return None, None
+        offset = self.statement.find(fragment)
+        if offset < 0:
+            return None, None
+        return self.locate_offset(offset)
+
+    def locate_offset(self, offset: int) -> Tuple[Optional[int], Optional[int]]:
+        """1-based (line, column) of a character *offset* into the statement."""
+        if offset < 0 or offset > len(self.statement):
+            return None, None
+        prefix = self.statement[:offset]
+        line = prefix.count("\n") + 1
+        column = offset - (prefix.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str, fragment: Optional[str] = None) -> ParseError:
+        line, column = self.locate(fragment) if fragment else (None, None)
+        return ParseError(message, line=line, column=column)
+
+    def error_at(self, message: str, offset: int) -> ParseError:
+        line, column = self.locate_offset(offset)
+        return ParseError(message, line=line, column=column)
+
+
 def parse(statement: str) -> Query:
-    """Parse a single SQL-ish statement into a query object."""
+    """Parse a single SQL-ish statement into a query object.
+
+    Placeholders (``?`` / ``:name``) are preserved as
+    :class:`~repro.query.ast.Parameter` markers in the produced query.
+    """
     text = statement.strip()
     if not text:
         raise ParseError("empty statement")
+    context = _ParseContext(statement)
     keyword = text.split(None, 1)[0].lower()
     if keyword == "select":
-        return _parse_select(text)
+        return _parse_select(text, context)
     if keyword == "insert":
-        return _parse_insert(text)
+        return _parse_insert(text, context)
     if keyword == "update":
-        return _parse_update(text)
+        return _parse_update(text, context)
     if keyword == "delete":
-        return _parse_delete(text)
-    raise ParseError(f"unsupported statement: {statement!r}")
+        return _parse_delete(text, context)
+    raise context.error(f"unsupported statement: {statement!r}", text.split(None, 1)[0])
 
 
 # -- helpers --------------------------------------------------------------------------
 
 
-def _parse_select(text: str) -> Query:
+def _parse_select(text: str, context: _ParseContext) -> Query:
     match = _SELECT_RE.match(text)
     if not match:
-        raise ParseError(f"could not parse SELECT statement: {text!r}")
+        raise context.error(f"could not parse SELECT statement: {text!r}")
     table = match.group("table")
     projection = match.group("projection").strip()
-    predicate = _parse_predicate(match.group("where"))
+    predicate = _parse_predicate(match.group("where"), context)
     joins = tuple(
         JoinClause(m.group("table"), _strip_qualifier(m.group("left"), table),
                    _strip_qualifier(m.group("right"), m.group("table")))
@@ -142,52 +200,68 @@ def _parse_select(text: str) -> Query:
             joins=joins,
         )
     if joins or group_by:
-        raise ParseError("JOIN/GROUP BY is only supported for aggregation queries")
+        raise context.error("JOIN/GROUP BY is only supported for aggregation queries")
     return SelectQuery(table=table, columns=tuple(plain_columns), predicate=predicate,
                        limit=limit)
 
 
-def _parse_insert(text: str) -> InsertQuery:
+def _parse_insert(text: str, context: _ParseContext) -> InsertQuery:
     match = _INSERT_RE.match(text)
     if not match:
-        raise ParseError(f"could not parse INSERT statement: {text!r}")
+        raise context.error(f"could not parse INSERT statement: {text!r}")
     columns = [name.strip() for name in match.group("columns").split(",") if name.strip()]
     values = _split_values(match.group("values"))
     if len(columns) != len(values):
-        raise ParseError("INSERT column list and VALUES list differ in length")
-    row = {name: _parse_literal(value) for name, value in zip(columns, values)}
+        raise context.error("INSERT column list and VALUES list differ in length")
+    row = {name: _parse_literal(value, context) for name, value in zip(columns, values)}
     return InsertQuery(table=match.group("table"), rows=(row,))
 
 
-def _parse_update(text: str) -> UpdateQuery:
+def _parse_update(text: str, context: _ParseContext) -> UpdateQuery:
     match = _UPDATE_RE.match(text)
     if not match:
-        raise ParseError(f"could not parse UPDATE statement: {text!r}")
+        raise context.error(f"could not parse UPDATE statement: {text!r}")
     assignments = {}
     for part in _split_values(match.group("assignments")):
         if "=" not in part:
-            raise ParseError(f"bad assignment in UPDATE: {part!r}")
+            raise context.error(f"bad assignment in UPDATE: {part!r}", part)
         column, value = part.split("=", 1)
-        assignments[column.strip()] = _parse_literal(value.strip())
+        assignments[column.strip()] = _parse_literal(value.strip(), context)
     return UpdateQuery(
         table=match.group("table"),
         assignments=assignments,
-        predicate=_parse_predicate(match.group("where")),
+        predicate=_parse_predicate(match.group("where"), context),
     )
 
 
-def _parse_delete(text: str) -> DeleteQuery:
+def _parse_delete(text: str, context: _ParseContext) -> DeleteQuery:
     match = _DELETE_RE.match(text)
     if not match:
-        raise ParseError(f"could not parse DELETE statement: {text!r}")
+        raise context.error(f"could not parse DELETE statement: {text!r}")
     return DeleteQuery(table=match.group("table"),
-                       predicate=_parse_predicate(match.group("where")))
+                       predicate=_parse_predicate(match.group("where"), context))
 
 
-def _parse_predicate(text: Optional[str]) -> Optional[Predicate]:
+def _parse_predicate(text: Optional[str], context: _ParseContext) -> Optional[Predicate]:
     if text is None or not text.strip():
         return None
-    raw_parts = re.split(r"\s+and\s+", text.strip(), flags=re.IGNORECASE)
+    stripped = text.strip()
+    # The predicate text is a verbatim substring of the statement; anchoring
+    # positions on its offset (not on a token search, which could hit an
+    # identifier containing the same characters) keeps line/column exact.
+    predicate_offset = context.statement.find(stripped)
+    dangling = _DANGLING_AND_RE.search(stripped)
+    # A trailing AND inside a BETWEEN is legitimate only when a bound follows,
+    # which the strip already ruled out — so any match here is dangling.
+    if dangling:
+        raise context.error_at(
+            "dangling AND at end of predicate",
+            predicate_offset + dangling.start(1) if predicate_offset >= 0 else -1,
+        )
+    if _LEADING_AND_RE.match(stripped):
+        raise context.error_at("predicate must not start with AND",
+                               predicate_offset)
+    raw_parts = re.split(r"\s+and\s+", stripped, flags=re.IGNORECASE)
     # Re-join the AND that belongs to a BETWEEN ... AND ... expression.
     parts: List[str] = []
     index = 0
@@ -198,34 +272,45 @@ def _parse_predicate(text: Optional[str]) -> Optional[Predicate]:
             index += 1
         parts.append(part)
         index += 1
-    predicates = [_parse_single_predicate(part.strip()) for part in parts]
+    for part in parts:
+        part_text = part.strip()
+        if not part_text or _LEADING_AND_RE.match(part_text):
+            offset = context.statement.find(part_text) if part_text else predicate_offset
+            raise context.error_at("dangling AND in predicate", offset)
+    predicates = [_parse_single_predicate(part.strip(), context) for part in parts]
     if len(predicates) == 1:
         return predicates[0]
     return And(tuple(predicates))
 
 
-def _parse_single_predicate(text: str) -> Predicate:
+def _parse_single_predicate(text: str, context: _ParseContext) -> Predicate:
     between_match = _BETWEEN_RE.match(text)
     if between_match:
         return Between(
             between_match.group("column"),
-            _parse_literal(between_match.group("low").strip()),
-            _parse_literal(between_match.group("high").strip()),
+            _parse_literal(between_match.group("low").strip(), context),
+            _parse_literal(between_match.group("high").strip(), context),
         )
     comparison_match = _COMPARISON_RE.match(text)
     if comparison_match:
         return Comparison(
             comparison_match.group("column"),
             _OPS[comparison_match.group("op")],
-            _parse_literal(comparison_match.group("value").strip()),
+            _parse_literal(comparison_match.group("value").strip(), context),
         )
-    raise ParseError(f"could not parse predicate: {text!r}")
+    raise context.error(f"could not parse predicate: {text!r}", text)
 
 
-def _parse_literal(token: str) -> Any:
+def _parse_literal(token: str, context: Optional[_ParseContext] = None) -> Any:
     token = token.strip()
     if not token:
-        raise ParseError("empty literal")
+        raise (context.error("empty literal") if context else ParseError("empty literal"))
+    if context is not None:
+        if token == "?":
+            return context.next_parameter()
+        named = _NAMED_PARAM_RE.match(token)
+        if named:
+            return Parameter(name=named.group("name"))
     if (token[0] == token[-1]) and token[0] in ("'", '"') and len(token) >= 2:
         return token[1:-1]
     lowered = token.lower()

@@ -1,0 +1,115 @@
+"""EXPLAIN golden outputs.
+
+The rendered plans are fully deterministic (analytic cost-model defaults,
+fixed data) — pinned here verbatim.  If a cost-model or renderer change
+legitimately shifts the text, re-record the goldens from the assertion
+diff.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.api import connect
+from repro.engine import DataType, Store, TableSchema
+
+
+@pytest.fixture
+def session():
+    schema = TableSchema.build(
+        "events",
+        [
+            ("id", DataType.INTEGER),
+            ("kind", DataType.VARCHAR),
+            ("value", DataType.DOUBLE),
+        ],
+        primary_key=["id"],
+    )
+    session = connect()
+    session.create_table(schema, Store.ROW)
+    session.load_rows(
+        "events",
+        [
+            {"id": i, "kind": f"k{i % 4}", "value": float(i)}
+            for i in range(100)
+        ],
+    )
+    return session
+
+
+def golden(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestExplainGolden:
+    def test_point_select(self, session):
+        text = session.explain("SELECT id, value FROM events WHERE id = 7")
+        assert text == golden(
+            """
+            SelectQuery [query c00fb84032638b40]
+              estimated: 0.015 ms
+              -> Project id, value
+                 -> Scan events: row store, 100 rows, index lookup(id)
+                    predicate: id = 7
+              estimated cost terms (ms):
+                index_probes              0.0000
+                queries                   0.0150
+                random_fetches            0.0002
+            """
+        )
+
+    def test_grouped_aggregation(self, session):
+        text = session.explain(
+            "SELECT sum(value), count(*) FROM events GROUP BY kind"
+        )
+        assert text == golden(
+            """
+            AggregationQuery [query d0140836901104a0]
+              estimated: 0.019 ms
+              -> Aggregate sum(value), count(*)
+                 group by: kind
+                 -> Scan events: row store, 100 rows, full scan
+              estimated cost terms (ms):
+                agg_updates               0.0009
+                group_rows                0.0010
+                queries                   0.0150
+                row_scan_bytes            0.0018
+            """
+        )
+
+    def test_parameterized_template(self, session):
+        statement = session.prepare("SELECT id FROM events WHERE value > ?")
+        text = statement.explain()
+        assert text == golden(
+            """
+            SelectQuery [query 5756bc710ffae40c]
+              estimated: 0.019 ms
+              -> Project id
+                 -> Scan events: row store, 100 rows, full scan + predicate
+                    predicate: value > ?
+              estimated cost terms (ms):
+                pred_evals                0.0003
+                queries                   0.0150
+                random_fetches            0.0022
+                row_scan_bytes            0.0018
+              """
+        )
+
+
+class TestExplainAnalyze:
+    def test_actual_costs_rendered(self, session):
+        text = session.explain(
+            "SELECT sum(value) FROM events GROUP BY kind", analyze=True
+        )
+        assert "  actual:    " in text
+        assert "actual cost components (ms):" in text
+        assert "query_overhead" in text
+
+    def test_explain_statement_via_sql(self, session):
+        result = session.sql("EXPLAIN SELECT count(*) FROM events")
+        assert result.rows[0]["plan"].startswith("AggregationQuery [query ")
+        assert result.cost.total_ms == 0.0
+
+    def test_explain_analyze_via_sql(self, session):
+        result = session.sql("EXPLAIN ANALYZE SELECT count(*) FROM events")
+        assert any("actual" in row["plan"] for row in result.rows)

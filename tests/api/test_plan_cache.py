@@ -1,0 +1,139 @@
+"""Plan-cache behaviour: hits on repetition, invalidation on layout change."""
+
+import pytest
+
+from repro.api import connect
+from repro.engine import (
+    DataType,
+    HorizontalPartitionSpec,
+    Store,
+    TablePartitioning,
+    TableSchema,
+)
+from repro.query import aggregate
+
+
+SQL = "SELECT sum(revenue) FROM sales GROUP BY region"
+
+
+@pytest.fixture
+def session(database_factory):
+    return connect(database=database_factory(Store.ROW))
+
+
+def plan_counts(session):
+    stats = session.stats()
+    return stats.plan_cache_hits, stats.plan_cache_misses
+
+
+class TestPlanCacheHits:
+    def test_repeated_sql_hits(self, session):
+        session.sql(SQL)
+        hits0, misses0 = plan_counts(session)
+        session.sql(SQL)
+        session.sql(SQL)
+        hits, misses = plan_counts(session)
+        assert hits == hits0 + 2
+        assert misses == misses0
+
+    def test_structurally_equal_ast_queries_share_a_plan(self, session):
+        session.execute(aggregate("sales").sum("revenue").group_by("region").build())
+        session.execute(aggregate("sales").sum("revenue").group_by("region").build())
+        hits, misses = plan_counts(session)
+        assert (hits, misses) == (1, 1)
+
+    def test_different_literals_are_different_plans(self, session):
+        session.sql("SELECT id FROM sales WHERE id = 1")
+        session.sql("SELECT id FROM sales WHERE id = 2")
+        hits, misses = plan_counts(session)
+        assert hits == 0 and misses == 2
+
+    def test_plan_reuse_does_not_change_results_or_costs(self, session, row_database):
+        first = session.sql(SQL)
+        second = session.sql(SQL)  # served from the plan cache
+        legacy = row_database.execute(
+            aggregate("sales").sum("revenue").group_by("region").build()
+        )
+        assert second.rows == first.rows == legacy.rows
+        assert second.cost.components == legacy.cost.components
+
+
+class TestPlanCacheInvalidation:
+    def test_ddl_invalidates(self, session, sales_schema):
+        session.sql(SQL)
+        session.drop_table("sales")
+        session.create_table(sales_schema, Store.ROW)
+        session.sql(SQL)
+        hits, misses = plan_counts(session)
+        assert hits == 0 and misses == 2
+
+    def test_store_move_invalidates(self, session):
+        session.sql(SQL)
+        plan_row = session.plan_for(SQL)
+        assert plan_row.table_plans[0].store is Store.ROW
+        session.move_table("sales", Store.COLUMN)
+        session.sql(SQL)
+        plan_column = session.plan_for(SQL)
+        assert plan_column.table_plans[0].store is Store.COLUMN
+        stats = session.stats()
+        # one miss before the move, one after; the plan_for calls hit.
+        assert stats.plan_cache_misses == 2
+
+    def test_repartitioning_invalidates(self, session):
+        session.sql(SQL)
+        from repro.query.predicates import ge
+
+        partitioning = TablePartitioning(
+            horizontal=HorizontalPartitionSpec(
+                predicate=ge("id", 900),
+                hot_store=Store.ROW, cold_store=Store.COLUMN,
+            )
+        )
+        session.apply_partitioning("sales", partitioning)
+        session.sql(SQL)
+        plan = session.plan_for(SQL)
+        assert plan.table_plans[0].partitioned
+        stats = session.stats()
+        assert stats.plan_cache_misses == 2
+
+    def test_stats_refresh_invalidates(self, session):
+        session.sql(SQL)
+        session.refresh_statistics("sales")
+        session.sql(SQL)
+        stats = session.stats()
+        assert stats.plan_cache_misses == 2
+
+    def test_plain_dml_does_not_invalidate(self, session):
+        session.sql(SQL)
+        session.sql("UPDATE sales SET status = 'x' WHERE id = 1")
+        session.sql(SQL)
+        stats = session.stats()
+        # The SELECT plan is reused; only the UPDATE added a miss.
+        assert stats.plan_cache_hits == 1
+        assert stats.plan_cache_misses == 2
+
+    def test_invalidation_is_per_table(self, database_factory, sales_schema):
+        session = connect(database=database_factory(Store.ROW))
+        other = TableSchema.build(
+            "other", [("k", DataType.INTEGER)], primary_key=["k"]
+        )
+        session.create_table(other, Store.ROW)
+        session.sql(SQL)
+        session.sql("SELECT count(*) FROM other")
+        # Touching `other` must not invalidate the `sales` plan.
+        session.move_table("other", Store.COLUMN)
+        session.sql(SQL)
+        stats = session.stats()
+        assert stats.plan_cache_hits == 1
+
+
+class TestPlanCacheEviction:
+    def test_lru_eviction(self, database_factory):
+        session = connect(database=database_factory(Store.ROW),
+                          plan_cache_capacity=2)
+        session.sql("SELECT id FROM sales WHERE id = 1")
+        session.sql("SELECT id FROM sales WHERE id = 2")
+        session.sql("SELECT id FROM sales WHERE id = 3")
+        stats = session.stats()
+        assert stats.plan_cache_size == 2
+        assert stats.plan_cache_evictions == 1

@@ -1,0 +1,108 @@
+"""Differential fuzz: Session pipeline vs. legacy ``HybridDatabase.execute``.
+
+The session API must be a pure re-organisation of the execution flow: for
+any query stream, running through ``parse → bind → plan → execute`` (with
+the plan cache warm or cold) must produce the same rows *and a bit-identical*
+:class:`~repro.engine.timing.CostBreakdown` as the legacy single-shot path.
+This suite re-drives the engine differential fuzzer's seeded query/DML
+stream through both entry points over identically initialised databases.
+
+Runs in tier-1; part of the ``fuzz`` marker group.
+"""
+
+import importlib.util
+import pathlib
+import random
+
+import pytest
+
+from repro.api import connect
+from repro.engine.database import HybridDatabase
+from repro.engine.types import Store
+from repro.query.builder import select
+
+pytestmark = pytest.mark.fuzz
+
+_FUZZ_PATH = (
+    pathlib.Path(__file__).parent.parent / "engine" / "test_differential_fuzz.py"
+)
+_spec = importlib.util.spec_from_file_location("engine_differential_fuzz", _FUZZ_PATH)
+fuzz = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(fuzz)
+
+QUERIES_PER_SEED = 40
+DML_EVERY = 10
+
+
+def build_pair(store: Store, rows, dim_rows):
+    """Two identically loaded databases: one legacy, one session-driven."""
+    databases = []
+    for _ in range(2):
+        database = HybridDatabase()
+        database.create_table(fuzz.FACTS_SCHEMA, store=store)
+        database.create_table(fuzz.DIM_SCHEMA, store=store)
+        if rows:
+            database.load_rows("facts", rows)
+        database.load_rows("customers", dim_rows)
+        databases.append(database)
+    legacy, session_database = databases
+    return legacy, connect(database=session_database)
+
+
+@pytest.mark.parametrize("store", [Store.ROW, Store.COLUMN])
+@pytest.mark.parametrize("seed", range(2))
+def test_session_matches_legacy_execute(seed, store):
+    rng = random.Random(1000 + seed)
+    num_rows = rng.choice([0, rng.randrange(1, 80), rng.randrange(80, 220)])
+    rows = fuzz.generate_rows(rng, num_rows)
+    legacy, session = build_pair(store, rows, fuzz.generate_dim_rows())
+    next_id = num_rows
+
+    for step in range(QUERIES_PER_SEED):
+        if step and step % DML_EVERY == 0:
+            statement, next_id = fuzz.random_dml(rng, next_id)
+            legacy_result = legacy.execute(statement)
+            session_result = session.execute(statement)
+            assert session_result.affected_rows == legacy_result.affected_rows
+            assert session_result.cost.components == legacy_result.cost.components, (
+                f"seed={seed} step={step} DML cost drift: {statement!r}"
+            )
+            continue
+        query = (
+            fuzz.random_select(rng)
+            if rng.random() < 0.4
+            else fuzz.random_aggregation(rng)
+        )
+        context = f"seed={seed} step={step} store={store.value} query={query!r}"
+        legacy_result = legacy.execute(query)
+        session_result = session.execute(query)
+        fuzz.assert_rows_equivalent(
+            context, legacy_result.rows, session_result.rows
+        )
+        # Bit-identical cost accounting: same components, same floats.
+        assert session_result.cost.components == legacy_result.cost.components, (
+            f"{context}: cost drift "
+            f"{session_result.cost.components} vs {legacy_result.cost.components}"
+        )
+
+    final = select("facts").build()
+    fuzz.assert_rows_equivalent(
+        f"seed={seed} final state",
+        legacy.execute(final).rows,
+        session.execute(final).rows,
+    )
+    # The repeated stream must actually have exercised the plan cache.
+    assert session.stats().plan_cache_misses > 0
+
+
+def test_cached_plan_re_execution_is_cost_identical():
+    """Hot plan-cache hits charge exactly what a cold execution charges."""
+    rng = random.Random(7)
+    rows = fuzz.generate_rows(rng, 120)
+    legacy, session = build_pair(Store.COLUMN, rows, fuzz.generate_dim_rows())
+    query = fuzz.random_aggregation(rng)
+    legacy_costs = [legacy.execute(query).cost.components for _ in range(3)]
+    session_costs = [session.execute(query).cost.components for _ in range(3)]
+    assert session.stats().plan_cache_hits >= 2
+    for legacy_cost, session_cost in zip(legacy_costs, session_costs):
+        assert session_cost == legacy_cost

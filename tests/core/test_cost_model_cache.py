@@ -48,16 +48,77 @@ class TestEstimateMemoization:
         assert model.cache_misses == 2
         assert row_ms != column_ms
 
-    def test_refreshed_profiles_invalidate(self, row_database):
+    def test_identical_refreshed_profiles_share_the_entry(self, row_database):
+        # Content-based keying: a statistics refresh that did not change the
+        # data characteristics keeps serving the memoized estimate.
         model = CostModel()
         query = aggregate("sales").sum("revenue").build()
         profiles = CostModel.profiles_from_catalog(row_database.catalog)
         model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
-        # A refreshed catalog produces new profile objects; the memo must
-        # re-estimate rather than serve the stale entry.
         refreshed = CostModel.profiles_from_catalog(row_database.catalog)
         model.estimate_query_ms(query, {"sales": Store.ROW}, refreshed)
+        assert model.cache_misses == 1 and model.cache_hits == 1
+
+    def test_changed_statistics_invalidate(self, row_database):
+        model = CostModel()
+        query = aggregate("sales").sum("revenue").build()
+        profiles = CostModel.profiles_from_catalog(row_database.catalog)
+        first = model.estimate_query_ms(query, {"sales": Store.ROW}, profiles)
+        # Loading data changes the statistics content; the memo must
+        # re-estimate rather than serve the stale entry.
+        row_database.load_rows(
+            "sales",
+            [{"id": 10_000 + i, "region": "new", "product": 1, "revenue": 1.0,
+              "quantity": 1, "status": "open"} for i in range(50)],
+        )
+        refreshed = CostModel.profiles_from_catalog(row_database.catalog)
+        second = model.estimate_query_ms(query, {"sales": Store.ROW}, refreshed)
         assert model.cache_misses == 2
+        assert second != first
+
+    def test_equal_query_content_shares_the_entry(self, profiles):
+        # Separately built but structurally identical queries share one
+        # entry — this is what lets separately parsed SQL text hit.
+        model = CostModel()
+        first = model.estimate_query_ms(
+            aggregate("sales").sum("revenue").build(), {"sales": Store.ROW}, profiles
+        )
+        second = model.estimate_query_ms(
+            aggregate("sales").sum("revenue").build(), {"sales": Store.ROW}, profiles
+        )
+        assert first == second
+        assert model.cache_hits == 1 and model.cache_misses == 1
+
+    def test_shared_memo_across_models(self, profiles):
+        from repro.core.cost_model.model import EstimateMemo
+
+        memo = EstimateMemo()
+        query = select("sales").where(eq("id", 5)).build()
+        first = CostModel(memo=memo).estimate_query_ms(
+            query, {"sales": Store.ROW}, profiles
+        )
+        second = CostModel(memo=memo).estimate_query_ms(
+            query, {"sales": Store.ROW}, profiles
+        )
+        assert first == second
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_recalibrated_parameters_do_not_collide(self, profiles):
+        from repro.core.cost_model.model import EstimateMemo
+        from repro.core.cost_model.parameters import analytic_parameters
+        from repro.config import DeviceModelConfig
+
+        memo = EstimateMemo()
+        query = aggregate("sales").sum("revenue").build()
+        default_ms = CostModel(memo=memo).estimate_query_ms(
+            query, {"sales": Store.ROW}, profiles
+        )
+        slow = analytic_parameters(DeviceModelConfig(seq_read_ns_per_byte=10.0))
+        slow_ms = CostModel(parameters=slow, memo=memo).estimate_query_ms(
+            query, {"sales": Store.ROW}, profiles
+        )
+        assert memo.misses == 2  # distinct parameter fingerprints, no hit
+        assert slow_ms != default_ms
 
     def test_reset_cache(self, profiles):
         model = CostModel()

@@ -91,6 +91,83 @@ class TestDmlParsing:
             parse("")
 
 
+class TestPlaceholders:
+    def test_positional_placeholders_number_left_to_right(self):
+        from repro.query.ast import Parameter
+
+        query = parse(
+            "UPDATE sales SET status = ?, quantity = ? WHERE id = ?"
+        )
+        assert query.assignments["status"] == Parameter(index=0)
+        assert query.assignments["quantity"] == Parameter(index=1)
+        assert query.predicate.value == Parameter(index=2)
+
+    def test_named_placeholders(self):
+        from repro.query.ast import Parameter
+
+        query = parse(
+            "SELECT count(*) FROM sales WHERE quantity BETWEEN :low AND :high"
+        )
+        assert query.predicate.low == Parameter(name="low")
+        assert query.predicate.high == Parameter(name="high")
+
+    def test_insert_placeholders(self):
+        from repro.query.ast import Parameter
+
+        query = parse("INSERT INTO sales (id, region) VALUES (?, ?)")
+        assert query.rows[0] == {
+            "id": Parameter(index=0), "region": Parameter(index=1)
+        }
+
+    def test_quoted_question_mark_is_a_literal(self):
+        query = parse("SELECT * FROM sales WHERE status = '?'")
+        assert query.predicate.value == "?"
+
+
+class TestParseErrorPositions:
+    def test_dangling_and_rejected_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT * FROM sales WHERE id = 1 AND")
+        assert "dangling AND" in str(excinfo.value)
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 34
+
+    def test_dangling_and_after_between(self):
+        with pytest.raises(ParseError, match="dangling AND"):
+            parse("SELECT * FROM sales WHERE id BETWEEN 1 AND")
+
+    def test_leading_and_rejected(self):
+        with pytest.raises(ParseError, match="must not start with AND"):
+            parse("SELECT * FROM sales WHERE AND id = 1")
+
+    def test_position_not_misled_by_identifier_containing_and(self):
+        statement = "SELECT * FROM sales WHERE brandname = 1 AND"
+        with pytest.raises(ParseError) as excinfo:
+            parse(statement)
+        # Points at the dangling AND, not at the 'and' inside 'brandname'.
+        assert excinfo.value.column == statement.rindex("AND") + 1
+
+    def test_multiline_positions(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT *\nFROM sales\nWHERE id = 1 AND")
+        assert excinfo.value.line == 3
+        assert excinfo.value.column == 14
+
+    def test_bad_predicate_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT * FROM sales WHERE ~~nonsense~~")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 27
+
+    def test_trailing_and_inside_string_literal_is_fine(self):
+        query = parse("SELECT * FROM sales WHERE status = 'x and'")
+        assert query.predicate.value == "x and"
+
+    def test_between_still_parses(self):
+        query = parse("SELECT * FROM sales WHERE id BETWEEN 1 AND 10 AND product = 2")
+        assert isinstance(query.predicate, And)
+
+
 class TestParserEndToEnd:
     def test_parsed_queries_execute_on_the_engine(self, row_database, sales_rows):
         result = row_database.execute(
