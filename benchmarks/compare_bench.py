@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Bench-JSON comparator: re-measure every recorded scenario and gate it.
+
+Re-runs each wall-clock scenario recorded in ``BENCH_pipeline.json`` (the
+``recorded`` section) on the current tree and exits non-zero when any of
+them regresses more than ``REGRESSION_FACTOR`` (2x) against the committed
+numbers.  Sub-millisecond recordings get the same noise floors as the
+pytest gates, so a loaded machine does not flake the comparator.
+
+Usage, from the repository root::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py
+
+``benchmarks/run_checks.sh`` runs it as part of the full verification gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from test_perf_pipeline import (  # noqa: E402
+    BENCH_FILE,
+    MEASUREMENTS,
+    MIN_AGG_BUDGET_MS,
+    MIN_SCAN_BUDGET_MS,
+    REGRESSION_FACTOR,
+    SCAN_SCENARIOS,
+)
+
+#: Per-scenario noise floor, in the scenario's own unit.
+_FLOORS = {
+    "agg_100k_column_ms": MIN_AGG_BUDGET_MS,
+    "agg_100k_row_ms": MIN_AGG_BUDGET_MS,
+    "group_by_string_100k_ms": MIN_AGG_BUDGET_MS,
+    "group_by_string_100k_rowstore_ms": MIN_AGG_BUDGET_MS,
+    **{key: MIN_SCAN_BUDGET_MS for key in SCAN_SCENARIOS},
+}
+
+
+def main() -> int:
+    payload = json.loads(BENCH_FILE.read_text())
+    recorded = payload["recorded"]
+    failures = []
+    for key, committed in sorted(recorded.items()):
+        measure = MEASUREMENTS.get(key)
+        if measure is None:
+            print(f"  ?? {key}: no measurement registered, skipping")
+            continue
+        measured = measure()
+        budget = max(committed * REGRESSION_FACTOR, _FLOORS.get(key, 0.0))
+        verdict = "ok" if measured <= budget else "REGRESSED"
+        print(
+            f"  {verdict:>9}  {key}: measured {measured:.3f}, "
+            f"committed {committed:.3f}, budget {budget:.3f}"
+        )
+        if measured > budget:
+            failures.append(key)
+    if failures:
+        print(f"bench comparator: {len(failures)} scenario(s) regressed >"
+              f"{REGRESSION_FACTOR}x: {', '.join(failures)}")
+        return 1
+    print(f"bench comparator: all {len(recorded)} scenarios within "
+          f"{REGRESSION_FACTOR}x of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

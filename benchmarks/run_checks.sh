@@ -6,9 +6,12 @@
 #   perf     — the wall-clock regression smokes against BENCH_pipeline.json
 #              plus the session plan-cache smoke (prepared re-execution must
 #              beat cold parse+plan by >= 2x),
-#   fuzz     — the seeded differential suites, standalone (cross-store and
-#              session-vs-legacy; they also run inside tier-1; this run
-#              proves the marker works),
+#   bench    — the standalone bench-JSON comparator: re-measures every
+#              scenario recorded in BENCH_pipeline.json and fails when any
+#              regresses >2x versus the committed baseline,
+#   fuzz     — the seeded differential suites, standalone (cross-store,
+#              session-vs-legacy, and pruning-vs-decode; they also run
+#              inside tier-1; this run proves the marker works),
 #   examples — the session-API examples as executable documentation.
 #
 # Usage, from the repository root or this directory:
@@ -25,6 +28,9 @@ python -m pytest -x -q
 
 echo "== perf smoke: BENCH_pipeline.json + plan-cache gates =="
 python -m pytest -m perf -q benchmarks
+
+echo "== bench comparator: committed BENCH_pipeline.json baseline =="
+python benchmarks/compare_bench.py
 
 echo "== fuzz: differential suites =="
 python -m pytest -m fuzz -q tests

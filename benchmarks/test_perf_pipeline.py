@@ -6,7 +6,10 @@ of the read-pipeline microbenchmarks on the machine that produced it:
 * ``seed_baseline`` — the pipeline *before* the optimisation that the
   scenario pins: the scalar row-at-a-time pipeline for the ``agg_100k`` and
   ``fig10`` scenarios (PR 1), the decode-up-front batch pipeline for the
-  ``group_by_string_100k`` scenario (late materialization),
+  ``group_by_string_100k`` scenario (late materialization), the
+  decode-and-compare scan path (code domain + zone pruning disabled) for the
+  ``selective_scan_100k`` scenarios, and the per-row ``random.Random`` loop
+  for ``tpch_datagen``,
 * ``recorded`` — the current pipeline at the time the optimisation landed,
 * ``speedup`` — the ratio of the two.
 
@@ -14,8 +17,12 @@ The tests here re-measure the hot benchmarks and fail when they regress more
 than :data:`REGRESSION_FACTOR` against the recorded baseline, so a future
 change that silently de-vectorizes a hot path shows up in CI.  The
 string-group-by gate additionally pins the late-materialization acceptance
-bar: the recorded speedup over the decode-up-front pipeline must stay >= 2x.
-Run them explicitly with ``pytest -m perf benchmarks/test_perf_pipeline.py``.
+bar (>= 2x over decode-up-front), and the selective-scan gates pin the
+code-domain/zone-map acceptance bar: the partitioned narrow-range scan must
+stay >= 5x faster than the decode-and-compare path.  Run them explicitly
+with ``pytest -m perf benchmarks/test_perf_pipeline.py``;
+``benchmarks/compare_bench.py`` re-measures every recorded scenario as a
+standalone comparator.
 """
 
 from __future__ import annotations
@@ -27,10 +34,14 @@ import time
 
 import pytest
 
+from repro.engine.column_store import code_domain_disabled
 from repro.engine.database import HybridDatabase
+from repro.engine.partitioning import HorizontalPartitionSpec, TablePartitioning
 from repro.engine.schema import TableSchema
 from repro.engine.types import DataType, Store
+from repro.engine.zonemap import zone_pruning_disabled
 from repro.query.builder import aggregate
+from repro.query.predicates import Between, Or, ge
 
 BENCH_FILE = pathlib.Path(__file__).with_name("BENCH_pipeline.json")
 
@@ -44,11 +55,17 @@ REGRESSION_FACTOR = 2.0
 #: true de-vectorization still trips the gate by a wide margin.
 MIN_AGG_BUDGET_MS = 5.0
 
+#: Noise floor for the selective-scan gates (recordings are ~0.1-0.5 ms; the
+#: decode-and-compare path measures ~5-10 ms, far above this).
+MIN_SCAN_BUDGET_MS = 2.0
+
 AGG_ROWS = 100_000
 
 #: Distinct string keys of the group-by scenario: enough that re-sorting the
 #: decoded strings (the pre-late-materialization np.unique path) dominates.
 GROUP_BY_DISTINCT = 256
+
+SCAN_ROWS = 100_000
 
 
 def build_aggregation_database(store: Store, distinct_regions: int = 8) -> HybridDatabase:
@@ -129,6 +146,144 @@ def measure_fig10_s() -> float:
     return time.perf_counter() - start
 
 
+def measure_tpch_datagen_ms() -> float:
+    """Wall-clock of generating the sf=0.01 TPC-H data set (~78k rows).
+
+    The vectorized generator builds each random column with one numpy
+    ``Generator`` draw; the seed baseline is the per-row ``random.Random``
+    loop it replaced.
+    """
+    from repro.workloads.tpch.datagen import TpchGenerator
+
+    TpchGenerator(scale_factor=0.001).generate_all()  # warm imports
+    return best_of(
+        lambda: TpchGenerator(scale_factor=0.01).generate_all(), repetitions=3
+    ) * 1000.0
+
+
+# -- selective range scans (code-domain predicates + zone-map pruning) -----------------
+
+
+def _scan_date(i: int) -> str:
+    """Deterministic pseudo-random 'YYYY-MM-DD' date (lexicographic = temporal)."""
+    offset = (i * 2654435761) % 2520  # ~7 years of day offsets
+    year = 1992 + offset // 360
+    month = 1 + (offset % 360) // 30
+    day = 1 + offset % 30
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+_SCAN_DATABASES: dict = {}
+
+
+def build_scan_database(partitioned: bool) -> HybridDatabase:
+    """100k-row column-store fact table filtered by a VARCHAR date column.
+
+    The partitioned variant splits horizontally on the date: rows from 1997
+    on live in a row-store hot partition, the rest in the column store —
+    range scans below 1997 prune the hot partition via its zone map.
+    Cached per layout: the scan scenarios never mutate it.
+    """
+    cached = _SCAN_DATABASES.get(partitioned)
+    if cached is not None:
+        return cached
+    schema = TableSchema.build(
+        "scan_facts",
+        [
+            ("id", DataType.INTEGER),
+            ("ship_date", DataType.VARCHAR),
+            ("qty", DataType.INTEGER),
+            ("price", DataType.DOUBLE),
+        ],
+        primary_key=["id"],
+    )
+    rows = [
+        {
+            "id": i,
+            "ship_date": _scan_date(i),
+            "qty": 1 + i % 50,
+            "price": float(i % 1000),
+        }
+        for i in range(SCAN_ROWS)
+    ]
+    database = HybridDatabase()
+    database.create_table(schema, store=Store.COLUMN)
+    database.load_rows("scan_facts", rows)
+    if partitioned:
+        database.apply_partitioning(
+            "scan_facts",
+            TablePartitioning(
+                horizontal=HorizontalPartitionSpec(
+                    predicate=ge("ship_date", "1997-01-01"),
+                    hot_store=Store.ROW,
+                    cold_store=Store.COLUMN,
+                )
+            ),
+        )
+    _SCAN_DATABASES[partitioned] = database
+    return database
+
+
+def _scan_predicate(narrow: bool):
+    """An OR of two date ranges, entirely below the 1997 hot-partition split.
+
+    ``narrow`` selects ~2.5% of the rows (two one-month windows), the wide
+    variant ~29% (two full years).  Both compile to code-domain interval
+    masks; the decode-and-compare reference gathers and compares 100k
+    strings per referenced leaf.
+    """
+    if narrow:
+        return Or((
+            Between("ship_date", "1994-06-01", "1994-06-30"),
+            Between("ship_date", "1995-06-01", "1995-06-30"),
+        ))
+    return Or((
+        Between("ship_date", "1993-01-01", "1993-12-31"),
+        Between("ship_date", "1996-01-01", "1996-12-31"),
+    ))
+
+
+def measure_selective_scan_ms(
+    partitioned: bool, narrow: bool, decode_baseline: bool = False
+) -> float:
+    """Wall-clock of a filtered COUNT(*) over the 100k-row scan table.
+
+    ``decode_baseline=True`` measures the same query over the same data with
+    code-domain predicates and zone pruning disabled — the decode-and-compare
+    reference path the speedup is recorded against.
+    """
+    database = build_scan_database(partitioned)
+    query = aggregate("scan_facts").count().where(_scan_predicate(narrow)).build()
+    runner = lambda: database.execute(query)  # noqa: E731
+    if decode_baseline:
+        with code_domain_disabled(), zone_pruning_disabled():
+            return best_of(runner) * 1000.0
+    return best_of(runner) * 1000.0
+
+
+SCAN_SCENARIOS = {
+    "selective_scan_100k_narrow_ms": (False, True),
+    "selective_scan_100k_wide_ms": (False, False),
+    "selective_scan_100k_narrow_partitioned_ms": (True, True),
+    "selective_scan_100k_wide_partitioned_ms": (True, False),
+}
+
+#: key -> zero-argument measurement, for the re-record block and the
+#: standalone comparator (``benchmarks/compare_bench.py``).
+MEASUREMENTS = {
+    "agg_100k_column_ms": lambda: measure_aggregation_ms(Store.COLUMN),
+    "agg_100k_row_ms": lambda: measure_aggregation_ms(Store.ROW),
+    "group_by_string_100k_ms": measure_string_group_by_ms,
+    "group_by_string_100k_rowstore_ms": measure_string_group_by_rowstore_ms,
+    "tpch_datagen_sf001_ms": measure_tpch_datagen_ms,
+    **{
+        key: (lambda p=p, n=n: measure_selective_scan_ms(p, n))
+        for key, (p, n) in SCAN_SCENARIOS.items()
+    },
+    "fig10_s": measure_fig10_s,
+}
+
+
 @pytest.fixture(scope="module")
 def recorded():
     with BENCH_FILE.open() as handle:
@@ -199,6 +354,51 @@ def test_string_group_by_speedup_is_recorded():
 
 
 @pytest.mark.perf
+@pytest.mark.parametrize("key", sorted(SCAN_SCENARIOS))
+def test_selective_scan_has_not_regressed(recorded, key):
+    partitioned, narrow = SCAN_SCENARIOS[key]
+    measured_ms = measure_selective_scan_ms(partitioned, narrow)
+    budget_ms = max(recorded[key] * REGRESSION_FACTOR, MIN_SCAN_BUDGET_MS)
+    assert measured_ms <= budget_ms, (
+        f"{key} took {measured_ms:.3f}ms, budget is {budget_ms:.3f}ms "
+        f"(recorded {recorded[key]:.3f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_selective_scan_speedups_are_recorded():
+    """The code-domain/zone-map acceptance bar.
+
+    The partitioned narrow-range scan (zone pruning + code-domain intervals)
+    must be recorded >= 5x faster than the decode-and-compare path; every
+    other scan scenario must hold at least the generic 2x bar.
+    """
+    with BENCH_FILE.open() as handle:
+        payload = json.load(handle)
+    assert payload["speedup"]["selective_scan_100k_narrow_partitioned_ms"] >= 5.0
+    for key in SCAN_SCENARIOS:
+        assert payload["speedup"][key] >= 2.0, key
+
+
+@pytest.mark.perf
+def test_tpch_datagen_has_not_regressed(recorded):
+    measured_ms = measure_tpch_datagen_ms()
+    budget_ms = recorded["tpch_datagen_sf001_ms"] * REGRESSION_FACTOR
+    assert measured_ms <= budget_ms, (
+        f"TPC-H datagen took {measured_ms:.1f}ms, budget is {budget_ms:.1f}ms "
+        f"(recorded {recorded['tpch_datagen_sf001_ms']:.1f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_tpch_datagen_speedup_is_recorded():
+    """The vectorized generator must stay >= 2x over the per-row RNG loop."""
+    with BENCH_FILE.open() as handle:
+        payload = json.load(handle)
+    assert payload["speedup"]["tpch_datagen_sf001_ms"] >= 2.0
+
+
+@pytest.mark.perf
 def test_fig10_scenario_has_not_regressed(recorded):
     measured_s = measure_fig10_s()
     budget_s = recorded["fig10_s"] * REGRESSION_FACTOR
@@ -212,19 +412,19 @@ if __name__ == "__main__":
     # Re-record the "recorded" section (run after intentional perf changes):
     #   PYTHONPATH=src python benchmarks/test_perf_pipeline.py
     payload = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
-    payload["recorded"] = {
-        "agg_100k_column_ms": measure_aggregation_ms(Store.COLUMN),
-        "agg_100k_row_ms": measure_aggregation_ms(Store.ROW),
-        "group_by_string_100k_ms": measure_string_group_by_ms(),
-        "group_by_string_100k_rowstore_ms": measure_string_group_by_rowstore_ms(),
-        "fig10_s": measure_fig10_s(),
+    payload["recorded"] = {key: measure() for key, measure in MEASUREMENTS.items()}
+    baseline = payload.setdefault("seed_baseline", {})
+    # The selective-scan baselines are re-measured here rather than pinned:
+    # the decode-and-compare path still exists behind the disable toggles
+    # and *is* the seed pipeline for these predicates.
+    for key, (partitioned, narrow) in SCAN_SCENARIOS.items():
+        baseline[key] = measure_selective_scan_ms(
+            partitioned, narrow, decode_baseline=True
+        )
+    payload["speedup"] = {
+        key: baseline[key] / value
+        for key, value in payload["recorded"].items()
+        if baseline.get(key)
     }
-    baseline = payload.get("seed_baseline")
-    if baseline:
-        payload["speedup"] = {
-            key: baseline[key] / value
-            for key, value in payload["recorded"].items()
-            if baseline.get(key)
-        }
     BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))

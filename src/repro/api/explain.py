@@ -48,6 +48,15 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
         lines.append(f"  actual:    {actual.cost.total_ms:.3f} ms")
     for line in _operator_tree(plan):
         lines.append("  " + line)
+    if actual is not None and actual.scan_stats:
+        # Zone-map pruning telemetry: how many prunable partitions each
+        # table's access path actually scanned vs. skipped.  The plan's
+        # predicted counts live in the Scan lines' decisions; a pinned test
+        # holds the two equal.
+        lines.append("  partitions (scanned/skipped):")
+        for table in sorted(actual.scan_stats):
+            scanned, skipped = actual.scan_stats[table]
+            lines.append(f"    {table:<22}{scanned:>4} / {skipped}")
     if plan.estimate.per_term_ms:
         lines.append("  estimated cost terms (ms):")
         for term in sorted(plan.estimate.per_term_ms):

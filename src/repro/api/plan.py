@@ -32,6 +32,7 @@ from repro.engine.database import HybridDatabase
 from repro.engine.executor.executor import QueryResult
 from repro.engine.partitioning import PartitionedTable
 from repro.engine.types import Store
+from repro.engine.zonemap import ScanDecision
 from repro.query.ast import Query, QueryType
 from repro.query.fingerprint import query_fingerprint
 from repro.query.predicates import Between, CompareOp, Comparison, Predicate
@@ -64,11 +65,17 @@ class TableAccessPlan:
     access: str                     # e.g. "full scan", "hash-index lookup(id)"
     layout: str                     # human-readable layout description
     pruning: Optional[str] = None   # vertical-partition pruning note
+    #: Zone-map pruning decision of this table's scan (base table of a
+    #: filtered read only); the executor consumes the same object.
+    scan_decision: Optional[ScanDecision] = None
 
     def describe(self) -> str:
         text = f"{self.table}: {self.layout}, {self.num_rows} rows, {self.access}"
         if self.pruning:
             text += f" [{self.pruning}]"
+        decision = self.scan_decision
+        if decision is not None and decision.skipped:
+            text += f" [zone pruning: {decision.describe()}]"
         return text
 
 
@@ -118,6 +125,15 @@ class PhysicalPlan:
     def estimated_ms(self) -> float:
         return self.estimate.total_ms
 
+    @property
+    def scan_decisions(self) -> Dict[str, ScanDecision]:
+        """Per-table zone-pruning decisions recorded at plan time."""
+        return {
+            table_plan.table: table_plan.scan_decision
+            for table_plan in self.table_plans
+            if table_plan.scan_decision is not None
+        }
+
     def record_execution(self, result: QueryResult) -> None:
         self.executions += 1
         self.last_actual = result
@@ -147,7 +163,7 @@ class Planner:
         database = self.database
         paths = database.resolve_access_paths(query)
         table_plans = [
-            self._table_access_plan(name, query) for name in query.tables
+            self._table_access_plan(name, query, paths) for name in query.tables
         ]
         estimate = self._estimate(query)
         return PhysicalPlan(
@@ -164,11 +180,17 @@ class Planner:
 
     # -- access-path description ---------------------------------------------------
 
-    def _table_access_plan(self, name: str, query: Query) -> TableAccessPlan:
+    def _table_access_plan(
+        self, name: str, query: Query, paths: Dict[str, Any]
+    ) -> TableAccessPlan:
         database = self.database
         entry = database.catalog.entry(name)
         table = database.table_object(name)
         predicate = getattr(query, "predicate", None) if name == query.table else None
+        # The access path derived (and recorded) its zone-pruning decision
+        # while the paths were resolved; the plan carries the same object the
+        # executor will consume, so EXPLAIN and execution provably coincide.
+        decision = getattr(paths.get(name), "scan_decision", None)
         if isinstance(table, PartitionedTable):
             return TableAccessPlan(
                 table=name,
@@ -178,6 +200,7 @@ class Planner:
                 access=self._partitioned_access(table, query, predicate),
                 layout=f"partitioned ({table.partitioning.describe()})",
                 pruning=self._pruning_note(table, query),
+                scan_decision=decision,
             )
         return TableAccessPlan(
             table=name,
@@ -186,6 +209,7 @@ class Planner:
             num_rows=table.num_rows,
             access=self._stored_access(table, predicate),
             layout=entry.describe_layout(),
+            scan_decision=decision,
         )
 
     @staticmethod

@@ -23,6 +23,12 @@ from repro.engine.column_store import SCAN_MATERIALIZATION_THRESHOLD
 from repro.engine.schema import TableSchema
 from repro.engine.statistics import TableStatistics
 from repro.engine.types import Store
+from repro.engine.zonemap import (
+    ColumnZone,
+    is_nan,
+    zone_can_match,
+    zone_pruning_enabled,
+)
 from repro.errors import EstimationError
 from repro.query.ast import (
     AggregationQuery,
@@ -115,6 +121,43 @@ def query_contributions(
 
 
 # -- shared helpers ---------------------------------------------------------------
+
+
+def predicate_prunes_profile(
+    predicate: Optional[Predicate], profile: TableProfile
+) -> bool:
+    """Whether the catalog statistics prove *predicate* matches no row.
+
+    The estimated counterpart of the executor's zone-map pruning: the
+    per-table ``min_value``/``max_value`` statistics act as a single
+    table-wide zone.  When they prove the predicate disjoint, the scan
+    terms are dropped from the estimate — mirroring the access path, which
+    skips the scan entirely.  Null counts are unknown at this level, so all
+    NULL-based proofs stay conservative.
+    """
+    if predicate is None or not zone_pruning_enabled():
+        return False
+    zones = {}
+    for name in predicate.columns():
+        _, column = split_qualified(name)
+        if not profile.statistics.has_column(column):
+            continue
+        stats = profile.statistics.column(column)
+        if stats.min_value is None or stats.max_value is None:
+            continue  # unknown range: no synopsis, never prunes
+        if is_nan(stats.min_value) or is_nan(stats.max_value):
+            # NaN-polluted bounds (NaN propagates through the stats
+            # collectors' min/max) cannot serve as zone bounds — every
+            # comparison against them is false, which would read as a
+            # "provably empty" proof for predicates that do match rows.
+            continue
+        zones[name] = ColumnZone(
+            min_value=stats.min_value,
+            max_value=stats.max_value,
+            null_count=None,
+            num_rows=profile.num_rows,
+        )
+    return not zone_can_match(predicate, zones, profile.num_rows)
 
 
 def _selectivity(predicate: Optional[Predicate], profile: TableProfile) -> float:
@@ -222,7 +265,8 @@ def _aggregation_contributions(
     base = CostContribution(query.table, base_store, QueryType.AGGREGATION)
     base.add("queries", 1.0)
 
-    matched = _matched_rows(query.predicate, base_profile)
+    pruned = predicate_prunes_profile(query.predicate, base_profile)
+    matched = 0.0 if pruned else _matched_rows(query.predicate, base_profile)
 
     # Base-table columns the aggregation has to read (aggregates, grouping,
     # join keys) — the predicate columns are accounted for by the lookup terms.
@@ -244,7 +288,9 @@ def _aggregation_contributions(
         )
         needed = {narrowest.name}
 
-    if base_store is Store.ROW:
+    if pruned:
+        pass  # the scan is skipped outright; only the query overhead remains
+    elif base_store is Store.ROW:
         if query.predicate is not None:
             _charge_row_store_lookup(base, query.predicate, base_profile, matched)
             base.add("random_fetches", matched)
@@ -334,6 +380,10 @@ def _select_contribution(
     store = store_assignment[query.table]
     contribution = CostContribution(query.table, store, QueryType.SELECT)
     contribution.add("queries", 1.0)
+
+    if predicate_prunes_profile(query.predicate, profile):
+        # The statistics prove an empty result; the scan never runs.
+        return contribution
 
     matched = _matched_rows(query.predicate, profile)
     if query.limit is not None:

@@ -11,23 +11,33 @@ The codes-vs-values contract: producers hand the executor whichever
 representation they already have (the column store its int64 code arrays, the
 row store its cached value arrays); operators work on the representation they
 receive — group-by factorizes dictionary codes in O(n) without decoding, hash
-joins probe on code arrays when both sides share a dictionary, predicate
-masks on dictionary columns are evaluated as code ranges in the storage
-layer — and the dictionary is consulted only for the values that actually
-reach the result: group keys decode once per *group*, and full decodes happen
-only at the ``QueryResult`` boundary (:meth:`ColumnBatch.to_rows` /
-``fetch_rows``).  Consumers that need values call :meth:`ColumnBatch.column`
-(decodes encoded columns, one fancy-indexing gather, cached); consumers that
-can exploit codes call :meth:`ColumnBatch.raw` and check for
-:class:`EncodedColumn`.  Row dicts are materialised lazily, only when a
-result actually needs rows.
+joins probe on code arrays when both sides share a dictionary, and filtered
+column-store scans are compiled to **code-domain** masks in the storage
+layer (:func:`repro.engine.column_store.compile_code_mask`: value predicates
+become code intervals/memberships via ``bisect`` on the sorted dictionary,
+zone maps skip partitions the predicate provably cannot match) — and the
+dictionary is consulted only for the values that actually reach the result:
+group keys decode once per *group*, and full decodes happen only at the
+``QueryResult`` boundary (:meth:`ColumnBatch.to_rows` / ``fetch_rows``).
+Consumers that need values call :meth:`ColumnBatch.column` (decodes encoded
+columns, one fancy-indexing gather, cached); consumers that can exploit
+codes call :meth:`ColumnBatch.raw` and check for :class:`EncodedColumn`.
+Row dicts are materialised lazily, only when a result actually needs rows.
+
+NULL handling is dictionary-aware end-to-end: a dictionary holding NULL
+reserves code 0 for it (:mod:`repro.engine.compression`), so NULL rows
+travel through encoded columns, factorize into their own group, and are
+excluded from (or included in, for ``IS NULL``/``IN (… NULL)``) code-domain
+predicate masks exactly as the scalar evaluator dictates.
 
 The module also hosts :func:`vectorized_value_mask`, the value-level
 vectorized predicate evaluator shared by the row store's full scan and the
-column store's complex-predicate fallback.  It mirrors the row-at-a-time
-semantics of :mod:`repro.query.predicates` exactly (``NULL`` never matches a
-comparison, ``IS NULL`` matches only ``None``); predicates it cannot express
-vectorially return ``None`` and the caller falls back to the scalar loop.
+column store's decode-and-compare fallback (also reachable via
+``code_domain_disabled()`` as the differential reference path).  It mirrors
+the row-at-a-time semantics of :mod:`repro.query.predicates` exactly
+(``NULL`` never matches a comparison, ``IS NULL`` matches only ``None``);
+predicates it cannot express vectorially return ``None`` and the caller
+falls back to the scalar loop.
 
 Wall-clock optimisation only: producing or consuming batches never changes
 what a query costs — all :class:`~repro.engine.timing.CostAccountant` charges
@@ -407,12 +417,9 @@ def _value_mask(
                     mask |= null_mask
             else:
                 _reject_nul_string_literal(value)
-                if isinstance(value, float) and value != value:
-                    # ``x in (nan, ...)`` matches NaN by object identity in
-                    # the scalar reference; only the fallback can honour that
-                    # (and only for object columns — native arrays re-box
-                    # their floats, so the original identity is gone).
-                    raise TypeError("NaN IN-list literal cannot be vectorized")
+                # A NaN member matches nothing (IN is chained equality and
+                # ``NaN == NaN`` is false) — ``array == nan`` is all-False,
+                # exactly the scalar reference's answer.
                 mask |= np.asarray(array == value, dtype=bool)
         return mask
     return None

@@ -7,13 +7,23 @@ while reconstructing complete tuples, inserting rows and updating values pay
 per-cell penalties (dictionary maintenance, random accesses across columns).
 
 The sorted dictionary also provides the "implicit index" the paper mentions
-for point and range predicates: a value predicate is translated into a code
-range and evaluated with a vectorised comparison over the code array.
+for point and range predicates: :func:`compile_code_mask` translates a value
+predicate — ``EQ/NE/LT/LE/GT/GE``, ``BETWEEN``, ``IN``, ``IS NULL`` and any
+``AND``/``OR``/``NOT`` combination of them — into code intervals and
+memberships via ``bisect`` on the dictionary, and evaluates it with
+vectorised integer comparisons over the code arrays.  No value is decoded;
+NULL (the reserved code 0) and NaN (sorted last) are excluded or included
+exactly as the scalar evaluator would.  Predicates the compiler cannot
+express (incomparable literal types, columns it does not know) fall back to
+the decode-and-compare path, which mirrors the row store's evaluator.
+``code_domain_disabled()`` forces that fallback everywhere — the
+differential fuzzer and the scan benchmarks use it as the reference path.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +32,7 @@ from repro.engine.compression import CompressedColumn, code_width_bytes
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
+from repro.engine.zonemap import ColumnZone, next_zone_epoch
 from repro.errors import ExecutionError
 from repro.query.predicates import (
     And,
@@ -29,7 +40,11 @@ from repro.query.predicates import (
     CompareOp,
     Comparison,
     InList,
+    IsNull,
+    Not,
+    Or,
     Predicate,
+    TruePredicate,
 )
 
 #: When a position list covers more than this fraction of the table, the
@@ -38,6 +53,215 @@ from repro.query.predicates import (
 #: cell.  The cost-model estimator uses the same threshold so that estimated
 #: and measured costs follow the same access-path choice.
 SCAN_MATERIALIZATION_THRESHOLD = 0.15
+
+_CODE_DOMAIN_ENABLED = True
+
+
+def code_domain_enabled() -> bool:
+    """Whether predicates compile to code-domain masks (vs decode/compare)."""
+    return _CODE_DOMAIN_ENABLED
+
+
+@contextmanager
+def code_domain_disabled() -> Iterator[None]:
+    """Force the decode-and-compare fallback for every predicate.
+
+    The differential fuzzer runs under this to pin result equivalence of the
+    two paths, and the scan benchmarks use it as the reference measurement.
+    """
+    global _CODE_DOMAIN_ENABLED
+    previous = _CODE_DOMAIN_ENABLED
+    _CODE_DOMAIN_ENABLED = False
+    try:
+        yield
+    finally:
+        _CODE_DOMAIN_ENABLED = previous
+
+
+#: A charge record of one compiled predicate leaf: the compressed column it
+#: scans and whether it performed a dictionary (bisect) probe.
+CodeLeaf = Tuple[CompressedColumn, bool]
+
+
+def compile_code_mask(
+    predicate: Predicate,
+    columns: Mapping[str, CompressedColumn],
+    num_rows: int,
+) -> Optional[Tuple[np.ndarray, List[CodeLeaf]]]:
+    """Compile *predicate* to a boolean mask over the code arrays.
+
+    Returns ``(mask, leaves)`` or ``None`` when any part of the predicate
+    cannot be answered in the code domain (unknown column, incomparable
+    literal type) — compilation is all-or-nothing and charge-free, so a
+    failed attempt never double-charges against the fallback path.  The
+    *leaves* list one entry per simple predicate evaluated, for the caller
+    to convert into cost charges.
+
+    NULL awareness: a dictionary holding NULL reserves code 0 for it.  Value
+    comparisons and ranges never include code 0 (``range_codes`` offsets its
+    interval past it; ``NE`` masks it out explicitly), ``IS NULL`` is exactly
+    ``codes == 0``, and an ``IN``-list containing NULL picks code 0 up
+    through ``encode_existing(None)`` — all matching the scalar evaluator's
+    row-at-a-time semantics.
+    """
+    leaves: List[CodeLeaf] = []
+    mask = _compile_mask(predicate, columns, num_rows, leaves)
+    if mask is None:
+        return None
+    return mask, leaves
+
+
+def _compile_mask(
+    predicate: Predicate,
+    columns: Mapping[str, CompressedColumn],
+    num_rows: int,
+    leaves: List[CodeLeaf],
+) -> Optional[np.ndarray]:
+    if isinstance(predicate, TruePredicate):
+        return np.ones(num_rows, dtype=bool)
+    if isinstance(predicate, (And, Or)):
+        combined: Optional[np.ndarray] = None
+        for child in predicate.predicates:
+            mask = _compile_mask(child, columns, num_rows, leaves)
+            if mask is None:
+                return None
+            if combined is None:
+                combined = mask
+            elif isinstance(predicate, And):
+                combined = combined & mask
+            else:
+                combined = combined | mask
+        return combined
+    if isinstance(predicate, Not):
+        # The leaf masks already encode NULL semantics (a NULL row fails
+        # every comparison), so plain inversion matches the scalar
+        # evaluator: NOT(amount > 5) *does* match NULL rows.
+        mask = _compile_mask(predicate.predicate, columns, num_rows, leaves)
+        return None if mask is None else ~mask
+    if isinstance(predicate, IsNull):
+        column = columns.get(predicate.column)
+        if column is None:
+            return None
+        codes = column.codes
+        if column.dictionary.has_null:
+            mask = codes == 0
+        else:
+            mask = np.zeros(len(codes), dtype=bool)
+        leaves.append((column, False))
+        return mask
+    if isinstance(predicate, (Comparison, Between, InList)):
+        column = columns.get(predicate.column)
+        if column is None:
+            return None
+        mask = _leaf_code_mask(column, predicate)
+        if mask is None:
+            # The dictionary cannot answer this predicate (incomparable
+            # literal types); the whole compilation falls back.
+            return None
+        leaves.append((column, True))
+        return mask
+    return None
+
+
+def _leaf_code_mask(
+    column: CompressedColumn, predicate: Predicate
+) -> Optional[np.ndarray]:
+    """Mask of a simple predicate over *column*'s code array, or ``None``.
+
+    Value constants translate to code ranges through the sorted dictionary
+    (``bisect``); a ``TypeError`` from comparing a literal of an
+    incomparable type against the dictionary values aborts the translation
+    (the caller falls back to the value-level evaluator, which mirrors the
+    row store's behaviour exactly).
+    """
+    codes = column.codes
+    dictionary = column.dictionary
+    try:
+        if isinstance(predicate, Comparison):
+            return _comparison_code_mask(column, codes, predicate)
+        if isinstance(predicate, Between):
+            if dictionary.holds_null:
+                # BETWEEN never matches NULL, and the all-NULL dictionary
+                # cannot order its bounds.
+                return np.zeros(len(codes), dtype=bool)
+            lo, hi = dictionary.range_codes(
+                predicate.low, predicate.high,
+                predicate.include_low, predicate.include_high,
+            )
+            # ``range_codes`` offsets past the reserved NULL code, so NULL
+            # rows (code 0) never fall inside the interval.
+            mask = (codes >= lo) & (codes < hi)
+            nan_code = dictionary.nan_code
+            if nan_code is not None:
+                # The scalar evaluator tests Between by *exclusion*
+                # (value < low / value > high), which NaN never fails.
+                mask |= codes == nan_code
+            return mask
+        # A NaN member matches nothing (IN is chained equality); it also can
+        # never be *found* — ``encode_existing`` bisects only the orderable
+        # values — so it simply contributes no member code.
+        member_codes = [
+            dictionary.encode_existing(value) for value in predicate.values
+        ]
+        member_codes = [code for code in member_codes if code is not None]
+        if not member_codes:
+            return np.zeros(len(codes), dtype=bool)
+        return np.isin(codes, np.asarray(member_codes, dtype=np.int64))
+    except TypeError:
+        return None
+
+
+def _comparison_code_mask(
+    column: CompressedColumn, codes: np.ndarray, predicate: Comparison
+) -> np.ndarray:
+    dictionary = column.dictionary
+    if predicate.value is None or dictionary.holds_null:
+        # ``column <op> NULL`` never matches, and neither does any
+        # comparison over an all-NULL column (row-at-a-time semantics:
+        # a comparison involving NULL is false, whatever the operator).
+        return np.zeros(len(codes), dtype=bool)
+    has_null = dictionary.has_null
+    if predicate.op is CompareOp.EQ:
+        code = dictionary.encode_existing(predicate.value)
+        if code is None:
+            return np.zeros(len(codes), dtype=bool)
+        return codes == code
+    if predicate.op is CompareOp.NE:
+        code = dictionary.encode_existing(predicate.value)
+        if code is None:
+            mask = np.ones(len(codes), dtype=bool)
+        else:
+            mask = codes != code
+        if has_null:
+            # NULL rows fail every comparison, != included.
+            mask &= codes != 0
+        return mask
+    if isinstance(predicate.value, float) and predicate.value != predicate.value:
+        # Ordered comparison against a NaN literal is false for every
+        # value (bisect would place NaN at position 0 and wrongly match
+        # everything for >=).
+        return np.zeros(len(codes), dtype=bool)
+    # Ordered comparisons never match NaN row-at-a-time (every comparison
+    # is False); a NaN dictionary entry sorts last, so exclude its code
+    # from the range masks explicitly.
+    nan_code = dictionary.nan_code
+    if predicate.op in (CompareOp.LT, CompareOp.LE):
+        lo, hi = dictionary.range_codes(
+            None, predicate.value, include_high=predicate.op is CompareOp.LE
+        )
+        mask = codes < hi
+        if has_null:
+            # The reserved NULL code 0 is below every value code.
+            mask &= codes != 0
+    else:
+        lo, hi = dictionary.range_codes(
+            predicate.value, None, include_low=predicate.op is CompareOp.GE
+        )
+        # ``lo`` is offset past the NULL code, which excludes NULL rows.
+        mask = codes >= lo
+    if nan_code is not None:
+        mask &= codes != nan_code
+    return mask
 
 
 class ColumnStoreTable:
@@ -58,6 +282,10 @@ class ColumnStoreTable:
         # Primary-key uniqueness is checked against this set; the dictionary
         # alone is not sufficient because several rows may share a code.
         self._pk_values: set = set()
+        # Zone-map state: every mutator bumps the epoch; per-column synopses
+        # are rebuilt lazily on the next consult (see ``column_zone``).
+        self._zone_epoch = next_zone_epoch()
+        self._zone_cache: Dict[str, Tuple[int, ColumnZone]] = {}
 
     # -- basic properties --------------------------------------------------------
 
@@ -111,11 +339,12 @@ class ColumnStoreTable:
         offending row: every earlier row of the batch is inserted (and
         charged), the offending and later rows are not — exactly the
         partial-state contract of the original per-row append loop.  A value
-        the dictionaries cannot encode (NULL mixed into a column that holds
-        values, or vice versa) aborts the whole batch cleanly: nothing is
-        inserted, no primary key stays registered, and the ``TypeError``
-        propagates.
+        a dictionary unexpectedly rejects aborts the whole batch cleanly:
+        nothing is inserted, no primary key stays registered, and the error
+        propagates.  NULL mixes freely with values — the dictionary reserves
+        code 0 for it (:class:`~repro.engine.compression.ColumnDictionary`).
         """
+        self._bump_zone_epoch()
         pending: List[Dict[str, Any]] = []
         failure: Optional[Exception] = None
         for raw_row in rows:
@@ -137,7 +366,6 @@ class ColumnStoreTable:
         positions = []
         if pending:
             try:
-                self._check_batch_encodable(pending)
                 self._extend_columns(pending)
             except Exception:
                 if self._pk_column is not None:
@@ -152,25 +380,6 @@ class ColumnStoreTable:
         if failure is not None:
             raise failure
         return positions
-
-    def _check_batch_encodable(self, pending: Sequence[Mapping[str, Any]]) -> None:
-        """Raise (before any column is touched) if a dictionary would reject the batch.
-
-        The sorted dictionary cannot order NULL against real values: a column
-        may be all-NULL or NULL-free, never mixed.  Checking up front keeps a
-        failing batch from leaving the columns half-extended.
-        """
-        for name, column in self._columns.items():
-            has_null = any(row[name] is None for row in pending)
-            has_value = any(row[name] is not None for row in pending)
-            holds_values = len(column.dictionary) and not column.dictionary.holds_null
-            if (has_null and (has_value or holds_values)) or (
-                has_value and column.dictionary.holds_null
-            ):
-                raise TypeError(
-                    "cannot mix NULL with values in a sorted dictionary "
-                    f"(column {name!r} of table {self.schema.name!r})"
-                )
 
     def _extend_columns(self, pending: Sequence[Mapping[str, Any]]) -> None:
         """One :meth:`CompressedColumn.extend` per column, atomically.
@@ -197,6 +406,7 @@ class ColumnStoreTable:
         """
         if not rows:
             return
+        self._bump_zone_epoch()
         if self._num_rows == 0:
             columns = self.schema.validate_rows_columnar(rows)
             for name, column in self._columns.items():
@@ -222,6 +432,7 @@ class ColumnStoreTable:
         """
         if self._num_rows:
             raise ExecutionError("bulk_load_columns requires an empty table")
+        self._bump_zone_epoch()
         for name, compressed in self._columns.items():
             compressed.bulk_load(columns[name])
         self._num_rows = num_rows
@@ -249,6 +460,7 @@ class ColumnStoreTable:
         """
         if not assignments:
             return 0
+        self._bump_zone_epoch()
         coerced = {
             name: self.schema.column(name).dtype.coerce(value)
             for name, value in assignments.items()
@@ -279,6 +491,7 @@ class ColumnStoreTable:
         """
         if len(positions) == 0:
             return 0
+        self._bump_zone_epoch()
         doomed = np.unique(np.asarray(positions, dtype=np.int64))
         if accountant is not None:
             accountant.charge_cs_value_updates(len(doomed) * self.schema.num_columns)
@@ -304,16 +517,28 @@ class ColumnStoreTable:
     ) -> Optional[np.ndarray]:
         """Return positions of rows matching *predicate* (``None`` = all rows).
 
-        Simple single-column predicates are evaluated directly on the code
-        arrays using the sorted dictionary (the implicit index); arbitrary
-        predicates fall back to row-wise evaluation, which additionally pays
-        tuple-reconstruction costs for the referenced columns.
+        Predicates compile to vectorized integer comparisons over the code
+        arrays via :func:`compile_code_mask` (the sorted dictionary is the
+        implicit index); predicates the compiler cannot express fall back to
+        decode-and-compare, which additionally pays per-value decode costs
+        for the referenced columns.
         """
         if predicate is None:
             return None
-        mask = self._vectorised_mask(predicate, accountant)
-        if mask is not None:
-            return np.nonzero(mask)[0].astype(np.int64)
+        if _CODE_DOMAIN_ENABLED:
+            compiled = compile_code_mask(predicate, self._columns, self._num_rows)
+            if compiled is not None:
+                mask, leaves = compiled
+                if accountant is not None:
+                    for column, probed in leaves:
+                        if probed:
+                            # Dictionary lookup of the literal(s).
+                            accountant.charge_index_probe()
+                        accountant.charge_sequential_read(
+                            "column_scan", column.code_bytes
+                        )
+                        accountant.charge_vector_compares(self._num_rows)
+                return np.nonzero(mask)[0].astype(np.int64)
         # Fallback: decode the referenced columns (vectorized gather) and
         # evaluate the predicate over the value arrays; predicates the
         # vectorized evaluator cannot express run the row-at-a-time loop.
@@ -328,122 +553,6 @@ class ColumnStoreTable:
         arrays = {name: self._columns[name].values_array_at() for name in referenced}
         mask = evaluate_predicate_mask(predicate, arrays, self._num_rows)
         return np.nonzero(mask)[0].astype(np.int64)
-
-    def _vectorised_mask(
-        self, predicate: Predicate, accountant: Optional[CostAccountant]
-    ) -> Optional[np.ndarray]:
-        """Evaluate simple predicates directly over code arrays."""
-        if isinstance(predicate, And):
-            masks = []
-            for child in predicate.predicates:
-                mask = self._vectorised_mask(child, accountant)
-                if mask is None:
-                    return None
-                masks.append(mask)
-            combined = masks[0]
-            for mask in masks[1:]:
-                combined = combined & mask
-            return combined
-        if isinstance(predicate, (Comparison, Between, InList)):
-            column = self._columns.get(next(iter(predicate.columns())))
-            if column is None:
-                return None
-            mask = self._code_mask(column, predicate)
-            if mask is None:
-                # The dictionary cannot answer this predicate (incomparable
-                # literal types); fall back without having charged anything.
-                return None
-            if accountant is not None:
-                accountant.charge_index_probe()  # dictionary lookup of the literal(s)
-                accountant.charge_sequential_read("column_scan", column.code_bytes)
-                accountant.charge_vector_compares(self._num_rows)
-            return mask
-        return None
-
-    def _code_mask(
-        self, column: CompressedColumn, predicate: Predicate
-    ) -> Optional[np.ndarray]:
-        """Mask of a simple predicate over *column*'s code array, or ``None``.
-
-        Value constants translate to code ranges through the sorted
-        dictionary (``bisect``); a ``TypeError`` from comparing a literal of
-        an incomparable type against the dictionary values aborts the
-        translation (the caller falls back to the value-level evaluator,
-        which mirrors the row store's behaviour exactly).
-        """
-        codes = column.codes
-        dictionary = column.dictionary
-        try:
-            if isinstance(predicate, Comparison):
-                return self._comparison_mask(column, codes, predicate)
-            if isinstance(predicate, Between):
-                if dictionary.holds_null:
-                    # BETWEEN never matches NULL, and the all-NULL dictionary
-                    # cannot order its bounds.
-                    return np.zeros(len(codes), dtype=bool)
-                lo, hi = dictionary.range_codes(
-                    predicate.low, predicate.high,
-                    predicate.include_low, predicate.include_high,
-                )
-                mask = (codes >= lo) & (codes < hi)
-                nan_code = dictionary.nan_code
-                if nan_code is not None:
-                    # The scalar evaluator tests Between by *exclusion*
-                    # (value < low / value > high), which NaN never fails.
-                    mask |= codes == nan_code
-                return mask
-            member_codes = [
-                dictionary.encode_existing(value) for value in predicate.values
-            ]
-            member_codes = [code for code in member_codes if code is not None]
-            if not member_codes:
-                return np.zeros(len(codes), dtype=bool)
-            return np.isin(codes, np.asarray(member_codes, dtype=np.int64))
-        except TypeError:
-            return None
-
-    @staticmethod
-    def _comparison_mask(
-        column: CompressedColumn, codes: np.ndarray, predicate: Comparison
-    ) -> np.ndarray:
-        dictionary = column.dictionary
-        if predicate.value is None or dictionary.holds_null:
-            # ``column <op> NULL`` never matches, and neither does any
-            # comparison over an all-NULL column (row-at-a-time semantics:
-            # a comparison involving NULL is false, whatever the operator).
-            return np.zeros(len(codes), dtype=bool)
-        if predicate.op is CompareOp.EQ:
-            code = dictionary.encode_existing(predicate.value)
-            if code is None:
-                return np.zeros(len(codes), dtype=bool)
-            return codes == code
-        if predicate.op is CompareOp.NE:
-            code = dictionary.encode_existing(predicate.value)
-            if code is None:
-                return np.ones(len(codes), dtype=bool)
-            return codes != code
-        if isinstance(predicate.value, float) and predicate.value != predicate.value:
-            # Ordered comparison against a NaN literal is false for every
-            # value (bisect would place NaN at position 0 and wrongly match
-            # everything for >=).
-            return np.zeros(len(codes), dtype=bool)
-        # Ordered comparisons never match NaN row-at-a-time (every comparison
-        # is False); a NaN dictionary entry sorts last, so exclude its code
-        # from the range masks explicitly.
-        nan_code = dictionary.nan_code
-        if predicate.op in (CompareOp.LT, CompareOp.LE):
-            lo, hi = dictionary.range_codes(
-                None, predicate.value, include_high=predicate.op is CompareOp.LE
-            )
-            mask = codes < hi
-        else:
-            lo, hi = dictionary.range_codes(
-                predicate.value, None, include_low=predicate.op is CompareOp.GE
-            )
-            mask = codes >= lo
-        if nan_code is not None:
-            mask &= codes != nan_code
-        return mask
 
     def fetch_rows(
         self,
@@ -595,16 +704,53 @@ class ColumnStoreTable:
             for name in self.schema.column_names
         }
 
+    # -- zone maps ----------------------------------------------------------------------
+
+    def _bump_zone_epoch(self) -> None:
+        self._zone_epoch = next_zone_epoch()
+
+    @property
+    def zone_epoch(self) -> int:
+        """Monotonic counter bumped by every mutation (zone staleness token)."""
+        return self._zone_epoch
+
+    def column_zone(self, column: str) -> ColumnZone:
+        """The column's zone synopsis (cached per zone epoch).
+
+        Bounds come straight from the sorted dictionary (which inserts keep
+        maintained and deletes rebuild to the surviving values); the NULL
+        count is exact, counted over the reserved code 0.  After in-place
+        updates the dictionary may retain orphaned entries, making the
+        bounds a safe superset of the live range.
+        """
+        cached = self._zone_cache.get(column)
+        if cached is not None and cached[0] == self._zone_epoch:
+            return cached[1]
+        compressed = self._columns[column]
+        low, high, has_nan = compressed.dictionary.value_bounds()
+        zone = ColumnZone(
+            min_value=low,
+            max_value=high,
+            null_count=compressed.null_count,
+            num_rows=self._num_rows,
+            has_nan=has_nan,
+        )
+        self._zone_cache[column] = (self._zone_epoch, zone)
+        return zone
+
     # -- statistics helpers -----------------------------------------------------------
 
     def column_distinct_count(self, column: str) -> int:
         return self._columns[column].num_distinct
 
     def column_min_max(self, column: str) -> Tuple[Any, Any]:
-        dictionary = self._columns[column].dictionary
-        if len(dictionary) == 0:
+        values = [
+            value
+            for value in self._columns[column].dictionary.values
+            if value is not None
+        ]
+        if not values:
             return None, None
-        values = dictionary.values
         return values[0], values[-1]
 
     def column_code_width(self, column: str) -> int:

@@ -10,6 +10,15 @@ consequences matter for the storage advisor:
 * the dictionary acts as an *implicit index* for point and range predicates
   (Section 3.1, point/range queries on the column store).
 
+NULL handling: ``None`` cannot be ordered against real values, so it never
+participates in the sort.  A dictionary holding any NULL reserves **code 0**
+for it; the sorted real values occupy codes ``1..N``.  A NULL-free
+dictionary uses codes ``0..N-1`` exactly as before, so the hot no-NULL path
+is unchanged.  Because NULL's code is smaller than every value code, the
+code order of the value codes still mirrors the value order — the property
+the code-range predicate translation and the O(n) group-by factorization
+rely on.
+
 This module implements the dictionary encoding and the compression-rate
 statistic consumed by the cost model.
 """
@@ -22,10 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.types import DataType
-
-
-def _is_nan(value: Any) -> bool:
-    return isinstance(value, float) and value != value
+from repro.engine.zonemap import is_nan as _is_nan
 
 
 def code_width_bytes(num_distinct: int) -> int:
@@ -48,31 +54,66 @@ class ColumnDictionary:
     search — no separate hash map has to be maintained (inserting a value
     mid-dictionary would otherwise re-number every larger value's hash-map
     entry one by one).
+
+    ``_values`` holds only the sorted real values (NaN, if present, last by
+    convention); NULL is represented by the ``_has_null`` flag and the
+    reserved code 0.  The code of the value at sorted position *p* is
+    ``p + offset`` where ``offset`` is 1 iff NULL is present.
     """
 
     def __init__(self, dtype: DataType) -> None:
         self.dtype = dtype
         self._values: List[Any] = []
+        self._has_null = False
         self._values_array: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._values) + self._offset
+
+    @property
+    def _offset(self) -> int:
+        return 1 if self._has_null else 0
+
+    def _real_count(self) -> int:
+        """Number of orderable values — the bisect search space.
+
+        Every ``bisect`` over ``_values`` must stop before a trailing NaN:
+        comparisons against NaN are all false, so an unbounded binary search
+        whose probe lands on the NaN entry jumps *past* it and can overshoot
+        real values below it (e.g. placing 129.3 after 143.32).
+        """
+        values = self._values
+        if values and _is_nan(values[-1]):
+            return len(values) - 1
+        return len(values)
 
     @property
     def values(self) -> Sequence[Any]:
+        """The dictionary entries in code order (``None`` first if present)."""
+        if self._has_null:
+            return (None,) + tuple(self._values)
         return tuple(self._values)
 
     @property
     def values_array(self) -> np.ndarray:
-        """The sorted dictionary values as a numpy array (cached).
+        """The dictionary entries as a code-aligned numpy array (cached).
 
         Decoding a whole code array is one fancy-indexing gather
-        (``values_array[codes]``) instead of a per-value Python loop.
+        (``values_array[codes]``) instead of a per-value Python loop.  When
+        NULL is present the array is an object array with ``None`` at
+        position 0.
         """
         if self._values_array is None:
             from repro.engine.batch import values_to_array
 
-            self._values_array = values_to_array(self._values)
+            if self._has_null:
+                array = np.empty(len(self._values) + 1, dtype=object)
+                array[0] = None
+                for position, value in enumerate(self._values):
+                    array[position + 1] = value
+                self._values_array = array
+            else:
+                self._values_array = values_to_array(self._values)
         return self._values_array
 
     def _invalidate(self) -> None:
@@ -85,42 +126,36 @@ class ColumnDictionary:
         of every larger value by one.  ``shift_position`` is the insertion
         position when that happened (the caller must re-map already stored
         codes ``>= shift_position``), or ``None`` if the value already existed.
-        The shift itself is implicit — codes are positions in the sorted value
-        list; the *cost* of dictionary maintenance is accounted for by the
-        device model, not by Python runtime.
+        Adding NULL to a NULL-free dictionary reserves code 0, which shifts
+        *every* stored code (``shift_position`` 0).  The shift itself is
+        implicit — codes are positions in the code-ordered entry list; the
+        *cost* of dictionary maintenance is accounted for by the device
+        model, not by Python runtime.
         """
         if value is None:
-            # NULL cannot be ordered against other values; it only ever lives
-            # in an all-NULL dictionary (as at position 0).
-            if self._values:
-                if self._values[0] is None:
-                    return 0, None
-                raise TypeError(
-                    "cannot mix NULL with values in a sorted dictionary"
-                )
-            self._values.append(None)
+            if self._has_null:
+                return 0, None
+            self._has_null = True
             self._invalidate()
+            # Code 0 is now NULL; every existing value code moves up by one.
             return 0, 0
+        offset = self._offset
         if _is_nan(value):
             # NaN defeats bisect (every comparison is false would place it
             # first); it sorts *last* by convention, like np.unique puts it.
             code = self.nan_code
             if code is not None:
                 return code, None
-            if self.holds_null:
-                raise TypeError(
-                    "cannot mix NULL with values in a sorted dictionary"
-                )
             self._values.append(value)
             self._invalidate()
             # Appended behind every existing value: no stored code shifts.
-            return len(self._values) - 1, None
-        position = bisect.bisect_left(self._values, value) if self._values else 0
+            return len(self._values) - 1 + offset, None
+        position = bisect.bisect_left(self._values, value, 0, self._real_count())
         if position < len(self._values) and self._values[position] == value:
-            return position, None
+            return position + offset, None
         self._values.insert(position, value)
         self._invalidate()
-        return position, position
+        return position + offset, position + offset
 
     def encode(self, value: Any) -> int:
         """Return the current code for *value*, adding it to the dictionary if new.
@@ -135,25 +170,30 @@ class ColumnDictionary:
     def encode_existing(self, value: Any) -> Optional[int]:
         """Return the code for *value* or ``None`` if it is not present."""
         if value is None:
-            return 0 if (self._values and self._values[0] is None) else None
+            return 0 if self._has_null else None
         try:
-            position = bisect.bisect_left(self._values, value)
+            position = bisect.bisect_left(self._values, value, 0, self._real_count())
         except TypeError:
             # Literal of an incomparable type can never be in the dictionary.
             return None
         if position < len(self._values) and self._values[position] == value:
-            return position
+            return position + self._offset
         return None
 
     @property
-    def holds_null(self) -> bool:
-        """Whether this is the all-NULL dictionary (``None`` at code 0).
+    def has_null(self) -> bool:
+        """Whether NULL is present (and code 0 is reserved for it)."""
+        return self._has_null
 
-        ``None`` cannot be ordered against real values, so it only ever lives
-        alone in a dictionary; any comparison predicate over such a column is
-        false for every row.
+    @property
+    def holds_null(self) -> bool:
+        """Whether this is the *all-NULL* dictionary (``None`` is its only entry).
+
+        Any comparison predicate over such a column is false for every row.
+        Mixed dictionaries (NULL alongside values) report ``False`` here and
+        ``True`` for :attr:`has_null`.
         """
-        return bool(self._values) and self._values[0] is None
+        return self._has_null and not self._values
 
     @property
     def nan_code(self) -> Optional[int]:
@@ -165,10 +205,30 @@ class ColumnDictionary:
         if self._values:
             last = self._values[-1]
             if isinstance(last, float) and last != last:
-                return len(self._values) - 1
+                return len(self._values) - 1 + self._offset
         return None
 
+    def value_bounds(self) -> Tuple[Any, Any, bool]:
+        """``(min, max, has_nan)`` over the real (non-NULL, non-NaN) values.
+
+        This is the zone-map view of the dictionary: after in-place updates
+        the dictionary may retain entries no stored code references, so the
+        bounds are a *superset* of the live value range — safe for pruning
+        (a wider zone can only miss a pruning opportunity, never drop rows).
+        Deletes rebuild the dictionary from the surviving codes, which
+        re-tightens the bounds.
+        """
+        values = self._values
+        has_nan = self.nan_code is not None
+        if has_nan:
+            values = values[:-1]
+        if not values:
+            return None, None, has_nan
+        return values[0], values[-1], has_nan
+
     def decode(self, code: int) -> Any:
+        if self._has_null:
+            return None if code == 0 else self._values[code - 1]
         return self._values[code]
 
     def decode_many(self, codes: Iterable[int]) -> List[Any]:
@@ -181,13 +241,12 @@ class ColumnDictionary:
         right after a dictionary insert invalidated it) decode per value
         instead of rebuilding the whole values array.
         """
-        if len(self._values) == 0:
+        if len(self) == 0:
             return np.empty(0, dtype=object)
-        if self._values_array is None and len(codes) * 4 < len(self._values):
+        if self._values_array is None and len(codes) * 4 < len(self):
             from repro.engine.batch import values_to_array
 
-            values = self._values
-            return values_to_array([values[code] for code in codes.tolist()])
+            return values_to_array([self.decode(code) for code in codes.tolist()])
         return self.values_array[codes]
 
     def range_codes(self, low: Any, high: Any,
@@ -195,49 +254,86 @@ class ColumnDictionary:
         """Return the half-open code interval ``[lo, hi)`` of values in range.
 
         Because the dictionary is sorted, a value-range predicate translates
-        into a code-range predicate — the "implicit index" of the column store.
+        into a code-range predicate — the "implicit index" of the column
+        store.  The interval never includes the reserved NULL code: both ends
+        carry the code offset, so ``lo >= 1`` whenever NULL is present.
         """
+        offset = self._offset
+        reals = self._real_count()
         if low is None:
             lo = 0
         else:
-            lo = (bisect.bisect_left(self._values, low) if include_low
-                  else bisect.bisect_right(self._values, low))
+            lo = (bisect.bisect_left(self._values, low, 0, reals) if include_low
+                  else bisect.bisect_right(self._values, low, 0, reals))
         if high is None:
             hi = len(self._values)
         else:
-            hi = (bisect.bisect_right(self._values, high) if include_high
-                  else bisect.bisect_left(self._values, high))
-        return lo, hi
+            hi = (bisect.bisect_right(self._values, high, 0, reals) if include_high
+                  else bisect.bisect_left(self._values, high, 0, reals))
+        return lo + offset, hi + offset
 
     def bulk_build(self, values: Sequence[Any]) -> np.ndarray:
         """Build the dictionary from *values* in one pass and return the codes."""
         from repro.engine.batch import values_to_array
 
         self._invalidate()
+        self._has_null = False
         array = values_to_array(values)
         if array.dtype != object:
             # Native values: sort, dedup and encode entirely in numpy.
             distinct, codes = np.unique(array, return_inverse=True)
             self._values = distinct.tolist()
             return codes.reshape(-1).astype(np.int64, copy=False)
-        distinct = sorted(set(values))
+        value_list = array.tolist()
+        null_mask = np.fromiter(
+            (value is None for value in value_list), dtype=bool, count=len(value_list)
+        )
+        if null_mask.any():
+            self._has_null = True
+            non_null = [value for value in value_list if value is not None]
+            sub = values_to_array(non_null)
+            codes = np.zeros(len(value_list), dtype=np.int64)
+            if sub.dtype != object:
+                distinct, sub_codes = np.unique(sub, return_inverse=True)
+                self._values = distinct.tolist()
+                sub_codes = sub_codes.reshape(-1).astype(np.int64, copy=False)
+            else:
+                self._values = sorted(set(non_null))
+                code_of = {v: i for i, v in enumerate(self._values)}
+                sub_codes = np.fromiter(
+                    (code_of[v] for v in non_null), dtype=np.int64, count=len(non_null)
+                )
+            codes[~null_mask] = sub_codes + 1
+            return codes
+        distinct = sorted(set(value_list))
         self._values = list(distinct)
         code_of = {v: i for i, v in enumerate(self._values)}
-        return np.fromiter((code_of[v] for v in values), dtype=np.int64,
-                           count=len(values))
+        return np.fromiter((code_of[v] for v in value_list), dtype=np.int64,
+                           count=len(value_list))
 
     def bulk_codes(self, values: Sequence[Any]) -> np.ndarray:
         """Codes for *values*, all of which must already be in the dictionary."""
         from repro.engine.batch import values_to_array
 
-        array = self.values_array
-        if array.dtype != object:
-            candidate = values_to_array(values)
-            if candidate.dtype != object:
-                return np.searchsorted(array, candidate).astype(np.int64, copy=False)
-        code_of = {v: i for i, v in enumerate(self._values)}
+        if not self._has_null:
+            array = self.values_array
+            if array.dtype != object:
+                candidate = values_to_array(values)
+                if candidate.dtype != object:
+                    return np.searchsorted(array, candidate).astype(np.int64, copy=False)
+        offset = self._offset
+        code_of = {v: i + offset for i, v in enumerate(self._values)}
+        nan_code = self.nan_code
+
+        def code_for(value: Any) -> int:
+            if value is None:
+                return 0
+            if _is_nan(value):
+                return nan_code
+            return code_of[value]
+
         return np.fromiter(
-            (code_of[v] for v in values), dtype=np.int64, count=len(values)
+            (code_for(v) for v in values), dtype=np.int64, count=len(values)
         )
 
     def merge_values(self, new_values: Sequence[Any]) -> Optional[np.ndarray]:
@@ -246,21 +342,23 @@ class ColumnDictionary:
         Returns the old-code → new-code remap array (the caller re-maps its
         stored codes), or ``None`` when the dictionary did not change.  NaN
         is kept out of the sort (it would poison Python's ``sorted``) and
-        re-appended last, where :attr:`nan_code` expects it.
+        re-appended last, where :attr:`nan_code` expects it; a first NULL
+        reserves code 0 and shifts every value code up by one.
         """
         fresh = []
         fresh_nan = False
+        fresh_null = False
         for value in set(new_values):
-            if _is_nan(value):
+            if value is None:
+                fresh_null = not self._has_null
+            elif _is_nan(value):
                 fresh_nan = True
             elif self.encode_existing(value) is None:
                 fresh.append(value)
         old_nan = self.nan_code is not None
-        if not fresh and not (fresh_nan and not old_nan):
+        if not fresh and not (fresh_nan and not old_nan) and not fresh_null:
             return None
-        if self.holds_null:
-            # The all-NULL dictionary admits nothing orderable next to None.
-            raise TypeError("cannot mix NULL with values in a sorted dictionary")
+        old_offset = self._offset
         old_values = self._values
         merged = sorted((old_values[:-1] if old_nan else old_values) + fresh)
         if old_nan:
@@ -270,21 +368,34 @@ class ColumnDictionary:
         elif fresh_nan:
             merged.append(float("nan"))
         self._values = merged
+        if fresh_null:
+            self._has_null = True
         self._invalidate()
-        code_of = {v: i for i, v in enumerate(merged)}
-        return np.fromiter(
-            (code_of[v] for v in old_values), dtype=np.int64, count=len(old_values)
-        )
+        new_offset = self._offset
+        code_of = {v: i + new_offset for i, v in enumerate(merged)}
+        remap = np.empty(old_offset + len(old_values), dtype=np.int64)
+        if old_offset:
+            remap[0] = 0
+        for position, value in enumerate(old_values):
+            remap[old_offset + position] = code_of[value]
+        return remap
 
     def rebuild_from_codes(self, kept_codes: np.ndarray) -> np.ndarray:
         """Shrink the dictionary to the codes in *kept_codes* (columnar delete).
 
         Returns *kept_codes* re-mapped to the shrunken dictionary.  The
-        surviving values keep their sort order, so the result is exactly the
-        dictionary a fresh bulk build over the surviving rows would produce.
+        surviving entries keep their code order (NULL first if it survives),
+        so the result is exactly the dictionary a fresh bulk build over the
+        surviving rows would produce.
         """
         used = np.unique(kept_codes)
-        self._values = [self._values[int(code)] for code in used]
+        old_offset = self._offset
+        self._values = [
+            self._values[int(code) - old_offset]
+            for code in used
+            if code >= old_offset
+        ]
+        self._has_null = bool(old_offset and len(used) and used[0] == 0)
         self._invalidate()
         return np.searchsorted(used, kept_codes).astype(np.int64, copy=False)
 
@@ -300,6 +411,10 @@ class CompressedColumn:
         self.dictionary = ColumnDictionary(dtype)
         self._codes = np.empty(self.GROWTH, dtype=np.int64)
         self._size = 0
+        # Maintained incrementally by every mutator: the zone-map synopsis
+        # consults it on each filtered scan, and an O(n) recount there would
+        # tax interleaved insert/scan workloads.
+        self._null_count = 0
 
     def __len__(self) -> int:
         return self._size
@@ -308,6 +423,18 @@ class CompressedColumn:
     def codes(self) -> np.ndarray:
         """The code array (a view limited to the live portion)."""
         return self._codes[: self._size]
+
+    @property
+    def null_count(self) -> int:
+        """Number of stored NULL cells (codes equal to the reserved code 0)."""
+        return self._null_count
+
+    def _recount_nulls(self) -> None:
+        """Recount from the codes (bulk rebuild paths only)."""
+        if not self.dictionary.has_null or self._size == 0:
+            self._null_count = 0
+        else:
+            self._null_count = int(np.count_nonzero(self.codes == 0))
 
     def _ensure_capacity(self, extra: int) -> None:
         needed = self._size + extra
@@ -331,6 +458,8 @@ class CompressedColumn:
         self._ensure_capacity(1)
         self._codes[self._size] = code
         self._size += 1
+        if value is None:
+            self._null_count += 1
 
     def extend(self, values: Sequence[Any]) -> None:
         """Append *values*, merging new distinct values in one dictionary pass.
@@ -354,17 +483,20 @@ class CompressedColumn:
         self._ensure_capacity(len(values))
         self._codes[self._size: self._size + len(values)] = new_codes
         self._size += len(values)
+        self._null_count += sum(1 for value in values if value is None)
 
     def bulk_load(self, values: Sequence[Any]) -> None:
         """Replace the column contents with *values* (fast path for loads)."""
         codes = self.dictionary.bulk_build(values)
         self._codes = codes
         self._size = len(values)
+        self._recount_nulls()
 
     def load_codes(self, codes: np.ndarray) -> None:
         """Adopt a pre-encoded code array (columnar rebuild fast path)."""
         self._codes = np.ascontiguousarray(codes, dtype=np.int64)
         self._size = len(codes)
+        self._recount_nulls()
 
     def truncate(self, size: int) -> None:
         """Roll the live code region back to *size* rows (batch-insert abort).
@@ -374,6 +506,7 @@ class CompressedColumn:
         code decoding to its original value, so the column stays consistent.
         """
         self._size = size
+        self._recount_nulls()
 
     def codes_at(self, positions: Optional[Sequence[int]] = None) -> np.ndarray:
         """The code array (all rows, or a position gather) — no decoding."""
@@ -400,8 +533,16 @@ class CompressedColumn:
         return self.dictionary.decode_array(self.codes).tolist()
 
     def set_value(self, position: int, value: Any) -> None:
+        # Nullness of the old cell must be read before the encode: encoding
+        # the first NULL reserves code 0 and shifts every stored code.
+        was_null = self.dictionary.has_null and self._codes[position] == 0
         code = self._encode_maintaining_codes(value)
         self._codes[position] = code
+        if value is None:
+            if not was_null:
+                self._null_count += 1
+        elif was_null:
+            self._null_count -= 1
 
     # -- statistics --------------------------------------------------------------
 

@@ -22,15 +22,43 @@ materialization**):
   (no ``np.unique`` re-sort of decoded strings) and decode one key value per
   *group*; hash joins probe int64 code arrays when both sides share a
   dictionary, resolve each probe-dictionary value once otherwise, and fall
-  back to value arrays for plain columns; predicate masks on dictionary
-  columns are translated to code ranges via ``bisect`` in the storage layer;
-  aggregate *inputs* are reduced by value (one decode gather); complex
-  predicates are evaluated vectorially over value arrays
+  back to value arrays for plain columns; aggregate *inputs* are reduced by
+  value (one decode gather);
+* filtered column-store scans run in the **code domain** end-to-end:
+  :func:`~repro.engine.column_store.compile_code_mask` translates
+  ``EQ/NE/LT/LE/GT/GE``, ``BETWEEN``, ``IN``, ``IS NULL`` and any
+  ``AND``/``OR``/``NOT`` combination into code intervals and memberships via
+  ``bisect`` on the sorted dictionary (NULL's reserved code 0 and NaN's
+  last-code convention respected), evaluated as vectorized int64
+  comparisons — no value decodes; predicates outside the compiler's reach
+  take the decode-and-compare fallback
   (:func:`~repro.engine.batch.vectorized_value_mask`);
 * values materialise only at the :class:`QueryResult` boundary
   (``fetch_rows`` / ``ColumnBatch.to_rows``) — an aggregation over a
   100k-row table never builds an intermediate row dict and never decodes its
   group-key column.
+
+Zone maps and plan-driven scans
+===============================
+
+Every storage backend keeps per-column **zone synopses** (min/max,
+null count, NaN presence — :mod:`repro.engine.zonemap`), maintained under
+DML via zone epochs: inserts keep them cheap incrementally (the row store
+widens its cached zones with just the appended values; the column store's
+bounds come from the insert-maintained dictionary and a running per-column
+null count), while updates and deletes invalidate, and the next consult
+rebuilds — re-tightening a range deletes shrank.  When the executor resolves a query's access paths it
+derives a :class:`~repro.engine.zonemap.ScanDecision` per filtered base
+table: partitions whose zones prove the predicate cannot match are skipped
+before a single code or tuple is touched (the hot and main portions of a
+:class:`PartitionedAccessPath` prune independently).  The session planner
+embeds the *same* decision object in the physical plan, execution re-derives
+it only when its zone-epoch token goes stale (or a bound parameter refines a
+template), and ``EXPLAIN ANALYZE`` reports the per-table partitions
+scanned/skipped counters — plan and execution provably coincide.  Skipped
+partitions charge nothing ("actuals reflect rows actually touched"); the
+cost model mirrors the pruning on the estimate side through the catalog's
+min/max statistics.
 
 The batch pipeline is purely a wall-clock optimisation of the simulator:
 every :class:`~repro.engine.timing.CostAccountant` charge is identical to the

@@ -10,6 +10,17 @@ behaviour that the paper's cost model captures lives here:
   tuple reconstruction when materialising rows,
 * partitioned tables additionally pay union/join assembly costs (see
   :mod:`repro.engine.executor.rewrite`).
+
+Access paths are also where the plan's pruning decisions execute.
+:meth:`AccessPath.plan_scan` derives a :class:`~repro.engine.zonemap
+.ScanDecision` for a read predicate from the current zone maps and records
+it on the path; the planner embeds the same object in the physical plan.  At
+execution the path *consumes* the recorded decision instead of re-deriving
+it — unless the decision's zone-epoch token went stale (DML since planning)
+or a different bound predicate arrives (parameterized plans), in which case
+it is re-derived so pruning can never skip rows it must not.  Every prunable
+unit consulted is counted on the accountant (scanned vs. skipped), which is
+what ``EXPLAIN ANALYZE`` reports.
 """
 
 from __future__ import annotations
@@ -22,7 +33,31 @@ from repro.engine.batch import ColumnBatch
 from repro.engine.table import StoredTable
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
+from repro.engine.zonemap import (
+    PartitionScan,
+    ScanDecision,
+    zone_can_match,
+    zone_pruning_enabled,
+)
 from repro.query.predicates import Predicate
+
+
+def empty_batch(columns: Sequence[str]) -> ColumnBatch:
+    """A zero-row batch that still carries the requested column set."""
+    return ColumnBatch(
+        {name: np.empty(0, dtype=object) for name in columns}, num_rows=0
+    )
+
+
+def part_zones(part: StoredTable, predicate: Predicate) -> Dict[str, Any]:
+    """The zone synopses of *part* for the columns *predicate* references."""
+    zones: Dict[str, Any] = {}
+    for name in predicate.columns():
+        if part.schema.has_column(name):
+            zone = part.column_zone(name)
+            if zone is not None:
+                zones[name] = zone
+    return zones
 
 
 class AccessPath:
@@ -30,6 +65,10 @@ class AccessPath:
 
     #: Human-readable description used in traces and tests.
     description: str = "access path"
+
+    #: The most recent :class:`ScanDecision` (set by :meth:`plan_scan` or a
+    #: re-derivation at execution time); ``None`` until a predicate is seen.
+    scan_decision: Optional[ScanDecision] = None
 
     @property
     def num_rows(self) -> int:
@@ -39,6 +78,34 @@ class AccessPath:
     def primary_store(self) -> Store:
         """The store whose layout dominates this table's data (for joins)."""
         raise NotImplementedError
+
+    # -- scan planning -----------------------------------------------------------
+
+    def plan_scan(self, predicate: Optional[Predicate]) -> ScanDecision:
+        """Derive (and record) the pruning decision for *predicate*.
+
+        Called once by the planner/executor when resolving paths; execution
+        re-uses the recorded decision as long as its zone-epoch token and
+        predicate still match.
+        """
+        decision = self._derive_decision(predicate)
+        self.scan_decision = decision
+        return decision
+
+    def decision_for(self, predicate: Optional[Predicate]) -> ScanDecision:
+        """The valid decision for *predicate* — recorded if fresh, else re-derived."""
+        decision = self.scan_decision
+        if decision is not None and decision.matches(predicate, self._zone_token()):
+            return decision
+        return self.plan_scan(predicate)
+
+    def _zone_token(self) -> tuple:
+        raise NotImplementedError
+
+    def _derive_decision(self, predicate: Optional[Predicate]) -> ScanDecision:
+        raise NotImplementedError
+
+    # -- reads -------------------------------------------------------------------
 
     def collect_batch(
         self,
@@ -98,10 +165,17 @@ class AccessPath:
 
 
 class SimpleAccessPath(AccessPath):
-    """Access path over an unpartitioned :class:`StoredTable`."""
+    """Access path over an unpartitioned :class:`StoredTable`.
 
-    def __init__(self, table: StoredTable) -> None:
+    ``inner=True`` marks paths a :class:`~repro.engine.executor.rewrite
+    .PartitionedAccessPath` builds around its own parts: the outer path owns
+    pruning and partition counting for them, so inner paths do neither.
+    """
+
+    def __init__(self, table: StoredTable, inner: bool = False) -> None:
         self.table = table
+        self._inner = inner
+        self.scan_decision = None
         self.description = f"{table.name} ({table.store.value} store)"
 
     @property
@@ -112,6 +186,40 @@ class SimpleAccessPath(AccessPath):
     def primary_store(self) -> Store:
         return self.table.store
 
+    # -- scan planning ------------------------------------------------------------
+
+    def _zone_token(self) -> tuple:
+        return (self.table.zone_epoch,)
+
+    def _derive_decision(self, predicate: Optional[Predicate]) -> ScanDecision:
+        scan = True
+        reason = ""
+        if predicate is not None and zone_pruning_enabled():
+            zones = part_zones(self.table, predicate)
+            if not zone_can_match(predicate, zones, self.table.num_rows):
+                scan = False
+                reason = "zone disjoint"
+        return ScanDecision(
+            table=self.table.name,
+            predicate=predicate,
+            token=self._zone_token(),
+            partitions=(PartitionScan(self.table.name, scan, reason),),
+            pruning=zone_pruning_enabled(),
+        )
+
+    def _scan_allowed(
+        self, predicate: Optional[Predicate], accountant: CostAccountant
+    ) -> bool:
+        """Consume the scan decision; count the table's single partition."""
+        if self._inner:
+            return True
+        if predicate is None:
+            accountant.count_partition(self.table.name, scanned=True)
+            return True
+        scan = self.decision_for(predicate).partitions[0].scan
+        accountant.count_partition(self.table.name, scanned=scan)
+        return scan
+
     # -- reads -------------------------------------------------------------------
 
     def collect_batch(
@@ -121,6 +229,8 @@ class SimpleAccessPath(AccessPath):
         accountant: CostAccountant,
         encode_columns: Sequence[str] = (),
     ) -> ColumnBatch:
+        if not self._scan_allowed(predicate, accountant):
+            return empty_batch(columns)
         positions = self.table.filter_positions(predicate, accountant)
         if self.table.store is Store.ROW:
             # One full-width pass delivers every requested column; group-by
@@ -146,6 +256,8 @@ class SimpleAccessPath(AccessPath):
         limit: Optional[int],
         accountant: CostAccountant,
     ) -> List[Dict[str, Any]]:
+        if not self._scan_allowed(predicate, accountant):
+            return []
         positions = self.table.filter_positions(predicate, accountant)
         if positions is not None and limit is not None:
             positions = positions[:limit]

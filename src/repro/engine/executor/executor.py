@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.executor.operators import (
     execute_aggregation,
@@ -32,6 +32,9 @@ class QueryResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     affected_rows: int = 0
     cost: CostBreakdown = field(default_factory=CostBreakdown)
+    #: Per-table ``(partitions scanned, partitions skipped)`` — the access
+    #: paths' zone-pruning telemetry, reported by ``EXPLAIN ANALYZE``.
+    scan_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:
@@ -58,15 +61,23 @@ class QueryExecutor:
         """Resolve the access path of every table the query references.
 
         This is the physical half of planning: the returned paths capture the
-        store and partitioning each table is currently read through.  The
-        session planner calls it once per (query, layout) and caches the
-        result inside a :class:`~repro.api.plan.PhysicalPlan`; the legacy
-        :meth:`execute` entry point re-resolves per query.
+        store and partitioning each table is currently read through, and —
+        for a filtered read — the zone-map pruning decision of the base
+        table's scan (:meth:`AccessPath.plan_scan`), so that EXPLAIN and
+        execution consume one and the same decision.  The session planner
+        calls it once per (query, layout) and caches the result inside a
+        :class:`~repro.api.plan.PhysicalPlan`; the legacy :meth:`execute`
+        entry point re-resolves per query.
         """
-        return {
+        paths = {
             name: access_path_for(self._tables.table_object(name))
             for name in query.tables
         }
+        if isinstance(query, (SelectQuery, AggregationQuery)):
+            predicate = query.predicate
+            if predicate is not None:
+                paths[query.table].plan_scan(predicate)
+        return paths
 
     def execute(self, query: Query) -> QueryResult:
         return self.execute_with_paths(query, self.resolve_paths(query))
@@ -84,11 +95,13 @@ class QueryExecutor:
 
         if isinstance(query, AggregationQuery):
             rows = execute_aggregation(query, paths, accountant)
-            return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown)
+            return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
+                               scan_stats=accountant.scan_stats)
         path = paths[query.table]
         if isinstance(query, SelectQuery):
             rows = execute_select(query, path, accountant)
-            return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown)
+            return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
+                               scan_stats=accountant.scan_stats)
         if isinstance(query, InsertQuery):
             affected = execute_insert(query, path, accountant)
         elif isinstance(query, UpdateQuery):
@@ -97,4 +110,5 @@ class QueryExecutor:
             affected = execute_delete(query, path, accountant)
         else:  # pragma: no cover - defensive
             raise QueryError(f"unsupported query type: {type(query).__name__}")
-        return QueryResult(rows=[], affected_rows=affected, cost=accountant.breakdown)
+        return QueryResult(rows=[], affected_rows=affected, cost=accountant.breakdown,
+                           scan_stats=accountant.scan_stats)

@@ -12,6 +12,13 @@ The access path implements the two assembly operations the paper describes:
   address all the data — charged as per-partition overhead, and
 * **join** of the vertical parts when a query touches attributes from both —
   charged as a hash join over the participating rows.
+
+Zone-map pruning happens at partition granularity: the main (historic)
+portion and the hot partition are independent prunable units, each skipped
+— before any code or tuple is touched — when its zone synopses prove the
+read predicate cannot match (see :mod:`repro.engine.zonemap`).  The pruning
+verdicts come from the plan's recorded :class:`ScanDecision` when it is
+still fresh, and are re-derived otherwise.
 """
 
 from __future__ import annotations
@@ -21,12 +28,27 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 import numpy as np
 
 from repro.engine.batch import ColumnBatch, evaluate_predicate_mask
-from repro.engine.executor.access import AccessPath, SimpleAccessPath
+from repro.engine.executor.access import (
+    AccessPath,
+    SimpleAccessPath,
+    empty_batch,
+    part_zones,
+)
 from repro.engine.partitioning import PartitionedTable
 from repro.engine.table import StoredTable
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
+from repro.engine.zonemap import (
+    PartitionScan,
+    ScanDecision,
+    zone_can_match,
+    zone_pruning_enabled,
+)
 from repro.query.predicates import Predicate
+
+#: Prunable-unit labels of a partitioned table.
+MAIN_PARTITION = "main"
+HOT_PARTITION = "hot"
 
 
 class PartitionedAccessPath(AccessPath):
@@ -34,6 +56,7 @@ class PartitionedAccessPath(AccessPath):
 
     def __init__(self, table: PartitionedTable) -> None:
         self.table = table
+        self.scan_decision = None
         self.description = f"{table.name} (partitioned: {table.partitioning.describe()})"
 
     @property
@@ -46,6 +69,52 @@ class PartitionedAccessPath(AccessPath):
             return Store.COLUMN
         return self.table.main_parts[0].store
 
+    # -- scan planning ---------------------------------------------------------------
+
+    def _zone_token(self) -> tuple:
+        return tuple(part.zone_epoch for part in self.table.all_parts)
+
+    def _derive_decision(self, predicate: Optional[Predicate]) -> ScanDecision:
+        table = self.table
+        partitions: List[PartitionScan] = []
+        prune = predicate is not None and zone_pruning_enabled()
+
+        main_scan, main_reason = True, ""
+        if prune and table.main_num_rows > 0:
+            # With a vertical split the parts are row-aligned: each predicate
+            # column's zone comes from the part that stores it, and the main
+            # portion is skipped only if the combined zones prove emptiness.
+            zones: Dict[str, Any] = {}
+            for name in predicate.columns():
+                if table.schema.has_column(name):
+                    part = table.part_containing(name)
+                    if part.schema.has_column(name):
+                        zone = part.column_zone(name)
+                        if zone is not None:
+                            zones[name] = zone
+            if not zone_can_match(predicate, zones, table.main_num_rows):
+                main_scan, main_reason = False, "zone disjoint"
+        partitions.append(PartitionScan(MAIN_PARTITION, main_scan, main_reason))
+
+        if table.hot is not None:
+            hot_scan, hot_reason = True, ""
+            if prune and table.hot.num_rows > 0:
+                zones = part_zones(table.hot, predicate)
+                if not zone_can_match(predicate, zones, table.hot.num_rows):
+                    hot_scan, hot_reason = False, "zone disjoint"
+            partitions.append(PartitionScan(HOT_PARTITION, hot_scan, hot_reason))
+
+        return ScanDecision(
+            table=table.name,
+            predicate=predicate,
+            token=self._zone_token(),
+            partitions=tuple(partitions),
+            pruning=zone_pruning_enabled(),
+        )
+
+    def _count(self, accountant: CostAccountant, scanned: bool) -> None:
+        accountant.count_partition(self.table.name, scanned=scanned)
+
     # -- reads ---------------------------------------------------------------------
 
     def collect_batch(
@@ -55,26 +124,41 @@ class PartitionedAccessPath(AccessPath):
         accountant: CostAccountant,
         encode_columns: Sequence[str] = (),
     ) -> ColumnBatch:
+        decision = self.decision_for(predicate)
         segments = 0
         batches: List[ColumnBatch] = []
 
         # A populated hot partition forces a mixed-dictionary concat that
         # would decode interned columns again; only ask the main portion for
         # encoded columns when the whole result comes from it.
-        hot_active = self.table.hot is not None and self.table.hot.num_rows > 0
-        main_batch, main_parts_touched = self._collect_from_main(
-            columns, predicate, accountant,
-            encode_columns=() if hot_active else encode_columns,
+        hot_active = (
+            self.table.hot is not None
+            and self.table.hot.num_rows > 0
+            and decision.scan_of(HOT_PARTITION)
         )
-        segments += main_parts_touched
-        batches.append(main_batch)
-
-        if self.table.hot is not None and self.table.hot.num_rows > 0:
-            hot_batch = SimpleAccessPath(self.table.hot).collect_batch(
-                columns, predicate, accountant
+        if decision.scan_of(MAIN_PARTITION):
+            self._count(accountant, scanned=True)
+            main_batch, main_parts_touched = self._collect_from_main(
+                columns, predicate, accountant,
+                encode_columns=() if hot_active else encode_columns,
             )
-            segments += 1
-            batches.append(hot_batch)
+            segments += main_parts_touched
+            batches.append(main_batch)
+        else:
+            self._count(accountant, scanned=False)
+            batches.append(empty_batch(columns))
+
+        if self.table.hot is not None:
+            if decision.scan_of(HOT_PARTITION):
+                self._count(accountant, scanned=True)
+                if self.table.hot.num_rows > 0:
+                    hot_batch = SimpleAccessPath(self.table.hot, inner=True).collect_batch(
+                        columns, predicate, accountant
+                    )
+                    segments += 1
+                    batches.append(hot_batch)
+            else:
+                self._count(accountant, scanned=False)
 
         accountant.charge_partition_overhead(max(segments, 1))
         return ColumnBatch.concat(batches)
@@ -86,21 +170,31 @@ class PartitionedAccessPath(AccessPath):
         limit: Optional[int],
         accountant: CostAccountant,
     ) -> List[Dict[str, Any]]:
+        decision = self.decision_for(predicate)
         segments = 0
         rows: List[Dict[str, Any]] = []
 
-        main_rows, main_parts_touched = self._select_from_main(
-            columns, predicate, accountant
-        )
-        segments += main_parts_touched
-        rows.extend(main_rows)
-
-        if self.table.hot is not None and self.table.hot.num_rows > 0:
-            hot_rows = SimpleAccessPath(self.table.hot).select_rows(
-                columns, predicate, None, accountant
+        if decision.scan_of(MAIN_PARTITION):
+            self._count(accountant, scanned=True)
+            main_rows, main_parts_touched = self._select_from_main(
+                columns, predicate, accountant
             )
-            segments += 1
-            rows.extend(hot_rows)
+            segments += main_parts_touched
+            rows.extend(main_rows)
+        else:
+            self._count(accountant, scanned=False)
+
+        if self.table.hot is not None:
+            if decision.scan_of(HOT_PARTITION):
+                self._count(accountant, scanned=True)
+                if self.table.hot.num_rows > 0:
+                    hot_rows = SimpleAccessPath(self.table.hot, inner=True).select_rows(
+                        columns, predicate, None, accountant
+                    )
+                    segments += 1
+                    rows.extend(hot_rows)
+            else:
+                self._count(accountant, scanned=False)
 
         accountant.charge_partition_overhead(max(segments, 1))
         if limit is not None:
@@ -122,7 +216,7 @@ class PartitionedAccessPath(AccessPath):
         segments = 0
         # Hot partition: behaves like an ordinary table.
         if self.table.hot is not None and self.table.hot.num_rows > 0:
-            affected += SimpleAccessPath(self.table.hot).update(
+            affected += SimpleAccessPath(self.table.hot, inner=True).update(
                 assignments, predicate, accountant
             )
             segments += 1
@@ -136,7 +230,7 @@ class PartitionedAccessPath(AccessPath):
     def delete(self, predicate: Optional[Predicate], accountant: CostAccountant) -> int:
         affected = 0
         if self.table.hot is not None and self.table.hot.num_rows > 0:
-            affected += SimpleAccessPath(self.table.hot).delete(predicate, accountant)
+            affected += SimpleAccessPath(self.table.hot, inner=True).delete(predicate, accountant)
         positions, parts_touched = self._main_positions(predicate, accountant)
         if positions is None:
             positions = np.arange(self.table.main_num_rows, dtype=np.int64)
@@ -157,7 +251,7 @@ class PartitionedAccessPath(AccessPath):
     ):
         table = self.table
         if not table.has_vertical_split:
-            batch = SimpleAccessPath(table.main_parts[0]).collect_batch(
+            batch = SimpleAccessPath(table.main_parts[0], inner=True).collect_batch(
                 columns, predicate, accountant, encode_columns=encode_columns
             )
             return batch, 1
@@ -192,7 +286,7 @@ class PartitionedAccessPath(AccessPath):
     ):
         table = self.table
         if not table.has_vertical_split:
-            rows = SimpleAccessPath(table.main_parts[0]).select_rows(
+            rows = SimpleAccessPath(table.main_parts[0], inner=True).select_rows(
                 columns, predicate, None, accountant
             )
             return rows, 1
@@ -226,7 +320,7 @@ class PartitionedAccessPath(AccessPath):
     ):
         table = self.table
         if not table.has_vertical_split:
-            affected = SimpleAccessPath(table.main_parts[0]).update(
+            affected = SimpleAccessPath(table.main_parts[0], inner=True).update(
                 assignments, predicate, accountant
             )
             return affected, 1

@@ -32,6 +32,7 @@ from repro.engine.indexes import HashIndex, SortedIndex
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
+from repro.engine.zonemap import ColumnZone, next_zone_epoch, widen_zone
 from repro.errors import ExecutionError, SchemaError
 from repro.query.predicates import Between, CompareOp, Comparison, Predicate
 
@@ -92,6 +93,10 @@ class RowStoreTable:
         # on delete/bulk rebuild); appends extend the codes with just the new
         # suffix when the new values already intern, else rebuild lazily.
         self._factorized: Dict[str, Tuple[np.ndarray, InternedDictionary]] = {}
+        # Zone-map state: every mutator bumps the epoch; per-column synopses
+        # are rebuilt lazily from the cached column views (``column_zone``).
+        self._zone_epoch = next_zone_epoch()
+        self._zone_cache: Dict[str, Tuple[int, Optional[ColumnZone]]] = {}
         self._pk_column: Optional[str] = None
         if create_pk_index and len(schema.primary_key) == 1:
             # The primary key gets both an equality (hash) and a range (sorted)
@@ -150,36 +155,74 @@ class RowStoreTable:
     def insert_rows(
         self, rows: Sequence[Mapping[str, Any]], accountant: Optional[CostAccountant] = None
     ) -> List[int]:
-        """Insert validated rows, returning their positions."""
+        """Insert validated rows, returning their positions.
+
+        Zone maps are maintained *incrementally* here: fresh cached synopses
+        are widened with just the appended values (OLTP inserts must not
+        force an O(n) zone rebuild on the next filtered scan).
+        """
+        fresh_zones = self._fresh_zones()
+        self._bump_zone_epoch()
         positions = []
+        appended: List[List[Any]] = []
         column_names = self.schema.column_names
-        for raw_row in rows:
-            validated = self.schema.validate_row(raw_row)
-            if self._pk_column is not None:
-                key = validated[self._pk_column]
-                pk_index = self._hash_indexes[self._pk_column]
+        try:
+            for raw_row in rows:
+                validated = self.schema.validate_row(raw_row)
+                if self._pk_column is not None:
+                    key = validated[self._pk_column]
+                    pk_index = self._hash_indexes[self._pk_column]
+                    if accountant is not None:
+                        accountant.charge_index_probe()
+                    if pk_index.contains(key):
+                        raise ExecutionError(
+                            f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                        )
+                position = len(self._rows)
+                row_values = [validated[name] for name in column_names]
+                self._rows.append(row_values)
+                appended.append(row_values)
                 if accountant is not None:
-                    accountant.charge_index_probe()
-                if pk_index.contains(key):
-                    raise ExecutionError(
-                        f"duplicate primary key {key!r} in table {self.schema.name!r}"
-                    )
-            position = len(self._rows)
-            self._rows.append([validated[name] for name in column_names])
-            if accountant is not None:
-                accountant.charge_row_appends(self.row_width_bytes)
-            for column, index in self._hash_indexes.items():
-                index.insert(validated[column], position)
-                if accountant is not None:
-                    accountant.charge_index_insert()
-            for column, index in self._sorted_indexes.items():
-                index.insert(validated[column], position)
-                if accountant is not None:
-                    accountant.charge_index_insert()
-            positions.append(position)
+                    accountant.charge_row_appends(self.row_width_bytes)
+                for column, index in self._hash_indexes.items():
+                    index.insert(validated[column], position)
+                    if accountant is not None:
+                        accountant.charge_index_insert()
+                for column, index in self._sorted_indexes.items():
+                    index.insert(validated[column], position)
+                    if accountant is not None:
+                        accountant.charge_index_insert()
+                positions.append(position)
+        finally:
+            # Rows appended before a failure are inserted — fold exactly them.
+            self._widen_zones(fresh_zones, appended)
         # Appends keep the column cache valid: _column_array extends stale
         # entries with just the new suffix.
         return positions
+
+    def _fresh_zones(self) -> Dict[str, ColumnZone]:
+        """Cached zone synopses that are current at the present epoch."""
+        return {
+            column: zone
+            for column, (epoch, zone) in self._zone_cache.items()
+            if epoch == self._zone_epoch and zone is not None
+        }
+
+    def _widen_zones(
+        self, fresh_zones: Dict[str, ColumnZone], appended: List[List[Any]]
+    ) -> None:
+        """Re-stamp fresh synopses widened by the *appended* row lists."""
+        if not fresh_zones:
+            return
+        for column, zone in fresh_zones.items():
+            index = self.schema.index_of(column)
+            widened = widen_zone(
+                zone, (row[index] for row in appended), len(appended)
+            )
+            if widened is not None:
+                self._zone_cache[column] = (self._zone_epoch, widened)
+            else:
+                self._zone_cache.pop(column, None)
 
     def bulk_load_columns(self, columns: Mapping[str, Sequence[Any]], num_rows: int) -> None:
         """Adopt already-validated column data (store-conversion fast path).
@@ -190,6 +233,7 @@ class RowStoreTable:
         """
         if self._rows:
             raise ExecutionError("bulk_load_columns requires an empty table")
+        self._bump_zone_epoch()
         names = self.schema.column_names
         aligned = [
             columns[name].tolist()
@@ -215,6 +259,7 @@ class RowStoreTable:
         rows = list(rows)
         if not rows:
             return
+        self._bump_zone_epoch()
         column_names = self.schema.column_names
         columns = self.schema.validate_rows_columnar(rows)
         aligned = [columns[name] for name in column_names]
@@ -243,6 +288,7 @@ class RowStoreTable:
         """Update *assignments* on the rows at *positions*."""
         if not assignments:
             return 0
+        self._bump_zone_epoch()
         coerced = {
             name: self.schema.column(name).dtype.coerce(value)
             for name, value in assignments.items()
@@ -278,6 +324,7 @@ class RowStoreTable:
         """Physically remove the rows at *positions* and rebuild the indexes."""
         if len(positions) == 0:
             return 0
+        self._bump_zone_epoch()
         doomed = set(int(p) for p in positions)
         self._rows = [row for i, row in enumerate(self._rows) if i not in doomed]
         if accountant is not None:
@@ -568,6 +615,74 @@ class RowStoreTable:
         """Return every row as a dict, without cost accounting (for conversions)."""
         names = self.schema.column_names
         return [dict(zip(names, row)) for row in self._rows]
+
+    # -- zone maps ----------------------------------------------------------------------
+
+    def _bump_zone_epoch(self) -> None:
+        self._zone_epoch = next_zone_epoch()
+
+    @property
+    def zone_epoch(self) -> int:
+        """Monotonic counter bumped by every mutation (zone staleness token)."""
+        return self._zone_epoch
+
+    def column_zone(self, column: str) -> Optional[ColumnZone]:
+        """The column's zone synopsis (cached per zone epoch).
+
+        Computed from the cached column view: exact bounds, NULL count and
+        NaN presence.  Columns whose value mix defeats ordering report
+        ``None`` — no synopsis, never pruned.
+        """
+        cached = self._zone_cache.get(column)
+        if cached is not None and cached[0] == self._zone_epoch:
+            return cached[1]
+        array = self._column_array(column)
+        num_rows = len(array)
+        low: Any = None
+        high: Any = None
+        null_count = 0
+        has_nan = False
+        if num_rows:
+            if array.dtype.kind == "f":
+                nan_mask = np.isnan(array)
+                has_nan = bool(nan_mask.any())
+                if not bool(nan_mask.all()):
+                    low = float(np.nanmin(array))
+                    high = float(np.nanmax(array))
+            elif array.dtype.kind in "iub":
+                low = array.min().item()
+                high = array.max().item()
+            elif array.dtype.kind == "U":
+                # numpy's min/max ufuncs do not cover unicode dtypes.
+                strings = array.tolist()
+                low = min(strings)
+                high = max(strings)
+            else:
+                non_null = [value for value in array.tolist() if value is not None]
+                null_count = num_rows - len(non_null)
+                reals = [
+                    value
+                    for value in non_null
+                    if not (isinstance(value, float) and value != value)
+                ]
+                has_nan = len(reals) != len(non_null)
+                if reals:
+                    try:
+                        low = min(reals)
+                        high = max(reals)
+                    except TypeError:
+                        # Unorderable mix: no synopsis for this column.
+                        self._zone_cache[column] = (self._zone_epoch, None)
+                        return None
+        zone = ColumnZone(
+            min_value=low,
+            max_value=high,
+            null_count=null_count,
+            num_rows=num_rows,
+            has_nan=has_nan,
+        )
+        self._zone_cache[column] = (self._zone_epoch, zone)
+        return zone
 
     # -- statistics helpers -----------------------------------------------------------
 

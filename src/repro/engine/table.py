@@ -176,6 +176,17 @@ class StoredTable:
     def all_rows(self) -> List[Dict[str, Any]]:
         return self._backend.all_rows()
 
+    # -- zone maps -----------------------------------------------------------------------
+
+    @property
+    def zone_epoch(self) -> int:
+        """The backend's zone epoch (bumped by every mutation)."""
+        return self._backend.zone_epoch
+
+    def column_zone(self, column: str):
+        """The backend's zone synopsis of *column* (``None`` = no synopsis)."""
+        return self._backend.column_zone(column)
+
     # -- statistics helpers --------------------------------------------------------------
 
     def column_distinct_count(self, column: str) -> int:

@@ -133,6 +133,11 @@ class CostAccountant:
     def __init__(self, device: Optional[DeviceModel] = None) -> None:
         self.device = device or DeviceModel()
         self.breakdown = CostBreakdown()
+        # Per-table partition telemetry: how many prunable partitions each
+        # table's access path scanned vs. skipped (zone-map pruning).  Pure
+        # counters — they never contribute simulated time; EXPLAIN ANALYZE
+        # reports them next to the plan's predicted pruning.
+        self._partition_counts: Dict[str, list] = {}
 
     # -- generic ---------------------------------------------------------------
 
@@ -207,6 +212,21 @@ class CostAccountant:
 
     def charge_index_insert(self, count: float = 1.0) -> None:
         self.breakdown.add("index_insert", self.device.hash_inserts(count))
+
+    # -- partition telemetry --------------------------------------------------------
+
+    def count_partition(self, table: str, scanned: bool) -> None:
+        """Record one partition of *table* as scanned or zone-skipped."""
+        counts = self._partition_counts.setdefault(table, [0, 0])
+        counts[0 if scanned else 1] += 1
+
+    @property
+    def scan_stats(self) -> Dict[str, "tuple[int, int]"]:
+        """Per-table ``(partitions scanned, partitions skipped)`` counters."""
+        return {
+            table: (counts[0], counts[1])
+            for table, counts in self._partition_counts.items()
+        }
 
     # -- results ----------------------------------------------------------------
 

@@ -196,7 +196,16 @@ class Between(Predicate):
 
 @dataclass(frozen=True)
 class InList(Predicate):
-    """``column IN (v1, v2, ...)``."""
+    """``column IN (v1, v2, ...)``.
+
+    Membership is SQL-style chained *equality*: a ``NULL`` member matches
+    exactly the NULL rows, and a NaN member matches nothing (``NaN = NaN``
+    is false).  Python's ``in`` would additionally match NaN by object
+    identity, which depends on how a store boxes its floats — dictionary
+    encoding dedups NaN objects while the row store may preserve them — so
+    identity semantics cannot be store-independent and are deliberately not
+    offered.
+    """
 
     column: str
     values: Tuple[Any, ...]
@@ -210,7 +219,12 @@ class InList(Predicate):
         return frozenset({self.column})
 
     def evaluate(self, row: Mapping[str, Any]) -> bool:
-        return row.get(self.column) in self.values
+        value = row.get(self.column)
+        if value is None:
+            return any(member is None for member in self.values)
+        return any(
+            member is not None and value == member for member in self.values
+        )
 
     def estimate_selectivity(self, stats=None) -> float:
         column_stats = (stats or {}).get(self.column)

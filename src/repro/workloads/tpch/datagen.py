@@ -6,13 +6,21 @@ takes a configurable scale factor and produces proportionally smaller tables
 while keeping the schema, the key relationships and the value distributions
 that matter for the experiment (dates, flags, segments, prices).  The default
 scale factor used by the benchmarks is 0.01.
+
+Columns are generated as whole numpy arrays (one ``numpy.random.Generator``
+draw per column) and only zipped into row dicts at the end — the per-row
+``random.Random`` loops this replaces dominated experiment start-up.  Output
+stays deterministic per seed, but the sample stream differs from the old
+per-row generator, so figure baselines sensitive to the exact data were
+re-validated against the new stream (see ``benchmarks/test_fig10_tpch.py``).
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.config import DEFAULT_SEED
 from repro.engine.database import HybridDatabase
@@ -69,8 +77,28 @@ class TpchData:
             database.load_rows(name, self.tables[name])
 
 
+def _rows_from_columns(names: Sequence[str], columns: Sequence[list]) -> List[Dict]:
+    """Zip aligned column lists into row dicts (the generator's output shape)."""
+    return [dict(zip(names, values)) for values in zip(*columns)]
+
+
+def _choices(rng: np.random.Generator, options: Sequence[str], count: int) -> List[str]:
+    """*count* uniform picks from *options* as a Python string list."""
+    return [options[i] for i in rng.integers(0, len(options), count).tolist()]
+
+
+def _money(rng: np.random.Generator, low: float, high: float, count: int) -> List[float]:
+    """*count* uniform amounts in ``[low, high)``, rounded to cents."""
+    return np.round(rng.uniform(low, high, count), 2).tolist()
+
+
 class TpchGenerator:
-    """Deterministic generator of scaled-down TPC-H data."""
+    """Deterministic generator of scaled-down TPC-H data.
+
+    Each table draws from its own seeded ``numpy.random.Generator`` stream
+    (seed + table offset, as the per-row generator did), so tables stay
+    independently reproducible; every random column is one vectorized draw.
+    """
 
     def __init__(self, scale_factor: float = 0.01, seed: int = DEFAULT_SEED) -> None:
         self.scale_factor = scale_factor
@@ -78,6 +106,9 @@ class TpchGenerator:
 
     def cardinality(self, table: str) -> int:
         return scaled_cardinality(table, self.scale_factor)
+
+    def _rng(self, stream: int) -> np.random.Generator:
+        return np.random.default_rng(self.seed + stream)
 
     # -- per-table generators --------------------------------------------------------
 
@@ -88,136 +119,165 @@ class TpchGenerator:
         ]
 
     def generate_nation(self) -> List[Dict]:
-        rng = random.Random(self.seed + 1)
+        rng = self._rng(1)
+        region_keys = rng.integers(0, len(REGIONS), len(NATIONS)).tolist()
         return [
             {
                 "n_nationkey": i,
                 "n_name": name,
-                "n_regionkey": rng.randrange(len(REGIONS)),
+                "n_regionkey": region_keys[i],
                 "n_comment": f"nation {name.lower()}",
             }
             for i, name in enumerate(NATIONS)
         ]
 
+    def _phones(self, rng: np.random.Generator, count: int) -> List[str]:
+        area = rng.integers(10, 35, count).tolist()
+        prefix = rng.integers(100, 999, count).tolist()
+        line = rng.integers(1000, 9999, count).tolist()
+        return [f"{a}-{p}-{l}" for a, p, l in zip(area, prefix, line)]
+
     def generate_supplier(self) -> List[Dict]:
-        rng = random.Random(self.seed + 2)
+        rng = self._rng(2)
         count = self.cardinality("supplier")
-        return [
-            {
-                "s_suppkey": i,
-                "s_name": f"Supplier#{i:09d}",
-                "s_address": f"address {i}",
-                "s_nationkey": rng.randrange(len(NATIONS)),
-                "s_phone": f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
-                "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
-                "s_comment": f"supplier comment {i % 50}",
-            }
-            for i in range(count)
-        ]
+        keys = range(count)
+        return _rows_from_columns(
+            ("s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+             "s_acctbal", "s_comment"),
+            [
+                list(keys),
+                [f"Supplier#{i:09d}" for i in keys],
+                [f"address {i}" for i in keys],
+                rng.integers(0, len(NATIONS), count).tolist(),
+                self._phones(rng, count),
+                _money(rng, -999.99, 9999.99, count),
+                [f"supplier comment {i % 50}" for i in keys],
+            ],
+        )
 
     def generate_customer(self) -> List[Dict]:
-        rng = random.Random(self.seed + 3)
+        rng = self._rng(3)
         count = self.cardinality("customer")
-        return [
-            {
-                "c_custkey": i,
-                "c_name": f"Customer#{i:09d}",
-                "c_address": f"address {i}",
-                "c_nationkey": rng.randrange(len(NATIONS)),
-                "c_phone": f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
-                "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
-                "c_mktsegment": rng.choice(MARKET_SEGMENTS),
-                "c_comment": f"customer comment {i % 50}",
-            }
-            for i in range(count)
-        ]
+        keys = range(count)
+        return _rows_from_columns(
+            ("c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+             "c_acctbal", "c_mktsegment", "c_comment"),
+            [
+                list(keys),
+                [f"Customer#{i:09d}" for i in keys],
+                [f"address {i}" for i in keys],
+                rng.integers(0, len(NATIONS), count).tolist(),
+                self._phones(rng, count),
+                _money(rng, -999.99, 9999.99, count),
+                _choices(rng, MARKET_SEGMENTS, count),
+                [f"customer comment {i % 50}" for i in keys],
+            ],
+        )
 
     def generate_part(self) -> List[Dict]:
-        rng = random.Random(self.seed + 4)
+        rng = self._rng(4)
         count = self.cardinality("part")
-        return [
-            {
-                "p_partkey": i,
-                "p_name": f"part {i % 500}",
-                "p_mfgr": f"Manufacturer#{1 + i % 5}",
-                "p_brand": f"Brand#{1 + i % 25}",
-                "p_type": rng.choice(PART_TYPES),
-                "p_size": rng.randrange(1, 51),
-                "p_container": rng.choice(CONTAINERS),
-                "p_retailprice": round(900.0 + (i % 1000) + rng.random(), 2),
-                "p_comment": f"part comment {i % 40}",
-            }
-            for i in range(count)
-        ]
+        keys = range(count)
+        fraction = rng.random(count)
+        prices = np.round(
+            900.0 + np.arange(count, dtype=np.float64) % 1000 + fraction, 2
+        ).tolist()
+        return _rows_from_columns(
+            ("p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+             "p_container", "p_retailprice", "p_comment"),
+            [
+                list(keys),
+                [f"part {i % 500}" for i in keys],
+                [f"Manufacturer#{1 + i % 5}" for i in keys],
+                [f"Brand#{1 + i % 25}" for i in keys],
+                _choices(rng, PART_TYPES, count),
+                rng.integers(1, 51, count).tolist(),
+                _choices(rng, CONTAINERS, count),
+                prices,
+                [f"part comment {i % 40}" for i in keys],
+            ],
+        )
 
     def generate_partsupp(self) -> List[Dict]:
-        rng = random.Random(self.seed + 5)
+        rng = self._rng(5)
         count = self.cardinality("partsupp")
         num_parts = max(1, self.cardinality("part"))
         num_suppliers = max(1, self.cardinality("supplier"))
-        return [
-            {
-                "ps_id": i,
-                "ps_partkey": i % num_parts,
-                "ps_suppkey": (i * 7) % num_suppliers,
-                "ps_availqty": rng.randrange(1, 10_000),
-                "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
-                "ps_comment": f"partsupp comment {i % 30}",
-            }
-            for i in range(count)
-        ]
+        keys = range(count)
+        return _rows_from_columns(
+            ("ps_id", "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+             "ps_comment"),
+            [
+                list(keys),
+                [i % num_parts for i in keys],
+                [(i * 7) % num_suppliers for i in keys],
+                rng.integers(1, 10_000, count).tolist(),
+                _money(rng, 1.0, 1000.0, count),
+                [f"partsupp comment {i % 30}" for i in keys],
+            ],
+        )
 
     def generate_orders(self) -> List[Dict]:
-        rng = random.Random(self.seed + 6)
+        rng = self._rng(6)
         count = self.cardinality("orders")
         num_customers = max(1, self.cardinality("customer"))
-        return [
-            {
-                "o_orderkey": i,
-                "o_custkey": rng.randrange(num_customers),
-                "o_orderstatus": rng.choice(ORDER_STATUSES),
-                "o_totalprice": round(rng.uniform(900.0, 450_000.0), 2),
-                "o_orderdate": rng.randrange(MAX_ORDER_DATE_OFFSET),
-                "o_orderpriority": rng.choice(ORDER_PRIORITIES),
-                "o_clerk": f"Clerk#{rng.randrange(1000):09d}",
-                "o_shippriority": 0,
-                "o_comment": f"order comment {i % 60}",
-            }
-            for i in range(count)
-        ]
+        keys = range(count)
+        clerks = rng.integers(0, 1000, count).tolist()
+        return _rows_from_columns(
+            ("o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+             "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+             "o_comment"),
+            [
+                list(keys),
+                rng.integers(0, num_customers, count).tolist(),
+                _choices(rng, ORDER_STATUSES, count),
+                _money(rng, 900.0, 450_000.0, count),
+                rng.integers(0, MAX_ORDER_DATE_OFFSET, count).tolist(),
+                _choices(rng, ORDER_PRIORITIES, count),
+                [f"Clerk#{clerk:09d}" for clerk in clerks],
+                [0] * count,
+                [f"order comment {i % 60}" for i in keys],
+            ],
+        )
 
     def generate_lineitem(self) -> List[Dict]:
-        rng = random.Random(self.seed + 7)
+        rng = self._rng(7)
         count = self.cardinality("lineitem")
         num_orders = max(1, self.cardinality("orders"))
         num_parts = max(1, self.cardinality("part"))
         num_suppliers = max(1, self.cardinality("supplier"))
-        rows = []
-        for i in range(count):
-            orderkey = rng.randrange(num_orders)
-            ship_offset = rng.randrange(1, 122)
-            shipdate = min(MAX_ORDER_DATE_OFFSET + 60, rng.randrange(MAX_ORDER_DATE_OFFSET) + ship_offset)
-            rows.append(
-                {
-                    "l_id": i,
-                    "l_orderkey": orderkey,
-                    "l_partkey": rng.randrange(num_parts),
-                    "l_suppkey": rng.randrange(num_suppliers),
-                    "l_linenumber": 1 + i % 7,
-                    "l_quantity": float(rng.randrange(1, 51)),
-                    "l_extendedprice": round(rng.uniform(900.0, 105_000.0), 2),
-                    "l_discount": round(rng.randrange(0, 11) / 100.0, 2),
-                    "l_tax": round(rng.randrange(0, 9) / 100.0, 2),
-                    "l_returnflag": rng.choice(RETURN_FLAGS),
-                    "l_linestatus": rng.choice(LINE_STATUSES),
-                    "l_shipdate": shipdate,
-                    "l_commitdate": shipdate + rng.randrange(1, 31),
-                    "l_receiptdate": shipdate + rng.randrange(1, 31),
-                    "l_shipinstruct": rng.choice(SHIP_INSTRUCTIONS),
-                    "l_shipmode": rng.choice(SHIP_MODES),
-                }
-            )
-        return rows
+        keys = range(count)
+        ship_offsets = rng.integers(1, 122, count)
+        ship_dates = np.minimum(
+            MAX_ORDER_DATE_OFFSET + 60,
+            rng.integers(0, MAX_ORDER_DATE_OFFSET, count) + ship_offsets,
+        )
+        commit_dates = (ship_dates + rng.integers(1, 31, count)).tolist()
+        receipt_dates = (ship_dates + rng.integers(1, 31, count)).tolist()
+        return _rows_from_columns(
+            ("l_id", "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+             "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+             "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+             "l_receiptdate", "l_shipinstruct", "l_shipmode"),
+            [
+                list(keys),
+                rng.integers(0, num_orders, count).tolist(),
+                rng.integers(0, num_parts, count).tolist(),
+                rng.integers(0, num_suppliers, count).tolist(),
+                [1 + i % 7 for i in keys],
+                rng.integers(1, 51, count).astype(np.float64).tolist(),
+                _money(rng, 900.0, 105_000.0, count),
+                np.round(rng.integers(0, 11, count) / 100.0, 2).tolist(),
+                np.round(rng.integers(0, 9, count) / 100.0, 2).tolist(),
+                _choices(rng, RETURN_FLAGS, count),
+                _choices(rng, LINE_STATUSES, count),
+                ship_dates.tolist(),
+                commit_dates,
+                receipt_dates,
+                _choices(rng, SHIP_INSTRUCTIONS, count),
+                _choices(rng, SHIP_MODES, count),
+            ],
+        )
 
     # -- whole database -------------------------------------------------------------------
 

@@ -96,6 +96,65 @@ class TestExplainGolden:
         )
 
 
+class TestExplainAnalyzePartitionCounts:
+    """EXPLAIN ANALYZE's scanned/skipped counts == the executor's accesses.
+
+    The plan records the zone-pruning decision when the paths are resolved;
+    execution consumes the same object.  This pins that the predicted counts,
+    the executed counts and the rendered text all coincide.
+    """
+
+    @pytest.fixture
+    def partitioned_session(self):
+        from repro.engine import (
+            HorizontalPartitionSpec,
+            TablePartitioning,
+        )
+        from repro.query.predicates import ge
+
+        schema = TableSchema.build(
+            "metrics",
+            [("id", DataType.INTEGER), ("day", DataType.INTEGER),
+             ("value", DataType.DOUBLE)],
+            primary_key=["id"],
+        )
+        session = connect()
+        session.create_table(schema, Store.ROW)
+        session.load_rows(
+            "metrics",
+            [{"id": i, "day": i, "value": float(i)} for i in range(200)],
+        )
+        session.apply_partitioning(
+            "metrics",
+            TablePartitioning(
+                horizontal=HorizontalPartitionSpec(predicate=ge("day", 150))
+            ),
+        )
+        return session
+
+    def test_counts_match_actual_accesses(self, partitioned_session):
+        session = partitioned_session
+        sql = "SELECT id FROM metrics WHERE day <= 20"
+        plan = session.plan_for(sql)
+        decision = plan.scan_decisions["metrics"]
+        assert (decision.scanned, decision.skipped) == (1, 1)
+
+        result = session.execute(sql)
+        assert len(result.rows) == 21
+        # The executor's actual accesses equal the plan's prediction.
+        assert result.scan_stats["metrics"] == (decision.scanned, decision.skipped)
+
+        text = session.explain(sql, analyze=True)
+        assert "partitions (scanned/skipped):" in text
+        assert "metrics" + " " * 18 + "1 / 1" in text
+        assert "[zone pruning: 1 scanned, 1 skipped (hot)]" in text
+
+    def test_unpartitioned_scan_reports_single_partition(self, session):
+        text = session.explain("SELECT id FROM events WHERE value > 1", analyze=True)
+        assert "partitions (scanned/skipped):" in text
+        assert "events" + " " * 19 + "1 / 0" in text
+
+
 class TestExplainAnalyze:
     def test_actual_costs_rendered(self, session):
         text = session.explain(

@@ -296,21 +296,21 @@ class TestVectorizedPredicateMask:
         mask = evaluate_predicate_mask(Comparison("x", CompareOp.EQ, "0\x00"), arrays, 4)
         assert mask.tolist() == [False, True, False, False]
 
-    def test_nan_in_list_literal_falls_back_to_scalar(self):
-        # ``x in (nan,)`` matches by object identity in the scalar reference,
-        # which no elementwise comparison can reproduce.
+    def test_nan_in_list_literal_matches_nothing(self):
+        # IN is chained equality: a NaN member matches no row (NaN == NaN is
+        # false), in the scalar reference and vectorially alike — identity
+        # matching would depend on how a store boxes its floats.
         from repro.engine.batch import evaluate_predicate_mask
 
         nan = float("nan")
-        # Object dtype (forced by the None) keeps the original float objects,
-        # so the scalar fallback can honour the identity match.
         values = [1.0, nan, -2.0, None]
         arrays = {"x": values_to_array(values)}
         predicate = InList("x", (nan, -2.0))
-        assert vectorized_value_mask(predicate, arrays, 4) is None
-        mask = evaluate_predicate_mask(predicate, arrays, 4)
+        mask = vectorized_value_mask(predicate, arrays, 4)
         expected = [predicate.evaluate({"x": value}) for value in values]
-        assert mask.tolist() == expected == [False, True, True, False]
+        assert mask is not None
+        assert mask.tolist() == expected == [False, False, True, False]
+        assert evaluate_predicate_mask(predicate, arrays, 4).tolist() == expected
 
 
 class TestGroupedAggregationEquivalence:

@@ -127,54 +127,62 @@ class TestInsertsUpdates:
         assert table.num_rows == 1
         assert table.column_values("name") == ["ok"]
 
-    def test_unencodable_batch_aborts_cleanly(self):
-        """NULL into a valued column rejects the whole batch, changing nothing.
+    def _nullable_schema(self):
+        from repro.engine.schema import Column
+        from repro.engine.types import DataType as DT
 
-        The sorted dictionary cannot mix NULL with values; the batch insert
-        must fail before any column is extended — no misaligned column
-        lengths, no primary keys left registered for rows that never landed.
+        return TableSchema(
+            "n",
+            (
+                Column("id", DT.INTEGER, primary_key=True),
+                Column("v", DT.DOUBLE, nullable=True),
+            ),
+        )
+
+    def test_null_mixes_with_values_via_reserved_code_zero(self):
+        """NULL lives alongside real values: the dictionary reserves code 0.
+
+        Adding the first NULL shifts every stored value code up by one, and
+        the value codes keep mirroring the value sort order — the property
+        the code-range predicate translation relies on.
         """
-        from repro.engine.schema import Column
-        from repro.engine.types import DataType as DT
-
-        nullable = TableSchema(
-            "n",
-            (
-                Column("id", DT.INTEGER, primary_key=True),
-                Column("v", DT.DOUBLE, nullable=True),
-            ),
-        )
-        table = ColumnStoreTable(nullable)
+        table = ColumnStoreTable(self._nullable_schema())
         table.insert_rows([{"id": 0, "v": 1.0}])
-        with pytest.raises(TypeError, match="cannot mix NULL"):
-            table.insert_rows([{"id": 1, "v": None}, {"id": 2, "v": 2.0}])
-        assert table.num_rows == 1
-        assert table.all_rows() == [{"id": 0, "v": 1.0}]
-        # The aborted rows' keys are free again; the columns stay aligned.
-        table.insert_rows([{"id": 1, "v": 3.0}, {"id": 2, "v": 4.0}])
+        table.insert_rows([{"id": 1, "v": None}, {"id": 2, "v": 2.0}])
         assert table.all_rows() == [
-            {"id": 0, "v": 1.0}, {"id": 1, "v": 3.0}, {"id": 2, "v": 4.0}
+            {"id": 0, "v": 1.0}, {"id": 1, "v": None}, {"id": 2, "v": 2.0}
         ]
+        compressed = table._columns["v"]
+        assert compressed.dictionary.has_null
+        assert compressed.dictionary.encode_existing(None) == 0
+        assert compressed.dictionary.encode_existing(1.0) == 1
+        assert compressed.dictionary.encode_existing(2.0) == 2
+        assert compressed.null_count == 1
 
-    def test_value_into_all_null_column_aborts_cleanly(self):
-        from repro.engine.schema import Column
-        from repro.engine.types import DataType as DT
-
-        nullable = TableSchema(
-            "n",
-            (
-                Column("id", DT.INTEGER, primary_key=True),
-                Column("v", DT.DOUBLE, nullable=True),
-            ),
-        )
-        table = ColumnStoreTable(nullable)
+    def test_values_into_all_null_column(self):
+        table = ColumnStoreTable(self._nullable_schema())
         table.insert_rows([{"id": 0}])
-        for bad in (2.0, float("nan")):
-            with pytest.raises(TypeError, match="cannot mix NULL"):
-                table.insert_rows([{"id": 1, "v": bad}])
-        assert table.num_rows == 1
-        table.insert_rows([{"id": 1}])
-        assert table.column_values("v") == [None, None]
+        table.insert_rows([{"id": 1, "v": 2.0}])
+        table.insert_rows([{"id": 2, "v": float("nan")}])
+        values = table.column_values("v")
+        assert values[0] is None and values[1] == 2.0
+        assert values[2] != values[2]  # NaN survives, sorted last
+        dictionary = table._columns["v"].dictionary
+        assert dictionary.nan_code == len(dictionary) - 1
+
+    def test_mixed_null_predicates_run_in_the_code_domain(self):
+        from repro.query.predicates import IsNull, ge, lt
+
+        table = ColumnStoreTable(self._nullable_schema())
+        table.insert_rows(
+            [{"id": i, "v": None if i % 3 == 0 else float(i)} for i in range(12)]
+        )
+        assert table.filter_positions(IsNull("v")).tolist() == [0, 3, 6, 9]
+        # NULL rows never match comparisons, in either direction.
+        matches = set(table.filter_positions(ge("v", 5.0)).tolist())
+        assert matches == {5, 7, 8, 10, 11}
+        matches = set(table.filter_positions(lt("v", 5.0)).tolist())
+        assert matches == {1, 2, 4}
 
     def test_update_charges_full_row_reinsert(self, table):
         accountant = CostAccountant()
@@ -229,13 +237,57 @@ class TestFilterPositions:
         assert all(int(p) >= 50 for p in positions)
         assert len(positions) == 10
 
-    def test_or_falls_back_to_row_wise_evaluation(self, table):
+    def test_or_compiles_to_code_domain(self, table):
         accountant = CostAccountant()
         positions = table.filter_positions(
             Or((eq("name", "item_0"), eq("name", "item_1"))), accountant
         )
         assert len(positions) == 40
-        assert accountant.snapshot().get("predicate_eval", 0) > 0
+        snapshot = accountant.snapshot()
+        assert snapshot.get("vector_compare", 0) > 0
+        assert "predicate_eval" not in snapshot
+        assert "dictionary_decode" not in snapshot
+
+    def test_nan_in_list_matches_nothing_in_code_domain(self):
+        """IN is chained equality: a NaN member contributes no member code.
+
+        The code-domain mask, the decode fallback and the scalar reference
+        all agree — NaN rows are reachable only through non-NaN members.
+        """
+        from repro.engine.schema import Column
+        from repro.engine.types import DataType as DT
+
+        schema = TableSchema(
+            "n",
+            (Column("id", DT.INTEGER, primary_key=True),
+             Column("v", DT.DOUBLE, nullable=True)),
+        )
+        table = ColumnStoreTable(schema)
+        nan = float("nan")
+        table.insert_rows(
+            [{"id": i, "v": nan if i % 3 == 0 else float(i)} for i in range(9)]
+        )
+        predicate = in_list("v", [nan, 4.0])
+        positions = table.filter_positions(predicate)
+        assert positions.tolist() == [4]
+        values = table.column_values("v")
+        expected = [i for i, v in enumerate(values) if predicate.evaluate({"v": v})]
+        assert positions.tolist() == expected
+        from repro.engine.column_store import code_domain_disabled
+
+        with code_domain_disabled():
+            assert table.filter_positions(predicate).tolist() == expected
+
+    def test_code_domain_disabled_matches_code_path_results(self, table):
+        from repro.engine.column_store import code_domain_disabled
+
+        predicate = And((eq("name", "item_2"), ge("id", 50)))
+        fast = table.filter_positions(predicate).tolist()
+        accountant = CostAccountant()
+        with code_domain_disabled():
+            slow = table.filter_positions(predicate, accountant).tolist()
+        assert fast == slow
+        assert accountant.snapshot().get("dictionary_decode", 0) > 0
 
 
 class TestMaterialisation:

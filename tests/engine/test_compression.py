@@ -171,3 +171,98 @@ class TestNaNDictionaryMaintenance:
         # A second NaN batch reuses the entry instead of growing the dictionary.
         column.extend([nan, 0.0])
         assert column.num_distinct == 4
+
+
+class TestNaNBisectBounds:
+    """Bisect must never probe the trailing NaN entry.
+
+    Every comparison against NaN is false, so an unbounded binary search
+    whose probe lands on the NaN entry jumps *past* it — ``range_codes``
+    could place a bound between the two largest real values after them both
+    (e.g. 129.3 "after" 143.32), silently dropping rows from range scans.
+    """
+
+    def _nan_dictionary(self):
+        column = CompressedColumn("v", DataType.DOUBLE)
+        # 24 values with NaN last: the bisect probe sequence for bounds
+        # between values[-2] and values[-1] hits the NaN slot.
+        values = [float(i * 6) for i in range(22)] + [143.32, float("nan")]
+        column.bulk_load(values)
+        return column.dictionary
+
+    def test_range_codes_bound_between_top_values(self):
+        dictionary = self._nan_dictionary()
+        lo, hi = dictionary.range_codes(129.3, None, include_low=False)
+        # 143.32 (code 22) must be inside the open interval.
+        assert lo <= 22 < hi
+
+    def test_encode_existing_finds_top_value(self):
+        dictionary = self._nan_dictionary()
+        assert dictionary.encode_existing(143.32) == 22
+
+    def test_insert_near_top_keeps_nan_last(self):
+        column = CompressedColumn("v", DataType.DOUBLE)
+        column.bulk_load([float(i * 6) for i in range(22)] + [143.32, float("nan")])
+        column.append(140.0)
+        assert column.dictionary.nan_code == len(column.dictionary) - 1
+        values = list(column.dictionary.values)
+        reals = [v for v in values if v == v]
+        assert reals == sorted(reals)
+
+
+class TestMixedNullDictionary:
+    """NULL alongside values: the reserved code 0 (mixed-NULL columns)."""
+
+    def test_first_null_reserves_code_zero_and_shifts(self):
+        column = CompressedColumn("v", DataType.INTEGER)
+        column.bulk_load([30, 10, 20])
+        assert column.codes.tolist() == [2, 0, 1]
+        column.append(None)
+        assert column.dictionary.has_null
+        assert column.codes.tolist() == [3, 1, 2, 0]
+        assert column.all_values() == [30, 10, 20, None]
+
+    def test_bulk_build_with_mixed_nulls(self):
+        column = CompressedColumn("v", DataType.VARCHAR)
+        column.bulk_load(["b", None, "a", None, "c"])
+        assert column.all_values() == ["b", None, "a", None, "c"]
+        assert column.dictionary.encode_existing(None) == 0
+        assert column.dictionary.encode_existing("a") == 1
+        assert column.null_count == 2
+        assert len(column.dictionary) == 4  # NULL + three values
+
+    def test_extend_merges_values_into_null_dictionary(self):
+        column = CompressedColumn("v", DataType.VARCHAR)
+        column.bulk_load([None, "m"])
+        column.extend(["a", None, "z"])
+        assert column.all_values() == [None, "m", "a", None, "z"]
+        # Code order mirrors value order, NULL first.
+        assert list(column.dictionary.values) == [None, "a", "m", "z"]
+
+    def test_range_codes_skip_the_null_code(self):
+        column = CompressedColumn("v", DataType.INTEGER)
+        column.bulk_load([None, 10, 20, 30])
+        lo, hi = column.dictionary.range_codes(None, None)
+        assert lo == 1  # the interval never includes the reserved NULL code
+
+    def test_delete_rebuild_drops_or_keeps_null(self):
+        import numpy as np
+
+        column = CompressedColumn("v", DataType.INTEGER)
+        column.bulk_load([None, 10, 20, None])
+        # Keep only the value rows: NULL leaves the dictionary.
+        kept = column.codes[np.asarray([1, 2])]
+        remap = column.dictionary.rebuild_from_codes(kept)
+        column.load_codes(remap)
+        assert not column.dictionary.has_null
+        assert column.all_values() == [10, 20]
+
+    def test_null_and_nan_can_coexist(self):
+        nan = float("nan")
+        column = CompressedColumn("v", DataType.DOUBLE)
+        column.bulk_load([1.0, None, nan])
+        assert repr(column.all_values()) == repr([1.0, None, nan])
+        assert column.dictionary.encode_existing(None) == 0
+        assert column.dictionary.nan_code == len(column.dictionary) - 1
+        column.extend([2.0, None, nan])
+        assert repr(column.all_values()) == repr([1.0, None, nan, 2.0, None, nan])

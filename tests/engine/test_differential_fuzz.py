@@ -4,9 +4,13 @@ The storage advisor's whole premise is that moving a table between the row
 store, the column store, or a partitioned hybrid layout changes *costs* and
 never *semantics*.  This suite pins that with a seeded, deterministic query
 fuzzer: random filters, group-bys, joins and aggregates — over data with
-NULL columns, NaN values, duplicate keys, and empty tables, interleaved with
-random DML — executed against all three layouts, asserting identical results
-everywhere.
+all-NULL columns, *mixed* NULL columns (NULL alongside values — the column
+store's reserved-code-0 dictionaries), NaN values, duplicate keys, and empty
+tables, interleaved with random DML (including NULL↔value updates) —
+executed against all three layouts, asserting identical results everywhere.
+A second differential axis pins the scan paths themselves: every layout must
+return identical rows with code-domain predicates + zone-map pruning enabled
+and with both disabled (the decode-and-compare reference).
 
 Vectorized rewrites (PR 1) and the late-materialized dictionary-code
 pipeline both re-implement scalar semantics in bulk form; this suite is the
@@ -55,8 +59,12 @@ FACTS_SCHEMA = TableSchema(
         Column("quantity", DataType.INTEGER),
         Column("customer", DataType.INTEGER),
         Column("note", DataType.VARCHAR, nullable=True),
+        # Mixed NULL/value column: exercises the reserved-code-0 dictionary.
+        Column("tag", DataType.VARCHAR, nullable=True),
     ),
 )
+
+TAGS = ["t0", "t1", "t2", "t3"]
 
 DIM_SCHEMA = TableSchema.build(
     "customers",
@@ -90,6 +98,8 @@ def generate_rows(rng, num_rows, id_offset=0):
                 "quantity": rng.randrange(0, 7),  # few distinct: duplicates
                 "customer": rng.randrange(0, 26),
                 # note stays NULL: the all-NULL dictionary column.
+                # tag mixes NULL with values: reserved code 0 next to codes.
+                "tag": None if rng.random() < 0.3 else rng.choice(TAGS),
             }
         )
     return rows
@@ -129,7 +139,9 @@ def build_layouts(rng, rows, dim_rows):
             ),
             vertical=VerticalPartitionSpec(
                 row_store_columns=("quantity", "customer", "note"),
-                column_store_columns=("category", "amount"),
+                # tag goes to the column store so the partitioned layout
+                # exercises the mixed-NULL dictionary.
+                column_store_columns=("category", "amount", "tag"),
             ),
         ),
     )
@@ -147,7 +159,7 @@ def random_predicate(rng, depth=0):
         return And(children) if rng.random() < 0.5 else Or(children)
     if depth < 2 and choice < 0.32:
         return Not(random_predicate(rng, depth + 1))
-    pick = rng.randrange(8)
+    pick = rng.randrange(9)
     if pick == 0:
         return Comparison("category", rng.choice(list(CompareOp)),
                           rng.choice(CATEGORIES + ["unknown"]))
@@ -171,6 +183,16 @@ def random_predicate(rng, depth=0):
         return IsNull("note") if rng.random() < 0.5 else Comparison(
             "note", rng.choice([CompareOp.EQ, CompareOp.NE]), "anything"
         )
+    if pick == 7:
+        roll = rng.random()
+        if roll < 0.3:
+            return IsNull("tag")
+        if roll < 0.6:
+            return Comparison("tag", rng.choice(list(CompareOp)),
+                              rng.choice(TAGS + ["unknown"]))
+        return InList("tag", tuple(
+            rng.sample(TAGS + [None], rng.randrange(1, 4))
+        ))
     return InList("quantity", tuple(rng.sample(range(8), rng.randrange(1, 4))))
 
 
@@ -203,6 +225,9 @@ def random_aggregation(rng):
         lambda b: b.max("category"),
         lambda b: b.count("note"),
         lambda b: b.min("note"),
+        lambda b: b.count("tag"),
+        lambda b: b.min("tag"),
+        lambda b: b.max("tag"),
     ]
     if joined:
         choices.extend([
@@ -211,7 +236,7 @@ def random_aggregation(rng):
         ])
     for pick in rng.sample(choices, rng.randrange(1, 4)):
         builder = pick(builder)
-    group_candidates = ["category", "quantity", "note", "amount"]
+    group_candidates = ["category", "quantity", "note", "amount", "tag"]
     if joined:
         group_candidates.append("customers.segment")
     if rng.random() < 0.65:
@@ -234,6 +259,9 @@ def random_dml(rng, next_id):
             assignments["category"] = rng.choice(CATEGORIES + ["rewritten"])
         if rng.random() < 0.5:
             assignments["quantity"] = rng.randrange(0, 7)
+        if rng.random() < 0.4:
+            # NULL <-> value transitions on the mixed-NULL column.
+            assignments["tag"] = rng.choice(TAGS + [None, "fresh"])
         if not assignments:
             assignments["amount"] = round(rng.uniform(0.0, 10.0), 2)
         return update("facts", assignments, random_predicate(rng)), next_id
@@ -321,6 +349,42 @@ def test_layouts_agree_on_random_workload(seed):
             reference,
             layouts[label].execute(final).rows,
         )
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_pruning_and_code_domain_toggles_preserve_results(seed):
+    """Scan-path differential: pruned/code-domain results == decode/compare.
+
+    Every read query is executed twice against the same databases — once
+    with code-domain predicates and zone-map pruning enabled (the default)
+    and once with both disabled — and the row multisets must agree on every
+    layout.  DML runs once, between the paired reads.
+    """
+    from repro.engine.column_store import code_domain_disabled
+    from repro.engine.zonemap import zone_pruning_disabled
+
+    rng = random.Random(1000 + seed)
+    rows = generate_rows(rng, rng.randrange(40, 200))
+    layouts = build_layouts(rng, rows, generate_dim_rows())
+    next_id = len(rows)
+
+    for step in range(25):
+        if step and step % 8 == 0:
+            statement, next_id = random_dml(rng, next_id)
+            for database in layouts.values():
+                database.execute(statement)
+            continue
+        query = random_select(rng) if rng.random() < 0.5 else random_aggregation(rng)
+        for label, database in layouts.items():
+            fast = database.execute(query).rows
+            with code_domain_disabled(), zone_pruning_disabled():
+                slow = database.execute(query).rows
+            assert_rows_equivalent(
+                f"seed={seed} step={step} [{label}] pruning-vs-decode "
+                f"query={query!r}",
+                fast,
+                slow,
+            )
 
 
 def test_fuzz_volume():
