@@ -8,7 +8,10 @@
 #              beat cold parse+plan by >= 2x),
 #   bench    — the standalone bench-JSON comparator: re-measures every
 #              scenario recorded in BENCH_pipeline.json and fails when any
-#              regresses >2x versus the committed baseline,
+#              regresses >2x versus the committed baseline; the aggregate-
+#              pushdown scenarios additionally gate their live speedup over
+#              the decode-then-reduce reference (grouped >=3x, zero-scan
+#              MIN/MAX >=20x),
 #   fuzz     — the seeded differential suites, standalone (cross-store,
 #              session-vs-legacy, and pruning-vs-decode; they also run
 #              inside tier-1; this run proves the marker works),
@@ -30,7 +33,9 @@ echo "== perf smoke: BENCH_pipeline.json + plan-cache gates =="
 python -m pytest -m perf -q benchmarks
 
 echo "== bench comparator: committed BENCH_pipeline.json baseline =="
-python benchmarks/compare_bench.py
+python benchmarks/compare_bench.py \
+    --fail-under grouped_agg_pushdown_100k_ms=3 \
+    --fail-under minmax_zero_scan_100k_ms=20
 
 echo "== fuzz: differential suites =="
 python -m pytest -m fuzz -q tests

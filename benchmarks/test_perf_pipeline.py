@@ -27,6 +27,7 @@ standalone comparator.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 import random
@@ -36,8 +37,10 @@ import pytest
 
 from repro.engine.column_store import code_domain_disabled
 from repro.engine.database import HybridDatabase
+from repro.engine.executor.agg_pushdown import aggregate_pushdown_disabled
 from repro.engine.partitioning import HorizontalPartitionSpec, TablePartitioning
 from repro.engine.schema import TableSchema
+from repro.engine.table import StoredTable
 from repro.engine.types import DataType, Store
 from repro.engine.zonemap import zone_pruning_disabled
 from repro.query.builder import aggregate
@@ -161,6 +164,91 @@ def measure_tpch_datagen_ms() -> float:
     ) * 1000.0
 
 
+# -- aggregate pushdown (zero-scan + code-domain grouped aggregation) ------------------
+
+
+@contextlib.contextmanager
+def _decode_up_front():
+    """Force every column read to decode (the pre-late-materialization shape).
+
+    Combined with ``aggregate_pushdown_disabled()`` this is the
+    decode-then-reduce reference the pushdown speedups are recorded against.
+    """
+    original = StoredTable.column_batched
+
+    def forced(self, column, positions=None, accountant=None):
+        return self.column_array(column, positions, accountant)
+
+    StoredTable.column_batched = forced
+    try:
+        yield
+    finally:
+        StoredTable.column_batched = original
+
+
+_AGG_DATABASES: dict = {}
+
+
+def _pushdown_database() -> HybridDatabase:
+    """The 100k-row column-store fact table (cached; the scenarios only read)."""
+    cached = _AGG_DATABASES.get("column")
+    if cached is None:
+        cached = build_aggregation_database(Store.COLUMN, GROUP_BY_DISTINCT)
+        _AGG_DATABASES["column"] = cached
+    return cached
+
+
+def _grouped_pushdown_query():
+    return aggregate("facts").sum("amount").count().group_by("region").build()
+
+
+def _minmax_query():
+    return (
+        aggregate("facts")
+        .min("region").max("region").min("amount").max("quantity").count()
+        .build()
+    )
+
+
+def measure_grouped_agg_pushdown_ms(decode_baseline: bool = False) -> float:
+    """Wall-clock of a 100k-row SUM+COUNT group-by on encoded key + value.
+
+    The pushdown path groups on the raw dictionary codes and sums in the
+    dictionary domain; ``decode_baseline=True`` measures the same query with
+    pushdown disabled and every column decoded up front (decode-then-reduce).
+    """
+    database = _pushdown_database()
+    query = _grouped_pushdown_query()
+    runner = lambda: database.execute(query)  # noqa: E731
+    if decode_baseline:
+        with aggregate_pushdown_disabled(), _decode_up_front():
+            return best_of(runner) * 1000.0
+    return best_of(runner) * 1000.0
+
+
+def measure_minmax_zero_scan_ms(decode_baseline: bool = False) -> float:
+    """Wall-clock of ungrouped MIN/MAX/COUNT with no predicate (zero-scan).
+
+    The pushdown path answers from the zone synopses without touching a
+    row; the baseline (pushdown disabled) collects and reduces the value
+    arrays — including a scalar fold over 100k decoded strings.
+    """
+    database = _pushdown_database()
+    query = _minmax_query()
+    runner = lambda: database.execute(query)  # noqa: E731
+    if decode_baseline:
+        with aggregate_pushdown_disabled(), _decode_up_front():
+            return best_of(runner) * 1000.0
+    return best_of(runner) * 1000.0
+
+
+#: Aggregate-pushdown scenarios and their acceptance bars.
+PUSHDOWN_SCENARIOS = {
+    "grouped_agg_pushdown_100k_ms": (measure_grouped_agg_pushdown_ms, 3.0),
+    "minmax_zero_scan_100k_ms": (measure_minmax_zero_scan_ms, 20.0),
+}
+
+
 # -- selective range scans (code-domain predicates + zone-map pruning) -----------------
 
 
@@ -280,7 +368,17 @@ MEASUREMENTS = {
         key: (lambda p=p, n=n: measure_selective_scan_ms(p, n))
         for key, (p, n) in SCAN_SCENARIOS.items()
     },
+    **{
+        key: measure for key, (measure, _) in PUSHDOWN_SCENARIOS.items()
+    },
     "fig10_s": measure_fig10_s,
+}
+
+#: Live decode-then-reduce baselines of the pushdown scenarios (used by the
+#: re-record block and ``compare_bench.py --fail-under``).
+BASELINE_MEASUREMENTS = {
+    key: (lambda measure=measure: measure(decode_baseline=True))
+    for key, (measure, _) in PUSHDOWN_SCENARIOS.items()
 }
 
 
@@ -381,6 +479,32 @@ def test_selective_scan_speedups_are_recorded():
 
 
 @pytest.mark.perf
+@pytest.mark.parametrize("key", sorted(PUSHDOWN_SCENARIOS))
+def test_aggregate_pushdown_has_not_regressed(recorded, key):
+    measure, _ = PUSHDOWN_SCENARIOS[key]
+    measured_ms = measure()
+    budget_ms = max(recorded[key] * REGRESSION_FACTOR, MIN_AGG_BUDGET_MS)
+    assert measured_ms <= budget_ms, (
+        f"{key} took {measured_ms:.3f}ms, budget is {budget_ms:.3f}ms "
+        f"(recorded {recorded[key]:.3f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_aggregate_pushdown_speedups_are_recorded():
+    """The pushdown acceptance bars.
+
+    The grouped aggregate over a dictionary-encoded key + value must be
+    recorded >= 3x faster than decode-then-reduce, and the no-predicate
+    MIN/MAX must be recorded >= 20x (zero-scan answers from zone synopses).
+    """
+    with BENCH_FILE.open() as handle:
+        payload = json.load(handle)
+    for key, (_, bar) in PUSHDOWN_SCENARIOS.items():
+        assert payload["speedup"][key] >= bar, key
+
+
+@pytest.mark.perf
 def test_tpch_datagen_has_not_regressed(recorded):
     measured_ms = measure_tpch_datagen_ms()
     budget_ms = recorded["tpch_datagen_sf001_ms"] * REGRESSION_FACTOR
@@ -414,13 +538,16 @@ if __name__ == "__main__":
     payload = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
     payload["recorded"] = {key: measure() for key, measure in MEASUREMENTS.items()}
     baseline = payload.setdefault("seed_baseline", {})
-    # The selective-scan baselines are re-measured here rather than pinned:
-    # the decode-and-compare path still exists behind the disable toggles
-    # and *is* the seed pipeline for these predicates.
+    # The selective-scan and pushdown baselines are re-measured here rather
+    # than pinned: the decode-and-compare / decode-then-reduce paths still
+    # exist behind the disable toggles and *are* the seed pipeline for these
+    # scenarios.
     for key, (partitioned, narrow) in SCAN_SCENARIOS.items():
         baseline[key] = measure_selective_scan_ms(
             partitioned, narrow, decode_baseline=True
         )
+    for key, measure_baseline in BASELINE_MEASUREMENTS.items():
+        baseline[key] = measure_baseline()
     payload["speedup"] = {
         key: baseline[key] / value
         for key, value in payload["recorded"].items()

@@ -57,6 +57,12 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
         for table in sorted(actual.scan_stats):
             scanned, skipped = actual.scan_stats[table]
             lines.append(f"    {table:<22}{scanned:>4} / {skipped}")
+    if actual is not None and actual.agg_strategies:
+        # Aggregate-pushdown telemetry: the strategy execution consumed —
+        # pinned equal to the plan's recorded strategy in the Aggregate line.
+        lines.append("  aggregate pushdown:")
+        for table in sorted(actual.agg_strategies):
+            lines.append(f"    {table:<22}{actual.agg_strategies[table]}")
     if plan.estimate.per_term_ms:
         lines.append("  estimated cost terms (ms):")
         for term in sorted(plan.estimate.per_term_ms):
@@ -136,6 +142,9 @@ def _operator_tree(plan: PhysicalPlan) -> List[str]:
         lines.append(f"-> Aggregate {specs}")
         if query.group_by:
             lines.append(f"   group by: {', '.join(query.group_by)}")
+        strategy = access[query.table].aggregate_strategy
+        if strategy is not None:
+            lines.append(f"   strategy: {strategy.describe()}")
         depth = 1
         for join in query.joins:
             pad = "   " * depth

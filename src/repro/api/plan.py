@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.cost_model.estimator import TableProfile
 from repro.core.cost_model.model import CostModel
 from repro.engine.database import HybridDatabase
+from repro.engine.executor.agg_pushdown import AggregateStrategy
 from repro.engine.executor.executor import QueryResult
 from repro.engine.partitioning import PartitionedTable
 from repro.engine.types import Store
@@ -68,6 +69,9 @@ class TableAccessPlan:
     #: Zone-map pruning decision of this table's scan (base table of a
     #: filtered read only); the executor consumes the same object.
     scan_decision: Optional[ScanDecision] = None
+    #: Aggregate-pushdown strategy (base table of an aggregation only); the
+    #: executor consumes the same object, so EXPLAIN and execution coincide.
+    aggregate_strategy: Optional[AggregateStrategy] = None
 
     def describe(self) -> str:
         text = f"{self.table}: {self.layout}, {self.num_rows} rows, {self.access}"
@@ -188,9 +192,14 @@ class Planner:
         table = database.table_object(name)
         predicate = getattr(query, "predicate", None) if name == query.table else None
         # The access path derived (and recorded) its zone-pruning decision
-        # while the paths were resolved; the plan carries the same object the
-        # executor will consume, so EXPLAIN and execution provably coincide.
+        # and aggregate-pushdown strategy while the paths were resolved; the
+        # plan carries the same objects the executor will consume, so
+        # EXPLAIN and execution provably coincide.
         decision = getattr(paths.get(name), "scan_decision", None)
+        strategy = (
+            getattr(paths.get(name), "aggregate_strategy", None)
+            if name == query.table else None
+        )
         if isinstance(table, PartitionedTable):
             return TableAccessPlan(
                 table=name,
@@ -201,6 +210,7 @@ class Planner:
                 layout=f"partitioned ({table.partitioning.describe()})",
                 pruning=self._pruning_note(table, query),
                 scan_decision=decision,
+                aggregate_strategy=strategy,
             )
         return TableAccessPlan(
             table=name,
@@ -210,6 +220,7 @@ class Planner:
             access=self._stored_access(table, predicate),
             layout=entry.describe_layout(),
             scan_decision=decision,
+            aggregate_strategy=strategy,
         )
 
     @staticmethod

@@ -160,6 +160,54 @@ def predicate_prunes_profile(
     return not zone_can_match(predicate, zones, profile.num_rows)
 
 
+def partition_scan_fraction(
+    predicate: Optional[Predicate], profile: TableProfile
+) -> float:
+    """Estimated fraction of the table's rows in partitions the scan keeps.
+
+    The estimated counterpart of partition-granular zone pruning: the
+    catalog records per-partition min/max/null-count statistics for
+    partitioned tables (:class:`~repro.engine.statistics
+    .PartitionStatistics`, derived from the exact zone synopses), so the
+    estimator prices exactly the partitions the executor will scan instead
+    of approximating from the whole-table range.  Unpartitioned tables (no
+    partition statistics) degrade to the whole-table proof of
+    :func:`predicate_prunes_profile` — 0.0 (provably empty, scan terms
+    dropped) or 1.0.  Only *read* estimates consume this: the write path
+    keeps seed-identical accounting, so DML estimates stay unscaled.
+    """
+    if predicate is None or not zone_pruning_enabled():
+        return 1.0
+    partitions = getattr(profile.statistics, "partitions", ())
+    if not partitions:
+        return 0.0 if predicate_prunes_profile(predicate, profile) else 1.0
+    total = sum(partition.num_rows for partition in partitions)
+    if total <= 0:
+        return 1.0
+    surviving = 0
+    for partition in partitions:
+        if partition.num_rows == 0:
+            continue
+        zones = {}
+        for name in predicate.columns():
+            _, column = split_qualified(name)
+            stats = partition.columns.get(column)
+            if stats is None:
+                continue
+            if is_nan(stats.min_value) or is_nan(stats.max_value):
+                continue  # defensive: NaN bounds cannot serve as a zone
+            zones[name] = ColumnZone(
+                min_value=stats.min_value,
+                max_value=stats.max_value,
+                null_count=stats.null_count,
+                num_rows=partition.num_rows,
+                has_nan=stats.has_nan,
+            )
+        if zone_can_match(predicate, zones, partition.num_rows):
+            surviving += partition.num_rows
+    return surviving / total
+
+
 def _selectivity(predicate: Optional[Predicate], profile: TableProfile) -> float:
     if predicate is None:
         return 1.0
@@ -198,22 +246,32 @@ def _charge_row_store_lookup(
     predicate: Optional[Predicate],
     profile: TableProfile,
     matched: float,
+    scan_fraction: float = 1.0,
 ) -> None:
-    """Terms for locating matching rows in the row store."""
+    """Terms for locating matching rows in the row store.
+
+    ``scan_fraction`` scales the scan-volume terms to the partitions the
+    zone maps keep (matched rows only live in surviving partitions, so the
+    matched-row terms stay unscaled).
+    """
     if predicate is None:
         return
     if _uses_primary_key_index(predicate, profile.schema):
         contribution.add("index_probes", 1.0)
         contribution.add("random_fetches", matched)
     else:
-        contribution.add("row_scan_bytes", profile.num_rows * profile.row_width_bytes)
-        contribution.add("pred_evals", float(profile.num_rows))
+        contribution.add(
+            "row_scan_bytes",
+            profile.num_rows * profile.row_width_bytes * scan_fraction,
+        )
+        contribution.add("pred_evals", float(profile.num_rows) * scan_fraction)
 
 
 def _charge_column_store_lookup(
     contribution: CostContribution,
     predicate: Optional[Predicate],
     profile: TableProfile,
+    scan_fraction: float = 1.0,
 ) -> None:
     """Terms for locating matching rows in the column store (implicit index)."""
     if predicate is None:
@@ -222,8 +280,11 @@ def _charge_column_store_lookup(
     for name in sorted(predicate.columns()):
         _, column = split_qualified(name)
         if profile.schema.has_column(column):
-            contribution.add("column_scan_bytes", profile.column_code_bytes(column))
-    contribution.add("vector_compares", float(profile.num_rows))
+            contribution.add(
+                "column_scan_bytes",
+                profile.column_code_bytes(column) * scan_fraction,
+            )
+    contribution.add("vector_compares", float(profile.num_rows) * scan_fraction)
 
 
 def _charge_column_store_materialisation(
@@ -231,12 +292,13 @@ def _charge_column_store_materialisation(
     profile: TableProfile,
     columns,
     matched: float,
+    scan_fraction: float = 1.0,
 ) -> None:
     """Terms for materialising *matched* rows of *columns* from the column store.
 
     Mirrors the engine's access-path choice: sparse position lists pay tuple
     reconstruction per cell, dense ones a sequential scan of the code arrays
-    plus a decode per qualifying value.
+    (scaled to the surviving partitions) plus a decode per qualifying value.
     """
     if profile.num_rows <= 0 or not columns:
         return
@@ -247,7 +309,8 @@ def _charge_column_store_materialisation(
     for column in sorted(columns):
         if profile.schema.has_column(column):
             contribution.add(
-                "column_scan_bytes", profile.column_code_bytes(column)
+                "column_scan_bytes",
+                profile.column_code_bytes(column) * scan_fraction,
             )
     contribution.add("decodes", matched * len(columns))
 
@@ -265,7 +328,8 @@ def _aggregation_contributions(
     base = CostContribution(query.table, base_store, QueryType.AGGREGATION)
     base.add("queries", 1.0)
 
-    pruned = predicate_prunes_profile(query.predicate, base_profile)
+    scan_fraction = partition_scan_fraction(query.predicate, base_profile)
+    pruned = scan_fraction == 0.0
     matched = 0.0 if pruned else _matched_rows(query.predicate, base_profile)
 
     # Base-table columns the aggregation has to read (aggregates, grouping,
@@ -292,7 +356,8 @@ def _aggregation_contributions(
         pass  # the scan is skipped outright; only the query overhead remains
     elif base_store is Store.ROW:
         if query.predicate is not None:
-            _charge_row_store_lookup(base, query.predicate, base_profile, matched)
+            _charge_row_store_lookup(base, query.predicate, base_profile, matched,
+                                     scan_fraction)
             base.add("random_fetches", matched)
         else:
             base.add(
@@ -300,8 +365,10 @@ def _aggregation_contributions(
             )
     else:
         if query.predicate is not None:
-            _charge_column_store_lookup(base, query.predicate, base_profile)
-            _charge_column_store_materialisation(base, base_profile, needed, matched)
+            _charge_column_store_lookup(base, query.predicate, base_profile,
+                                        scan_fraction)
+            _charge_column_store_materialisation(base, base_profile, needed,
+                                                 matched, scan_fraction)
         else:
             for column in sorted(needed):
                 base.add("column_scan_bytes", base_profile.column_code_bytes(column))
@@ -381,7 +448,8 @@ def _select_contribution(
     contribution = CostContribution(query.table, store, QueryType.SELECT)
     contribution.add("queries", 1.0)
 
-    if predicate_prunes_profile(query.predicate, profile):
+    scan_fraction = partition_scan_fraction(query.predicate, profile)
+    if scan_fraction == 0.0:
         # The statistics prove an empty result; the scan never runs.
         return contribution
 
@@ -394,14 +462,17 @@ def _select_contribution(
         if query.predicate is None:
             contribution.add("row_scan_bytes", profile.num_rows * profile.row_width_bytes)
         else:
-            _charge_row_store_lookup(contribution, query.predicate, profile, matched)
+            _charge_row_store_lookup(contribution, query.predicate, profile, matched,
+                                     scan_fraction)
             contribution.add("random_fetches", matched)
     else:
-        _charge_column_store_lookup(contribution, query.predicate, profile)
+        _charge_column_store_lookup(contribution, query.predicate, profile,
+                                    scan_fraction)
         selected = (
             list(query.columns) if query.columns else list(profile.schema.column_names)
         )
-        _charge_column_store_materialisation(contribution, profile, selected, matched)
+        _charge_column_store_materialisation(contribution, profile, selected,
+                                             matched, scan_fraction)
     return contribution
 
 

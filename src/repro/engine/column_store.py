@@ -111,21 +111,43 @@ def compile_code_mask(
     return mask, leaves
 
 
+def compile_code_leaves(
+    predicate: Predicate, columns: Mapping[str, CompressedColumn]
+) -> Optional[List[CodeLeaf]]:
+    """Dry compilation: the leaves :func:`compile_code_mask` would evaluate.
+
+    Performs exactly the dictionary translations of a real compilation (the
+    only operations that can fail) but never touches a code array, so the
+    success verdict and the leaf list — and therefore the cost charges
+    derived from them — are guaranteed identical to the wet compilation.
+    Used to replay scan charges for scans that zone maps proved unnecessary.
+    """
+    leaves: List[CodeLeaf] = []
+    if _compile_mask(predicate, columns, 0, leaves, dry=True) is None:
+        return None
+    return leaves
+
+
+#: Placeholder returned for every mask during dry compilation.
+_DRY_MASK: Any = "dry"
+
+
 def _compile_mask(
     predicate: Predicate,
     columns: Mapping[str, CompressedColumn],
     num_rows: int,
     leaves: List[CodeLeaf],
+    dry: bool = False,
 ) -> Optional[np.ndarray]:
     if isinstance(predicate, TruePredicate):
-        return np.ones(num_rows, dtype=bool)
+        return _DRY_MASK if dry else np.ones(num_rows, dtype=bool)
     if isinstance(predicate, (And, Or)):
         combined: Optional[np.ndarray] = None
         for child in predicate.predicates:
-            mask = _compile_mask(child, columns, num_rows, leaves)
+            mask = _compile_mask(child, columns, num_rows, leaves, dry)
             if mask is None:
                 return None
-            if combined is None:
+            if dry or combined is None:
                 combined = mask
             elif isinstance(predicate, And):
                 combined = combined & mask
@@ -136,24 +158,26 @@ def _compile_mask(
         # The leaf masks already encode NULL semantics (a NULL row fails
         # every comparison), so plain inversion matches the scalar
         # evaluator: NOT(amount > 5) *does* match NULL rows.
-        mask = _compile_mask(predicate.predicate, columns, num_rows, leaves)
-        return None if mask is None else ~mask
+        mask = _compile_mask(predicate.predicate, columns, num_rows, leaves, dry)
+        if mask is None:
+            return None
+        return mask if dry else ~mask
     if isinstance(predicate, IsNull):
         column = columns.get(predicate.column)
         if column is None:
             return None
+        leaves.append((column, False))
+        if dry:
+            return _DRY_MASK
         codes = column.codes
         if column.dictionary.has_null:
-            mask = codes == 0
-        else:
-            mask = np.zeros(len(codes), dtype=bool)
-        leaves.append((column, False))
-        return mask
+            return codes == 0
+        return np.zeros(len(codes), dtype=bool)
     if isinstance(predicate, (Comparison, Between, InList)):
         column = columns.get(predicate.column)
         if column is None:
             return None
-        mask = _leaf_code_mask(column, predicate)
+        mask = _leaf_code_mask(column, predicate, dry)
         if mask is None:
             # The dictionary cannot answer this predicate (incomparable
             # literal types); the whole compilation falls back.
@@ -164,7 +188,7 @@ def _compile_mask(
 
 
 def _leaf_code_mask(
-    column: CompressedColumn, predicate: Predicate
+    column: CompressedColumn, predicate: Predicate, dry: bool = False
 ) -> Optional[np.ndarray]:
     """Mask of a simple predicate over *column*'s code array, or ``None``.
 
@@ -172,22 +196,25 @@ def _leaf_code_mask(
     (``bisect``); a ``TypeError`` from comparing a literal of an
     incomparable type against the dictionary values aborts the translation
     (the caller falls back to the value-level evaluator, which mirrors the
-    row store's behaviour exactly).
+    row store's behaviour exactly).  With ``dry=True`` the translations run
+    but the mask itself is skipped (see :func:`compile_code_leaves`).
     """
     codes = column.codes
     dictionary = column.dictionary
     try:
         if isinstance(predicate, Comparison):
-            return _comparison_code_mask(column, codes, predicate)
+            return _comparison_code_mask(column, codes, predicate, dry)
         if isinstance(predicate, Between):
             if dictionary.holds_null:
                 # BETWEEN never matches NULL, and the all-NULL dictionary
                 # cannot order its bounds.
-                return np.zeros(len(codes), dtype=bool)
+                return _DRY_MASK if dry else np.zeros(len(codes), dtype=bool)
             lo, hi = dictionary.range_codes(
                 predicate.low, predicate.high,
                 predicate.include_low, predicate.include_high,
             )
+            if dry:
+                return _DRY_MASK
             # ``range_codes`` offsets past the reserved NULL code, so NULL
             # rows (code 0) never fall inside the interval.
             mask = (codes >= lo) & (codes < hi)
@@ -204,6 +231,8 @@ def _leaf_code_mask(
             dictionary.encode_existing(value) for value in predicate.values
         ]
         member_codes = [code for code in member_codes if code is not None]
+        if dry:
+            return _DRY_MASK
         if not member_codes:
             return np.zeros(len(codes), dtype=bool)
         return np.isin(codes, np.asarray(member_codes, dtype=np.int64))
@@ -212,22 +241,27 @@ def _leaf_code_mask(
 
 
 def _comparison_code_mask(
-    column: CompressedColumn, codes: np.ndarray, predicate: Comparison
+    column: CompressedColumn, codes: np.ndarray, predicate: Comparison,
+    dry: bool = False,
 ) -> np.ndarray:
     dictionary = column.dictionary
     if predicate.value is None or dictionary.holds_null:
         # ``column <op> NULL`` never matches, and neither does any
         # comparison over an all-NULL column (row-at-a-time semantics:
         # a comparison involving NULL is false, whatever the operator).
-        return np.zeros(len(codes), dtype=bool)
+        return _DRY_MASK if dry else np.zeros(len(codes), dtype=bool)
     has_null = dictionary.has_null
     if predicate.op is CompareOp.EQ:
         code = dictionary.encode_existing(predicate.value)
+        if dry:
+            return _DRY_MASK
         if code is None:
             return np.zeros(len(codes), dtype=bool)
         return codes == code
     if predicate.op is CompareOp.NE:
         code = dictionary.encode_existing(predicate.value)
+        if dry:
+            return _DRY_MASK
         if code is None:
             mask = np.ones(len(codes), dtype=bool)
         else:
@@ -240,7 +274,7 @@ def _comparison_code_mask(
         # Ordered comparison against a NaN literal is false for every
         # value (bisect would place NaN at position 0 and wrongly match
         # everything for >=).
-        return np.zeros(len(codes), dtype=bool)
+        return _DRY_MASK if dry else np.zeros(len(codes), dtype=bool)
     # Ordered comparisons never match NaN row-at-a-time (every comparison
     # is False); a NaN dictionary entry sorts last, so exclude its code
     # from the range masks explicitly.
@@ -249,6 +283,8 @@ def _comparison_code_mask(
         lo, hi = dictionary.range_codes(
             None, predicate.value, include_high=predicate.op is CompareOp.LE
         )
+        if dry:
+            return _DRY_MASK
         mask = codes < hi
         if has_null:
             # The reserved NULL code 0 is below every value code.
@@ -257,6 +293,8 @@ def _comparison_code_mask(
         lo, hi = dictionary.range_codes(
             predicate.value, None, include_low=predicate.op is CompareOp.GE
         )
+        if dry:
+            return _DRY_MASK
         # ``lo`` is offset past the NULL code, which excludes NULL rows.
         mask = codes >= lo
     if nan_code is not None:
@@ -554,6 +592,39 @@ class ColumnStoreTable:
         mask = evaluate_predicate_mask(predicate, arrays, self._num_rows)
         return np.nonzero(mask)[0].astype(np.int64)
 
+    def charge_filter_scan(
+        self, predicate: Predicate, accountant: Optional[CostAccountant]
+    ) -> None:
+        """Replay the charges of :meth:`filter_positions` without scanning.
+
+        Zone-pruned DML uses this: when the zones prove *predicate* matches
+        no row, the scan is skipped but the query must cost exactly what the
+        seed pipeline charged for scanning and matching nothing.  The dry
+        compilation (:func:`compile_code_leaves`) reproduces the real
+        compiler's success verdict and leaf order, so the charges cannot
+        drift from the scanned path.
+        """
+        if accountant is None or predicate is None:
+            return
+        if _CODE_DOMAIN_ENABLED:
+            leaves = compile_code_leaves(predicate, self._columns)
+            if leaves is not None:
+                for column, probed in leaves:
+                    if probed:
+                        accountant.charge_index_probe()
+                    accountant.charge_sequential_read(
+                        "column_scan", column.code_bytes
+                    )
+                    accountant.charge_vector_compares(self._num_rows)
+                return
+        referenced = sorted(predicate.columns())
+        for name in referenced:
+            accountant.charge_sequential_read(
+                "column_scan", self._columns[name].code_bytes
+            )
+        accountant.charge_dict_decodes(self._num_rows * len(referenced))
+        accountant.charge_predicate_evals(self._num_rows)
+
     def fetch_rows(
         self,
         positions: Optional[Sequence[int]],
@@ -717,17 +788,35 @@ class ColumnStoreTable:
     def column_zone(self, column: str) -> ColumnZone:
         """The column's zone synopsis (cached per zone epoch).
 
-        Bounds come straight from the sorted dictionary (which inserts keep
-        maintained and deletes rebuild to the surviving values); the NULL
-        count is exact, counted over the reserved code 0.  After in-place
-        updates the dictionary may retain orphaned entries, making the
-        bounds a safe superset of the live range.
+        The bounds are **exact** over the stored rows: in-place updates can
+        orphan dictionary entries, so instead of trusting the dictionary's
+        value bounds the synopsis reduces the live code array (one
+        vectorized int64 pass, cached per zone epoch) and decodes only the
+        two extreme codes — the sorted dictionary makes the smallest live
+        value code the minimum value.  Exact bounds are what allows
+        zero-scan MIN/MAX answers to come straight from the zone; the NULL
+        count is maintained incrementally over the reserved code 0.
         """
         cached = self._zone_cache.get(column)
         if cached is not None and cached[0] == self._zone_epoch:
             return cached[1]
         compressed = self._columns[column]
-        low, high, has_nan = compressed.dictionary.value_bounds()
+        dictionary = compressed.dictionary
+        live = compressed.codes
+        if dictionary.has_null:
+            live = live[live != 0]
+        has_nan = False
+        nan_code = dictionary.nan_code
+        if nan_code is not None and len(live):
+            nan_mask = live == nan_code
+            has_nan = bool(nan_mask.any())
+            if has_nan:
+                live = live[~nan_mask]
+        if len(live):
+            low = dictionary.decode(int(live.min()))
+            high = dictionary.decode(int(live.max()))
+        else:
+            low = high = None
         zone = ColumnZone(
             min_value=low,
             max_value=high,

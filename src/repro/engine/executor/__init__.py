@@ -18,12 +18,14 @@ materialization**):
   columnarly (segments sharing a dictionary concatenate codes; mixed
   representations decode first);
 * the operators consume batches in whichever representation they carry:
-  group-bys factorize encoded keys straight from the sorted codes in O(n)
-  (no ``np.unique`` re-sort of decoded strings) and decode one key value per
-  *group*; hash joins probe int64 code arrays when both sides share a
-  dictionary, resolve each probe-dictionary value once otherwise, and fall
-  back to value arrays for plain columns; aggregate *inputs* are reduced by
-  value (one decode gather);
+  group-bys use an encoded key's codes directly as dense group ids (one
+  ``bincount``, first-occurrence renumbering, no ``np.unique`` re-sort of
+  decoded strings) and decode one key value per *group*; hash joins probe
+  int64 code arrays when both sides share a dictionary, resolve each
+  probe-dictionary value once otherwise, and fall back to value arrays for
+  plain columns; encoded aggregate *inputs* reduce in the dictionary domain
+  (``SUM`` as ``bincount(codes) · decoded(dictionary)``, ``MIN``/``MAX``
+  over the codes) — O(|dictionary|) instead of O(rows) decoded values;
 * filtered column-store scans run in the **code domain** end-to-end:
   :func:`~repro.engine.column_store.compile_code_mask` translates
   ``EQ/NE/LT/LE/GT/GE``, ``BETWEEN``, ``IN``, ``IS NULL`` and any
@@ -59,6 +61,35 @@ scanned/skipped counters — plan and execution provably coincide.  Skipped
 partitions charge nothing ("actuals reflect rows actually touched"); the
 cost model mirrors the pruning on the estimate side through the catalog's
 min/max statistics.
+
+Aggregate pushdown
+==================
+
+Aggregation executes as far down the storage stack as the query allows
+(:mod:`repro.engine.executor.agg_pushdown`), in one of four tiers chosen at
+*plan* time from the query shape and the zone synopses, recorded as an
+:class:`~repro.engine.executor.agg_pushdown.AggregateStrategy` in the
+physical plan (re-derived on stale zone-epoch tokens, exactly like a
+``ScanDecision``) and reported by ``EXPLAIN [ANALYZE]``:
+
+* **zero-scan** — ungrouped ``COUNT(*)``/``COUNT(col)``/``MIN``/``MAX``
+  whose predicate is absent or provably all-true/all-false per partition are
+  answered from the zone synopses and row/null counts; nothing is decoded
+  and nothing is reduced (the scan's charges are still made — see below);
+* **partition-partial** — partitioned tables aggregate each partition
+  independently and merge the per-partition states associatively (``AVG``
+  travels as ``(sum, count)``): zone-pruned partitions contribute nothing
+  and partition batches are never concatenated, so the main portion's codes
+  stay encoded next to a populated hot partition;
+* **code-domain** — unpartitioned column-store aggregation on dictionary
+  codes (the batch-pipeline kernels above);
+* **operator** — the generic reference: joins, row-store bases, undecidable
+  predicates, and everything under ``aggregate_pushdown_disabled()``.
+
+UPDATE/DELETE predicate scans reuse the same ``ScanDecision`` machinery: a
+provably-empty DML scan is skipped with its charges *replayed*
+(``charge_filter_scan``), keeping write-path accounting identical to the
+seed.
 
 The batch pipeline is purely a wall-clock optimisation of the simulator:
 every :class:`~repro.engine.timing.CostAccountant` charge is identical to the

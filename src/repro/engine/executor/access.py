@@ -30,6 +30,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.engine.batch import ColumnBatch
+from repro.engine.executor.agg_pushdown import (
+    AggregateStrategy,
+    AggregateUnit,
+    derive_aggregate_strategy,
+)
 from repro.engine.table import StoredTable
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
@@ -39,6 +44,7 @@ from repro.engine.zonemap import (
     zone_can_match,
     zone_pruning_enabled,
 )
+from repro.query.ast import AggregationQuery
 from repro.query.predicates import Predicate
 
 
@@ -47,6 +53,18 @@ def empty_batch(columns: Sequence[str]) -> ColumnBatch:
     return ColumnBatch(
         {name: np.empty(0, dtype=object) for name in columns}, num_rows=0
     )
+
+
+def validate_assignments(schema, assignments: Mapping[str, Any]) -> None:
+    """Coerce UPDATE assignment values against *schema* (raising as the
+    backends' ``update_rows`` would).
+
+    A zone-pruned UPDATE skips ``update_rows`` entirely, but the seed path
+    validates the SET values even when zero rows match — an invalid value
+    must keep raising ``SchemaError`` whether or not the scan was pruned.
+    """
+    for name, value in assignments.items():
+        schema.column(name).dtype.coerce(value)
 
 
 def part_zones(part: StoredTable, predicate: Predicate) -> Dict[str, Any]:
@@ -69,6 +87,14 @@ class AccessPath:
     #: The most recent :class:`ScanDecision` (set by :meth:`plan_scan` or a
     #: re-derivation at execution time); ``None`` until a predicate is seen.
     scan_decision: Optional[ScanDecision] = None
+
+    #: The most recent :class:`AggregateStrategy` (set by
+    #: :meth:`plan_aggregate` or re-derived at execution time).
+    aggregate_strategy: Optional[AggregateStrategy] = None
+
+    #: Whether this path can serve per-partition batches for the
+    #: partition-partial aggregation tier.
+    supports_partition_partial: bool = False
 
     @property
     def num_rows(self) -> int:
@@ -103,6 +129,30 @@ class AccessPath:
         raise NotImplementedError
 
     def _derive_decision(self, predicate: Optional[Predicate]) -> ScanDecision:
+        raise NotImplementedError
+
+    # -- aggregate pushdown planning ----------------------------------------------
+
+    def plan_aggregate(self, query: AggregationQuery) -> AggregateStrategy:
+        """Derive (and record) the aggregate-pushdown strategy for *query*.
+
+        Called by the planner/executor when resolving paths; execution
+        re-uses the recorded strategy as long as its zone-epoch token, the
+        query and the pushdown toggle still match.
+        """
+        strategy = derive_aggregate_strategy(self, query)
+        self.aggregate_strategy = strategy
+        return strategy
+
+    def aggregate_decision_for(self, query: AggregationQuery) -> AggregateStrategy:
+        """The valid strategy for *query* — recorded if fresh, else re-derived."""
+        strategy = self.aggregate_strategy
+        if strategy is not None and strategy.matches(query, self._zone_token()):
+            return strategy
+        return self.plan_aggregate(query)
+
+    def aggregate_units(self) -> List[AggregateUnit]:
+        """The prunable units the aggregate derivation reasons over."""
         raise NotImplementedError
 
     # -- reads -------------------------------------------------------------------
@@ -207,6 +257,16 @@ class SimpleAccessPath(AccessPath):
             pruning=zone_pruning_enabled(),
         )
 
+    def aggregate_units(self) -> List[AggregateUnit]:
+        table = self.table
+
+        def zone_of(column: str):
+            if not table.schema.has_column(column):
+                return None
+            return table.column_zone(column)
+
+        return [AggregateUnit(table.name, table.num_rows, zone_of)]
+
     def _scan_allowed(
         self, predicate: Optional[Predicate], accountant: CostAccountant
     ) -> bool:
@@ -219,6 +279,23 @@ class SimpleAccessPath(AccessPath):
         scan = self.decision_for(predicate).partitions[0].scan
         accountant.count_partition(self.table.name, scanned=scan)
         return scan
+
+    def _dml_scan_pruned(
+        self, predicate: Optional[Predicate], accountant: CostAccountant
+    ) -> bool:
+        """Whether a DML predicate scan is provably empty and may be skipped.
+
+        Inner paths never prune (the partitioned path owns the decision).
+        The skipped scan's charges are replayed so the write-path
+        :class:`~repro.engine.timing.CostBreakdown` stays bit-identical to
+        the seed accounting — pruning DML is a wall-clock optimisation only.
+        """
+        if predicate is None or self._inner or not zone_pruning_enabled():
+            return False
+        if self.decision_for(predicate).partitions[0].scan:
+            return False
+        self.table.charge_filter_scan(predicate, accountant)
+        return True
 
     # -- reads -------------------------------------------------------------------
 
@@ -278,12 +355,17 @@ class SimpleAccessPath(AccessPath):
         predicate: Optional[Predicate],
         accountant: CostAccountant,
     ) -> int:
+        if self._dml_scan_pruned(predicate, accountant):
+            validate_assignments(self.table.schema, assignments)
+            return 0
         positions = self.table.filter_positions(predicate, accountant)
         if positions is None:
             positions = np.arange(self.table.num_rows, dtype=np.int64)
         return self.table.update_rows(positions, assignments, accountant)
 
     def delete(self, predicate: Optional[Predicate], accountant: CostAccountant) -> int:
+        if self._dml_scan_pruned(predicate, accountant):
+            return 0
         positions = self.table.filter_positions(predicate, accountant)
         if positions is None:
             positions = np.arange(self.table.num_rows, dtype=np.int64)

@@ -1,0 +1,344 @@
+"""Aggregate pushdown: execute aggregation as deep in the storage stack as
+each query allows.
+
+The executor supports four *tiers*, chosen at plan time from the query shape
+and the zone-map synopses, recorded as an :class:`AggregateStrategy` in the
+physical plan, and consumed by execution (re-derived when the zone-epoch
+token went stale, exactly like a :class:`~repro.engine.zonemap.ScanDecision`):
+
+``zero-scan``
+    Ungrouped ``COUNT(*)``/``COUNT(col)``/``MIN``/``MAX`` whose predicate is
+    absent — or provably all-true / all-false per partition
+    (:func:`~repro.engine.zonemap.zone_must_match` /
+    :func:`~repro.engine.zonemap.zone_can_match`) — are answered from the
+    partitions' zone synopses and row/null counts.  The answer is computed
+    at derivation time and embedded in the strategy; execution decodes
+    nothing and reduces nothing.
+
+``partition-partial``
+    Aggregations over a partitioned table compute one mergeable partial
+    state per partition and combine them associatively — zone-pruned
+    partitions contribute nothing, and the partitions' batches are never
+    concatenated (so a hot row-store partition no longer forces the main
+    portion's dictionary codes to decode).  Requires NaN-free group keys and
+    MIN/MAX inputs (proved by the zones), because the scalar min/max fold
+    and per-NaN-object grouping are order-dependent.
+
+``code-domain``
+    Unpartitioned column-store aggregations run on dictionary codes: the
+    group key's codes serve directly as dense group ids (one ``bincount``
+    per partition, one key decode per *group*), and ``SUM``/``AVG`` over
+    encoded numeric columns reduce as ``bincount(codes) · decoded(dict)`` —
+    O(|dictionary|) decodes instead of O(rows).  (The same kernels also run
+    inside each partition of the ``partition-partial`` tier.)
+
+``operator``
+    The generic reference path: joins, row-store bases, undecidable
+    predicates, and everything under ``aggregate_pushdown_disabled()``.
+
+Pushdown is a **wall-clock** optimisation only: every tier charges the
+:class:`~repro.engine.timing.CostAccountant` bit-identically to the
+reference path (the zero-scan tier still *charges* the scan it skips), and
+``aggregate_pushdown_disabled()`` keeps the decode-then-reduce pipeline
+reachable as the differential baseline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.engine.types import Store
+from repro.engine.zonemap import ColumnZone, zone_can_match, zone_must_match
+from repro.query.ast import AggregateFunction, AggregationQuery, split_qualified
+
+__all__ = [
+    "AggregateStrategy",
+    "AggregateUnit",
+    "TIER_CODE_DOMAIN",
+    "TIER_OPERATOR",
+    "TIER_PARTITION_PARTIAL",
+    "TIER_ZERO_SCAN",
+    "aggregate_pushdown_disabled",
+    "aggregate_pushdown_enabled",
+    "derive_aggregate_strategy",
+]
+
+TIER_ZERO_SCAN = "zero-scan"
+TIER_PARTITION_PARTIAL = "partition-partial"
+TIER_CODE_DOMAIN = "code-domain"
+TIER_OPERATOR = "operator"
+
+_PUSHDOWN_ENABLED = True
+
+
+def aggregate_pushdown_enabled() -> bool:
+    """Whether aggregation may execute below the generic operator."""
+    return _PUSHDOWN_ENABLED
+
+
+@contextmanager
+def aggregate_pushdown_disabled() -> Iterator[None]:
+    """Force the decode-then-reduce reference pipeline everywhere.
+
+    The differential fuzzer runs every aggregation under this toggle too and
+    pins results *and* :class:`~repro.engine.timing.CostBreakdown` charges
+    identical to the pushdown path.  Recorded strategies carry the toggle
+    state they were derived under, so session-cached plans re-derive on a
+    flip and the reference stays reachable through them.
+    """
+    global _PUSHDOWN_ENABLED
+    previous = _PUSHDOWN_ENABLED
+    _PUSHDOWN_ENABLED = False
+    try:
+        yield
+    finally:
+        _PUSHDOWN_ENABLED = previous
+
+
+#: Zero-scan verdicts per prunable unit.
+_VERDICT_ALL = "all"      # predicate provably matches every row
+_VERDICT_NONE = "none"    # predicate provably matches no row
+_VERDICT_EMPTY = "empty"  # partition holds no rows
+
+#: Functions an aggregation query may use (all of them merge associatively).
+_ZERO_SCAN_FUNCTIONS = frozenset(
+    {AggregateFunction.COUNT, AggregateFunction.MIN, AggregateFunction.MAX}
+)
+
+
+class AggregateUnit:
+    """One prunable unit of a table's storage, as seen by the derivation.
+
+    ``zone(column)`` returns the unit's :class:`ColumnZone` for a base-table
+    column (``None`` when the unit has no synopsis for it) — for a
+    vertically split main portion the zone comes from the part that stores
+    the column.
+    """
+
+    __slots__ = ("label", "num_rows", "_zone_of")
+
+    def __init__(self, label: str, num_rows: int,
+                 zone_of: Callable[[str], Optional[ColumnZone]]) -> None:
+        self.label = label
+        self.num_rows = num_rows
+        self._zone_of = zone_of
+
+    def zone(self, column: str) -> Optional[ColumnZone]:
+        return self._zone_of(column)
+
+
+@dataclass(frozen=True)
+class AggregateStrategy:
+    """The pushdown decision of one table's aggregation, recorded in plans.
+
+    Like a :class:`~repro.engine.zonemap.ScanDecision`, the strategy carries
+    the zone-epoch ``token`` it was derived under and the toggle state; an
+    access path re-derives it when either no longer matches (DML since
+    planning, a different bound query, or a toggle flip), so a cached plan
+    can never serve a stale zero-scan answer.
+    """
+
+    table: str
+    tier: str
+    reason: str
+    token: Tuple[int, ...]
+    pushdown: bool
+    query: Optional[AggregationQuery] = None
+    #: Zero-scan only: per-unit ``(label, verdict)`` pairs.
+    partitions: Tuple[Tuple[str, str], ...] = ()
+    #: Zero-scan only: the precomputed ``(output_name, value)`` result row.
+    answer: Optional[Tuple[Tuple[str, Any], ...]] = None
+
+    def matches(self, query: AggregationQuery, token: Tuple[int, ...]) -> bool:
+        """Whether this strategy still governs *query* under *token*."""
+        if self.pushdown != aggregate_pushdown_enabled():
+            return False
+        if self.token != token:
+            return False
+        if self.query is query:
+            return True
+        try:
+            return self.query == query
+        except Exception:  # pragma: no cover - exotic __eq__ definitions
+            return False
+
+    def describe(self) -> str:
+        if self.reason:
+            return f"{self.tier} ({self.reason})"
+        return self.tier
+
+
+def _base_column(query: AggregationQuery, name: str) -> Optional[str]:
+    """The unqualified base-table column of *name*, or ``None`` if foreign."""
+    owner, column = split_qualified(name)
+    if owner in (None, query.table):
+        return column
+    return None
+
+
+def derive_aggregate_strategy(path, query: AggregationQuery) -> AggregateStrategy:
+    """Derive the pushdown strategy of *query* over *path* from the zones."""
+    token = path._zone_token()
+    pushdown = aggregate_pushdown_enabled()
+
+    def operator(reason: str) -> AggregateStrategy:
+        return AggregateStrategy(
+            table=query.table, tier=TIER_OPERATOR, reason=reason,
+            token=token, pushdown=pushdown, query=query,
+        )
+
+    if not pushdown:
+        return operator("pushdown disabled")
+    if query.joins:
+        return operator("join")
+
+    if not query.group_by:
+        zero_scan = _try_zero_scan(path, query, token)
+        if zero_scan is not None:
+            return zero_scan
+
+    if getattr(path, "supports_partition_partial", False):
+        safe, reason = _partial_merge_safe(path, query)
+        if safe:
+            units = path.aggregate_units()
+            return AggregateStrategy(
+                table=query.table, tier=TIER_PARTITION_PARTIAL,
+                reason=f"{len(units)} partition(s) merge partial states",
+                token=token, pushdown=pushdown, query=query,
+            )
+        return operator(reason)
+
+    if path.primary_store is Store.COLUMN:
+        return AggregateStrategy(
+            table=query.table, tier=TIER_CODE_DOMAIN,
+            reason="dictionary codes as group ids",
+            token=token, pushdown=pushdown, query=query,
+        )
+    return operator("row-store scan")
+
+
+def _try_zero_scan(
+    path, query: AggregationQuery, token: Tuple[int, ...]
+) -> Optional[AggregateStrategy]:
+    """A zero-scan strategy with its precomputed answer, or ``None``."""
+    columns: List[Optional[str]] = []
+    for spec in query.aggregates:
+        if spec.function is AggregateFunction.COUNT and spec.column == "*":
+            columns.append(None)
+            continue
+        if spec.function not in _ZERO_SCAN_FUNCTIONS:
+            return None
+        column = _base_column(query, spec.column)
+        if column is None:
+            return None
+        columns.append(column)
+
+    units = path.aggregate_units()
+    predicate = query.predicate
+    verdicts: List[Tuple[str, str]] = []
+    contributing: List[AggregateUnit] = []
+    for unit in units:
+        if unit.num_rows == 0:
+            verdicts.append((unit.label, _VERDICT_EMPTY))
+            continue
+        if predicate is None:
+            verdict = _VERDICT_ALL
+        else:
+            zones = {}
+            for name in predicate.columns():
+                _, column = split_qualified(name)
+                zone = unit.zone(column)
+                if zone is not None:
+                    zones[name] = zone
+            if not zone_can_match(predicate, zones, unit.num_rows):
+                verdict = _VERDICT_NONE
+            elif zone_must_match(predicate, zones, unit.num_rows):
+                verdict = _VERDICT_ALL
+            else:
+                return None  # undecidable from the synopses: must scan
+        verdicts.append((unit.label, verdict))
+        if verdict == _VERDICT_ALL:
+            contributing.append(unit)
+
+    total_rows = sum(unit.num_rows for unit in contributing)
+    answer: List[Tuple[str, Any]] = []
+    try:
+        for spec, column in zip(query.aggregates, columns):
+            if column is None:
+                answer.append((spec.output_name, total_rows))
+                continue
+            zones = []
+            for unit in contributing:
+                zone = unit.zone(column)
+                if zone is None or zone.null_count is None:
+                    return None
+                zones.append(zone)
+            if spec.function is AggregateFunction.COUNT:
+                value: Any = sum(
+                    unit.num_rows - zone.null_count
+                    for unit, zone in zip(contributing, zones)
+                )
+            else:
+                if any(zone.has_nan for zone in zones):
+                    # The scalar min/max fold is order-dependent around NaN.
+                    return None
+                bounds = [
+                    zone.min_value if spec.function is AggregateFunction.MIN
+                    else zone.max_value
+                    for zone in zones
+                    if zone.has_values
+                ]
+                if not bounds:
+                    value = None
+                elif spec.function is AggregateFunction.MIN:
+                    value = min(bounds)
+                else:
+                    value = max(bounds)
+            answer.append((spec.output_name, value))
+    except TypeError:
+        return None  # unorderable bounds across partitions
+
+    skipped = sum(1 for _, verdict in verdicts if verdict == _VERDICT_NONE)
+    reason = f"answered from {len(verdicts)} partition synopsis(es)"
+    if skipped:
+        reason += f", {skipped} provably empty"
+    return AggregateStrategy(
+        table=query.table, tier=TIER_ZERO_SCAN, reason=reason, token=token,
+        pushdown=True, query=query, partitions=tuple(verdicts),
+        answer=tuple(answer),
+    )
+
+
+def _partial_merge_safe(path, query: AggregationQuery) -> Tuple[bool, str]:
+    """Whether per-partition partial states provably merge to the reference.
+
+    Two hazards make merging order-dependent and force the concatenate-then-
+    reduce reference: NaN among the group keys (the scalar reference groups
+    per NaN object) and NaN among MIN/MAX inputs (the scalar fold is
+    order-dependent).  Both are proved absent from the zones; a column with
+    no synopsis at all stays on the reference path.
+    """
+    hazard_columns: List[str] = []
+    for name in query.group_by:
+        column = _base_column(query, name)
+        if column is None:
+            return False, "foreign group key"
+        hazard_columns.append(column)
+    for spec in query.aggregates:
+        if spec.function in (AggregateFunction.MIN, AggregateFunction.MAX):
+            column = _base_column(query, spec.column)
+            if column is None:
+                return False, "foreign aggregate input"
+            hazard_columns.append(column)
+    for unit in path.aggregate_units():
+        if unit.num_rows == 0:
+            continue
+        for column in hazard_columns:
+            zone = unit.zone(column)
+            if zone is None:
+                return False, f"no synopsis for {column!r}"
+            if zone.has_nan:
+                return False, f"NaN in {column!r} (order-dependent)"
+    return True, ""

@@ -35,6 +35,9 @@ class QueryResult:
     #: Per-table ``(partitions scanned, partitions skipped)`` — the access
     #: paths' zone-pruning telemetry, reported by ``EXPLAIN ANALYZE``.
     scan_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Per-table aggregate-pushdown strategy execution consumed — pinned by
+    #: ``EXPLAIN ANALYZE`` against the plan's recorded strategy.
+    agg_strategies: Dict[str, str] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:
@@ -73,10 +76,16 @@ class QueryExecutor:
             name: access_path_for(self._tables.table_object(name))
             for name in query.tables
         }
-        if isinstance(query, (SelectQuery, AggregationQuery)):
+        if isinstance(query, (SelectQuery, AggregationQuery,
+                              UpdateQuery, DeleteQuery)):
+            # DML predicate scans reuse the read path's decision machinery:
+            # a provably-empty UPDATE/DELETE scan is skipped (with its
+            # charges replayed, so write-path accounting stays identical).
             predicate = query.predicate
             if predicate is not None:
                 paths[query.table].plan_scan(predicate)
+        if isinstance(query, AggregationQuery):
+            paths[query.table].plan_aggregate(query)
         return paths
 
     def execute(self, query: Query) -> QueryResult:
@@ -96,7 +105,8 @@ class QueryExecutor:
         if isinstance(query, AggregationQuery):
             rows = execute_aggregation(query, paths, accountant)
             return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
-                               scan_stats=accountant.scan_stats)
+                               scan_stats=accountant.scan_stats,
+                               agg_strategies=accountant.aggregate_strategies)
         path = paths[query.table]
         if isinstance(query, SelectQuery):
             rows = execute_select(query, path, accountant)

@@ -10,9 +10,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.engine.batch import BatchColumn, take_column
+from repro.engine.batch import BatchColumn, ColumnBatch, take_column
 from repro.engine.executor.access import AccessPath
-from repro.engine.executor.aggregates import GroupedAggregation
+from repro.engine.executor.agg_pushdown import (
+    TIER_PARTITION_PARTIAL,
+    TIER_ZERO_SCAN,
+    aggregate_pushdown_enabled,
+)
+from repro.engine.executor.aggregates import (
+    GroupedAggregation,
+    merge_partition_partials,
+    partition_partial_rows,
+)
 from repro.engine.executor.join import join_dimension
 from repro.engine.timing import CostAccountant
 from repro.errors import QueryError
@@ -32,7 +41,16 @@ def execute_aggregation(
     paths: Mapping[str, AccessPath],
     accountant: CostAccountant,
 ) -> List[Dict[str, Any]]:
-    """Execute an aggregation query (optionally grouped and joined)."""
+    """Execute an aggregation query (optionally grouped and joined).
+
+    The base path's recorded :class:`AggregateStrategy` (re-derived when its
+    zone-epoch token went stale) picks the execution tier: zero-scan answers
+    come straight from the strategy's synopsis-derived row, partition-partial
+    aggregations merge per-partition states, and everything else takes the
+    generic collect-then-reduce path (whose aggregation kernels still exploit
+    dictionary codes — the code-domain tier).  Every tier charges the
+    accountant identically.
+    """
     base_path = paths[query.table]
     base_schema = base_path.table.schema
 
@@ -63,13 +81,37 @@ def execute_aggregation(
         base_columns = [narrowest.name]
 
     # Group-by keys benefit from a dictionary-encoded representation (the
-    # aggregation factorizes codes in O(n)); ask the access path to serve
-    # them interned/encoded where the store can.
+    # aggregation groups on codes); ask the access path to serve them
+    # interned/encoded where the store can.
     encode_columns = []
     for name in query.group_by:
         owner, column = split_qualified(name)
         if (owner is None or owner == query.table) and column in base_columns:
             encode_columns.append(column)
+
+    strategy = base_path.aggregate_decision_for(query)
+    accountant.record_aggregate_strategy(query.table, strategy.describe())
+
+    if aggregate_pushdown_enabled():
+        if strategy.tier == TIER_ZERO_SCAN and strategy.answer is not None:
+            # The answer was precomputed from the zone synopses; the collect
+            # only replays the reference charges (nothing decodes — encoded
+            # columns stay untouched) and the per-row aggregate-update
+            # charges are identical because the batch holds exactly the rows
+            # the verdicts proved.
+            batch = base_path.collect_batch(
+                base_columns, query.predicate, accountant,
+                encode_columns=encode_columns,
+            )
+            accountant.charge_aggregate_updates(
+                batch.num_rows * len(query.aggregates)
+            )
+            return [dict(strategy.answer)]
+        if strategy.tier == TIER_PARTITION_PARTIAL:
+            return _execute_partition_partial(
+                query, base_path, base_columns, encode_columns, accountant
+            )
+
     batch = base_path.collect_batch(
         base_columns, query.predicate, accountant, encode_columns=encode_columns
     )
@@ -112,22 +154,13 @@ def execute_aggregation(
             num_rows = batch.num_rows
         joined_columns.update(result.columns)
 
-    # Group keys keep their carried representation (encoded columns factorize
-    # from codes); aggregate inputs are reduced by value inside the
-    # aggregation, which decodes them there.
+    # Group keys keep their carried representation (encoded columns group on
+    # codes); aggregate inputs reduce inside the aggregation, in the
+    # dictionary domain where they can.
     available = batch.raw_columns()
     available.update(joined_columns)
 
-    # Assemble the aggregation inputs.
-    aggregate_inputs: List[Optional[Sequence[Any]]] = []
-    for spec in query.aggregates:
-        if spec.function is AggregateFunction.COUNT and spec.column == "*":
-            aggregate_inputs.append(None)
-            continue
-        aggregate_inputs.append(_resolve_column(spec.column, query, available))
-    group_key_columns = [
-        _resolve_column(name, query, available) for name in query.group_by
-    ]
+    aggregate_inputs, group_key_columns = _assemble_inputs(query, available)
 
     # Cost of the aggregation itself.
     accountant.charge_aggregate_updates(num_rows * len(query.aggregates))
@@ -139,6 +172,72 @@ def execute_aggregation(
         group_by_names=list(query.group_by),
     )
     return aggregation.run(aggregate_inputs, group_key_columns, num_rows)
+
+
+def _assemble_inputs(
+    query: AggregationQuery, available: Mapping[str, BatchColumn]
+) -> "tuple[List[Optional[Sequence[Any]]], List[Sequence[Any]]]":
+    """Aggregate inputs (``None`` for ``COUNT(*)``) and group key columns."""
+    aggregate_inputs: List[Optional[Sequence[Any]]] = []
+    for spec in query.aggregates:
+        if spec.function is AggregateFunction.COUNT and spec.column == "*":
+            aggregate_inputs.append(None)
+            continue
+        aggregate_inputs.append(_resolve_column(spec.column, query, available))
+    group_key_columns = [
+        _resolve_column(name, query, available) for name in query.group_by
+    ]
+    return aggregate_inputs, group_key_columns
+
+
+def _execute_partition_partial(
+    query: AggregationQuery,
+    base_path: AccessPath,
+    base_columns: Sequence[str],
+    encode_columns: Sequence[str],
+    accountant: CostAccountant,
+) -> List[Dict[str, Any]]:
+    """Aggregate each partition independently and merge the partial states.
+
+    Zone-pruned partitions contribute nothing; batches are never
+    concatenated, so each partition reduces in its own representation (the
+    main portion's dictionary codes stay encoded next to a populated hot
+    partition).  Charges are identical to the concatenate-then-reduce
+    reference: the per-partition collects charge exactly what the single
+    concatenated collect would, and the aggregation charges are computed
+    over the summed row count.
+    """
+    group_names = list(query.group_by)
+    batches = base_path.collect_partition_batches(
+        base_columns, query.predicate, accountant, encode_columns=encode_columns
+    )
+    num_rows = sum(batch.num_rows for batch in batches)
+    accountant.charge_aggregate_updates(num_rows * len(query.aggregates))
+    if group_names:
+        accountant.charge_group_by_updates(num_rows)
+
+    aggregation = GroupedAggregation(
+        aggregates=query.aggregates, group_by_names=group_names
+    )
+    try:
+        per_partition: List[List[Dict[str, Any]]] = []
+        for batch in batches:
+            if batch.num_rows == 0:
+                continue
+            inputs, keys = _assemble_inputs(query, batch.raw_columns())
+            per_partition.append(
+                partition_partial_rows(
+                    query.aggregates, group_names, inputs, keys, batch.num_rows
+                )
+            )
+        return merge_partition_partials(query.aggregates, group_names, per_partition)
+    except TypeError:
+        # Unorderable partial merge (exotic mixed types across partitions):
+        # aggregate the concatenated batches exactly like the reference path.
+        # All charges were made above — none are repeated here.
+        batch = ColumnBatch.concat(batches)
+        inputs, keys = _assemble_inputs(query, batch.raw_columns())
+        return aggregation.run(inputs, keys, batch.num_rows)
 
 
 def _columns_owned_by(query: AggregationQuery, table: str) -> List[str]:

@@ -33,7 +33,9 @@ from repro.engine.executor.access import (
     SimpleAccessPath,
     empty_batch,
     part_zones,
+    validate_assignments,
 )
+from repro.engine.executor.agg_pushdown import AggregateUnit
 from repro.engine.partitioning import PartitionedTable
 from repro.engine.table import StoredTable
 from repro.engine.timing import CostAccountant
@@ -54,9 +56,12 @@ HOT_PARTITION = "hot"
 class PartitionedAccessPath(AccessPath):
     """Access path over a :class:`PartitionedTable`."""
 
+    supports_partition_partial = True
+
     def __init__(self, table: PartitionedTable) -> None:
         self.table = table
         self.scan_decision = None
+        self.aggregate_strategy = None
         self.description = f"{table.name} (partitioned: {table.partitioning.describe()})"
 
     @property
@@ -115,32 +120,51 @@ class PartitionedAccessPath(AccessPath):
     def _count(self, accountant: CostAccountant, scanned: bool) -> None:
         accountant.count_partition(self.table.name, scanned=scanned)
 
+    def aggregate_units(self) -> List[AggregateUnit]:
+        table = self.table
+
+        def main_zone(column: str):
+            if not table.schema.has_column(column):
+                return None
+            part = table.part_containing(column)
+            if not part.schema.has_column(column):
+                return None
+            return part.column_zone(column)
+
+        units = [AggregateUnit(MAIN_PARTITION, table.main_num_rows, main_zone)]
+        hot = table.hot
+        if hot is not None:
+            def hot_zone(column: str):
+                if not hot.schema.has_column(column):
+                    return None
+                return hot.column_zone(column)
+
+            units.append(AggregateUnit(HOT_PARTITION, hot.num_rows, hot_zone))
+        return units
+
     # -- reads ---------------------------------------------------------------------
 
-    def collect_batch(
+    def _collect_segments(
         self,
         columns: Sequence[str],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
-        encode_columns: Sequence[str] = (),
-    ) -> ColumnBatch:
+        encode_columns: Sequence[str],
+    ) -> List[ColumnBatch]:
+        """Per-partition batches of the scan (shared by concat and partial).
+
+        Cost charges — partition counting, per-part scans and the partition
+        overhead — are identical whether the caller concatenates the batches
+        or aggregates them partition by partition.
+        """
         decision = self.decision_for(predicate)
         segments = 0
         batches: List[ColumnBatch] = []
 
-        # A populated hot partition forces a mixed-dictionary concat that
-        # would decode interned columns again; only ask the main portion for
-        # encoded columns when the whole result comes from it.
-        hot_active = (
-            self.table.hot is not None
-            and self.table.hot.num_rows > 0
-            and decision.scan_of(HOT_PARTITION)
-        )
         if decision.scan_of(MAIN_PARTITION):
             self._count(accountant, scanned=True)
             main_batch, main_parts_touched = self._collect_from_main(
-                columns, predicate, accountant,
-                encode_columns=() if hot_active else encode_columns,
+                columns, predicate, accountant, encode_columns=encode_columns
             )
             segments += main_parts_touched
             batches.append(main_batch)
@@ -161,7 +185,46 @@ class PartitionedAccessPath(AccessPath):
                 self._count(accountant, scanned=False)
 
         accountant.charge_partition_overhead(max(segments, 1))
+        return batches
+
+    def collect_batch(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+        encode_columns: Sequence[str] = (),
+    ) -> ColumnBatch:
+        decision = self.decision_for(predicate)
+        # A populated hot partition forces a mixed-dictionary concat that
+        # would decode interned columns again; only ask the main portion for
+        # encoded columns when the whole result comes from it.
+        hot_active = (
+            self.table.hot is not None
+            and self.table.hot.num_rows > 0
+            and decision.scan_of(HOT_PARTITION)
+        )
+        batches = self._collect_segments(
+            columns, predicate, accountant,
+            encode_columns=() if hot_active else encode_columns,
+        )
         return ColumnBatch.concat(batches)
+
+    def collect_partition_batches(
+        self,
+        columns: Sequence[str],
+        predicate: Optional[Predicate],
+        accountant: CostAccountant,
+        encode_columns: Sequence[str] = (),
+    ) -> List[ColumnBatch]:
+        """Per-partition batches for partition-partial aggregation.
+
+        Unlike :meth:`collect_batch` there is no concatenation, so every
+        partition keeps its native representation — in particular the main
+        portion's dictionary codes stay encoded even while a populated hot
+        partition exists.  Charges are identical to :meth:`collect_batch`.
+        """
+        return self._collect_segments(columns, predicate, accountant,
+                                      encode_columns=encode_columns)
 
     def select_rows(
         self,
@@ -206,37 +269,68 @@ class PartitionedAccessPath(AccessPath):
     def insert(self, rows: Sequence[Mapping[str, Any]], accountant: CostAccountant) -> int:
         return self.table.insert_rows(rows, accountant)
 
+    def _dml_decision(self, predicate: Optional[Predicate]) -> Optional[ScanDecision]:
+        """The pruning decision gating a DML scan (``None`` = scan everything)."""
+        if predicate is None or not zone_pruning_enabled():
+            return None
+        return self.decision_for(predicate)
+
     def update(
         self,
         assignments: Mapping[str, Any],
         predicate: Optional[Predicate],
         accountant: CostAccountant,
     ) -> int:
+        decision = self._dml_decision(predicate)
         affected = 0
         segments = 0
+        hot = self.table.hot
         # Hot partition: behaves like an ordinary table.
-        if self.table.hot is not None and self.table.hot.num_rows > 0:
-            affected += SimpleAccessPath(self.table.hot, inner=True).update(
-                assignments, predicate, accountant
-            )
+        if hot is not None and hot.num_rows > 0:
+            if decision is None or decision.scan_of(HOT_PARTITION):
+                affected += SimpleAccessPath(hot, inner=True).update(
+                    assignments, predicate, accountant
+                )
+            else:
+                # Zone-pruned: skip the scan, replay its charges (the seed
+                # path would scan, validate the SET values and update zero
+                # rows).
+                validate_assignments(hot.schema, assignments)
+                hot.charge_filter_scan(predicate, accountant)
             segments += 1
 
-        affected_main, parts_touched = self._update_main(assignments, predicate, accountant)
-        affected += affected_main
+        if decision is None or decision.scan_of(MAIN_PARTITION):
+            affected_main, parts_touched = self._update_main(
+                assignments, predicate, accountant
+            )
+            affected += affected_main
+        else:
+            parts_touched = self._charge_pruned_main_update(
+                assignments, predicate, accountant
+            )
         segments += parts_touched
         accountant.charge_partition_overhead(max(segments, 1))
         return affected
 
     def delete(self, predicate: Optional[Predicate], accountant: CostAccountant) -> int:
+        decision = self._dml_decision(predicate)
         affected = 0
-        if self.table.hot is not None and self.table.hot.num_rows > 0:
-            affected += SimpleAccessPath(self.table.hot, inner=True).delete(predicate, accountant)
-        positions, parts_touched = self._main_positions(predicate, accountant)
-        if positions is None:
-            positions = np.arange(self.table.main_num_rows, dtype=np.int64)
-        for part in self.table.main_parts:
-            part.delete_rows(positions, accountant)
-        affected += len(positions)
+        hot = self.table.hot
+        if hot is not None and hot.num_rows > 0:
+            if decision is None or decision.scan_of(HOT_PARTITION):
+                affected += SimpleAccessPath(hot, inner=True).delete(predicate, accountant)
+            else:
+                hot.charge_filter_scan(predicate, accountant)
+        if decision is None or decision.scan_of(MAIN_PARTITION):
+            positions, parts_touched = self._main_positions(predicate, accountant)
+            if positions is None:
+                positions = np.arange(self.table.main_num_rows, dtype=np.int64)
+            for part in self.table.main_parts:
+                part.delete_rows(positions, accountant)
+            affected += len(positions)
+        else:
+            # The provably-empty position set deletes (and charges) nothing.
+            parts_touched = self._charge_main_positions(predicate, accountant)
         accountant.charge_partition_overhead(parts_touched + 1)
         return affected
 
@@ -344,6 +438,50 @@ class PartitionedAccessPath(AccessPath):
                     affected, part.update_rows(positions, part_assignments, accountant)
                 )
         return affected, len(parts_needed)
+
+    def _charge_pruned_main_update(
+        self,
+        assignments: Mapping[str, Any],
+        predicate: Predicate,
+        accountant: CostAccountant,
+    ) -> int:
+        """Replay :meth:`_update_main`'s charges for a zone-pruned predicate.
+
+        The seed path would locate zero matching rows (charging the filter
+        scan and, across vertical parts, a zero-row re-assembly join),
+        validate the SET values and then update nothing; the replayed
+        charges are exactly those.  Returns the parts-touched count for the
+        partition-overhead charge.
+        """
+        table = self.table
+        validate_assignments(table.schema, assignments)
+        if not table.has_vertical_split:
+            table.main_parts[0].charge_filter_scan(predicate, accountant)
+            return 1
+        all_needed = set(assignments) | set(predicate.columns())
+        parts_needed = table.main_parts_for_columns(sorted(all_needed))
+        self._charge_main_positions(predicate, accountant)
+        if len(parts_needed) >= 2:
+            accountant.charge_hash_inserts("partition_join", 0)
+            accountant.charge_hash_probes("partition_join", 0)
+        return len(parts_needed)
+
+    def _charge_main_positions(
+        self, predicate: Predicate, accountant: CostAccountant
+    ) -> int:
+        """Replay :meth:`_main_positions`'s charges without scanning."""
+        table = self.table
+        if not table.has_vertical_split:
+            table.main_parts[0].charge_filter_scan(predicate, accountant)
+            return 1
+        predicate_parts = table.main_parts_for_columns(sorted(predicate.columns()))
+        if len(predicate_parts) == 1:
+            predicate_parts[0].charge_filter_scan(predicate, accountant)
+            return 1
+        for name in sorted(predicate.columns()):
+            table.part_containing(name).charge_column_scan(name, accountant)
+        accountant.charge_predicate_evals(table.main_num_rows)
+        return len(predicate_parts)
 
     def _main_positions(
         self, predicate: Optional[Predicate], accountant: CostAccountant

@@ -457,6 +457,32 @@ class PartitionedTable:
 
     # -- statistics helpers ------------------------------------------------------------------
 
+    def partition_zone_units(self):
+        """Per prunable unit: ``(label, num_rows, {column: zone synopsis})``.
+
+        The units mirror the executor's prunable partitions (``main`` and
+        ``hot``); a vertically split main portion contributes each column's
+        zone from the part that stores it.  Consumed by
+        :func:`repro.engine.statistics.compute_table_statistics` to record
+        per-partition statistics in the catalog.
+        """
+        main_zones = {}
+        for column in self.schema.column_names:
+            part = self.part_containing(column)
+            if part.schema.has_column(column):
+                zone = part.column_zone(column)
+                if zone is not None:
+                    main_zones[column] = zone
+        units = [("main", self.main_num_rows, main_zones)]
+        if self.hot is not None:
+            hot_zones = {}
+            for column in self.schema.column_names:
+                zone = self.hot.column_zone(column)
+                if zone is not None:
+                    hot_zones[column] = zone
+            units.append(("hot", self.hot.num_rows, hot_zones))
+        return units
+
     def column_distinct_count(self, column: str) -> int:
         values = set()
         for part in self.all_parts:

@@ -426,6 +426,44 @@ class RowStoreTable:
         mask = evaluate_predicate_mask(predicate, arrays, self.num_rows)
         return np.nonzero(mask)[0].astype(np.int64)
 
+    def charge_filter_scan(
+        self, predicate: Predicate, accountant: Optional[CostAccountant]
+    ) -> None:
+        """Replay the charges of :meth:`filter_positions` without scanning.
+
+        Zone-pruned DML uses this: when the zones prove *predicate* matches
+        no row, the scan is skipped but the query must cost exactly what the
+        seed pipeline charged for scanning and matching nothing — an index
+        probe plus zero fetches on the index path, a full tuple scan plus
+        per-row predicate evaluations otherwise.
+        """
+        if accountant is None or predicate is None:
+            return
+        if self._answers_from_index(predicate):
+            accountant.charge_index_probe()
+            accountant.charge_random_accesses("row_fetch", 0)
+            return
+        accountant.charge_sequential_read(
+            "row_scan", self.num_rows * self.row_width_bytes
+        )
+        accountant.charge_predicate_evals(self.num_rows)
+
+    def _answers_from_index(self, predicate: Predicate) -> bool:
+        """Whether :meth:`_index_lookup` would answer *predicate* from an index."""
+        if isinstance(predicate, Comparison) and predicate.op is CompareOp.EQ:
+            return (
+                predicate.column in self._hash_indexes
+                or predicate.column in self._sorted_indexes
+            )
+        if isinstance(predicate, Between):
+            return predicate.column in self._sorted_indexes
+        return (
+            isinstance(predicate, Comparison)
+            and predicate.op in (CompareOp.LT, CompareOp.LE, CompareOp.GT,
+                                 CompareOp.GE)
+            and predicate.column in self._sorted_indexes
+        )
+
     def _index_lookup(
         self, predicate: Predicate, accountant: Optional[CostAccountant]
     ) -> Optional[np.ndarray]:

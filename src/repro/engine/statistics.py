@@ -19,13 +19,20 @@ from repro.engine.types import DataType, Store
 
 @dataclass(frozen=True)
 class ColumnStatistics:
-    """Statistics of a single column."""
+    """Statistics of a single column.
+
+    ``null_count``/``has_nan`` are known for per-partition statistics
+    (derived from the exact zone synopses); whole-table statistics leave
+    them at their conservative defaults (``None`` = unknown null count).
+    """
 
     name: str
     dtype: DataType
     num_distinct: int
     min_value: Any = None
     max_value: Any = None
+    null_count: Optional[int] = None
+    has_nan: bool = False
 
     @property
     def width_bytes(self) -> int:
@@ -58,6 +65,23 @@ class ColumnStatistics:
 
 
 @dataclass(frozen=True)
+class PartitionStatistics:
+    """Statistics of one prunable unit of a partitioned table.
+
+    Mirrors the executor's prunable partitions (the ``main`` historic
+    portion and the ``hot`` partition): exact per-column ``min``/``max``/
+    ``null_count`` bounds derived from the zone synopses, which let the
+    cost-model estimator price partition pruning exactly instead of from
+    the whole-table range.  Per-partition distinct counts are not tracked
+    (``num_distinct`` is 0); compression statistics stay table-level.
+    """
+
+    label: str
+    num_rows: int
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class TableStatistics:
     """Statistics of a whole table, as kept in the system catalog."""
 
@@ -66,6 +90,8 @@ class TableStatistics:
     row_width_bytes: int
     columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
     store: Optional[Store] = None
+    #: Per-partition synopsis statistics (partitioned tables only).
+    partitions: Tuple["PartitionStatistics", ...] = ()
 
     def column(self, name: str) -> ColumnStatistics:
         return self.columns[name]
@@ -98,6 +124,14 @@ class TableStatistics:
                 f"{name}:{stats.dtype.value}:{stats.num_distinct}"
                 f":{stats.min_value!r}:{stats.max_value!r}"
             )
+        for partition in self.partitions:
+            tokens.append(f"[{partition.label}:{partition.num_rows}]")
+            for name in sorted(partition.columns):
+                stats = partition.columns[name]
+                tokens.append(
+                    f"{name}:{stats.min_value!r}:{stats.max_value!r}"
+                    f":{stats.null_count!r}:{int(stats.has_nan)}"
+                )
         digest = hashlib.blake2b("|".join(tokens).encode("utf-8"),
                                  digest_size=8).hexdigest()
         object.__setattr__(self, "_fingerprint", digest)
@@ -149,6 +183,7 @@ class TableStatistics:
             )
             for name, stats in self.columns.items()
         }
+        # Hypothetical row counts invalidate the per-partition synopses.
         return TableStatistics(
             table=self.table,
             num_rows=num_rows,
@@ -222,6 +257,31 @@ def compute_table_statistics(table) -> TableStatistics:
             min_value=low,
             max_value=high,
         )
+    partitions: Tuple[PartitionStatistics, ...] = ()
+    zone_units = getattr(table, "partition_zone_units", None)
+    if callable(zone_units):
+        # Partitioned tables: record each prunable unit's exact synopsis so
+        # the estimator can price partition pruning per unit.
+        recorded = []
+        for label, num_rows, zones in zone_units():
+            unit_columns = {
+                name: ColumnStatistics(
+                    name=name,
+                    dtype=schema.column(name).dtype,
+                    num_distinct=0,
+                    min_value=zone.min_value,
+                    max_value=zone.max_value,
+                    null_count=zone.null_count,
+                    has_nan=zone.has_nan,
+                )
+                for name, zone in zones.items()
+            }
+            recorded.append(
+                PartitionStatistics(
+                    label=label, num_rows=num_rows, columns=unit_columns
+                )
+            )
+        partitions = tuple(recorded)
     store = getattr(table, "store", None)
     return TableStatistics(
         table=schema.name,
@@ -229,4 +289,5 @@ def compute_table_statistics(table) -> TableStatistics:
         row_width_bytes=schema.row_width_bytes,
         columns=columns,
         store=store if isinstance(store, Store) else None,
+        partitions=partitions,
     )

@@ -131,6 +131,28 @@ class StoredTable:
                          accountant: Optional[CostAccountant] = None) -> Optional[np.ndarray]:
         return self._backend.filter_positions(predicate, accountant)
 
+    def charge_filter_scan(self, predicate: Optional[Predicate],
+                           accountant: Optional[CostAccountant] = None) -> None:
+        """Replay :meth:`filter_positions` charges for a zone-pruned DML scan."""
+        if predicate is not None:
+            self._backend.charge_filter_scan(predicate, accountant)
+
+    def charge_column_scan(self, column: str,
+                           accountant: Optional[CostAccountant] = None) -> None:
+        """Replay :meth:`column_array`'s full-read charges without reading."""
+        if accountant is None:
+            return
+        backend = self._backend
+        if isinstance(backend, ColumnStoreTable):
+            accountant.charge_sequential_read(
+                "column_scan", backend.column_code_bytes(column)
+            )
+            accountant.charge_dict_decodes(backend.num_rows)
+        else:
+            accountant.charge_sequential_read(
+                "row_scan", backend.num_rows * backend.row_width_bytes
+            )
+
     def fetch_rows(self, positions: Optional[Sequence[int]],
                    columns: Optional[Sequence[str]] = None,
                    accountant: Optional[CostAccountant] = None) -> List[Dict[str, Any]]:

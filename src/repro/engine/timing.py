@@ -138,6 +138,10 @@ class CostAccountant:
         # counters — they never contribute simulated time; EXPLAIN ANALYZE
         # reports them next to the plan's predicted pruning.
         self._partition_counts: Dict[str, list] = {}
+        # Per-table aggregate-pushdown strategy the execution consumed —
+        # telemetry only, reported by EXPLAIN ANALYZE next to the plan's
+        # recorded strategy.
+        self._agg_strategies: Dict[str, str] = {}
 
     # -- generic ---------------------------------------------------------------
 
@@ -227,6 +231,15 @@ class CostAccountant:
             table: (counts[0], counts[1])
             for table, counts in self._partition_counts.items()
         }
+
+    def record_aggregate_strategy(self, table: str, description: str) -> None:
+        """Record the aggregate-pushdown strategy consumed for *table*."""
+        self._agg_strategies[table] = description
+
+    @property
+    def aggregate_strategies(self) -> Dict[str, str]:
+        """Per-table aggregate-pushdown strategy descriptions."""
+        return dict(self._agg_strategies)
 
     # -- results ----------------------------------------------------------------
 

@@ -57,6 +57,7 @@ __all__ = [
     "ScanDecision",
     "is_nan",
     "zone_can_match",
+    "zone_must_match",
     "zone_pruning_enabled",
     "zone_pruning_disabled",
 ]
@@ -282,6 +283,129 @@ def _in_list_can_match(predicate: InList, zone: ColumnZone) -> bool:
         ):
             return True
     return False
+
+
+def zone_must_match(
+    predicate: Optional[Predicate],
+    zones: Mapping[str, ColumnZone],
+    num_rows: int,
+) -> bool:
+    """Whether *predicate* provably matches **every** row summarised by *zones*.
+
+    The dual of :func:`zone_can_match`, used by aggregate pushdown: when a
+    partition's zones prove the predicate all-true, an ungrouped
+    COUNT/MIN/MAX can be answered from the synopses without scanning.  Every
+    uncertainty — missing zone, unknown null count, incomparable literal
+    types — degrades to ``False`` (not provable), which merely loses the
+    optimisation.  NULL and NaN semantics mirror the scalar evaluator: a
+    comparison never matches a NULL row (so a provably-all-true comparison
+    needs a zero null count), ordered comparisons and equality never match
+    NaN, while ``BETWEEN`` (tested by exclusion) and ``!=`` are satisfied by
+    NaN rows.
+
+    Empty partitions answer ``True``: the proof is vacuous and the partition
+    contributes nothing either way.
+    """
+    if num_rows == 0 or predicate is None:
+        return True
+    try:
+        return _must_match(predicate, zones)
+    except TypeError:
+        return False
+
+
+def _must_match(predicate: Predicate, zones: Mapping[str, ColumnZone]) -> bool:
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, And):
+        return all(_must_match(child, zones) for child in predicate.predicates)
+    if isinstance(predicate, Or):
+        # Sufficient (not necessary): one disjunct covering every row covers
+        # the OR.  Mixed coverage across disjuncts stays unproven.
+        return any(_must_match(child, zones) for child in predicate.predicates)
+    if isinstance(predicate, Not):
+        # NOT p matches every row exactly when p matches none — which is the
+        # proof zone_can_match already provides.
+        return not _can_match(predicate.predicate, zones)
+    if not isinstance(predicate, (Comparison, Between, InList, IsNull)):
+        return False
+    zone = zones.get(predicate.column)
+    if zone is None or zone.null_count is None:
+        return False
+    if isinstance(predicate, IsNull):
+        return zone.null_count >= zone.num_rows
+    if zone.null_count > 0:
+        # Comparisons, BETWEEN and IN never match a NULL row.
+        return False
+    if isinstance(predicate, Comparison):
+        return _comparison_must_match(predicate, zone)
+    if isinstance(predicate, Between):
+        return _between_must_match(predicate, zone)
+    return _in_list_must_match(predicate, zone)
+
+
+def _comparison_must_match(predicate: Comparison, zone: ColumnZone) -> bool:
+    value = predicate.value
+    if value is None:
+        return False  # ``column <op> NULL`` matches nothing.
+    op = predicate.op
+    if op is CompareOp.NE:
+        if is_nan(value):
+            # ``x != NaN`` is true for every non-NaN cell; NaN cells also
+            # satisfy it (NaN != NaN).
+            return True
+        if not zone.has_values:
+            # Only NaN cells (nulls were excluded above): NaN != literal.
+            return zone.num_rows > 0
+        return bool(value < zone.min_value or value > zone.max_value)
+    if is_nan(value):
+        return False  # ordered/equality against NaN matches nothing
+    if zone.has_nan or not zone.has_values:
+        # NaN cells fail every ordered comparison and equality.
+        return False
+    if op is CompareOp.EQ:
+        return bool(zone.min_value == zone.max_value == value)
+    if op is CompareOp.LT:
+        return bool(zone.max_value < value)
+    if op is CompareOp.LE:
+        return bool(zone.max_value <= value)
+    if op is CompareOp.GT:
+        return bool(zone.min_value > value)
+    return bool(zone.min_value >= value)
+
+
+def _between_must_match(predicate: Between, zone: ColumnZone) -> bool:
+    # The scalar evaluator tests BETWEEN by exclusion (reject when
+    # ``value < low`` / ``value > high``), which NaN never fails — NaN cells
+    # always satisfy a BETWEEN, so only the real values need the range proof.
+    if not zone.has_values:
+        return zone.num_rows > 0  # all cells NaN (nulls excluded above)
+    if predicate.low is not None:
+        if predicate.include_low:
+            if not zone.min_value >= predicate.low:
+                return False
+        elif not zone.min_value > predicate.low:
+            return False
+    if predicate.high is not None:
+        if predicate.include_high:
+            if not zone.max_value <= predicate.high:
+                return False
+        elif not zone.max_value < predicate.high:
+            return False
+    return True
+
+
+def _in_list_must_match(predicate: InList, zone: ColumnZone) -> bool:
+    # Provable only in the degenerate single-value case: every cell holds the
+    # same value and the list contains it (NaN cells never match an IN).
+    if zone.has_nan or not zone.has_values:
+        return False
+    if not zone.min_value == zone.max_value:
+        return False
+    return any(
+        value is not None and not is_nan(value) and value == zone.min_value
+        for value in predicate.values
+    )
 
 
 # -- scan decisions (recorded in plans, validated at execution) ---------------------

@@ -68,6 +68,7 @@ class TestExplainGolden:
               estimated: 0.019 ms
               -> Aggregate sum(value), count(*)
                  group by: kind
+                 strategy: operator (row-store scan)
                  -> Scan events: row store, 100 rows, full scan
               estimated cost terms (ms):
                 agg_updates               0.0009

@@ -387,6 +387,46 @@ def test_pruning_and_code_domain_toggles_preserve_results(seed):
             )
 
 
+@pytest.mark.parametrize("seed", range(2))
+def test_aggregate_pushdown_toggle_preserves_results_and_charges(seed):
+    """Pushdown differential: pushdown results == decode-then-reduce results.
+
+    Every aggregation is executed twice against the same databases — once
+    with aggregate pushdown enabled (zero-scan answers, code-domain grouped
+    aggregation, partition-partial merging) and once under
+    ``aggregate_pushdown_disabled()`` — and both the row multisets and the
+    :class:`CostBreakdown` components must agree on every layout: pushdown
+    is a wall-clock optimisation, never a cost-model or semantics change.
+    Covers grouped + ungrouped aggregates over mixed-NULL, NaN,
+    empty-partition and post-DML tables.
+    """
+    from repro.engine.executor.agg_pushdown import aggregate_pushdown_disabled
+
+    rng = random.Random(2000 + seed)
+    num_rows = rng.choice([0, rng.randrange(1, 60), rng.randrange(60, 260)])
+    rows = generate_rows(rng, num_rows)
+    layouts = build_layouts(rng, rows, generate_dim_rows())
+    next_id = num_rows
+
+    for step in range(30):
+        if step and step % 7 == 0:
+            statement, next_id = random_dml(rng, next_id)
+            for database in layouts.values():
+                database.execute(statement)
+            continue
+        query = random_aggregation(rng)
+        for label, database in layouts.items():
+            pushed = database.execute(query)
+            with aggregate_pushdown_disabled():
+                reference = database.execute(query)
+            context = (
+                f"seed={seed} step={step} [{label}] pushdown-vs-decode "
+                f"query={query!r}"
+            )
+            assert_rows_equivalent(context, pushed.rows, reference.rows)
+            assert pushed.cost.components == reference.cost.components, context
+
+
 def test_fuzz_volume():
     """The suite executes the advertised ~200 differential queries."""
     assert 4 * QUERIES_PER_SEED >= 200

@@ -124,7 +124,7 @@ class TestDecodeCounting:
         # the decoded strings).
         assert counter.total() == num_groups
 
-    def test_group_by_with_aggregate_decodes_only_the_aggregate_input(self, monkeypatch):
+    def test_group_by_with_aggregate_decodes_only_per_group_values(self, monkeypatch):
         rows = make_rows(400)
         database = build_database(Store.COLUMN, rows)
         num_groups = len({row["region"] for row in rows})
@@ -134,8 +134,29 @@ class TestDecodeCounting:
             aggregate("facts").sum("amount").group_by("region").build()
         )
         assert len(result.rows) == num_groups
-        # amount decodes once per row (it is summed by value); region only
-        # per group.
+        # Aggregate pushdown: amount sums in the dictionary domain (the
+        # weights gather reads the dictionary's value array directly, no
+        # decode call); only the per-*group* region keys decode.  Before the
+        # pushdown the sum decoded all 400 amount values first.
+        assert counter.total() == num_groups
+
+    def test_group_by_with_aggregate_decodes_per_row_when_pushdown_disabled(
+        self, monkeypatch
+    ):
+        from repro.engine.executor.agg_pushdown import aggregate_pushdown_disabled
+
+        rows = make_rows(400)
+        database = build_database(Store.COLUMN, rows)
+        num_groups = len({row["region"] for row in rows})
+
+        counter = DecodeCounter(monkeypatch)
+        with aggregate_pushdown_disabled():
+            result = database.execute(
+                aggregate("facts").sum("amount").group_by("region").build()
+            )
+        assert len(result.rows) == num_groups
+        # The decode-then-reduce reference: amount decodes once per row,
+        # region once per group.
         assert counter.total() == len(rows) + num_groups
 
     def test_group_by_emission_matches_first_occurrence_order(self):

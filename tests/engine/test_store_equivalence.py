@@ -112,3 +112,36 @@ class TestStoreEquivalence:
             column_store.filter_positions(predicate) if rows else [], {"priority": new_priority}
         )
         assert row_store.all_rows() == column_store.all_rows()
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_integer_sum_stays_integral_on_every_path(self, rows):
+        """SUM over an int column is an int everywhere — including the
+        scalar reference (whose accumulator historically started at the
+        float 0.0 and drifted to float where the vectorized paths kept
+        ints) and the code-domain reduction, with identical values."""
+        from repro.engine.database import HybridDatabase
+        from repro.engine.executor.agg_pushdown import aggregate_pushdown_disabled
+        from repro.engine.executor.aggregates import aggregate_values
+        from repro.engine.types import Store
+        from repro.query.ast import AggregateFunction
+        from repro.query.builder import aggregate
+
+        expected = sum(row["priority"] for row in rows)
+        scalar = aggregate_values(
+            AggregateFunction.SUM, [row["priority"] for row in rows]
+        )
+        assert scalar == expected and type(scalar) is int
+        query = aggregate("events").sum("priority").build()
+        for store in Store:
+            database = HybridDatabase()
+            database.create_table(SCHEMA, store=store)
+            database.load_rows("events", rows)
+            for context in (aggregate_pushdown_disabled, None):
+                if context is None:
+                    value = database.execute(query).rows[0]["sum_priority"]
+                else:
+                    with context():
+                        value = database.execute(query).rows[0]["sum_priority"]
+                assert value == expected, store
+                assert type(value) is int, (store, context)

@@ -163,12 +163,18 @@ class TestZoneMaintenance:
         assert not zone_can_match(ge("day", 50), {"day": rebuilt}, 50)
 
     def test_update_keeps_zone_safe(self, table):
-        """Updates may leave the zone wider than the data — never narrower."""
+        """A zone may be wider than the live data but never narrower.
+
+        (Both backends now compute exact post-update bounds — the column
+        store reduces its live codes instead of trusting the dictionary,
+        whose ``column_min_max`` may retain the orphaned old value — so the
+        live data range is computed from the rows themselves here.)
+        """
         positions = table.filter_positions(eq("day", 99))
         table.update_rows(positions, {"day": 10})
         zone = table.column_zone("day")
-        low, high = table.column_min_max("day")
-        assert zone.min_value <= low and zone.max_value >= high
+        days = [row["day"] for row in table.all_rows()]
+        assert zone.min_value <= min(days) and zone.max_value >= max(days)
 
     def test_null_count_tracks_updates(self, table):
         positions = table.filter_positions(IsNull("score"))
