@@ -51,6 +51,9 @@ _FLOORS = {
     "group_by_string_100k_rowstore_ms": MIN_AGG_BUDGET_MS,
     "grouped_agg_pushdown_100k_ms": MIN_AGG_BUDGET_MS,
     "minmax_zero_scan_100k_ms": MIN_AGG_BUDGET_MS,
+    # 100k per-row inserts recorded in the hundreds of ms; a 50ms floor keeps
+    # an absurdly fast machine from tripping the 2x budget on noise alone.
+    "delta_insert_100k_ms": 50.0,
     **{key: MIN_SCAN_BUDGET_MS for key in SCAN_SCENARIOS},
 }
 

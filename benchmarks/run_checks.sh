@@ -11,10 +11,15 @@
 #              regresses >2x versus the committed baseline; the aggregate-
 #              pushdown scenarios additionally gate their live speedup over
 #              the decode-then-reduce reference (grouped >=3x, zero-scan
-#              MIN/MAX >=20x),
+#              MIN/MAX >=20x) and the delta/main write split gates per-row
+#              inserts at >=5x over the inline path,
 #   fuzz     — the seeded differential suites, standalone (cross-store,
-#              session-vs-legacy, and pruning-vs-decode; they also run
-#              inside tier-1; this run proves the marker works),
+#              session-vs-legacy, pruning-vs-decode, and delta-vs-inline;
+#              they also run inside tier-1; this run proves the marker works),
+#   faults   — the crash-point recovery differential suite: a fault-injection
+#              harness crashes the WAL/merge/checkpoint paths at every
+#              declared crash point and recovery must land on the committed
+#              prefix,
 #   examples — the session-API examples as executable documentation.
 #
 # Usage, from the repository root or this directory:
@@ -35,10 +40,14 @@ python -m pytest -m perf -q benchmarks
 echo "== bench comparator: committed BENCH_pipeline.json baseline =="
 python benchmarks/compare_bench.py \
     --fail-under grouped_agg_pushdown_100k_ms=3 \
-    --fail-under minmax_zero_scan_100k_ms=20
+    --fail-under minmax_zero_scan_100k_ms=20 \
+    --fail-under delta_insert_100k_ms=5
 
 echo "== fuzz: differential suites =="
 python -m pytest -m fuzz -q tests
+
+echo "== faults: crash-point recovery suite =="
+python -m pytest -m faultinject -q tests
 
 echo "== examples: session API smoke =="
 python examples/session_api.py > /dev/null

@@ -35,7 +35,11 @@ import time
 
 import pytest
 
-from repro.engine.column_store import code_domain_disabled
+from repro.engine.column_store import (
+    ColumnStoreTable,
+    code_domain_disabled,
+    delta_writes_disabled,
+)
 from repro.engine.database import HybridDatabase
 from repro.engine.executor.agg_pushdown import aggregate_pushdown_disabled
 from repro.engine.partitioning import HorizontalPartitionSpec, TablePartitioning
@@ -249,6 +253,54 @@ PUSHDOWN_SCENARIOS = {
 }
 
 
+# -- per-row writes (delta/main split) -------------------------------------------------
+
+DELTA_INSERT_ROWS = 100_000
+
+
+def measure_delta_insert_ms(inline_baseline: bool = False) -> float:
+    """Wall-clock of 100k per-row column-store inserts, plus one final merge.
+
+    Per-statement writes are the write-optimised delta's reason to exist:
+    each append lands in the uncompressed delta in O(1), and the dictionary
+    rebuild is paid once at merge time.  ``inline_baseline=True`` measures
+    the identical loop under ``delta_writes_disabled()`` — the pre-split
+    path, which re-extends the compressed codes array on every statement.
+    One repetition: the scenario is a 100k-statement stream, not a warm read.
+    """
+    schema = TableSchema.build(
+        "delta_bench",
+        [
+            ("id", DataType.INTEGER),
+            ("region", DataType.VARCHAR),
+            ("amount", DataType.DOUBLE),
+        ],
+        primary_key=["id"],
+    )
+    rng = random.Random(7)
+    rows = [
+        {
+            "id": i,
+            "region": f"r{i % 64:03d}",
+            "amount": round(rng.uniform(0.0, 100.0), 2),
+        }
+        for i in range(DELTA_INSERT_ROWS)
+    ]
+    table = ColumnStoreTable(schema)
+
+    def run_inline():
+        with delta_writes_disabled():
+            for row in rows:
+                table.insert_rows([row])
+
+    def run_delta():
+        for row in rows:
+            table.insert_rows([row])
+        table.merge_delta()
+
+    return best_of(run_inline if inline_baseline else run_delta, repetitions=1) * 1000.0
+
+
 # -- selective range scans (code-domain predicates + zone-map pruning) -----------------
 
 
@@ -371,6 +423,7 @@ MEASUREMENTS = {
     **{
         key: measure for key, (measure, _) in PUSHDOWN_SCENARIOS.items()
     },
+    "delta_insert_100k_ms": measure_delta_insert_ms,
     "fig10_s": measure_fig10_s,
 }
 
@@ -380,6 +433,11 @@ BASELINE_MEASUREMENTS = {
     key: (lambda measure=measure: measure(decode_baseline=True))
     for key, (measure, _) in PUSHDOWN_SCENARIOS.items()
 }
+#: The delta-insert baseline re-runs the inline write path live: it still
+#: exists behind ``delta_writes_disabled()`` and *is* the seed pipeline.
+BASELINE_MEASUREMENTS["delta_insert_100k_ms"] = lambda: measure_delta_insert_ms(
+    inline_baseline=True
+)
 
 
 @pytest.fixture(scope="module")
@@ -502,6 +560,25 @@ def test_aggregate_pushdown_speedups_are_recorded():
         payload = json.load(handle)
     for key, (_, bar) in PUSHDOWN_SCENARIOS.items():
         assert payload["speedup"][key] >= bar, key
+
+
+@pytest.mark.perf
+def test_delta_insert_has_not_regressed(recorded):
+    measured_ms = measure_delta_insert_ms()
+    budget_ms = recorded["delta_insert_100k_ms"] * REGRESSION_FACTOR
+    assert measured_ms <= budget_ms, (
+        f"100k per-row delta inserts took {measured_ms:.1f}ms, "
+        f"budget is {budget_ms:.1f}ms "
+        f"(recorded {recorded['delta_insert_100k_ms']:.1f}ms)"
+    )
+
+
+@pytest.mark.perf
+def test_delta_insert_speedup_is_recorded():
+    """The delta-split acceptance bar: >=5x over inline per-row inserts."""
+    with BENCH_FILE.open() as handle:
+        payload = json.load(handle)
+    assert payload["speedup"]["delta_insert_100k_ms"] >= 5.0
 
 
 @pytest.mark.perf

@@ -63,7 +63,7 @@ def measure_cold_s(session) -> float:
     """Repeated execution with the parse and plan caches cleared every time."""
     start = time.perf_counter()
     for i in range(REPEATS):
-        session.close()  # drop cached parses and plans: full pipeline each run
+        session.clear_caches()  # full parse -> bind -> plan pipeline each run
         session.sql(SQL, [i % NUM_ROWS])
     return time.perf_counter() - start
 

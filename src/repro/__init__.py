@@ -18,8 +18,8 @@ The package has five layers:
   (:mod:`repro.bench`).
 """
 
-from repro.api import PreparedStatement, Session, connect
-from repro.config import AdvisorConfig, DeviceModelConfig, ReproConfig
+from repro.api import PreparedStatement, RecoveryReport, Session, connect, recover
+from repro.config import AdvisorConfig, DeviceModelConfig, DurabilityConfig, ReproConfig
 from repro.core import (
     CostModel,
     CostModelCalibrator,
@@ -49,14 +49,17 @@ __all__ = [
     "CostModelCalibrator",
     "DataType",
     "DeviceModelConfig",
+    "DurabilityConfig",
     "HorizontalPartitionSpec",
     "HybridDatabase",
     "OnlineAdvisorMonitor",
     "PreparedStatement",
     "Recommendation",
+    "RecoveryReport",
     "ReproConfig",
     "Session",
     "connect",
+    "recover",
     "StorageAdvisor",
     "StorageLayout",
     "Store",

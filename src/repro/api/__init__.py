@@ -34,7 +34,9 @@ from repro.api.session import (
     Session,
     SessionStats,
     connect,
+    recover,
 )
+from repro.engine.wal import RecoveryReport
 
 __all__ = [
     "CostEstimate",
@@ -43,12 +45,14 @@ __all__ = [
     "PlanCache",
     "Planner",
     "PreparedStatement",
+    "RecoveryReport",
     "Session",
     "SessionStats",
     "TableAccessPlan",
     "bind",
     "connect",
     "describe_predicate",
+    "recover",
     "render_plan",
     "statement_parameters",
 ]

@@ -57,6 +57,15 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
         for table in sorted(actual.scan_stats):
             scanned, skipped = actual.scan_stats[table]
             lines.append(f"    {table:<22}{scanned:>4} / {skipped}")
+    if actual is not None and actual.delta_scans:
+        # Delta/main telemetry: rows each scan read from the write-optimised
+        # delta vs the dictionary-encoded main.  Only rendered when a scan
+        # actually touched a delta, so merge pressure is visible without
+        # changing the EXPLAIN output of merged (or load-only) tables.
+        lines.append("  delta scan (main/delta rows):")
+        for table in sorted(actual.delta_scans):
+            main_rows, delta_rows = actual.delta_scans[table]
+            lines.append(f"    {table:<22}{main_rows:>4} / {delta_rows}")
     if actual is not None and actual.agg_strategies:
         # Aggregate-pushdown telemetry: the strategy execution consumed —
         # pinned equal to the plan's recorded strategy in the Aggregate line.

@@ -41,10 +41,11 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.api.binder import Params, bind, statement_parameters
 from repro.api.explain import render_plan
 from repro.api.plan import PhysicalPlan, PlanCache, Planner
-from repro.config import AdvisorConfig, DeviceModelConfig
+from repro.config import AdvisorConfig, DeviceModelConfig, DurabilityConfig
 from repro.core.advisor.advisor import StorageAdvisor
 from repro.core.advisor.recommendation import Recommendation
 from repro.engine.database import HybridDatabase, WorkloadRunResult
+from repro.engine.wal import RecoveryReport, WriteAheadLog, recover as wal_recover
 from repro.engine.executor.executor import QueryResult
 from repro.engine.partitioning import TablePartitioning
 from repro.engine.schema import TableSchema
@@ -126,6 +127,8 @@ class Session:
         device_config: Optional[DeviceModelConfig] = None,
         advisor_config: Optional[AdvisorConfig] = None,
         plan_cache_capacity: int = 512,
+        wal_path: Optional[str] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         self.database = database if database is not None else HybridDatabase(device_config)
         self._advisor = StorageAdvisor(
@@ -139,6 +142,18 @@ class Session:
         self._statements_parsed = 0
         self._parse_cache_hits = 0
         self._prepared_statements = 0
+        self._closed = False
+        if durability is not None:
+            self.database.delta_merge_threshold = durability.delta_merge_threshold
+        if wal_path is not None and self.database.wal is None:
+            durability = durability or DurabilityConfig()
+            self.database.attach_wal(
+                WriteAheadLog(
+                    wal_path,
+                    sync_mode=durability.wal_sync_mode,
+                    batch_size=durability.wal_batch_size,
+                )
+            )
 
     # -- context management -------------------------------------------------------
 
@@ -146,10 +161,40 @@ class Session:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Close unconditionally: an exception inside the ``with`` body must
+        # not leak the WAL file handle or cached plans.
         self.close()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Release cached plans (the database itself stays usable)."""
+        """Release cached plans and close an attached WAL.
+
+        Idempotent and exception-safe: calling it twice (or after a failed
+        statement) is a no-op the second time, listeners are dropped so a
+        half-torn-down monitor cannot be re-notified, and the WAL is flushed
+        and closed even if clearing a cache were to fail.  The database
+        itself stays usable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.clear_caches()
+            self._plan_listeners.clear()
+        finally:
+            wal = self.database.wal
+            if wal is not None and not wal.closed:
+                wal.close()
+
+    def clear_caches(self) -> None:
+        """Drop every cached parse and plan (cold-start measurements, tests).
+
+        The session stays fully usable: the next statement runs the whole
+        parse -> bind -> plan pipeline again and re-populates the caches.
+        """
         self._plan_cache.clear()
         self._parse_cache.clear()
 
@@ -332,6 +377,20 @@ class Session:
     ) -> Dict[str, TableStatistics]:
         return self.database.refresh_statistics(name)
 
+    # -- durability ----------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the database into the attached WAL and reset the log."""
+        return self.database.checkpoint()
+
+    def snapshot(self, name: str):
+        """A consistent read view of table *name* (snapshot isolation)."""
+        return self.database.snapshot(name)
+
+    def merge_deltas(self, name: Optional[str] = None) -> int:
+        """Merge column-store delta rows into main (one table, or all)."""
+        return self.database.merge_deltas(name)
+
     def describe(self) -> str:
         return self.database.describe()
 
@@ -369,11 +428,55 @@ def connect(
     device_config: Optional[DeviceModelConfig] = None,
     advisor_config: Optional[AdvisorConfig] = None,
     plan_cache_capacity: int = 512,
+    wal_path: Optional[str] = None,
+    durability: Optional[DurabilityConfig] = None,
 ) -> Session:
-    """Open a :class:`Session` over a new (or an existing) database."""
+    """Open a :class:`Session` over a new (or an existing) database.
+
+    With a *wal_path*, every DDL/DML statement is logged to a write-ahead
+    log at that path so the database can be rebuilt with :func:`recover`
+    after a crash.  *durability* tunes the WAL sync mode and the delta
+    merge threshold (see :class:`~repro.config.DurabilityConfig`).
+    """
     return Session(
         database=database,
         device_config=device_config,
         advisor_config=advisor_config,
         plan_cache_capacity=plan_cache_capacity,
+        wal_path=wal_path,
+        durability=durability,
     )
+
+
+def recover(
+    path: str,
+    device_config: Optional[DeviceModelConfig] = None,
+    advisor_config: Optional[AdvisorConfig] = None,
+    plan_cache_capacity: int = 512,
+    durability: Optional[DurabilityConfig] = None,
+) -> Tuple[Session, RecoveryReport]:
+    """Rebuild a database from the WAL at *path* and open a session over it.
+
+    Replays the log (restoring the latest checkpoint snapshot first, when
+    one exists), then re-opens the log for appending — truncating any torn
+    tail — so the returned session is durable again.  The report describes
+    what replay found: corrupt records skipped, torn bytes dropped, LSNs
+    applied.  Recovery itself is read-only and idempotent; only the re-open
+    for appending trims the file.
+    """
+    result = wal_recover(path, device_config)
+    durability = durability or DurabilityConfig()
+    result.database.attach_wal(
+        WriteAheadLog(
+            path,
+            sync_mode=durability.wal_sync_mode,
+            batch_size=durability.wal_batch_size,
+        )
+    )
+    session = Session(
+        database=result.database,
+        advisor_config=advisor_config,
+        plan_cache_capacity=plan_cache_capacity,
+        durability=durability,
+    )
+    return session, result.report

@@ -118,10 +118,29 @@ class AdvisorConfig:
     min_relative_improvement: float = 0.02
 
 
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Durability knobs: write-ahead logging and the delta/main merge.
+
+    Consumed by :func:`repro.api.connect` when a ``wal_path`` is given, and
+    by the engine's column-store backends for merge scheduling.
+    """
+
+    #: When the WAL flushes to disk: ``"commit"`` after every statement,
+    #: ``"batch"`` every :attr:`wal_batch_size` records, ``"off"`` only on
+    #: checkpoint/close (fastest, loses the tail on a crash).
+    wal_sync_mode: str = "commit"
+    #: Records buffered between flushes in ``"batch"`` mode.
+    wal_batch_size: int = 32
+    #: Delta size (rows) at which a column-store insert triggers a merge.
+    delta_merge_threshold: int = 65536
+
+
 @dataclass
 class ReproConfig:
     """Top-level configuration bundle used by examples and benchmarks."""
 
     device: DeviceModelConfig = field(default_factory=DeviceModelConfig)
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     seed: int = DEFAULT_SEED

@@ -18,6 +18,25 @@ express (incomparable literal types, columns it does not know) fall back to
 the decode-and-compare path, which mirrors the row store's evaluator.
 ``code_domain_disabled()`` forces that fallback everywhere — the
 differential fuzzer and the scan benchmarks use it as the reference path.
+
+**Delta/main split** (the paper's write-optimised store): DML inserts append
+to an uncompressed per-column delta buffer (:class:`DeltaColumn`) — no
+dictionary re-sort, no code remap, no zone rebuild — while the dictionary-
+encoded *main* stays frozen between merges.  Scans union main and delta;
+:meth:`ColumnStoreTable.merge_delta` re-encodes the delta into main
+(explicitly, or when the delta reaches ``merge_threshold`` rows).  The merge
+is modelled as asynchronous reorganisation and is charge-free; every *read*
+charge and statistic is computed over the **logical** column (main rows plus
+delta rows, main dictionary plus the delta's new values), so the
+:class:`~repro.engine.timing.CostBreakdown` of any query is bit-identical to
+the inline-write reference reachable via ``delta_writes_disabled()`` — the
+delta is a wall-clock write optimisation, not a cost-model change.  Updates
+and deletes merge first and then mutate main exactly as the reference does.
+
+**Snapshot visibility**: :meth:`ColumnStoreTable.snapshot` seals the table
+and returns a consistent read view; the next merge or in-place mutation
+copies-on-write, so readers opened before a merge keep seeing the table as
+of the snapshot while writers proceed.
 """
 
 from __future__ import annotations
@@ -27,13 +46,20 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.batch import ColumnBatch, EncodedColumn, evaluate_predicate_mask
+from repro.engine.batch import (
+    BatchColumn,
+    ColumnBatch,
+    EncodedColumn,
+    evaluate_predicate_mask,
+    values_to_array,
+)
 from repro.engine.compression import CompressedColumn, code_width_bytes
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
-from repro.engine.zonemap import ColumnZone, next_zone_epoch
+from repro.engine.zonemap import ColumnZone, is_nan, next_zone_epoch, widen_zone
 from repro.errors import ExecutionError
+from repro.testing import faults
 from repro.query.predicates import (
     And,
     Between,
@@ -76,6 +102,153 @@ def code_domain_disabled() -> Iterator[None]:
         yield
     finally:
         _CODE_DOMAIN_ENABLED = previous
+
+
+_DELTA_WRITES_ENABLED = True
+
+#: Delta size (in rows) at which an insert triggers an automatic merge.
+DEFAULT_MERGE_THRESHOLD = 65536
+
+
+def delta_writes_enabled() -> bool:
+    """Whether DML inserts append to the delta (vs inline dictionary encoding)."""
+    return _DELTA_WRITES_ENABLED
+
+
+@contextmanager
+def delta_writes_disabled() -> Iterator[None]:
+    """Force the inline-write reference path for every insert.
+
+    The recovery and differential fuzzers run the reference executions under
+    this toggle: results *and* ``CostBreakdown`` charges must be bit-identical
+    to the delta path.  (A delta already buffered keeps serving reads — the
+    toggle governs where new writes go, not how existing rows are read.)
+    """
+    global _DELTA_WRITES_ENABLED
+    previous = _DELTA_WRITES_ENABLED
+    _DELTA_WRITES_ENABLED = False
+    try:
+        yield
+    finally:
+        _DELTA_WRITES_ENABLED = previous
+
+
+class DeltaColumn:
+    """Uncompressed append buffer of one column — the write-optimised delta.
+
+    Appends are O(1): the value lands in a plain list, with no dictionary
+    re-sort and no code remap (the frozen main column is untouched).
+    Alongside the raw values the delta maintains exactly the aggregates the
+    logical statistics need:
+
+    * ``null_count`` and ``has_nan`` (zone synopses),
+    * ``new_values`` — the distinct values absent from the frozen main
+      dictionary (the logical distinct count is ``main + new``), and
+    * ``representative`` — one orderable value, used by the predicate
+      compiler to probe literal comparability so its fallback verdict matches
+      what the merged dictionary would have produced.
+    """
+
+    __slots__ = (
+        "values",
+        "null_count",
+        "has_nan",
+        "new_values",
+        "representative",
+        "_array",
+    )
+
+    def __init__(self) -> None:
+        self.values: List[Any] = []
+        self.null_count = 0
+        self.has_nan = False
+        self.new_values: set = set()
+        self.representative: Any = None
+        self._array: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def append(self, value: Any, main_dictionary) -> None:
+        self.values.append(value)
+        self._array = None
+        if value is None:
+            self.null_count += 1
+        elif is_nan(value):
+            self.has_nan = True
+        else:
+            self.representative = value
+            if (
+                value not in self.new_values
+                and main_dictionary.encode_existing(value) is None
+            ):
+                self.new_values.add(value)
+
+    def truncate(self, length: int, main_dictionary) -> None:
+        """Roll back to the first *length* values (aborted batch insert)."""
+        survivors = self.values[:length]
+        self.__init__()
+        for value in survivors:
+            self.append(value, main_dictionary)
+
+    def array(self) -> np.ndarray:
+        """The buffered values as a numpy array (cached until the next append)."""
+        if self._array is None:
+            self._array = values_to_array(list(self.values))
+        return self._array
+
+    @property
+    def new_null(self) -> bool:
+        """Whether the delta introduces NULL to a NULL-free main dictionary."""
+        return self.null_count > 0
+
+
+class ColumnStoreSnapshot:
+    """Consistent read view of a column-store table at snapshot time.
+
+    Shares the (frozen) main column objects and copies the small delta
+    buffers; :meth:`ColumnStoreTable.snapshot` seals the table so any later
+    merge or in-place mutation swaps in fresh column objects (copy-on-write)
+    instead of touching the shared ones.
+    """
+
+    __slots__ = ("schema", "_columns", "_delta_values", "num_rows")
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        columns: Dict[str, CompressedColumn],
+        delta_values: Dict[str, Tuple[Any, ...]],
+        num_rows: int,
+    ) -> None:
+        self.schema = schema
+        self._columns = columns
+        self._delta_values = delta_values
+        self.num_rows = num_rows
+
+    def column_values(self, column: str) -> List[Any]:
+        main = self._columns[column].values_array_at(None).tolist()
+        return main + list(self._delta_values[column])
+
+    def rows(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        lists = [self.column_values(name) for name in names]
+        return [dict(zip(names, values)) for values in zip(*lists)] if lists else []
+
+
+def _concat_values(main: np.ndarray, delta: np.ndarray) -> np.ndarray:
+    """Concatenate a main decode with a delta buffer, keeping object-ness.
+
+    ``np.concatenate`` of an object part with a native part would try to
+    coerce; building an object array preserves the exact values (NULLs
+    included) the way a merged-dictionary decode would.
+    """
+    if main.dtype == object or delta.dtype == object:
+        result = np.empty(len(main) + len(delta), dtype=object)
+        result[: len(main)] = main
+        result[len(main):] = delta
+        return result
+    return np.concatenate([main, delta])
 
 
 #: A charge record of one compiled predicate leaf: the compressed column it
@@ -307,6 +480,10 @@ class ColumnStoreTable:
 
     store = Store.COLUMN
 
+    #: Delta size at which an insert triggers an automatic merge (class-level
+    #: default; tests and sessions override per instance).
+    merge_threshold = DEFAULT_MERGE_THRESHOLD
+
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._columns: Dict[str, CompressedColumn] = {
@@ -314,6 +491,17 @@ class ColumnStoreTable:
             for column in schema.columns
         }
         self._num_rows = 0
+        # Write-optimised delta: per-column uncompressed append buffers.
+        # ``_num_rows`` always counts main + delta; delta rows occupy the
+        # positions ``main_rows .. num_rows-1`` in append order, which merges
+        # preserve (the delta is re-encoded onto the end of main).
+        self._delta: Dict[str, DeltaColumn] = {
+            name: DeltaColumn() for name in self._columns
+        }
+        self._delta_len = 0
+        # Snapshot support: a sealed table copies-on-write before any
+        # in-place mutation of its main columns (see ``snapshot``).
+        self._sealed = False
         self._pk_column: Optional[str] = None
         if len(schema.primary_key) == 1:
             self._pk_column = schema.primary_key[0]
@@ -332,21 +520,44 @@ class ColumnStoreTable:
         return self._num_rows
 
     @property
+    def delta_rows(self) -> int:
+        """Rows buffered in the write-optimised delta (not yet merged)."""
+        return self._delta_len
+
+    @property
+    def main_rows(self) -> int:
+        """Rows in the dictionary-encoded main store."""
+        return self._num_rows - self._delta_len
+
+    @property
     def row_width_bytes(self) -> int:
         return self.schema.row_width_bytes
 
     @property
     def memory_bytes(self) -> float:
-        return sum(column.compressed_bytes for column in self._columns.values())
+        return sum(
+            self._logical_compressed_bytes(name) for name in self._columns
+        )
 
     def compression_rate(self, column: Optional[str] = None) -> float:
-        """Compressed-to-raw size ratio for one column or the whole table."""
+        """Compressed-to-raw size ratio for one column or the whole table.
+
+        Computed over the **logical** column (main plus delta) so the ratio —
+        and every estimate derived from it — is independent of merge timing.
+        """
         if column is not None:
-            return self._columns[column].compression_rate
+            if self._num_rows == 0:
+                return 1.0
+            raw = self._num_rows * self.schema.column(column).dtype.width_bytes
+            return min(1.0, self._logical_compressed_bytes(column) / raw) if raw else 1.0
         if self._num_rows == 0:
             return 1.0
-        raw = sum(col.raw_bytes for col in self._columns.values())
-        compressed = sum(col.compressed_bytes for col in self._columns.values())
+        raw = sum(
+            self._num_rows * col.dtype.width_bytes for col in self.schema.columns
+        )
+        compressed = sum(
+            self._logical_compressed_bytes(name) for name in self._columns
+        )
         return min(1.0, compressed / raw) if raw else 1.0
 
     def has_index(self, column: str) -> bool:
@@ -354,11 +565,37 @@ class ColumnStoreTable:
         return True
 
     def column_compressed_bytes(self, column: str) -> float:
-        return self._columns[column].compressed_bytes
+        return self._logical_compressed_bytes(column)
 
     def column_code_bytes(self, column: str) -> float:
         """Bytes a sequential scan of *column* reads (code array only)."""
-        return self._columns[column].code_bytes
+        return self._logical_code_bytes(column)
+
+    # -- logical statistics (main + delta) ---------------------------------------
+
+    def _logical_distinct(self, column: str) -> int:
+        """Distinct count of the merged column, without merging.
+
+        Main's dictionary size (NULL and NaN entries included) plus the
+        delta's genuinely new values, NULL and NaN counted once each.
+        """
+        compressed = self._columns[column]
+        delta = self._delta[column]
+        distinct = compressed.num_distinct + len(delta.new_values)
+        if delta.null_count and not compressed.dictionary.has_null:
+            distinct += 1
+        if delta.has_nan and compressed.dictionary.nan_code is None:
+            distinct += 1
+        return distinct
+
+    def _logical_code_bytes(self, column: str) -> float:
+        """Code-array bytes of the merged column: total rows at merged width."""
+        return self._num_rows * code_width_bytes(self._logical_distinct(column))
+
+    def _logical_compressed_bytes(self, column: str) -> float:
+        distinct = self._logical_distinct(column)
+        dict_bytes = distinct * self.schema.column(column).dtype.width_bytes
+        return self._num_rows * code_width_bytes(distinct) + dict_bytes
 
     # -- loading and modification ----------------------------------------------------
 
@@ -404,7 +641,11 @@ class ColumnStoreTable:
         positions = []
         if pending:
             try:
-                self._extend_columns(pending)
+                if _DELTA_WRITES_ENABLED:
+                    self._extend_delta(pending)
+                else:
+                    self._unseal_for_write()
+                    self._extend_columns(pending)
             except Exception:
                 if self._pk_column is not None:
                     for row in pending:
@@ -417,6 +658,8 @@ class ColumnStoreTable:
                 self._num_rows += 1
         if failure is not None:
             raise failure
+        if self._delta_len >= self.merge_threshold:
+            self.merge_delta()
         return positions
 
     def _extend_columns(self, pending: Sequence[Mapping[str, Any]]) -> None:
@@ -436,6 +679,82 @@ class ColumnStoreTable:
                 column.truncate(old_size)
             raise
 
+    def _extend_delta(self, pending: Sequence[Mapping[str, Any]]) -> None:
+        """Delta-path twin of :meth:`_extend_columns`, with the same rollback.
+
+        If a column rejects one of its values mid-batch the already-extended
+        delta buffers are truncated back, so the buffers never end up with
+        misaligned lengths.
+        """
+        extended: List[Tuple[str, int]] = []
+        try:
+            for name, delta in self._delta.items():
+                extended.append((name, len(delta)))
+                dictionary = self._columns[name].dictionary
+                for row in pending:
+                    delta.append(row[name], dictionary)
+        except Exception:
+            for name, old_len in extended:
+                self._delta[name].truncate(old_len, self._columns[name].dictionary)
+            raise
+        self._delta_len += len(pending)
+
+    def merge_delta(self) -> int:
+        """Re-encode the delta into main; returns the number of rows merged.
+
+        The merge builds aside and swaps: each main column is cloned, the
+        clone absorbs the delta values in one :meth:`CompressedColumn.extend`
+        pass, and only then does the table switch over.  A crash at any of
+        the ``merge.*`` fault points therefore leaves the table consistent
+        (either entirely pre-merge or entirely post-merge), and snapshots
+        keep reading the old column objects.  Dictionary accumulation is
+        history-order independent, so the post-merge physical state is
+        bit-identical to inline insertion — the basis of the
+        ``delta_writes_disabled()`` equivalence contract.  The merge itself
+        is charge-free: it models asynchronous reorganisation, and all read
+        charges are logical (main + delta) anyway.
+        """
+        if self._delta_len == 0:
+            return 0
+        faults.fault_point("merge.before")
+        merged = self._delta_len
+        rebuilt: Dict[str, CompressedColumn] = {}
+        for name, column in self._columns.items():
+            clone = column.clone()
+            clone.extend(list(self._delta[name].values))
+            rebuilt[name] = clone
+        faults.fault_point("merge.after_build")
+        self._columns = rebuilt
+        self._delta = {name: DeltaColumn() for name in self._columns}
+        self._delta_len = 0
+        self._sealed = False
+        self._bump_zone_epoch()
+        faults.fault_point("merge.after_swap")
+        return merged
+
+    def _unseal_for_write(self) -> None:
+        """Copy-on-write before an in-place mutation of the main columns.
+
+        No-op unless a :meth:`snapshot` sealed the table; then every main
+        column is cloned so the snapshot keeps the originals.  (Delta appends
+        never need this — snapshots copy the delta values outright.)
+        """
+        if self._sealed:
+            self._columns = {
+                name: column.clone() for name, column in self._columns.items()
+            }
+            self._sealed = False
+
+    def snapshot(self) -> ColumnStoreSnapshot:
+        """A consistent read view of the table as of now (see module docs)."""
+        self._sealed = True
+        return ColumnStoreSnapshot(
+            self.schema,
+            dict(self._columns),
+            {name: tuple(delta.values) for name, delta in self._delta.items()},
+            self._num_rows,
+        )
+
     def bulk_load(self, rows: Sequence[Mapping[str, Any]]) -> None:
         """Load rows without cost accounting (used by generators and tests).
 
@@ -446,6 +765,7 @@ class ColumnStoreTable:
             return
         self._bump_zone_epoch()
         if self._num_rows == 0:
+            self._unseal_for_write()
             columns = self.schema.validate_rows_columnar(rows)
             for name, column in self._columns.items():
                 column.bulk_load(columns[name])
@@ -460,6 +780,10 @@ class ColumnStoreTable:
         else:
             validated = [self.schema.validate_row(row) for row in rows]
             self.insert_rows(validated, accountant=None)
+            # Bulk loads are synchronous reorganisation points: merging right
+            # away keeps the physical state of load paths identical to the
+            # pre-delta pipeline (only DML inserts populate a lasting delta).
+            self.merge_delta()
 
     def bulk_load_columns(self, columns: Mapping[str, Any], num_rows: int) -> None:
         """Adopt already-validated column data (store-conversion fast path).
@@ -471,6 +795,7 @@ class ColumnStoreTable:
         if self._num_rows:
             raise ExecutionError("bulk_load_columns requires an empty table")
         self._bump_zone_epoch()
+        self._unseal_for_write()
         for name, compressed in self._columns.items():
             compressed.bulk_load(columns[name])
         self._num_rows = num_rows
@@ -495,9 +820,15 @@ class ColumnStoreTable:
         version to the delta.  Accordingly every affected row is charged the
         update penalty for *all* of the table's columns, which is the main
         reason updates favour the row store in the paper's cost model.
+
+        Updates merge the delta first (charge-free, position-preserving) and
+        then mutate main exactly as the pre-delta pipeline did — *positions*
+        computed over the union before the merge stay valid.
         """
         if not assignments:
             return 0
+        self.merge_delta()
+        self._unseal_for_write()
         self._bump_zone_epoch()
         coerced = {
             name: self.schema.column(name).dtype.coerce(value)
@@ -525,10 +856,12 @@ class ColumnStoreTable:
 
         The rebuild is columnar: each column masks its code array and shrinks
         its dictionary to the surviving codes — no row is ever reconstructed
-        as a dict.
+        as a dict.  Like updates, deletes merge the delta first.
         """
         if len(positions) == 0:
             return 0
+        self.merge_delta()
+        self._unseal_for_write()
         self._bump_zone_epoch()
         doomed = np.unique(np.asarray(positions, dtype=np.int64))
         if accountant is not None:
@@ -563,8 +896,15 @@ class ColumnStoreTable:
         """
         if predicate is None:
             return None
-        if _CODE_DOMAIN_ENABLED:
-            compiled = compile_code_mask(predicate, self._columns, self._num_rows)
+        delta_len = self._delta_len
+        if accountant is not None and delta_len:
+            accountant.record_delta_scan(
+                self.schema.name, self._num_rows - delta_len, delta_len
+            )
+        if _CODE_DOMAIN_ENABLED and (not delta_len or self._delta_compile_ok(predicate)):
+            compiled = compile_code_mask(
+                predicate, self._columns, self._num_rows - delta_len
+            )
             if compiled is not None:
                 mask, leaves = compiled
                 if accountant is not None:
@@ -573,9 +913,20 @@ class ColumnStoreTable:
                             # Dictionary lookup of the literal(s).
                             accountant.charge_index_probe()
                         accountant.charge_sequential_read(
-                            "column_scan", column.code_bytes
+                            "column_scan", self._logical_code_bytes(column.name)
                         )
                         accountant.charge_vector_compares(self._num_rows)
+                if delta_len:
+                    # The delta portion is evaluated in the value domain —
+                    # result-equivalent to the code domain (the differential
+                    # fuzzer pins this) and charge-free: the charges above
+                    # already cover the full logical column.
+                    arrays = {
+                        name: self._delta[name].array()
+                        for name in predicate.columns()
+                    }
+                    delta_mask = evaluate_predicate_mask(predicate, arrays, delta_len)
+                    mask = np.concatenate([mask, delta_mask])
                 return np.nonzero(mask)[0].astype(np.int64)
         # Fallback: decode the referenced columns (vectorized gather) and
         # evaluate the predicate over the value arrays; predicates the
@@ -584,13 +935,60 @@ class ColumnStoreTable:
         if accountant is not None:
             for name in referenced:
                 accountant.charge_sequential_read(
-                    "column_scan", self._columns[name].code_bytes
+                    "column_scan", self._logical_code_bytes(name)
                 )
             accountant.charge_dict_decodes(self._num_rows * len(referenced))
             accountant.charge_predicate_evals(self._num_rows)
-        arrays = {name: self._columns[name].values_array_at() for name in referenced}
+        arrays = {name: self._union_values_array(name) for name in referenced}
         mask = evaluate_predicate_mask(predicate, arrays, self._num_rows)
         return np.nonzero(mask)[0].astype(np.int64)
+
+    def _delta_compile_ok(self, predicate: Predicate) -> bool:
+        """Whether code-domain compilation stays valid with a non-empty delta.
+
+        Compilation over the frozen main dictionary can only diverge from the
+        inline reference (which would have merged the delta's values into the
+        dictionary) in its *TypeError verdict*: an ordered comparison or a
+        BETWEEN bisects the literal against the dictionary values, and a
+        literal comparable with main's values may be incomparable with the
+        delta's (or vice versa — main empty, delta populated).  Column values
+        are dtype-coerced and therefore homogeneous, so probing one
+        representative delta value reproduces the merged dictionary's verdict
+        exactly.  ``EQ``/``NE``/``IN``/``IS NULL`` never fall back
+        (``encode_existing`` swallows the TypeError), and comparisons against
+        NULL or NaN literals short-circuit before any bisect — no probe.
+        """
+        if isinstance(predicate, (And, Or)):
+            return all(self._delta_compile_ok(child) for child in predicate.predicates)
+        if isinstance(predicate, Not):
+            return self._delta_compile_ok(predicate.predicate)
+        if isinstance(predicate, Comparison):
+            if predicate.op in (CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE):
+                value = predicate.value
+                if value is None or (isinstance(value, float) and value != value):
+                    return True
+                return self._probe_orderable(predicate.column, value)
+            return True
+        if isinstance(predicate, Between):
+            # NaN bounds do reach the bisect in the inline path, so they are
+            # probed too (float vs str comparison raises regardless of NaN).
+            for bound in (predicate.low, predicate.high):
+                if bound is not None and not self._probe_orderable(
+                    predicate.column, bound
+                ):
+                    return False
+            return True
+        return True
+
+    def _probe_orderable(self, column: str, literal: Any) -> bool:
+        delta = self._delta.get(column)
+        if delta is None or delta.representative is None:
+            return True
+        try:
+            literal < delta.representative  # noqa: B015 — probe for TypeError
+            return True
+        except TypeError:
+            return False
 
     def charge_filter_scan(
         self, predicate: Predicate, accountant: Optional[CostAccountant]
@@ -606,21 +1004,23 @@ class ColumnStoreTable:
         """
         if accountant is None or predicate is None:
             return
-        if _CODE_DOMAIN_ENABLED:
+        if _CODE_DOMAIN_ENABLED and (
+            not self._delta_len or self._delta_compile_ok(predicate)
+        ):
             leaves = compile_code_leaves(predicate, self._columns)
             if leaves is not None:
                 for column, probed in leaves:
                     if probed:
                         accountant.charge_index_probe()
                     accountant.charge_sequential_read(
-                        "column_scan", column.code_bytes
+                        "column_scan", self._logical_code_bytes(column.name)
                     )
                     accountant.charge_vector_compares(self._num_rows)
                 return
         referenced = sorted(predicate.columns())
         for name in referenced:
             accountant.charge_sequential_read(
-                "column_scan", self._columns[name].code_bytes
+                "column_scan", self._logical_code_bytes(name)
             )
         accountant.charge_dict_decodes(self._num_rows * len(referenced))
         accountant.charge_predicate_evals(self._num_rows)
@@ -650,7 +1050,7 @@ class ColumnStoreTable:
             for name in selected:
                 self._charge_materialisation(name, num_positions, accountant)
         batch = ColumnBatch(
-            {name: self._columns[name].values_array_at(gather) for name in selected},
+            {name: self._union_values_array(name, gather) for name in selected},
             num_rows=num_positions,
         )
         return batch.to_rows()
@@ -671,7 +1071,7 @@ class ColumnStoreTable:
             accountant.charge_tuple_reconstructions(num_positions)
         else:
             accountant.charge_sequential_read(
-                "column_scan", self._columns[column].code_bytes
+                "column_scan", self._logical_code_bytes(column)
             )
             accountant.charge_dict_decodes(num_positions)
 
@@ -699,22 +1099,62 @@ class ColumnStoreTable:
         Charges are identical to the scalar accessor — the batch pipeline is a
         wall-clock optimisation, not a cost-model change.
         """
-        compressed = self._columns[column]
         if positions is None:
             if accountant is not None:
-                accountant.charge_sequential_read("column_scan", compressed.code_bytes)
+                accountant.charge_sequential_read(
+                    "column_scan", self._logical_code_bytes(column)
+                )
                 accountant.charge_dict_decodes(self._num_rows)
-            return compressed.values_array_at(None)
+            return self._union_values_array(column, None)
         if accountant is not None:
             self._charge_materialisation(column, len(positions), accountant)
-        return compressed.values_array_at(np.asarray(positions, dtype=np.int64))
+        return self._union_values_array(
+            column, np.asarray(positions, dtype=np.int64)
+        )
+
+    def _union_values_array(
+        self, column: str, positions: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Decoded values across main and delta (all rows or a gather).
+
+        With an empty delta this is exactly the main column's decode.
+        Otherwise main positions decode through the dictionary and delta
+        positions index the raw value buffer; either part being an object
+        array (NULL present, or an empty dictionary) promotes the result to
+        object, mirroring what decoding the merged dictionary would yield.
+        """
+        compressed = self._columns[column]
+        delta = self._delta[column]
+        if not len(delta):
+            return compressed.values_array_at(positions)
+        main_size = len(compressed)
+        if positions is None:
+            return _concat_values(compressed.values_array_at(None), delta.array())
+        positions = np.asarray(positions, dtype=np.int64)
+        in_main = positions < main_size
+        if in_main.all():
+            return compressed.values_array_at(positions)
+        delta_array = delta.array()
+        if not in_main.any():
+            return delta_array[positions - main_size]
+        main_part = compressed.values_array_at(positions[in_main])
+        delta_part = delta_array[positions[~in_main] - main_size]
+        if main_part.dtype == object or delta_part.dtype == object:
+            result = np.empty(len(positions), dtype=object)
+        else:
+            result = np.empty(
+                len(positions), dtype=np.result_type(main_part, delta_part)
+            )
+        result[in_main] = main_part
+        result[~in_main] = delta_part
+        return result
 
     def column_encoded(
         self,
         column: str,
         positions: Optional[Sequence[int]] = None,
         accountant: Optional[CostAccountant] = None,
-    ) -> EncodedColumn:
+    ) -> BatchColumn:
         """Late-materialized read: the column's ``(codes, dictionary)`` pair.
 
         No value is decoded — downstream operators work on the codes and the
@@ -723,15 +1163,28 @@ class ColumnStoreTable:
         per-value decode charge): carrying codes is a wall-clock optimisation
         of the simulator, not a cost-model change — the simulated system
         still decodes each value it returns.
+
+        With a non-empty delta the requested rows span two encodings, so the
+        read degrades to a decoded value array (still a :data:`BatchColumn`;
+        every consumer handles both shapes).  Charges are unaffected — they
+        were always the decode charges.
         """
         compressed = self._columns[column]
         if positions is None:
             if accountant is not None:
-                accountant.charge_sequential_read("column_scan", compressed.code_bytes)
+                accountant.charge_sequential_read(
+                    "column_scan", self._logical_code_bytes(column)
+                )
                 accountant.charge_dict_decodes(self._num_rows)
+            if self._delta_len:
+                return self._union_values_array(column, None)
             return EncodedColumn(compressed.codes_at(None), compressed.dictionary)
         if accountant is not None:
             self._charge_materialisation(column, len(positions), accountant)
+        if self._delta_len:
+            return self._union_values_array(
+                column, np.asarray(positions, dtype=np.int64)
+            )
         return EncodedColumn(compressed.codes_at(positions), compressed.dictionary)
 
     def scan_columns(
@@ -764,12 +1217,19 @@ class ColumnStoreTable:
         """Return every row as a dict, without cost accounting (for conversions)."""
         names = self.schema.column_names
         batch = ColumnBatch(
-            {name: self._columns[name].values_array_at(None) for name in names},
+            {name: self._union_values_array(name, None) for name in names},
             num_rows=self._num_rows,
         )
         return batch.to_rows()
 
     def _row_as_dict(self, position: int) -> Dict[str, Any]:
+        main_size = self._num_rows - self._delta_len
+        if position >= main_size:
+            index = position - main_size
+            return {
+                name: self._delta[name].values[index]
+                for name in self.schema.column_names
+            }
         return {
             name: self._columns[name].value_at(position)
             for name in self.schema.column_names
@@ -821,26 +1281,64 @@ class ColumnStoreTable:
             min_value=low,
             max_value=high,
             null_count=compressed.null_count,
-            num_rows=self._num_rows,
+            num_rows=self._num_rows - self._delta_len,
             has_nan=has_nan,
         )
+        delta = self._delta[column]
+        if len(delta):
+            # Fold the delta values into the main synopsis — exact bounds,
+            # exactly as if the delta had been merged.  ``widen_zone`` bails
+            # only on an unorderable mix; dtype coercion makes that next to
+            # impossible, but if it happens the merge makes it moot.
+            widened = widen_zone(zone, delta.values, len(delta))
+            if widened is None:
+                self.merge_delta()
+                return self.column_zone(column)
+            zone = widened
         self._zone_cache[column] = (self._zone_epoch, zone)
         return zone
 
     # -- statistics helpers -----------------------------------------------------------
 
     def column_distinct_count(self, column: str) -> int:
-        return self._columns[column].num_distinct
+        return self._logical_distinct(column)
 
     def column_min_max(self, column: str) -> Tuple[Any, Any]:
-        values = [
-            value
-            for value in self._columns[column].dictionary.values
-            if value is not None
+        """Bounds of the merged dictionary's entries (NaN sorts last).
+
+        Mirrors reading ``dictionary.values[0]`` / ``values[-1]`` off the
+        merged dictionary: NULL is excluded, and a NaN entry — main's or one
+        the delta introduces — is the maximum because the sorted dictionary
+        places it last.
+        """
+        compressed = self._columns[column]
+        delta = self._delta[column]
+        dict_values = [
+            value for value in compressed.dictionary.values if value is not None
         ]
-        if not values:
+        if not len(delta):
+            if not dict_values:
+                return None, None
+            return dict_values[0], dict_values[-1]
+        nan_value = None
+        if dict_values and is_nan(dict_values[-1]):
+            nan_value = dict_values[-1]
+            dict_values = dict_values[:-1]
+        if delta.has_nan and nan_value is None:
+            nan_value = float("nan")
+        bounds: List[Any] = []
+        if dict_values:
+            bounds.extend((dict_values[0], dict_values[-1]))
+        if delta.new_values:
+            new_sorted = sorted(delta.new_values)
+            bounds.extend((new_sorted[0], new_sorted[-1]))
+        if not bounds:
+            if nan_value is not None:
+                return nan_value, nan_value
             return None, None
-        return values[0], values[-1]
+        low = min(bounds)
+        high = max(bounds) if nan_value is None else nan_value
+        return low, high
 
     def column_code_width(self, column: str) -> int:
-        return code_width_bytes(self._columns[column].num_distinct)
+        return code_width_bytes(self._logical_distinct(column))

@@ -157,6 +157,13 @@ class ColumnDictionary:
         self._invalidate()
         return position + offset, position + offset
 
+    def clone(self) -> "ColumnDictionary":
+        """An independent copy (delta merges build aside and swap atomically)."""
+        copy = ColumnDictionary(self.dtype)
+        copy._values = list(self._values)
+        copy._has_null = self._has_null
+        return copy
+
     def encode(self, value: Any) -> int:
         """Return the current code for *value*, adding it to the dictionary if new.
 
@@ -360,10 +367,25 @@ class ColumnDictionary:
             return None
         old_offset = self._offset
         old_values = self._values
-        merged = sorted((old_values[:-1] if old_nan else old_values) + fresh)
+        core_count = self._real_count()
+        core = old_values[:core_count]
+        # Splice the (typically few) fresh values into the sorted entry list
+        # at their bisect positions; a value code moves up by one for every
+        # fresh value landing at or before its position, which makes the
+        # old-code -> new-code remap a vectorized searchsorted instead of a
+        # Python dict rebuild over the whole dictionary.  Interleaved
+        # insert/merge workloads hit this once per statement batch.
+        fresh.sort()
+        positions = [bisect.bisect_left(core, value) for value in fresh]
+        merged: List[Any] = []
+        previous = 0
+        for position, value in zip(positions, fresh):
+            merged.extend(core[previous:position])
+            merged.append(value)
+            previous = position
+        merged.extend(core[previous:])
         if old_nan:
-            # Reuse the stored NaN object so the identity-based remap lookup
-            # below still finds it.
+            # Reuse the stored NaN object (NaN != NaN defeats lookups).
             merged.append(old_values[-1])
         elif fresh_nan:
             merged.append(float("nan"))
@@ -372,12 +394,20 @@ class ColumnDictionary:
             self._has_null = True
         self._invalidate()
         new_offset = self._offset
-        code_of = {v: i + new_offset for i, v in enumerate(merged)}
         remap = np.empty(old_offset + len(old_values), dtype=np.int64)
         if old_offset:
             remap[0] = 0
-        for position, value in enumerate(old_values):
-            remap[old_offset + position] = code_of[value]
+        if core_count:
+            shifts = np.searchsorted(
+                np.asarray(positions, dtype=np.int64),
+                np.arange(core_count),
+                side="right",
+            )
+            remap[old_offset:old_offset + core_count] = (
+                np.arange(core_count) + shifts + new_offset
+            )
+        if old_nan:
+            remap[old_offset + core_count] = new_offset + len(merged) - 1
         return remap
 
     def rebuild_from_codes(self, kept_codes: np.ndarray) -> np.ndarray:
@@ -507,6 +537,20 @@ class CompressedColumn:
         """
         self._size = size
         self._recount_nulls()
+
+    def clone(self) -> "CompressedColumn":
+        """An independent copy of the live region (dictionary included).
+
+        Delta merges extend a clone and swap it in atomically, and sealed
+        tables copy-on-write through this before an in-place mutation — the
+        original object keeps serving snapshot readers unchanged.
+        """
+        copy = CompressedColumn(self.name, self.dtype)
+        copy.dictionary = self.dictionary.clone()
+        copy._codes = self._codes[: self._size].copy()
+        copy._size = self._size
+        copy._null_count = self._null_count
+        return copy
 
     def codes_at(self, positions: Optional[Sequence[int]] = None) -> np.ndarray:
         """The code array (all rows, or a position gather) — no decoding."""

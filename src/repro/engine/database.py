@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.config import DeviceModelConfig
 from repro.engine.catalog import Catalog
+from repro.engine.column_store import ColumnStoreTable
 from repro.engine.executor.executor import QueryExecutor, QueryResult
 from repro.engine.partitioning import PartitionedTable, TablePartitioning
 from repro.engine.schema import TableSchema
@@ -29,8 +30,12 @@ from repro.engine.types import Store
 from repro.errors import CatalogError
 from repro.query.ast import Query, QueryType
 from repro.query.workload import Workload
+from repro.testing.faults import CrashError
 
 TableObject = Union[StoredTable, PartitionedTable]
+
+#: Query types the write-ahead log records (reads are never logged).
+_DML_TYPES = (QueryType.INSERT, QueryType.UPDATE, QueryType.DELETE)
 
 #: Signature of execution listeners (used by the online workload monitor).
 ExecutionListener = Callable[[Query, QueryResult], None]
@@ -90,6 +95,76 @@ class HybridDatabase:
         # changes data, not layout or recorded statistics.
         self._table_versions: Dict[str, int] = {}
         self._version_counter = 0
+        # Optional write-ahead log (see repro.engine.wal).  When attached,
+        # every DDL operation, bulk load and DML statement is logged after it
+        # takes effect, so the log is a redo log of committed statements.
+        self.wal = None
+        # Delta merge threshold applied to column-store backends created by
+        # this database (None = the backend's class default).  Configured
+        # through DurabilityConfig at the session layer.
+        self.delta_merge_threshold: Optional[int] = None
+
+    # -- durability ----------------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Attach a :class:`~repro.engine.wal.WriteAheadLog` to this database."""
+        self.wal = wal
+
+    def checkpoint(self) -> int:
+        """Snapshot the database into the attached WAL and reset the log."""
+        if self.wal is None:
+            raise CatalogError("no write-ahead log attached to this database")
+        return self.wal.checkpoint(self)
+
+    def snapshot_state(self) -> List[Dict[str, Any]]:
+        """Picklable snapshot of every table plus its catalog entry."""
+        state = []
+        for name in self.table_names():
+            entry = self.catalog.entry(name)
+            state.append(
+                {
+                    "schema": entry.schema,
+                    "store": entry.store,
+                    "partitioning": entry.partitioning,
+                    "table": self._tables[name],
+                }
+            )
+        return state
+
+    def restore_state(self, state: List[Dict[str, Any]]) -> None:
+        """Load a :meth:`snapshot_state` snapshot into this (fresh) database."""
+        for item in state:
+            schema = item["schema"]
+            self.catalog.register_table(schema, item["store"])
+            if item["partitioning"] is not None:
+                self.catalog.set_partitioning(schema.name, item["partitioning"])
+            self._tables[schema.name] = item["table"]
+            self.refresh_statistics(schema.name)
+
+    def _apply_merge_threshold(self, name: str) -> None:
+        """Propagate the configured merge threshold to a table's backends."""
+        if self.delta_merge_threshold is None:
+            return
+        table = self._tables.get(name)
+        if table is None:
+            return
+        parts = table.all_parts if isinstance(table, PartitionedTable) else [table]
+        for part in parts:
+            if isinstance(part.backend, ColumnStoreTable):
+                part.backend.merge_threshold = self.delta_merge_threshold
+
+    def merge_deltas(self, name: Optional[str] = None) -> int:
+        """Merge the column-store deltas of one table (or all tables)."""
+        names = [name] if name is not None else self.table_names()
+        return sum(self.table_object(n).merge_delta() for n in names)
+
+    def snapshot(self, name: str):
+        """A consistent read view of *name* as of now (snapshot isolation)."""
+        return self.table_object(name).snapshot()
+
+    def _log_dml(self, query: Query) -> None:
+        if self.wal is not None and query.query_type in _DML_TYPES:
+            self.wal.log_dml(query)
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -99,7 +174,10 @@ class HybridDatabase:
         table = StoredTable(schema, store)
         self._tables[schema.name] = table
         entry.statistics = compute_table_statistics(table)
+        self._apply_merge_threshold(schema.name)
         self._bump_version(schema.name)
+        if self.wal is not None:
+            self.wal.log_create_table(schema, store)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -108,6 +186,8 @@ class HybridDatabase:
         # The version entry stays (and bumps): a plan cached against the
         # dropped table must not resurface if a same-named table reappears.
         self._bump_version(name)
+        if self.wal is not None:
+            self.wal.log_drop_table(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -148,7 +228,10 @@ class HybridDatabase:
         else:
             table.convert_to(store, accountant)
             self.catalog.set_store(name, store)
+        self._apply_merge_threshold(name)
         self.refresh_statistics(name)
+        if self.wal is not None:
+            self.wal.log_move_table(name, store)
         return accountant.breakdown
 
     def apply_partitioning(
@@ -163,11 +246,18 @@ class HybridDatabase:
         partitioned = PartitionedTable.from_table(table, partitioning, accountant)
         self._tables[name] = partitioned
         self.catalog.set_partitioning(name, partitioning)
+        self._apply_merge_threshold(name)
         self.refresh_statistics(name)
+        if self.wal is not None:
+            self.wal.log_apply_partitioning(name, partitioning)
         return accountant.breakdown
 
     def remove_partitioning(self, name: str, store: Store) -> CostBreakdown:
-        """Collapse a partitioned table back into a single-store table."""
+        """Collapse a partitioned table back into a single-store table.
+
+        Logged (by :meth:`move_table`) as a store move, which replays to the
+        same collapsed layout.
+        """
         return self.move_table(name, store)
 
     # -- data loading ---------------------------------------------------------------------
@@ -181,6 +271,8 @@ class HybridDatabase:
         else:
             table.bulk_load(rows)
         self.refresh_statistics(name)
+        if self.wal is not None:
+            self.wal.log_load_rows(name, rows)
         return len(rows)
 
     # -- statistics --------------------------------------------------------------------------
@@ -236,7 +328,20 @@ class HybridDatabase:
         through explicit :class:`~repro.api.plan.PhysicalPlan` objects and
         charges bit-identical costs.
         """
-        result = self._executor.execute(query)
+        try:
+            result = self._executor.execute(query)
+        except CrashError:
+            # An injected crash mid-statement models the process dying: the
+            # in-memory partial effects are lost, so nothing is logged.
+            raise
+        except Exception:
+            # A failed DML statement can still have committed a deterministic
+            # partial prefix (the engine's documented mid-batch contract), so
+            # it is logged too; replay re-raises the same error and arrives
+            # at the identical partial state.
+            self._log_dml(query)
+            raise
+        self._log_dml(query)
         for listener in self._listeners:
             listener(query, result)
         return result
@@ -250,9 +355,16 @@ class HybridDatabase:
 
         Used by the session layer to run a cached physical plan without
         re-resolving tables; execution listeners fire exactly as for
-        :meth:`execute`.
+        :meth:`execute`, and DML is logged to the WAL under the same rules.
         """
-        result = self._executor.execute_with_paths(query, paths)
+        try:
+            result = self._executor.execute_with_paths(query, paths)
+        except CrashError:
+            raise
+        except Exception:
+            self._log_dml(query)
+            raise
+        self._log_dml(query)
         for listener in self._listeners:
             listener(query, result)
         return result

@@ -38,6 +38,9 @@ class QueryResult:
     #: Per-table aggregate-pushdown strategy execution consumed — pinned by
     #: ``EXPLAIN ANALYZE`` against the plan's recorded strategy.
     agg_strategies: Dict[str, str] = field(default_factory=dict)
+    #: Per-table ``(main rows, delta rows)`` scanned — the delta/main split's
+    #: telemetry, reported by ``EXPLAIN ANALYZE`` when a scan read a delta.
+    delta_scans: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:
@@ -106,12 +109,14 @@ class QueryExecutor:
             rows = execute_aggregation(query, paths, accountant)
             return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
                                scan_stats=accountant.scan_stats,
-                               agg_strategies=accountant.aggregate_strategies)
+                               agg_strategies=accountant.aggregate_strategies,
+                               delta_scans=accountant.delta_scans)
         path = paths[query.table]
         if isinstance(query, SelectQuery):
             rows = execute_select(query, path, accountant)
             return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
-                               scan_stats=accountant.scan_stats)
+                               scan_stats=accountant.scan_stats,
+                               delta_scans=accountant.delta_scans)
         if isinstance(query, InsertQuery):
             affected = execute_insert(query, path, accountant)
         elif isinstance(query, UpdateQuery):
@@ -121,4 +126,5 @@ class QueryExecutor:
         else:  # pragma: no cover - defensive
             raise QueryError(f"unsupported query type: {type(query).__name__}")
         return QueryResult(rows=[], affected_rows=affected, cost=accountant.breakdown,
-                           scan_stats=accountant.scan_stats)
+                           scan_stats=accountant.scan_stats,
+                           delta_scans=accountant.delta_scans)

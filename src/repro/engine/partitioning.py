@@ -322,6 +322,19 @@ class PartitionedTable:
     def memory_bytes(self) -> float:
         return sum(part.memory_bytes for part in self.all_parts)
 
+    @property
+    def delta_rows(self) -> int:
+        """Rows buffered in the parts' column-store deltas."""
+        return sum(part.delta_rows for part in self.all_parts)
+
+    def merge_delta(self) -> int:
+        """Merge every part's column-store delta into its main."""
+        return sum(part.merge_delta() for part in self.all_parts)
+
+    def snapshot(self) -> "PartitionedSnapshot":
+        """A consistent read view across all parts as of now."""
+        return PartitionedSnapshot(self)
+
     def compression_rate(self, column: Optional[str] = None) -> float:
         """Weighted compression rate across parts (1.0 for row-store parts)."""
         total_raw = 0.0
@@ -507,3 +520,53 @@ class PartitionedTable:
             f"PartitionedTable(name={self.name!r}, rows={self.num_rows}, "
             f"layout={self.partitioning.describe()!r})"
         )
+
+
+class PartitionedSnapshot:
+    """Consistent read view across all parts of a partitioned table.
+
+    Takes one backend snapshot per part at construction; the reassembly
+    mirrors :meth:`PartitionedTable.all_rows` (main first — vertical halves
+    zipped back together — then the hot partition).
+    """
+
+    __slots__ = ("schema", "_row_part", "_col_part", "_main", "_hot", "num_rows")
+
+    def __init__(self, table: PartitionedTable) -> None:
+        self.schema = table.schema
+        self._row_part = self._col_part = self._main = self._hot = None
+        if table.has_vertical_split:
+            self._row_part = table.vertical_row_part.snapshot()
+            self._col_part = table.vertical_col_part.snapshot()
+            main_rows = self._row_part.num_rows
+        else:
+            self._main = table.main_parts[0].snapshot()
+            main_rows = self._main.num_rows
+        if table.hot is not None:
+            self._hot = table.hot.snapshot()
+            main_rows += self._hot.num_rows
+        self.num_rows = main_rows
+
+    def column_values(self, column: str) -> List[Any]:
+        if self._main is not None:
+            values = list(self._main.column_values(column))
+        elif self.schema.has_column(column) and column in self._row_part.schema.column_names:
+            values = list(self._row_part.column_values(column))
+        else:
+            values = list(self._col_part.column_values(column))
+        if self._hot is not None:
+            values.extend(self._hot.column_values(column))
+        return values
+
+    def rows(self) -> List[Dict[str, Any]]:
+        if self._main is not None:
+            rows = self._main.rows()
+        else:
+            rows = []
+            for left, right in zip(self._row_part.rows(), self._col_part.rows()):
+                combined = dict(right)
+                combined.update(left)
+                rows.append(combined)
+        if self._hot is not None:
+            rows.extend(self._hot.rows())
+        return rows

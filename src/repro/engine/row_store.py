@@ -654,6 +654,17 @@ class RowStoreTable:
         names = self.schema.column_names
         return [dict(zip(names, row)) for row in self._rows]
 
+    def snapshot(self) -> "MaterializedSnapshot":
+        """A consistent read view of the table as of now.
+
+        The row store mutates its tuples in place, so the snapshot
+        materialises a copy of every row (cells are scalars — a shallow
+        per-row copy is a deep copy of the data).
+        """
+        return MaterializedSnapshot(
+            self.schema, [list(row) for row in self._rows]
+        )
+
     # -- zone maps ----------------------------------------------------------------------
 
     def _bump_zone_epoch(self) -> None:
@@ -738,3 +749,28 @@ class RowStoreTable:
         if not values:
             return None, None
         return min(values), max(values)
+
+
+class MaterializedSnapshot:
+    """Consistent read view of a row-store table at snapshot time.
+
+    Holds a materialised copy of the rows — the row store has no frozen
+    segments to share, so snapshotting it is an O(n) copy.  Exposes the same
+    minimal read surface as
+    :class:`~repro.engine.column_store.ColumnStoreSnapshot`.
+    """
+
+    __slots__ = ("schema", "_rows", "num_rows")
+
+    def __init__(self, schema: TableSchema, rows: List[List[Any]]) -> None:
+        self.schema = schema
+        self._rows = rows
+        self.num_rows = len(rows)
+
+    def column_values(self, column: str) -> List[Any]:
+        index = self.schema.column_names.index(column)
+        return [row[index] for row in self._rows]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self._rows]

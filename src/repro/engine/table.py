@@ -198,6 +198,25 @@ class StoredTable:
     def all_rows(self) -> List[Dict[str, Any]]:
         return self._backend.all_rows()
 
+    # -- delta / snapshots ----------------------------------------------------------------
+
+    @property
+    def delta_rows(self) -> int:
+        """Rows buffered in a column-store delta (0 for the row store)."""
+        if isinstance(self._backend, ColumnStoreTable):
+            return self._backend.delta_rows
+        return 0
+
+    def merge_delta(self) -> int:
+        """Merge a column-store delta into main (no-op for the row store)."""
+        if isinstance(self._backend, ColumnStoreTable):
+            return self._backend.merge_delta()
+        return 0
+
+    def snapshot(self):
+        """A consistent read view of the table as of now (snapshot isolation)."""
+        return self._backend.snapshot()
+
     # -- zone maps -----------------------------------------------------------------------
 
     @property

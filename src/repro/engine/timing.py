@@ -142,6 +142,11 @@ class CostAccountant:
         # telemetry only, reported by EXPLAIN ANALYZE next to the plan's
         # recorded strategy.
         self._agg_strategies: Dict[str, str] = {}
+        # Per-table delta/main telemetry: rows a scan read from the
+        # dictionary-encoded main vs the write-optimised delta.  Counters
+        # only — the charges are logical (main + delta) and identical either
+        # way; EXPLAIN ANALYZE reports these so merge pressure is visible.
+        self._delta_scans: Dict[str, list] = {}
 
     # -- generic ---------------------------------------------------------------
 
@@ -240,6 +245,20 @@ class CostAccountant:
     def aggregate_strategies(self) -> Dict[str, str]:
         """Per-table aggregate-pushdown strategy descriptions."""
         return dict(self._agg_strategies)
+
+    def record_delta_scan(self, table: str, main_rows: int, delta_rows: int) -> None:
+        """Record one scan of *table* spanning main and delta rows."""
+        counts = self._delta_scans.setdefault(table, [0, 0])
+        counts[0] += main_rows
+        counts[1] += delta_rows
+
+    @property
+    def delta_scans(self) -> Dict[str, "tuple[int, int]"]:
+        """Per-table ``(main rows, delta rows)`` scanned by this query."""
+        return {
+            table: (counts[0], counts[1])
+            for table, counts in self._delta_scans.items()
+        }
 
     # -- results ----------------------------------------------------------------
 

@@ -1,0 +1,432 @@
+"""Write-ahead log and crash recovery for :class:`HybridDatabase`.
+
+The WAL is a *logical* redo log: every record describes one committed
+statement (a DDL operation, a bulk load, or a DML query's bound AST) rather
+than physical page images.  Replaying the records through a fresh database —
+the same code paths that executed them the first time — rebuilds a
+bit-identical engine state, including the dictionary entry order, zone maps
+and the simulated-cost statistics, because the engine is deterministic.
+
+On-disk format::
+
+    RPWAL1\\n                                 magic (7 bytes)
+    [u32 length][u32 crc32][payload] ...     records, little-endian header
+
+where ``payload`` is ``pickle((lsn, record_type, data))``.  The CRC covers
+the payload only; the length prefix lets recovery skip a checksum-corrupt
+record and keep replaying the records behind it.  A record whose header or
+payload extends past the end of the file is a *torn tail* (the process died
+mid-flush): recovery stops there and reports the number of bytes ignored,
+and re-opening the log for appending truncates the tail away.
+
+Sync modes (how much of the log survives a crash):
+
+``"commit"``
+    Every appended record is flushed and ``fsync``-ed before the append
+    returns — a crash loses at most the statement in flight.
+``"batch"``
+    Records buffer in memory and flush every ``batch_size`` appends — a
+    crash loses at most one batch.
+``"off"``
+    Records buffer until an explicit :meth:`WriteAheadLog.flush`,
+    :meth:`WriteAheadLog.checkpoint` or :meth:`WriteAheadLog.close` — fast,
+    but a crash loses everything since the last flush.
+
+A :meth:`WriteAheadLog.checkpoint` pickles the database state into a
+side-car snapshot file (written to a temp file and atomically renamed) and
+resets the log; recovery restores the snapshot first and replays only the
+records with an LSN greater than the snapshot's, which makes recovery
+idempotent across every crash window of the checkpoint itself.
+
+Every step a crash could separate from its neighbours calls
+:func:`repro.testing.faults.fault_point`; the recovery differential fuzzer
+(``tests/engine/test_recovery_fuzz.py``) crashes at each of them and asserts
+the recovered database equals a committed-prefix reference.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import DeviceModelConfig
+from repro.engine.database import HybridDatabase
+from repro.engine.partitioning import TablePartitioning
+from repro.engine.schema import TableSchema
+from repro.engine.types import Store
+from repro.errors import WalError
+from repro.query.ast import Query
+from repro.testing import faults
+
+MAGIC = b"RPWAL1\n"
+
+#: ``[u32 payload length][u32 crc32(payload)]`` little-endian record header.
+_HEADER = struct.Struct("<II")
+
+SYNC_MODES = ("off", "commit", "batch")
+
+# Record types.  The payload data per type:
+CREATE_TABLE = "create_table"  # (TableSchema, Store)
+DROP_TABLE = "drop_table"  # table name
+MOVE_TABLE = "move_table"  # (name, Store)
+APPLY_PARTITIONING = "apply_partitioning"  # (name, TablePartitioning)
+REMOVE_PARTITIONING = "remove_partitioning"  # (name, Store)
+LOAD_ROWS = "load_rows"  # (name, list-of-row-dicts)
+DML = "dml"  # bound Query AST (INSERT / UPDATE / DELETE)
+
+
+def _fsync(handle: io.BufferedWriter) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+@dataclass(frozen=True)
+class _ScannedRecord:
+    offset: int
+    lsn: int
+    record_type: str
+    data: Any
+
+
+@dataclass(frozen=True)
+class _LogScan:
+    """Result of parsing a log file: valid records plus damage bookkeeping."""
+
+    records: Tuple[_ScannedRecord, ...]
+    #: File offsets of records whose CRC did not match (skipped).
+    corrupt_offsets: Tuple[int, ...]
+    #: Offset where a torn tail begins, or ``None`` if the file ends cleanly.
+    torn_tail_offset: Optional[int]
+    #: Total file size in bytes.
+    file_bytes: int
+
+    @property
+    def valid_end(self) -> int:
+        """End of the parseable region (start of the torn tail, if any)."""
+        if self.torn_tail_offset is not None:
+            return self.torn_tail_offset
+        return self.file_bytes
+
+    @property
+    def torn_tail_bytes(self) -> int:
+        return self.file_bytes - self.valid_end
+
+    @property
+    def max_lsn(self) -> int:
+        if not self.records:
+            return 0
+        return max(record.lsn for record in self.records)
+
+
+def _scan_log(path: str) -> _LogScan:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(MAGIC):
+        raise WalError(f"{path!r} is not a WAL file (bad magic)")
+    records: List[_ScannedRecord] = []
+    corrupt: List[int] = []
+    torn: Optional[int] = None
+    offset = len(MAGIC)
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            torn = offset  # incomplete header
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        body_start = offset + _HEADER.size
+        if body_start + length > len(data):
+            torn = offset  # incomplete payload
+            break
+        payload = data[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            corrupt.append(offset)
+            offset = body_start + length
+            continue
+        lsn, record_type, record_data = pickle.loads(payload)
+        records.append(_ScannedRecord(offset, lsn, record_type, record_data))
+        offset = body_start + length
+    return _LogScan(
+        records=tuple(records),
+        corrupt_offsets=tuple(corrupt),
+        torn_tail_offset=torn,
+        file_bytes=len(data),
+    )
+
+
+class WriteAheadLog:
+    """Length-prefixed, CRC-checksummed redo log with buffered appends.
+
+    Opening a path that already holds a log resumes it: the tail is scanned,
+    any torn suffix is truncated away, and new appends continue after the
+    highest LSN on file (or after the side-car snapshot's LSN, whichever is
+    larger).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        sync_mode: str = "commit",
+        batch_size: int = 32,
+    ) -> None:
+        if sync_mode not in SYNC_MODES:
+            raise WalError(
+                f"unknown sync mode {sync_mode!r}; expected one of {SYNC_MODES}"
+            )
+        if batch_size < 1:
+            raise WalError("batch_size must be >= 1")
+        self.path = path
+        self.snapshot_path = path + ".snapshot"
+        self.sync_mode = sync_mode
+        self.batch_size = batch_size
+        self._buffer = bytearray()
+        self._buffered_records = 0
+        self._closed = False
+        self._lsn = 0
+
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            scan = _scan_log(path)
+            self._lsn = scan.max_lsn
+            self._handle = open(path, "r+b")
+            if scan.torn_tail_bytes:
+                # A previous process died mid-flush; cut the torn tail so the
+                # next record starts at a clean boundary.
+                self._handle.truncate(scan.valid_end)
+                _fsync(self._handle)
+            self._handle.seek(scan.valid_end)
+        else:
+            self._handle = open(path, "wb")
+            self._handle.write(MAGIC)
+            _fsync(self._handle)
+        if os.path.exists(self.snapshot_path):
+            snapshot_lsn = _read_snapshot(self.snapshot_path)[0]
+            self._lsn = max(self._lsn, snapshot_lsn)
+
+    # -- appending ---------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self._lsn
+
+    def append(self, record_type: str, data: Any) -> int:
+        """Append one record, honouring the sync mode; returns its LSN."""
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        faults.fault_point("wal.append.before")
+        self._lsn += 1
+        payload = pickle.dumps(
+            (self._lsn, record_type, data), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._buffer += _HEADER.pack(len(payload), zlib.crc32(payload))
+        self._buffer += payload
+        self._buffered_records += 1
+        faults.fault_point("wal.append.buffered")
+        if self.sync_mode == "commit" or (
+            self.sync_mode == "batch" and self._buffered_records >= self.batch_size
+        ):
+            self.flush()
+        return self._lsn
+
+    def flush(self) -> None:
+        """Write and ``fsync`` every buffered record."""
+        if not self._buffer:
+            return
+        faults.fault_point("wal.flush.before_write")
+        data = faults.filter_write("wal.flush.after_write", bytes(self._buffer))
+        self._handle.write(data)
+        self._handle.flush()
+        faults.fault_point("wal.flush.after_write")
+        os.fsync(self._handle.fileno())
+        faults.fault_point("wal.flush.after_fsync")
+        self._buffer.clear()
+        self._buffered_records = 0
+
+    def close(self) -> None:
+        """Flush pending records and close the file.  Idempotent."""
+        if self._closed:
+            return
+        self.flush()
+        self._handle.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- typed logging helpers (one per loggable engine operation) -----------------
+
+    def log_create_table(self, schema: TableSchema, store: Store) -> int:
+        return self.append(CREATE_TABLE, (schema, store))
+
+    def log_drop_table(self, name: str) -> int:
+        return self.append(DROP_TABLE, name)
+
+    def log_move_table(self, name: str, store: Store) -> int:
+        return self.append(MOVE_TABLE, (name, store))
+
+    def log_apply_partitioning(
+        self, name: str, partitioning: TablePartitioning
+    ) -> int:
+        return self.append(APPLY_PARTITIONING, (name, partitioning))
+
+    def log_remove_partitioning(self, name: str, store: Store) -> int:
+        return self.append(REMOVE_PARTITIONING, (name, store))
+
+    def log_load_rows(
+        self, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> int:
+        return self.append(LOAD_ROWS, (name, [dict(row) for row in rows]))
+
+    def log_dml(self, query: Query) -> int:
+        return self.append(DML, query)
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def checkpoint(self, database: HybridDatabase) -> int:
+        """Snapshot *database* and reset the log; returns the snapshot LSN.
+
+        The snapshot is written to a temp file and atomically renamed over
+        the side-car path, so every crash window leaves a recoverable pair:
+        before the rename recovery replays the full log; after the rename
+        the snapshot's LSN makes any not-yet-truncated records stale, and
+        recovery skips them.
+        """
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        faults.fault_point("checkpoint.before_snapshot")
+        self.flush()
+        snapshot_lsn = self._lsn
+        payload = pickle.dumps(
+            (snapshot_lsn, database.snapshot_state()),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tmp_path = self.snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+            _fsync(handle)
+        faults.fault_point("checkpoint.after_snapshot")
+        os.replace(tmp_path, self.snapshot_path)
+        # Reset the log: everything up to snapshot_lsn now lives in the
+        # snapshot.  A crash before the truncate leaves stale records behind,
+        # which recovery's LSN filter skips.
+        self._handle.seek(0)
+        self._handle.truncate(0)
+        self._handle.write(MAGIC)
+        _fsync(self._handle)
+        faults.fault_point("checkpoint.after_reset")
+        return snapshot_lsn
+
+
+# -- recovery --------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did — equality-comparable for idempotency tests."""
+
+    #: Records replayed into the recovered database.
+    records_applied: int = 0
+    #: Records skipped because their LSN predates the restored snapshot.
+    records_stale: int = 0
+    #: File offsets of checksum-corrupt records that were skipped.
+    corrupt_offsets: Tuple[int, ...] = ()
+    #: Offset of the torn tail (``None`` when the log ends at a boundary).
+    torn_tail_offset: Optional[int] = None
+    #: Bytes of torn tail ignored by replay.
+    torn_tail_bytes: int = 0
+    #: Whether a checkpoint snapshot was restored before replay.
+    snapshot_restored: bool = False
+    #: LSN recorded in the restored snapshot (0 without a snapshot).
+    snapshot_lsn: int = 0
+    #: Highest LSN replayed (or the snapshot LSN if nothing was replayed).
+    last_lsn: int = 0
+    #: Statements that raised during replay, as ``(lsn, error message)``.
+    #: Expected for DML whose original execution also failed part-way (the
+    #: engine's partial-state contract is deterministic, so replaying the
+    #: failure reproduces the exact committed state).
+    replay_errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the log had no torn tail and no corrupt records."""
+        return self.torn_tail_offset is None and not self.corrupt_offsets
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    database: HybridDatabase
+    report: RecoveryReport
+
+
+def _read_snapshot(path: str) -> Tuple[int, Any]:
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def recover(
+    path: str, device_config: Optional[DeviceModelConfig] = None
+) -> RecoveryResult:
+    """Rebuild a :class:`HybridDatabase` from the log (and snapshot) at *path*.
+
+    Purely read-only: the log file is not modified, so recovering the same
+    path twice yields identical databases and identical reports.  (Re-opening
+    the path with :class:`WriteAheadLog` afterwards truncates any torn tail
+    before appending resumes.)
+    """
+    report = RecoveryReport()
+    database = HybridDatabase(device_config)
+
+    snapshot_path = path + ".snapshot"
+    if os.path.exists(snapshot_path):
+        snapshot_lsn, state = _read_snapshot(snapshot_path)
+        database.restore_state(state)
+        report.snapshot_restored = True
+        report.snapshot_lsn = snapshot_lsn
+        report.last_lsn = snapshot_lsn
+
+    if os.path.exists(path):
+        scan = _scan_log(path)
+        report.corrupt_offsets = scan.corrupt_offsets
+        report.torn_tail_offset = scan.torn_tail_offset
+        report.torn_tail_bytes = scan.torn_tail_bytes
+        for record in scan.records:
+            if record.lsn <= report.snapshot_lsn:
+                report.records_stale += 1
+                continue
+            _apply_record(database, record, report)
+            report.records_applied += 1
+            report.last_lsn = record.lsn
+    return RecoveryResult(database=database, report=report)
+
+
+def _apply_record(
+    database: HybridDatabase, record: _ScannedRecord, report: RecoveryReport
+) -> None:
+    kind, data = record.record_type, record.data
+    if kind == CREATE_TABLE:
+        schema, store = data
+        database.create_table(schema, store)
+    elif kind == DROP_TABLE:
+        database.drop_table(data)
+    elif kind == MOVE_TABLE:
+        name, store = data
+        database.move_table(name, store)
+    elif kind == APPLY_PARTITIONING:
+        name, partitioning = data
+        database.apply_partitioning(name, partitioning)
+    elif kind == REMOVE_PARTITIONING:
+        name, store = data
+        database.remove_partitioning(name, store)
+    elif kind == LOAD_ROWS:
+        name, rows = data
+        database.load_rows(name, rows)
+    elif kind == DML:
+        try:
+            database.execute(data)
+        except Exception as error:  # deterministic partial-state replay
+            report.replay_errors.append((record.lsn, str(error)))
+    else:
+        raise WalError(f"unknown WAL record type {kind!r}")

@@ -32,6 +32,16 @@ class PartitioningError(ReproError):
     """A partitioning specification is invalid or cannot be applied."""
 
 
+class WalError(ReproError):
+    """A write-ahead log file is unusable (bad magic, wrong sync mode, ...).
+
+    Note that *recoverable* damage — torn tails, checksum-corrupt records —
+    does not raise: recovery repairs around it and reports the damage in the
+    :class:`~repro.engine.wal.RecoveryReport` instead.  ``WalError`` is for
+    files that cannot be a WAL at all.
+    """
+
+
 class CalibrationError(ReproError):
     """Cost-model calibration failed (insufficient samples, singular fit, ...)."""
 

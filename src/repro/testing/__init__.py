@@ -1,0 +1,28 @@
+"""Testing support: fault injection for the durability subsystem.
+
+:mod:`repro.testing.faults` hosts the crash-point registry and the
+injectors the recovery differential fuzzer drives.  It lives inside the
+package (not under ``tests/``) because the engine itself calls
+:func:`~repro.testing.faults.fault_point` at every WAL/merge/checkpoint
+step — with no plan armed the calls are near-free no-ops.
+"""
+
+from repro.testing.faults import (
+    CrashError,
+    FaultPlan,
+    fault_point,
+    filter_write,
+    flip_bit,
+    inject,
+    truncate_file,
+)
+
+__all__ = [
+    "CrashError",
+    "FaultPlan",
+    "fault_point",
+    "filter_write",
+    "flip_bit",
+    "inject",
+    "truncate_file",
+]

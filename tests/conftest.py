@@ -24,6 +24,11 @@ def pytest_configure(config):
         "fuzz: seeded cross-store differential fuzz suite (runs in tier-1; "
         "select standalone with -m fuzz)",
     )
+    config.addinivalue_line(
+        "markers",
+        "faultinject: crash-point recovery differential suite (runs in "
+        "tier-1; select standalone with -m faultinject)",
+    )
 
 
 @pytest.fixture(scope="session")

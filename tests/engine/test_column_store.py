@@ -152,6 +152,7 @@ class TestInsertsUpdates:
         assert table.all_rows() == [
             {"id": 0, "v": 1.0}, {"id": 1, "v": None}, {"id": 2, "v": 2.0}
         ]
+        table.merge_delta()  # inserts buffer in the delta; codes live in main
         compressed = table._columns["v"]
         assert compressed.dictionary.has_null
         assert compressed.dictionary.encode_existing(None) == 0
@@ -167,6 +168,7 @@ class TestInsertsUpdates:
         values = table.column_values("v")
         assert values[0] is None and values[1] == 2.0
         assert values[2] != values[2]  # NaN survives, sorted last
+        table.merge_delta()
         dictionary = table._columns["v"].dictionary
         assert dictionary.nan_code == len(dictionary) - 1
 

@@ -1,0 +1,243 @@
+"""Delta/main split of the column store: buffering, merge, charge parity.
+
+Column-store inserts append to an uncompressed per-column *delta* instead of
+rebuilding the dictionary-compressed *main* on every statement; scans read
+the union.  The contract pinned here:
+
+* results **and** simulated-cost charges are bit-identical to the inline
+  reference (``delta_writes_disabled()`` routes writes straight into main,
+  the pre-split behaviour) — the split is a wall-clock optimisation, never
+  a cost-model change;
+* :meth:`merge_delta` folds the delta into main and lands on the *exact*
+  physical state (codes and dictionaries) the inline path would have built,
+  because dictionary accumulation is history-order independent;
+* inserts crossing ``merge_threshold`` merge automatically; updates and
+  deletes merge first (positions address merged state);
+* a duplicate primary key mid-batch keeps the batch prefix and discards the
+  rest — and a column rejecting a value mid-append rolls back the already
+  appended column tails, in **both** write modes, so the table never ends
+  up with misaligned columns or leaked primary keys.
+"""
+
+import pytest
+
+from repro.engine.column_store import (
+    ColumnStoreTable,
+    DeltaColumn,
+    delta_writes_disabled,
+    delta_writes_enabled,
+)
+from repro.engine.schema import Column, TableSchema
+from repro.engine.timing import CostAccountant
+from repro.engine.types import DataType
+from repro.errors import ExecutionError
+from repro.query.predicates import Between, IsNull, eq, ge, lt
+
+SCHEMA = TableSchema(
+    "d",
+    (
+        Column("id", DataType.INTEGER, primary_key=True),
+        Column("category", DataType.VARCHAR),
+        Column("amount", DataType.DOUBLE, nullable=True),
+    ),
+)
+
+
+def make_rows(start, count):
+    return [
+        {
+            "id": i,
+            "category": f"cat_{i % 4}",
+            "amount": None if i % 7 == 3 else float("nan") if i % 11 == 5 else i * 0.5,
+        }
+        for i in range(start, start + count)
+    ]
+
+
+def twin_tables():
+    """The same batches into a delta-path table and an inline reference."""
+    delta_table = ColumnStoreTable(SCHEMA)
+    inline_table = ColumnStoreTable(SCHEMA)
+    for start in (0, 10, 25):
+        batch = make_rows(start, 10)
+        delta_table.insert_rows(batch)
+        with delta_writes_disabled():
+            inline_table.insert_rows(batch)
+    return delta_table, inline_table
+
+
+class TestBuffering:
+    def test_inserts_buffer_in_the_delta(self):
+        table = ColumnStoreTable(SCHEMA)
+        table.insert_rows(make_rows(0, 5))
+        assert table.delta_rows == 5
+        assert table.main_rows == 0
+        assert table.num_rows == 5
+        assert table.all_rows() == make_rows(0, 5) or len(table.all_rows()) == 5
+
+    def test_bulk_load_merges_immediately(self):
+        table = ColumnStoreTable(SCHEMA)
+        table.bulk_load(make_rows(0, 8))
+        assert table.delta_rows == 0
+        assert table.main_rows == 8
+
+    def test_threshold_crossing_insert_merges(self):
+        table = ColumnStoreTable(SCHEMA)
+        table.merge_threshold = 6
+        table.insert_rows(make_rows(0, 4))
+        assert table.delta_rows == 4
+        table.insert_rows(make_rows(4, 4))  # 8 >= 6: merge fires
+        assert table.delta_rows == 0
+        assert table.main_rows == 8
+
+    def test_updates_and_deletes_merge_first(self):
+        table = ColumnStoreTable(SCHEMA)
+        table.insert_rows(make_rows(0, 6))
+        table.update_rows([2], {"category": "patched"})
+        assert table.delta_rows == 0
+        assert table.column_values("category", [2]) == ["patched"]
+        table.insert_rows(make_rows(6, 3))
+        assert table.delta_rows == 3
+        table.delete_rows(table.filter_positions(eq("id", 7)).tolist())
+        assert table.delta_rows == 0
+        assert sorted(row["id"] for row in table.all_rows()) == [
+            0, 1, 2, 3, 4, 5, 6, 8,
+        ]
+
+    def test_disabled_toggle_restores_itself(self):
+        assert delta_writes_enabled()
+        with delta_writes_disabled():
+            assert not delta_writes_enabled()
+        assert delta_writes_enabled()
+
+
+class TestMergeEquivalence:
+    def test_merge_lands_on_the_inline_physical_state(self):
+        delta_table, inline_table = twin_tables()
+        assert delta_table.delta_rows > 0
+        delta_table.merge_delta()
+        for name in SCHEMA.column_names:
+            merged = delta_table._columns[name]
+            inline = inline_table._columns[name]
+            assert merged.codes.tolist() == inline.codes.tolist(), name
+            # repr-compare: NaN belongs to the amount dictionary and NaN != NaN.
+            assert [repr(v) for v in merged.dictionary.values] == [
+                repr(v) for v in inline.dictionary.values
+            ], name
+
+    def test_union_reads_match_inline_before_merge(self):
+        delta_table, inline_table = twin_tables()
+        predicates = [
+            eq("category", "cat_1"),
+            ge("amount", 5.0),
+            lt("id", 20),
+            Between("amount", 2.0, 9.0),
+            IsNull("amount"),
+        ]
+        for predicate in predicates:
+            fast = CostAccountant()
+            slow = CostAccountant()
+            got = delta_table.filter_positions(predicate, fast).tolist()
+            want = inline_table.filter_positions(predicate, slow).tolist()
+            assert got == want, predicate
+            assert fast.snapshot() == slow.snapshot(), predicate
+
+    def test_logical_statistics_ignore_the_physical_split(self):
+        delta_table, inline_table = twin_tables()
+        assert delta_table.memory_bytes == inline_table.memory_bytes
+        assert delta_table.compression_rate() == inline_table.compression_rate()
+        for name in SCHEMA.column_names:
+            assert delta_table.column_distinct_count(
+                name
+            ) == inline_table.column_distinct_count(name), name
+            assert delta_table.column_compressed_bytes(
+                name
+            ) == inline_table.column_compressed_bytes(name), name
+            assert delta_table.column_min_max(name) == inline_table.column_min_max(
+                name
+            ) or (
+                # NaN-aware: (x, nan) tuples compare unequal to themselves.
+                str(delta_table.column_min_max(name))
+                == str(inline_table.column_min_max(name))
+            ), name
+
+    def test_insert_charges_are_identical(self):
+        delta_table = ColumnStoreTable(SCHEMA)
+        inline_table = ColumnStoreTable(SCHEMA)
+        fast, slow = CostAccountant(), CostAccountant()
+        delta_table.insert_rows(make_rows(0, 12), fast)
+        with delta_writes_disabled():
+            inline_table.insert_rows(make_rows(0, 12), slow)
+        assert fast.snapshot() == slow.snapshot()
+
+
+class TestMidBatchFailure:
+    """Satellite: duplicate-PK / rejected-value batches stay consistent."""
+
+    @pytest.mark.parametrize("mode", ["delta", "inline"])
+    def test_duplicate_pk_keeps_the_prefix_and_stays_aligned(self, mode):
+        table = ColumnStoreTable(SCHEMA)
+        seed = make_rows(0, 4)
+        batch = [*make_rows(10, 2), seed[1], *make_rows(12, 1)]  # dup id=1 mid-batch
+
+        def run():
+            table.insert_rows(seed)
+            with pytest.raises(ExecutionError, match="duplicate primary key"):
+                table.insert_rows(batch)
+
+        if mode == "delta":
+            run()
+        else:
+            with delta_writes_disabled():
+                run()
+        ids = sorted(row["id"] for row in table.all_rows())
+        assert ids == [0, 1, 2, 3, 10, 11]  # prefix committed, suffix dropped
+        # The aborted row's key is free again; the batch prefix's keys stay.
+        table.insert_rows(make_rows(12, 1))
+        with pytest.raises(ExecutionError):
+            table.insert_rows(make_rows(11, 1))
+
+    @pytest.mark.parametrize("mode", ["delta", "inline"])
+    def test_rejected_value_rolls_back_appended_tails(self, mode, monkeypatch):
+        """A column failing mid-append must truncate its siblings' tails."""
+        table = ColumnStoreTable(SCHEMA)
+        table.insert_rows(make_rows(0, 3))
+        if mode == "inline":
+            table.merge_delta()
+
+        calls = {"n": 0}
+        if mode == "delta":
+            original = DeltaColumn.append
+
+            def exploding_append(self, value, dictionary):
+                # Reject one *new* value only: by then the id and category
+                # columns are fully appended, and the rollback's survivor
+                # re-append (old values) must still pass through cleanly.
+                if value == 5.5:
+                    raise TypeError("synthetic dictionary rejection")
+                return original(self, value, dictionary)
+
+            monkeypatch.setattr(DeltaColumn, "append", exploding_append)
+            with pytest.raises(TypeError):
+                table.insert_rows(make_rows(10, 3))  # row id=11 has amount 5.5
+        else:
+            from repro.engine.compression import CompressedColumn
+
+            original_extend = CompressedColumn.extend
+
+            def exploding_extend(self, values):
+                calls["n"] += 1
+                if calls["n"] > 1:  # first column extends, second explodes
+                    raise TypeError("synthetic dictionary rejection")
+                return original_extend(self, values)
+
+            monkeypatch.setattr(CompressedColumn, "extend", exploding_extend)
+            with delta_writes_disabled(), pytest.raises(TypeError):
+                table.insert_rows(make_rows(10, 3))
+        monkeypatch.undo()
+
+        # Nothing of the failed batch survives: aligned columns, free keys.
+        assert table.num_rows == 3
+        assert sorted(row["id"] for row in table.all_rows()) == [0, 1, 2]
+        table.insert_rows(make_rows(10, 3))  # keys were not leaked
+        assert table.num_rows == 6

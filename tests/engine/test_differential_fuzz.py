@@ -427,6 +427,127 @@ def test_aggregate_pushdown_toggle_preserves_results_and_charges(seed):
             assert pushed.cost.components == reference.cost.components, context
 
 
+@pytest.mark.parametrize("seed", range(2))
+def test_delta_writes_toggle_preserves_results_and_charges(seed):
+    """Delta/main differential: buffered writes == inline writes, in full.
+
+    Two databases per layout run the identical statement stream — one with
+    delta writes on and a small merge threshold (so scans constantly read
+    main+delta unions and merges fire mid-stream), one built and operated
+    entirely under ``delta_writes_disabled()`` (the inline pre-split
+    reference).  Every statement must agree on rows, affected counts *and*
+    bit-identical :class:`CostBreakdown` components: the split is a
+    wall-clock optimisation, never a semantics or cost-model change.  The
+    stream includes duplicate-primary-key batches, whose mid-batch
+    partial-commit contract must hold identically on both paths.
+    """
+    import contextlib
+
+    from repro.engine.column_store import delta_writes_disabled
+    from repro.errors import ExecutionError
+
+    rng = random.Random(3000 + seed)
+    rows = generate_rows(rng, rng.randrange(20, 120))
+    dim_rows = generate_dim_rows()
+    split_at = rng.randrange(0, 7)
+
+    def construct(reference):
+        guard = delta_writes_disabled() if reference else contextlib.nullcontext()
+        with guard:
+            databases = {}
+            database = HybridDatabase()
+            if not reference:
+                database.delta_merge_threshold = 16
+            database.create_table(FACTS_SCHEMA, store=Store.COLUMN)
+            database.create_table(DIM_SCHEMA, store=Store.COLUMN)
+            database.load_rows("facts", rows)
+            database.load_rows("customers", dim_rows)
+            databases["column"] = database
+
+            database = HybridDatabase()
+            if not reference:
+                database.delta_merge_threshold = 16
+            database.create_table(FACTS_SCHEMA, store=Store.ROW)
+            database.create_table(DIM_SCHEMA, store=Store.COLUMN)
+            database.load_rows("facts", rows)
+            database.load_rows("customers", dim_rows)
+            database.apply_partitioning(
+                "facts",
+                TablePartitioning(
+                    horizontal=HorizontalPartitionSpec(
+                        predicate=Comparison("quantity", CompareOp.GE, split_at)
+                    ),
+                    vertical=VerticalPartitionSpec(
+                        row_store_columns=("quantity", "customer", "note"),
+                        column_store_columns=("category", "amount", "tag"),
+                    ),
+                ),
+            )
+            databases["partitioned"] = database
+            return databases
+
+    delta_dbs = construct(reference=False)
+    inline_dbs = construct(reference=True)
+    next_id = 10_000  # clear of the loaded ids
+
+    def run_both(label, statement):
+        outcomes = []
+        for databases, reference in ((delta_dbs, False), (inline_dbs, True)):
+            guard = delta_writes_disabled() if reference else contextlib.nullcontext()
+            with guard:
+                try:
+                    outcomes.append(("ok", databases[label].execute(statement)))
+                except ExecutionError as error:
+                    outcomes.append(("error", str(error)))
+        return outcomes
+
+    for step in range(36):
+        if step % 11 == 5:
+            # Duplicate PK mid-batch: row one commits, rows two/three do not
+            # — on both paths, with identical errors and charges intact.
+            batch = generate_rows(rng, 1, id_offset=next_id) * 2
+            batch += generate_rows(rng, 1, id_offset=next_id + 1)
+            statement = insert("facts", batch)
+            next_id += 2  # id used by row one; +1 burned by the lost row
+            for label in delta_dbs:
+                (fast_kind, fast), (slow_kind, slow) = run_both(label, statement)
+                context = f"seed={seed} step={step} [{label}] dup-pk"
+                assert fast_kind == slow_kind == "error", context
+                assert fast == slow, context
+            continue
+        if step % 4 == 3:
+            statement, next_id = random_dml(rng, next_id)
+            for label in delta_dbs:
+                (fast_kind, fast), (slow_kind, slow) = run_both(label, statement)
+                context = f"seed={seed} step={step} [{label}] {statement!r}"
+                assert fast_kind == slow_kind == "ok", context
+                assert fast.affected_rows == slow.affected_rows, context
+                assert fast.cost.components == slow.cost.components, context
+            continue
+        query = random_select(rng) if rng.random() < 0.5 else random_aggregation(rng)
+        for label in delta_dbs:
+            (fast_kind, fast), (slow_kind, slow) = run_both(label, query)
+            context = (
+                f"seed={seed} step={step} [{label}] delta-vs-inline "
+                f"query={query!r}"
+            )
+            assert fast_kind == slow_kind == "ok", context
+            assert_rows_equivalent(context, fast.rows, slow.rows)
+            assert fast.cost.components == slow.cost.components, context
+
+    # Merging everything must converge on the inline physical state: the
+    # same probes still charge identically afterwards.
+    probe = select("facts").build()
+    for label in delta_dbs:
+        delta_dbs[label].merge_deltas()
+        fast = delta_dbs[label].execute(probe)
+        with delta_writes_disabled():
+            slow = inline_dbs[label].execute(probe)
+        context = f"seed={seed} [{label}] post-merge"
+        assert_rows_equivalent(context, fast.rows, slow.rows)
+        assert fast.cost.components == slow.cost.components, context
+
+
 def test_fuzz_volume():
     """The suite executes the advertised ~200 differential queries."""
     assert 4 * QUERIES_PER_SEED >= 200
