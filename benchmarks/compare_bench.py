@@ -41,6 +41,7 @@ from test_perf_pipeline import (  # noqa: E402
     MIN_SCAN_BUDGET_MS,
     REGRESSION_FACTOR,
     SCAN_SCENARIOS,
+    SHARD_BENCH_SCENARIOS,
 )
 
 #: Per-scenario noise floor, in the scenario's own unit.
@@ -55,6 +56,9 @@ _FLOORS = {
     # an absurdly fast machine from tripping the 2x budget on noise alone.
     "delta_insert_100k_ms": 50.0,
     **{key: MIN_SCAN_BUDGET_MS for key in SCAN_SCENARIOS},
+    # The shard projections are deterministic simulated runtimes: no noise,
+    # no floor needed.
+    **{key: 0.0 for key in SHARD_BENCH_SCENARIOS},
 }
 
 

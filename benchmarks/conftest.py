@@ -18,6 +18,11 @@ def pytest_configure(config):
         "markers",
         "perf: wall-clock perf smoke tests gated against BENCH_pipeline.json",
     )
+    config.addinivalue_line(
+        "markers",
+        "shard: shard-parallel scatter/gather execution suite (the 1M-row "
+        "projection gates; select standalone with -m shard)",
+    )
 
 
 def run_and_record(benchmark, experiment_fn, **kwargs):

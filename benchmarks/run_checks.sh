@@ -11,8 +11,14 @@
 #              regresses >2x versus the committed baseline; the aggregate-
 #              pushdown scenarios additionally gate their live speedup over
 #              the decode-then-reduce reference (grouped >=3x, zero-scan
-#              MIN/MAX >=20x) and the delta/main write split gates per-row
-#              inserts at >=5x over the inline path,
+#              MIN/MAX >=20x), the delta/main write split gates per-row
+#              inserts at >=5x over the inline path, and the 1M-row shard
+#              projections gate >=2x over serial at fan-out 4,
+#   shard    — the shard-parallel scatter/gather suite, standalone: decision
+#              staleness, charge bit-identity vs the serial reference, the
+#              sharded differential fuzzer, spawn-vs-fork determinism and
+#              the 1M-row projection gates (also runs inside tier-1; this
+#              run proves the marker works),
 #   fuzz     — the seeded differential suites, standalone (cross-store,
 #              session-vs-legacy, pruning-vs-decode, and delta-vs-inline;
 #              they also run inside tier-1; this run proves the marker works),
@@ -41,7 +47,12 @@ echo "== bench comparator: committed BENCH_pipeline.json baseline =="
 python benchmarks/compare_bench.py \
     --fail-under grouped_agg_pushdown_100k_ms=3 \
     --fail-under minmax_zero_scan_100k_ms=20 \
-    --fail-under delta_insert_100k_ms=5
+    --fail-under delta_insert_100k_ms=5 \
+    --fail-under shard_grouped_agg_1m_ms=2 \
+    --fail-under shard_scan_1m_ms=2
+
+echo "== shard: scatter/gather differential + projection gates =="
+python -m pytest -m shard -q tests benchmarks
 
 echo "== fuzz: differential suites =="
 python -m pytest -m fuzz -q tests

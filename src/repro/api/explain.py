@@ -72,6 +72,17 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
         lines.append("  aggregate pushdown:")
         for table in sorted(actual.agg_strategies):
             lines.append(f"    {table:<22}{actual.agg_strategies[table]}")
+    if actual is not None and actual.shard_stats:
+        # Shard-execution telemetry: the fan-out the scatter/gather actually
+        # ran with and each shard's rows scanned/matched.  Only rendered when
+        # the query really executed sharded (a fallback leaves this empty).
+        lines.append("  shard execution (scanned/matched):")
+        for table in sorted(actual.shard_stats):
+            fan_out, shards = actual.shard_stats[table]
+            per_shard = ", ".join(
+                f"{scanned}/{matched}" for scanned, matched in shards
+            )
+            lines.append(f"    {table:<22}fan-out {fan_out}: {per_shard}")
     if plan.estimate.per_term_ms:
         lines.append("  estimated cost terms (ms):")
         for term in sorted(plan.estimate.per_term_ms):
@@ -154,6 +165,9 @@ def _operator_tree(plan: PhysicalPlan) -> List[str]:
         strategy = access[query.table].aggregate_strategy
         if strategy is not None:
             lines.append(f"   strategy: {strategy.describe()}")
+        shards = access[query.table].shard_decision
+        if shards is not None and shards.sharded:
+            lines.append(f"   shards: {shards.describe()}")
         depth = 1
         for join in query.joins:
             pad = "   " * depth
@@ -168,6 +182,9 @@ def _operator_tree(plan: PhysicalPlan) -> List[str]:
         columns = ", ".join(query.columns) if query.columns else "*"
         suffix = f" LIMIT {query.limit}" if query.limit is not None else ""
         lines.append(f"-> Project {columns}{suffix}")
+        shards = access[query.table].shard_decision
+        if shards is not None and shards.sharded:
+            lines.append(f"   shards: {shards.describe()}")
         scan_lines(query.table, 1, query.predicate)
     elif isinstance(query, InsertQuery):
         lines.append(f"-> Insert into {query.table} ({query.num_rows} row(s))")

@@ -45,6 +45,7 @@ from repro.config import AdvisorConfig, DeviceModelConfig, DurabilityConfig
 from repro.core.advisor.advisor import StorageAdvisor
 from repro.core.advisor.recommendation import Recommendation
 from repro.engine.database import HybridDatabase, WorkloadRunResult
+from repro.engine.shard import shutdown_worker_pool
 from repro.engine.wal import RecoveryReport, WriteAheadLog, recover as wal_recover
 from repro.engine.executor.executor import QueryResult
 from repro.engine.partitioning import TablePartitioning
@@ -184,19 +185,27 @@ class Session:
         try:
             self.clear_caches()
             self._plan_listeners.clear()
+            # The shard worker pool is process-wide (shared-memory segments
+            # plus worker processes); closing the session releases it.  The
+            # next sharded query — from a later session — recreates it.
+            shutdown_worker_pool()
         finally:
             wal = self.database.wal
             if wal is not None and not wal.closed:
                 wal.close()
 
     def clear_caches(self) -> None:
-        """Drop every cached parse and plan (cold-start measurements, tests).
+        """Drop every cached parse, plan and cost estimate (cold starts, tests).
 
         The session stays fully usable: the next statement runs the whole
         parse -> bind -> plan pipeline again and re-populates the caches.
+        The shared :class:`EstimateMemo` is cleared too, so stale estimates
+        priced against superseded physical state cannot outlive the plans
+        that consumed them.
         """
         self._plan_cache.clear()
         self._parse_cache.clear()
+        self._advisor.cost_model.reset_cache()
 
     # -- the pipeline -------------------------------------------------------------
 
@@ -319,6 +328,13 @@ class Session:
                   include_partitioning: bool = True) -> Recommendation:
         return self._advisor.recommend(
             self.database, workload, include_partitioning=include_partitioning
+        )
+
+    def recommend_shard_keys(self, workload: Workload, fan_out=None,
+                             assignment=None):
+        """Per-table shard-key recommendations (see the advisor's docstring)."""
+        return self._advisor.recommend_shard_keys(
+            self.database, workload, fan_out=fan_out, assignment=assignment
         )
 
     def apply(self, recommendation: Recommendation) -> None:

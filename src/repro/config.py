@@ -75,6 +75,11 @@ class DeviceModelConfig:
     #: Fixed per-partition overhead added when a query spans partitions
     #: (union / join assembly bookkeeping).
     partition_overhead_ns: float = 5_000.0
+    #: Per-shard scatter/gather overhead of the shard-parallel executor
+    #: (task dispatch, result collection and merge bookkeeping).  Consumed
+    #: only by the parallel-runtime projection — never billed to a query's
+    #: :class:`~repro.engine.timing.CostBreakdown`.
+    shard_dispatch_ns: float = 25_000.0
 
     def scaled(self, factor: float) -> "DeviceModelConfig":
         """Return a copy with every per-operation cost multiplied by *factor*.

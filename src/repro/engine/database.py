@@ -154,9 +154,21 @@ class HybridDatabase:
                 part.backend.merge_threshold = self.delta_merge_threshold
 
     def merge_deltas(self, name: Optional[str] = None) -> int:
-        """Merge the column-store deltas of one table (or all tables)."""
+        """Merge the column-store deltas of one table (or all tables).
+
+        A merge that moved rows changes the physical state plans and
+        estimates were costed against (code bytes, dictionary sizes, delta
+        length), so it bumps the table version like DDL does; a no-op merge
+        leaves cached plans valid.
+        """
         names = [name] if name is not None else self.table_names()
-        return sum(self.table_object(n).merge_delta() for n in names)
+        total = 0
+        for table_name in names:
+            merged = self.table_object(table_name).merge_delta()
+            if merged:
+                self._bump_version(table_name)
+            total += merged
+        return total
 
     def snapshot(self, name: str):
         """A consistent read view of *name* as of now (snapshot isolation)."""
@@ -298,9 +310,11 @@ class HybridDatabase:
         """Monotonic layout/statistics version of one table.
 
         Bumped by DDL (create/drop), store moves, applying or removing a
-        partitioning, and statistics refresh (which bulk loads trigger too).
-        Unknown tables report version 0, which a subsequent ``CREATE``
-        necessarily replaces with a larger number.
+        partitioning, statistics refresh (which bulk loads trigger too),
+        and delta merges that moved rows (they change the physical state
+        estimates were priced against).  Unknown tables report version 0,
+        which a subsequent ``CREATE`` necessarily replaces with a larger
+        number.
         """
         return self._table_versions.get(name, 0)
 

@@ -41,6 +41,11 @@ class QueryResult:
     #: Per-table ``(main rows, delta rows)`` scanned — the delta/main split's
     #: telemetry, reported by ``EXPLAIN ANALYZE`` when a scan read a delta.
     delta_scans: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Per-table ``(fan_out, ((rows scanned, rows matched), ...))`` of a
+    #: shard-parallel execution — empty when the query ran serially.
+    shard_stats: Dict[str, Tuple[int, Tuple[Tuple[int, int], ...]]] = field(
+        default_factory=dict
+    )
 
     @property
     def runtime_ms(self) -> float:
@@ -89,6 +94,10 @@ class QueryExecutor:
                 paths[query.table].plan_scan(predicate)
         if isinstance(query, AggregationQuery):
             paths[query.table].plan_aggregate(query)
+        if isinstance(query, (SelectQuery, AggregationQuery)):
+            # Shard planning runs last: the aggregation verdict above feeds
+            # the shard eligibility test (zero-scan answers never shard).
+            paths[query.table].plan_shards(query)
         return paths
 
     def execute(self, query: Query) -> QueryResult:
@@ -110,13 +119,15 @@ class QueryExecutor:
             return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
                                scan_stats=accountant.scan_stats,
                                agg_strategies=accountant.aggregate_strategies,
-                               delta_scans=accountant.delta_scans)
+                               delta_scans=accountant.delta_scans,
+                               shard_stats=accountant.shard_stats)
         path = paths[query.table]
         if isinstance(query, SelectQuery):
             rows = execute_select(query, path, accountant)
             return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
                                scan_stats=accountant.scan_stats,
-                               delta_scans=accountant.delta_scans)
+                               delta_scans=accountant.delta_scans,
+                               shard_stats=accountant.shard_stats)
         if isinstance(query, InsertQuery):
             affected = execute_insert(query, path, accountant)
         elif isinstance(query, UpdateQuery):

@@ -23,6 +23,11 @@ from repro.engine.executor.aggregates import (
     partition_partial_rows,
 )
 from repro.engine.executor.join import join_dimension
+from repro.engine.shard import (
+    shard_execution_enabled,
+    try_sharded_aggregation,
+    try_sharded_select,
+)
 from repro.engine.timing import CostAccountant
 from repro.errors import QueryError
 from repro.query.ast import (
@@ -111,6 +116,15 @@ def execute_aggregation(
             return _execute_partition_partial(
                 query, base_path, base_columns, encode_columns, accountant
             )
+
+    if shard_execution_enabled() and not query.joins:
+        # Shard-parallel scatter/gather: workers compute partial states over
+        # shared-memory code shards, the parent merges and then replays the
+        # serial collect-then-reduce charges bit-identically.  ``None``
+        # means ineligible-or-failed — nothing was charged; fall through.
+        sharded = try_sharded_aggregation(base_path, query, base_columns, accountant)
+        if sharded is not None:
+            return sharded
 
     batch = base_path.collect_batch(
         base_columns, query.predicate, accountant, encode_columns=encode_columns
@@ -277,6 +291,12 @@ def execute_select(
             raise QueryError(
                 f"select query references unknown column {name!r} of {query.table!r}"
             )
+    if shard_execution_enabled() and query.predicate is not None:
+        # Shard-parallel filtered scan; the parent fetches the gathered
+        # positions itself so materialisation charges match serial exactly.
+        sharded = try_sharded_select(path, query, accountant)
+        if sharded is not None:
+            return sharded
     return path.select_rows(list(query.columns), query.predicate, query.limit, accountant)
 
 

@@ -1,0 +1,722 @@
+"""Shard-parallel scatter/gather execution over shared-memory code arrays.
+
+Large column-store scans and aggregations are split into contiguous row-range
+*shards* executed by a pool of worker processes.  The parent publishes each
+column's flat ``int64`` code array once per zone epoch into a
+:mod:`multiprocessing.shared_memory` segment; dictionaries ship to each worker
+once per ``(column, epoch)`` and are cached worker-side, so steady-state
+dispatch moves only the query and the shard bounds.  Workers filter their
+range in the code domain (:func:`compile_code_mask`, with the store's
+decode-and-compare fallback) and either return global match positions
+(selection) or mergeable partial aggregate states
+(:func:`partition_partial_rows`); the parent gathers and merges with
+:func:`merge_partition_partials` — the exact kernels the partitioned
+aggregation tier already pins against the serial reference.
+
+Cost discipline mirrors the rest of the engine: workers **never** touch a
+:class:`~repro.engine.timing.CostAccountant`.  The parent dispatches, gathers
+and merges first, charge-free; only when the sharded result is fully in hand
+does it replay the serial path's charges in the serial call order, so the
+:class:`~repro.engine.timing.CostBreakdown` is bit-identical to
+:func:`shard_execution_disabled` execution.  Any failure — a dead worker, a
+pickling error, a gather timeout, an unorderable partial merge — abandons the
+sharded attempt *before* any charge lands and the caller falls through to the
+ordinary serial operator, which charges itself.
+
+The planner records a :class:`ShardDecision` per physical plan; like
+``ScanDecision`` and ``AggregateStrategy`` it carries the zone-epoch token and
+the toggle state at derivation and is re-derived when either goes stale.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import pickle
+import queue as queue_module
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.batch import EncodedColumn, evaluate_predicate_mask
+from repro.engine.column_store import ColumnStoreTable, compile_code_mask
+from repro.engine.executor.agg_pushdown import (
+    TIER_ZERO_SCAN,
+    _partial_merge_safe,
+    aggregate_pushdown_enabled,
+)
+from repro.engine.executor.aggregates import (
+    merge_partition_partials,
+    partition_partial_rows,
+)
+from repro.engine.timing import CostAccountant
+from repro.query.ast import AggregationQuery, Query, SelectQuery
+
+__all__ = [
+    "ShardDecision",
+    "ShardExecutionError",
+    "derive_shard_decision",
+    "get_worker_pool",
+    "projected_parallel_ms",
+    "shard_bounds",
+    "shard_config",
+    "shard_execution_disabled",
+    "shard_execution_enabled",
+    "shard_fan_out",
+    "shard_min_rows",
+    "shutdown_worker_pool",
+    "try_sharded_aggregation",
+    "try_sharded_select",
+    "AGGREGATION_PARALLEL_COMPONENTS",
+    "SELECT_PARALLEL_COMPONENTS",
+]
+
+
+# -- toggle and configuration ----------------------------------------------------------
+
+_SHARD_ENABLED = True
+
+#: Planner default fan-out: how many shards a sharded query scatters into.
+_SHARD_FAN_OUT = 4
+
+#: Tables below this row count never shard — dispatch overhead dominates.
+_SHARD_MIN_ROWS = 200_000
+
+#: Seconds the parent waits for any single gather before abandoning the pool.
+_GATHER_TIMEOUT_S = 30.0
+
+
+def shard_execution_enabled() -> bool:
+    """Whether the sharded scatter/gather paths may run."""
+    return _SHARD_ENABLED
+
+
+@contextmanager
+def shard_execution_disabled():
+    """Force serial execution — the charge-identity reference for sharding."""
+    global _SHARD_ENABLED
+    previous = _SHARD_ENABLED
+    _SHARD_ENABLED = False
+    try:
+        yield
+    finally:
+        _SHARD_ENABLED = previous
+
+
+def shard_fan_out() -> int:
+    return _SHARD_FAN_OUT
+
+
+def shard_min_rows() -> int:
+    return _SHARD_MIN_ROWS
+
+
+@contextmanager
+def shard_config(fan_out: Optional[int] = None, min_rows: Optional[int] = None):
+    """Temporarily override the shard fan-out and/or eligibility floor.
+
+    Tests use ``shard_config(min_rows=1)`` to shard small tables; recorded
+    :class:`ShardDecision` objects embed the configuration they were derived
+    under and go stale when it changes, exactly like a toggle flip.
+    """
+    global _SHARD_FAN_OUT, _SHARD_MIN_ROWS
+    previous = (_SHARD_FAN_OUT, _SHARD_MIN_ROWS)
+    if fan_out is not None:
+        _SHARD_FAN_OUT = fan_out
+    if min_rows is not None:
+        _SHARD_MIN_ROWS = min_rows
+    try:
+        yield
+    finally:
+        _SHARD_FAN_OUT, _SHARD_MIN_ROWS = previous
+
+
+class ShardExecutionError(RuntimeError):
+    """A sharded attempt failed; the caller falls back to serial execution."""
+
+
+# -- the planner-recorded decision -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """The planner's per-query sharding verdict, recorded on the access path.
+
+    ``token`` is the zone-epoch token at derivation; ``enabled``/``pushdown``
+    snapshot the toggles and ``config`` the ``(fan_out, min_rows)`` globals.
+    :meth:`matches` is the staleness test — any mismatch forces the executor
+    (or EXPLAIN) to re-derive, mirroring ``AggregateStrategy.matches``.
+    """
+
+    table: str
+    fan_out: int
+    bounds: Tuple[Tuple[int, int], ...]
+    sharded: bool
+    reason: str
+    token: Tuple[Any, ...]
+    enabled: bool
+    pushdown: bool
+    config: Tuple[int, int]
+    query: Optional[Query] = None
+
+    def matches(self, query: Query, token: Tuple[Any, ...]) -> bool:
+        if self.enabled != shard_execution_enabled():
+            return False
+        if self.pushdown != aggregate_pushdown_enabled():
+            return False
+        if self.config != (_SHARD_FAN_OUT, _SHARD_MIN_ROWS):
+            return False
+        if self.token != token:
+            return False
+        if self.query is query:
+            return True
+        try:
+            return bool(self.query == query)
+        except Exception:
+            return False
+
+    def describe(self) -> str:
+        if self.sharded:
+            return f"fan-out {self.fan_out} ({self.reason})"
+        return f"serial ({self.reason})"
+
+
+def shard_bounds(num_rows: int, fan_out: int) -> Tuple[Tuple[int, int], ...]:
+    """Balanced contiguous ``[start, stop)`` row ranges covering the table."""
+    base, extra = divmod(num_rows, fan_out)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(fan_out):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return tuple(bounds)
+
+
+def derive_shard_decision(path, query: Query) -> ShardDecision:
+    """Derive the sharding verdict for *query* over *path*.
+
+    Only single-table queries against a delta-free column store at or above
+    the row floor shard.  Aggregations additionally require provably
+    order-independent partial merges (the partition-partial NaN proof) and
+    must not already be answered zone-free; selections require a predicate
+    (an unfiltered SELECT is pure materialisation, which stays serial).
+    """
+    table = getattr(path, "table", None)
+    token = path._zone_token()
+
+    def verdict(sharded: bool, reason: str, fan_out: int = 0,
+                bounds: Tuple[Tuple[int, int], ...] = ()) -> ShardDecision:
+        return ShardDecision(
+            table=getattr(table, "name", "?"), fan_out=fan_out, bounds=bounds,
+            sharded=sharded, reason=reason, token=token,
+            enabled=shard_execution_enabled(),
+            pushdown=aggregate_pushdown_enabled(),
+            config=(_SHARD_FAN_OUT, _SHARD_MIN_ROWS), query=query,
+        )
+
+    if not shard_execution_enabled():
+        return verdict(False, "shard execution disabled")
+    if getattr(path, "_inner", False):
+        return verdict(False, "inner partition path")
+    backend = getattr(table, "backend", None)
+    if not isinstance(backend, ColumnStoreTable):
+        return verdict(False, "not a plain column store")
+    if table.delta_rows:
+        return verdict(False, "delta rows pending merge")
+    num_rows = table.num_rows
+    if num_rows < _SHARD_MIN_ROWS:
+        return verdict(False, f"below {_SHARD_MIN_ROWS}-row floor")
+    predicate = query.predicate
+    if isinstance(query, AggregationQuery):
+        if query.joins:
+            return verdict(False, "join query")
+        safe, why = _partial_merge_safe(path, query)
+        if not safe:
+            return verdict(False, why)
+        strategy = path.aggregate_decision_for(query)
+        if (aggregate_pushdown_enabled()
+                and strategy.tier == TIER_ZERO_SCAN
+                and strategy.answer is not None):
+            return verdict(False, "zero-scan answer")
+    elif isinstance(query, SelectQuery):
+        if predicate is None:
+            return verdict(False, "unfiltered select")
+    else:
+        return verdict(False, "unsupported query type")
+    if predicate is not None:
+        if any(not table.schema.has_column(name) for name in predicate.columns()):
+            return verdict(False, "unresolvable predicate column")
+        if not path.decision_for(predicate).partitions[0].scan:
+            return verdict(False, "zone-pruned scan")
+    fan_out = min(_SHARD_FAN_OUT, num_rows)
+    if fan_out < 2:
+        return verdict(False, "fan-out below 2")
+    return verdict(
+        True, f"{fan_out} x ~{num_rows // fan_out} rows",
+        fan_out=fan_out, bounds=shard_bounds(num_rows, fan_out),
+    )
+
+
+# -- worker pool over shared-memory code arrays ----------------------------------------
+
+_NAMESPACE_COUNTER = itertools.count(1)
+
+
+def _backend_namespace(backend: ColumnStoreTable) -> int:
+    """A process-unique id for *backend* — table names alone can collide."""
+    namespace = getattr(backend, "_shard_namespace", None)
+    if namespace is None:
+        namespace = next(_NAMESPACE_COUNTER)
+        backend._shard_namespace = namespace
+    return namespace
+
+
+@contextmanager
+def _attach_untracked():
+    """Attach shared segments without registering with the resource tracker.
+
+    The parent is the segments' sole owner, but ``SharedMemory`` registers
+    every attach (Python 3.11 has no ``track=`` parameter).  A worker that let
+    that registration through would either erase the parent's claim from a
+    shared tracker (fork) or stand up its own tracker that unlinks the
+    parent's live segments when the worker exits (spawn) — so workers
+    suppress registration for the duration of the attach.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class _ShardColumn:
+    """Worker-side stand-in for ``CompressedColumn``: name, codes, dictionary."""
+
+    __slots__ = ("name", "codes", "dictionary")
+
+    def __init__(self, name: str, codes: np.ndarray, dictionary) -> None:
+        self.name = name
+        self.codes = codes
+        self.dictionary = dictionary
+
+
+def _worker_main(tasks, results) -> None:
+    """Worker loop: attach shards, scan/aggregate them, never charge costs."""
+    cache: Dict[Tuple[int, str], Tuple[int, Any, np.ndarray, Any]] = {}
+    while True:
+        blob = tasks.get()
+        if not blob:
+            break
+        task = pickle.loads(blob)
+        if task.get("kind") == "stop":
+            break
+        try:
+            payload = _run_shard_task(task, cache)
+            payload["task_id"] = task["task_id"]
+        except BaseException as error:  # noqa: BLE001 — report, don't die
+            payload = {"task_id": task.get("task_id"), "error": repr(error)}
+        try:
+            results.put(pickle.dumps(payload))
+        except Exception as error:
+            results.put(pickle.dumps(
+                {"task_id": task.get("task_id"), "error": repr(error)}
+            ))
+    for _epoch, shm, _codes, _dictionary in cache.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def _attach_columns(task, cache) -> Dict[str, Tuple[np.ndarray, Any]]:
+    """Resolve the task's columns to ``(codes, dictionary)`` pairs.
+
+    New ``(column, epoch)`` arrivals in ``task["ship"]`` attach their shared
+    segment (untracked) and displace any stale epoch in the cache.
+    """
+    namespace, epoch = task["namespace"], task["epoch"]
+    for name, shm_name, length, dictionary in task["ship"]:
+        key = (namespace, name)
+        stale = cache.get(key)
+        if stale is not None:
+            try:
+                stale[1].close()
+            except Exception:
+                pass
+        with _attach_untracked():
+            shm = shared_memory.SharedMemory(name=shm_name)
+        codes = np.ndarray((length,), dtype=np.int64, buffer=shm.buf)
+        cache[key] = (epoch, shm, codes, dictionary)
+    columns: Dict[str, Tuple[np.ndarray, Any]] = {}
+    for name in task["columns"]:
+        entry = cache.get((namespace, name))
+        if entry is None or entry[0] != epoch:
+            raise ShardExecutionError(f"stale shard column {name!r}")
+        columns[name] = (entry[2], entry[3])
+    return columns
+
+
+def _run_shard_task(task, cache) -> Dict[str, Any]:
+    columns = _attach_columns(task, cache)
+    start, stop = task["start"], task["stop"]
+    num = stop - start
+    query = task["query"]
+    predicate = query.predicate
+    positions: Optional[np.ndarray] = None
+    if predicate is not None:
+        shims = {
+            name: _ShardColumn(name, codes[start:stop], dictionary)
+            for name, (codes, dictionary) in columns.items()
+        }
+        compiled = compile_code_mask(predicate, shims, num)
+        if compiled is not None:
+            mask = compiled[0]
+        else:
+            arrays = {
+                name: shim.dictionary.decode_array(shim.codes)
+                for name, shim in shims.items()
+                if name in predicate.columns()
+            }
+            mask = evaluate_predicate_mask(predicate, arrays, num)
+        positions = np.nonzero(mask)[0]
+    if task["kind"] == "select":
+        matched = int(len(positions))
+        return {
+            "scanned": num, "matched": matched,
+            "positions": (positions + start).astype(np.int64),
+        }
+    matched = num if positions is None else int(len(positions))
+    available: Dict[str, Any] = {}
+    for name in task["base_columns"]:
+        codes, dictionary = columns[name]
+        sliced = codes[start:stop]
+        if positions is not None:
+            sliced = sliced[positions]
+        available[name] = EncodedColumn(np.ascontiguousarray(sliced), dictionary)
+    from repro.engine.executor.operators import _assemble_inputs
+
+    inputs, keys = _assemble_inputs(query, available)
+    partials = partition_partial_rows(
+        query.aggregates, list(query.group_by), inputs, keys, matched
+    )
+    return {"scanned": num, "matched": matched, "partials": partials}
+
+
+class ShardWorkerPool:
+    """A fixed crew of worker processes plus the parent's segment registry.
+
+    One task queue per worker (shards go round-robin), one shared result
+    queue.  ``_segments`` maps ``(namespace, column)`` to the published
+    ``(epoch, shm, length, dictionary)``; superseded epochs are unlinked
+    eagerly, everything else at :meth:`shutdown`.  ``_shipped`` tracks which
+    ``(namespace, column, epoch)`` dictionaries each worker already holds.
+    """
+
+    def __init__(self, num_workers: int, start_method: str) -> None:
+        self.num_workers = max(1, num_workers)
+        self.start_method = start_method
+        context = multiprocessing.get_context(start_method)
+        self._results = context.Queue()
+        self._workers: List[Tuple[Any, Any]] = []
+        self._shipped: List[set] = []
+        for _ in range(self.num_workers):
+            tasks = context.Queue()
+            process = context.Process(
+                target=_worker_main, args=(tasks, self._results), daemon=True
+            )
+            process.start()
+            self._workers.append((process, tasks))
+            self._shipped.append(set())
+        self._segments: Dict[Tuple[int, str], Tuple[int, Any, int, Any]] = {}
+
+    def alive(self) -> bool:
+        return bool(self._workers) and all(
+            process.is_alive() for process, _tasks in self._workers
+        )
+
+    def publish(self, namespace: int, epoch: int, backend: ColumnStoreTable,
+                names: Sequence[str]) -> Dict[str, Tuple[str, int]]:
+        """Ensure current-epoch segments exist for *names*; return specs."""
+        specs: Dict[str, Tuple[str, int]] = {}
+        for name in names:
+            key = (namespace, name)
+            entry = self._segments.get(key)
+            if entry is None or entry[0] != epoch:
+                if entry is not None:
+                    try:
+                        entry[1].close()
+                        entry[1].unlink()
+                    except Exception:
+                        pass
+                codes = np.ascontiguousarray(
+                    backend.compressed_column(name).codes, dtype=np.int64
+                )
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, codes.nbytes)
+                )
+                np.ndarray(codes.shape, dtype=np.int64, buffer=shm.buf)[:] = codes
+                entry = (epoch, shm, len(codes),
+                         backend.compressed_column(name).dictionary)
+                self._segments[key] = entry
+            specs[name] = (entry[1].name, entry[2])
+        return specs
+
+    def ship_list(self, worker: int, namespace: int, epoch: int,
+                  specs: Dict[str, Tuple[str, int]]) -> List[Tuple]:
+        """The (column, segment, dictionary) payloads *worker* still lacks."""
+        ship: List[Tuple] = []
+        for name, (shm_name, length) in specs.items():
+            token = (namespace, name, epoch)
+            if token in self._shipped[worker]:
+                continue
+            dictionary = self._segments[(namespace, name)][3]
+            ship.append((name, shm_name, length, dictionary))
+            self._shipped[worker].add(token)
+        return ship
+
+    def run(self, tasks: Sequence[Dict[str, Any]]) -> Dict[int, Dict[str, Any]]:
+        """Scatter *tasks* (each pre-assigned a worker) and gather by id."""
+        for task in tasks:
+            process, task_queue = self._workers[task["worker"]]
+            if not process.is_alive():
+                raise ShardExecutionError("shard worker died")
+            try:
+                blob = pickle.dumps(task)
+            except Exception as error:
+                raise ShardExecutionError(
+                    f"unpicklable shard task: {error!r}"
+                ) from error
+            task_queue.put(blob)
+        gathered: Dict[int, Dict[str, Any]] = {}
+        for _ in range(len(tasks)):
+            try:
+                result = pickle.loads(self._results.get(timeout=_GATHER_TIMEOUT_S))
+            except queue_module.Empty as error:
+                raise ShardExecutionError("shard gather timed out") from error
+            error = result.get("error")
+            if error is not None:
+                raise ShardExecutionError(f"shard worker failed: {error}")
+            gathered[result["task_id"]] = result
+        return gathered
+
+    def shutdown(self) -> None:
+        for _process, task_queue in self._workers:
+            try:
+                task_queue.put(b"")
+            except Exception:
+                pass
+        for process, task_queue in self._workers:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            try:
+                task_queue.close()
+                task_queue.cancel_join_thread()
+            except Exception:
+                pass
+        try:
+            self._results.close()
+            self._results.cancel_join_thread()
+        except Exception:
+            pass
+        for _epoch, shm, _length, _dictionary in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        self._segments.clear()
+        self._workers = []
+        self._shipped = []
+
+
+_POOL: Optional[ShardWorkerPool] = None
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def get_worker_pool(start_method: Optional[str] = None) -> ShardWorkerPool:
+    """The process-wide pool, (re)created lazily with ``shard_fan_out`` workers.
+
+    Passing a different *start_method* (the spawn determinism smoke test)
+    replaces the current pool.  A pool with a dead worker is replaced too.
+    """
+    global _POOL
+    method = start_method or _default_start_method()
+    if _POOL is not None and (_POOL.start_method != method or not _POOL.alive()):
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = ShardWorkerPool(num_workers=_SHARD_FAN_OUT, start_method=method)
+    return _POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Stop the workers and unlink every shared segment (idempotent)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_worker_pool)
+
+
+# -- parent-side scatter/gather --------------------------------------------------------
+
+
+def _scatter_gather(backend: ColumnStoreTable, query: Query,
+                    decision: ShardDecision, kind: str,
+                    columns: Sequence[str]) -> List[Dict[str, Any]]:
+    """Dispatch one task per shard and return results in shard order.
+
+    Raises :class:`ShardExecutionError` on any failure; on a pool-level
+    failure the pool is torn down so the next query starts a fresh crew.
+    """
+    pool = get_worker_pool()
+    namespace = _backend_namespace(backend)
+    epoch = backend.zone_epoch
+    try:
+        specs = pool.publish(namespace, epoch, backend, columns)
+        tasks = []
+        for index, (start, stop) in enumerate(decision.bounds):
+            worker = index % pool.num_workers
+            tasks.append({
+                "kind": kind, "task_id": index, "worker": worker,
+                "namespace": namespace, "epoch": epoch,
+                "ship": pool.ship_list(worker, namespace, epoch, specs),
+                "columns": list(columns), "start": start, "stop": stop,
+                "query": query, "base_columns": list(columns),
+            })
+        gathered = pool.run(tasks)
+    except ShardExecutionError:
+        shutdown_worker_pool()
+        raise
+    return [gathered[index] for index in range(len(decision.bounds))]
+
+
+def try_sharded_aggregation(path, query: AggregationQuery,
+                            base_columns: Sequence[str],
+                            accountant: CostAccountant) -> Optional[List[Dict[str, Any]]]:
+    """Sharded grouped/ungrouped aggregation, or ``None`` to run serially.
+
+    Scatter, gather and merge complete before the first charge lands; the
+    serial collect-then-reduce charges are then replayed in call order, so a
+    fallback can never leave a partial bill behind.
+    """
+    decision = path.shard_decision_for(query)
+    if not decision.sharded:
+        return None
+    table = path.table
+    try:
+        results = _scatter_gather(
+            table.backend, query, decision, "agg", list(base_columns)
+        )
+        rows = merge_partition_partials(
+            query.aggregates, list(query.group_by),
+            [result["partials"] for result in results],
+        )
+    except (ShardExecutionError, TypeError):
+        return None
+    matched = sum(result["matched"] for result in results)
+    accountant.count_partition(table.name, scanned=True)
+    backend = table.backend
+    if query.predicate is not None:
+        table.charge_filter_scan(query.predicate, accountant)
+        for name in base_columns:
+            backend.charge_encoded_read(name, matched, accountant)
+    else:
+        for name in base_columns:
+            backend.charge_encoded_read(name, None, accountant)
+    accountant.charge_aggregate_updates(matched * len(query.aggregates))
+    if query.group_by:
+        accountant.charge_group_by_updates(matched)
+    accountant.record_shard_execution(
+        table.name, decision.fan_out,
+        tuple((result["scanned"], result["matched"]) for result in results),
+    )
+    return rows
+
+
+def try_sharded_select(path, query: SelectQuery,
+                       accountant: CostAccountant) -> Optional[List[Dict[str, Any]]]:
+    """Sharded filtered selection, or ``None`` to run serially.
+
+    Workers return global match positions; the parent concatenates them in
+    shard order (== ascending row order), applies the limit and performs the
+    row fetch itself — ``fetch_rows`` charges materialisation exactly as the
+    serial path does, after the replayed scan charges.
+    """
+    decision = path.shard_decision_for(query)
+    if not decision.sharded:
+        return None
+    table = path.table
+    scan_columns = sorted(query.predicate.columns())
+    try:
+        results = _scatter_gather(
+            table.backend, query, decision, "select", scan_columns
+        )
+    except ShardExecutionError:
+        return None
+    positions = np.concatenate(
+        [result["positions"] for result in results]
+    ).astype(np.int64)
+    accountant.count_partition(table.name, scanned=True)
+    table.charge_filter_scan(query.predicate, accountant)
+    if query.limit is not None:
+        positions = positions[: query.limit]
+    rows = table.fetch_rows(positions, list(query.columns) or None, accountant)
+    accountant.record_shard_execution(
+        table.name, decision.fan_out,
+        tuple((result["scanned"], result["matched"]) for result in results),
+    )
+    return rows
+
+
+# -- parallel-runtime projection -------------------------------------------------------
+
+#: Components an aggregation shard performs inside the workers — they shrink
+#: to the largest shard's share under parallel execution.
+AGGREGATION_PARALLEL_COMPONENTS: FrozenSet[str] = frozenset({
+    "column_scan", "vector_compare", "predicate_eval", "dictionary_decode",
+    "tuple_reconstruction", "aggregate_update", "group_by",
+})
+
+#: A sharded selection parallelises only the scan; the row fetch happens in
+#: the parent after the gather.
+SELECT_PARALLEL_COMPONENTS: FrozenSet[str] = frozenset({
+    "column_scan", "vector_compare", "predicate_eval",
+})
+
+
+def projected_parallel_ms(cost, shard_rows: Sequence[Tuple[int, int]],
+                          fan_out: int, device,
+                          parallel_components: FrozenSet[str]) -> float:
+    """Deterministic simulated runtime of a sharded execution, in ms.
+
+    The serially-charged :class:`CostBreakdown` (bit-identical to the serial
+    reference by construction) is re-projected onto the worker crew: the
+    components in *parallel_components* ride the critical shard — the largest
+    ``scanned`` share of ``shard_rows`` — while everything else stays serial,
+    plus the device's per-shard dispatch overhead.
+    """
+    components = cost.components
+    work_ns = sum(
+        nanoseconds for name, nanoseconds in components.items()
+        if name in parallel_components
+    )
+    serial_ns = cost.total_ns - work_ns
+    scanned = [rows for rows, _matched in shard_rows]
+    critical = max(scanned) / max(1, sum(scanned)) if scanned else 1.0
+    return (serial_ns + work_ns * critical + device.shard_dispatch(fan_out)) / 1e6

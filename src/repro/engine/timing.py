@@ -84,6 +84,15 @@ class DeviceModel:
     def partition_overhead(self, num_partitions: int) -> float:
         return max(0, num_partitions - 1) * self.config.partition_overhead_ns
 
+    def shard_dispatch(self, fan_out: int) -> float:
+        """Scatter/gather overhead of a *fan_out*-way sharded execution.
+
+        Used only by the parallel-runtime projection
+        (:func:`repro.engine.shard.projected_parallel_ms`) — never charged
+        to a :class:`CostBreakdown`, which stays bit-identical to serial.
+        """
+        return max(0, fan_out) * self.config.shard_dispatch_ns
+
 
 @dataclass
 class CostBreakdown:
@@ -147,6 +156,11 @@ class CostAccountant:
         # only — the charges are logical (main + delta) and identical either
         # way; EXPLAIN ANALYZE reports these so merge pressure is visible.
         self._delta_scans: Dict[str, list] = {}
+        # Per-table shard telemetry: the fan-out and per-shard
+        # ``(rows scanned, rows matched)`` of a sharded scatter/gather
+        # execution.  Counters only — sharding replays the serial charges
+        # bit-identically; EXPLAIN ANALYZE reports these per shard.
+        self._shard_execs: Dict[str, tuple] = {}
 
     # -- generic ---------------------------------------------------------------
 
@@ -259,6 +273,21 @@ class CostAccountant:
             table: (counts[0], counts[1])
             for table, counts in self._delta_scans.items()
         }
+
+    def record_shard_execution(
+        self, table: str, fan_out: int, shards: "tuple"
+    ) -> None:
+        """Record a sharded execution of *table*.
+
+        *shards* holds one ``(rows scanned, rows matched)`` pair per shard in
+        shard order.
+        """
+        self._shard_execs[table] = (fan_out, tuple(shards))
+
+    @property
+    def shard_stats(self) -> Dict[str, tuple]:
+        """Per-table ``(fan_out, ((scanned, matched), ...))`` of sharded scans."""
+        return dict(self._shard_execs)
 
     # -- results ----------------------------------------------------------------
 

@@ -127,6 +127,18 @@ def _scan_log(path: str) -> _LogScan:
     with open(path, "rb") as handle:
         data = handle.read()
     if not data.startswith(MAGIC):
+        if MAGIC.startswith(data):
+            # Torn checkpoint reset: the crash hit between ``truncate(0)``
+            # and the magic landing on disk, so the file is empty (or a
+            # strict prefix of the magic).  Everything up to the snapshot
+            # already lives in the side-car; treat the whole file as a torn
+            # tail with zero records rather than rejecting it.
+            return _LogScan(
+                records=(),
+                corrupt_offsets=(),
+                torn_tail_offset=0,
+                file_bytes=len(data),
+            )
         raise WalError(f"{path!r} is not a WAL file (bad magic)")
     records: List[_ScannedRecord] = []
     corrupt: List[int] = []
@@ -190,13 +202,21 @@ class WriteAheadLog:
         if os.path.exists(path) and os.path.getsize(path) > 0:
             scan = _scan_log(path)
             self._lsn = scan.max_lsn
-            self._handle = open(path, "r+b")
-            if scan.torn_tail_bytes:
-                # A previous process died mid-flush; cut the torn tail so the
-                # next record starts at a clean boundary.
-                self._handle.truncate(scan.valid_end)
+            if scan.valid_end < len(MAGIC):
+                # Torn checkpoint reset left the file without a complete
+                # magic; rewrite it from scratch so appends land behind a
+                # valid header again.
+                self._handle = open(path, "wb")
+                self._handle.write(MAGIC)
                 _fsync(self._handle)
-            self._handle.seek(scan.valid_end)
+            else:
+                self._handle = open(path, "r+b")
+                if scan.torn_tail_bytes:
+                    # A previous process died mid-flush; cut the torn tail
+                    # so the next record starts at a clean boundary.
+                    self._handle.truncate(scan.valid_end)
+                    _fsync(self._handle)
+                self._handle.seek(scan.valid_end)
         else:
             self._handle = open(path, "wb")
             self._handle.write(MAGIC)
@@ -309,11 +329,15 @@ class WriteAheadLog:
             _fsync(handle)
         faults.fault_point("checkpoint.after_snapshot")
         os.replace(tmp_path, self.snapshot_path)
+        faults.fault_point("checkpoint.after_replace")
         # Reset the log: everything up to snapshot_lsn now lives in the
         # snapshot.  A crash before the truncate leaves stale records behind,
-        # which recovery's LSN filter skips.
+        # which recovery's LSN filter skips; a crash between the truncate and
+        # the magic landing leaves a file _scan_log treats as an all-torn
+        # tail (zero records), so recovery restores the snapshot alone.
         self._handle.seek(0)
         self._handle.truncate(0)
+        faults.fault_point("checkpoint.after_truncate")
         self._handle.write(MAGIC)
         _fsync(self._handle)
         faults.fault_point("checkpoint.after_reset")

@@ -42,6 +42,8 @@ CRASH_POINTS: Tuple[str, ...] = (
     "merge.after_swap",
     "checkpoint.before_snapshot",
     "checkpoint.after_snapshot",
+    "checkpoint.after_replace",
+    "checkpoint.after_truncate",
     "checkpoint.after_reset",
 )
 

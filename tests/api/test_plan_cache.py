@@ -112,6 +112,47 @@ class TestPlanCacheInvalidation:
         assert stats.plan_cache_hits == 1
         assert stats.plan_cache_misses == 2
 
+    def test_delta_merge_invalidates(self, database_factory):
+        """A merge that moved rows changes the costed physical state."""
+        session = connect(database=database_factory(Store.COLUMN))
+        session.sql(SQL)
+        session.sql("INSERT INTO sales (id, region, product, revenue, quantity, "
+                    "status) VALUES (99999, 'north', 1, 1.0, 2, 'ok')")
+        merged = session.merge_deltas("sales")
+        assert merged > 0
+        session.sql(SQL)
+        stats = session.stats()
+        # The post-merge SELECT must re-plan: one miss before the merge, the
+        # INSERT's miss, and one after.
+        assert stats.plan_cache_misses == 3
+        assert stats.plan_cache_hits == 0
+
+    def test_empty_delta_merge_keeps_plans(self, database_factory):
+        """A no-op merge must not spuriously invalidate cached plans."""
+        session = connect(database=database_factory(Store.COLUMN))
+        session.sql(SQL)
+        assert session.merge_deltas("sales") == 0
+        session.sql(SQL)
+        stats = session.stats()
+        assert stats.plan_cache_hits == 1
+        assert stats.plan_cache_misses == 1
+
+    def test_clear_caches_resets_estimate_memo(self, session):
+        session.sql(SQL)
+        stats = session.stats()
+        assert stats.estimate_memo_misses > 0
+        session.clear_caches()
+        stats = session.stats()
+        assert stats.estimate_memo_hits == 0
+        assert stats.estimate_memo_misses == 0
+        # The next statement re-plans (a fresh miss on the emptied cache)
+        # and re-prices from scratch.
+        session.sql(SQL)
+        stats = session.stats()
+        assert stats.plan_cache_misses == 2
+        assert stats.plan_cache_hits == 0
+        assert stats.estimate_memo_misses > 0
+
     def test_invalidation_is_per_table(self, database_factory, sales_schema):
         session = connect(database=database_factory(Store.ROW))
         other = TableSchema.build(

@@ -29,6 +29,11 @@ def pytest_configure(config):
         "faultinject: crash-point recovery differential suite (runs in "
         "tier-1; select standalone with -m faultinject)",
     )
+    config.addinivalue_line(
+        "markers",
+        "shard: shard-parallel scatter/gather execution suite (runs in "
+        "tier-1; select standalone with -m shard)",
+    )
 
 
 @pytest.fixture(scope="session")

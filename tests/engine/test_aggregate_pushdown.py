@@ -326,6 +326,78 @@ class TestZeroScan:
         assert result.rows == [{"max_day": 48}]
 
 
+class TestDeltaDmlZoneExactness:
+    """Zone synopses stay exact when DML hits values that live in the *delta*.
+
+    Per-row inserts land in the column store's uncompressed delta; a later
+    DELETE/UPDATE merges the delta into main and rebuilds the dictionary
+    from the surviving codes.  These regressions pin that a zero-scan
+    MIN/MAX can never surface a value that only ever existed in the delta
+    and was deleted (or overwritten) before the query ran.
+    """
+
+    def _delta_database(self):
+        database = build_database(Store.COLUMN, make_rows(0, 50))
+        backend = database.table_object("events").backend
+        # Keep the spike in the delta: no threshold-triggered merge.
+        backend.merge_threshold = 1_000_000
+        database.execute(insert("events", [
+            {"id": 900, "day": 10_000, "kind": "zz", "score": 99_999.0},
+            {"id": 901, "day": -10_000, "kind": "aa", "score": -99_999.0},
+        ]))
+        assert backend.delta_rows > 0  # the spikes really live in the delta
+        return database
+
+    def test_delta_delete_then_zero_scan(self):
+        database = self._delta_database()
+        database.execute(delete("events", InList("id", (900, 901))))
+        query = (
+            aggregate("events")
+            .min("day").max("day").min("score").max("score").count()
+            .build()
+        )
+        result = database.execute(query)
+        assert strategy_of(result).startswith(TIER_ZERO_SCAN)
+        assert result.rows == [{
+            "min_day": 0, "max_day": 49,
+            "min_score": 0.0, "max_score": 49.0,
+            "count_star": 50,
+        }]
+        with aggregate_pushdown_disabled():
+            reference = database.execute(query)
+        assert reference.rows == result.rows
+        assert reference.cost.components == result.cost.components
+
+    def test_delta_update_then_zero_scan(self):
+        database = self._delta_database()
+        database.execute(update("events", {"day": 5, "score": 5.0},
+                                gt("day", 5_000)))
+        database.execute(update("events", {"day": 6, "score": 6.0},
+                                lt("day", -5_000)))
+        result = database.execute(
+            aggregate("events").min("day").max("day").max("score").build()
+        )
+        assert strategy_of(result).startswith(TIER_ZERO_SCAN)
+        assert result.rows == [{"min_day": 0, "max_day": 49, "max_score": 49.0}]
+
+    def test_delta_delete_with_zone_decidable_predicate(self):
+        """The all-false proof must hold after the delta spike is deleted."""
+        database = self._delta_database()
+        database.execute(delete("events", gt("day", 5_000)))
+        database.execute(delete("events", lt("day", -5_000)))
+        query = (
+            aggregate("events").count().min("kind")
+            .where(gt("day", 1_000)).build()
+        )
+        result = database.execute(query)
+        assert strategy_of(result).startswith(TIER_ZERO_SCAN)
+        assert result.rows == [{"count_star": 0, "min_kind": None}]
+        with aggregate_pushdown_disabled():
+            reference = database.execute(query)
+        assert reference.rows == result.rows
+        assert reference.cost.components == result.cost.components
+
+
 # -- cost-breakdown identity over deterministic query batteries ------------------------
 
 

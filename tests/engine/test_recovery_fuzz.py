@@ -222,6 +222,84 @@ def run_with_crash_without_checkpoint(path):
     return crashed, plan
 
 
+def test_checkpoint_replace_window_drops_stale_records(tmp_path):
+    """Crash between the snapshot rename and ``truncate(0)``.
+
+    The log still holds every pre-checkpoint record next to a snapshot that
+    already contains their effects; recovery must restore the snapshot and
+    provably drop all of them via the LSN filter instead of replaying any.
+    """
+    path = str(tmp_path / "db.wal")
+    crashed, _plan = run_with_crash(path, "checkpoint.after_replace")
+    assert crashed
+    result = recover(path)
+    assert result.report.snapshot_restored
+    assert result.report.snapshot_lsn == 6
+    # All six pre-checkpoint records are still on disk and all are stale.
+    assert result.report.records_stale == 6
+    assert result.report.records_applied == 0
+    assert result.report.last_lsn == 6
+    reference = reference_database(6)
+    assert_recovered_equals_reference(
+        "checkpoint.after_replace", result.database, reference
+    )
+
+
+def test_checkpoint_truncate_window_recovers_snapshot_alone(tmp_path):
+    """Crash between ``truncate(0)`` and the magic landing on disk.
+
+    The log file is empty — not even the magic made it — which historically
+    made ``_scan_log`` raise "bad magic".  Recovery must treat it as an
+    all-torn tail, restore the snapshot, and re-opening the log must
+    reinitialize the header so appends keep working.
+    """
+    path = str(tmp_path / "db.wal")
+    crashed, _plan = run_with_crash(path, "checkpoint.after_truncate")
+    assert crashed
+    result = recover(path)
+    assert result.report.snapshot_restored
+    assert result.report.snapshot_lsn == 6
+    assert result.report.records_applied == 0
+    assert result.report.records_stale == 0
+    assert result.report.torn_tail_offset == 0
+    reference = reference_database(6)
+    assert_recovered_equals_reference(
+        "checkpoint.after_truncate", result.database, reference
+    )
+    # Appends resume cleanly behind a rewritten magic.
+    database = result.database
+    database.attach_wal(WriteAheadLog(path, sync_mode="commit"))
+    database.execute(insert("facts", _rows(50, 2)))
+    database.wal.close()
+    replayed = recover(path)
+    assert replayed.report.records_applied == 1
+    assert replayed.report.clean
+    ids = {row["id"] for row in replayed.database.execute(PROBES[0]).rows}
+    assert {50, 51} <= ids
+
+
+def test_torn_magic_after_checkpoint_recovers_and_reopens(tmp_path):
+    """A torn write of the magic itself (file holds a strict prefix of it)."""
+    from repro.testing.faults import truncate_file
+
+    path = str(tmp_path / "db.wal")
+    crashed, _plan = run_with_crash(path, crash_at=None)
+    assert not crashed
+    truncate_file(path, 3)  # mid-magic: b"RPW"
+    result = recover(path)
+    assert result.report.snapshot_restored
+    assert result.report.torn_tail_offset == 0
+    assert result.report.torn_tail_bytes == 3
+    # The three post-checkpoint records are gone with the torn reset; the
+    # recovered state is exactly the snapshot.
+    reference = reference_database(6)
+    assert_recovered_equals_reference("torn magic", result.database, reference)
+    log = WriteAheadLog(path, sync_mode="commit")
+    log.append("dml", insert("facts", _rows(60, 1)))
+    log.close()
+    assert recover(path).report.clean
+
+
 def test_workload_reaches_every_declared_crash_point(tmp_path):
     """Coverage guard: a point the workload misses is silently untested."""
     path = str(tmp_path / "db.wal")

@@ -1,0 +1,421 @@
+"""Shard-parallel scatter/gather execution: decision, charges, pool, advisor.
+
+The tentpole contracts pinned here:
+
+* :func:`derive_shard_decision` shards only delta-free plain column stores at
+  or above the row floor, with provably merge-safe aggregations and filtered
+  selections; the recorded :class:`ShardDecision` goes stale — and re-derives
+  — on DML, toggle flips and ``shard_config`` changes, like ``ScanDecision``;
+* every sharded execution charges the :class:`CostBreakdown` **bit-identically**
+  to the serial reference behind ``shard_execution_disabled()``, and a failed
+  scatter/gather falls back to serial without leaving a partial bill behind;
+* ``QueryResult.shard_stats`` reports the per-shard scanned/matched rows only
+  when the query really ran sharded;
+* the worker pool survives repeated queries, is replaced on a start-method
+  change (the spawn-vs-fork determinism smoke) and is shut down by
+  ``Session.close()``;
+* the advisor's ``recommend_shard_keys`` what-if picks the group-aligned
+  shard key through the :class:`EstimateMemo`, and declines when dispatch
+  overhead eats the projected gain;
+* :func:`projected_parallel_ms` is a deterministic sub-serial projection of
+  the (serially-charged) breakdown onto the crew.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StorageAdvisor
+from repro.engine import shard as shard_module
+from repro.engine.database import HybridDatabase
+from repro.engine.executor.rewrite import access_path_for
+from repro.engine.schema import Column, TableSchema
+from repro.engine.shard import (
+    AGGREGATION_PARALLEL_COMPONENTS,
+    SELECT_PARALLEL_COMPONENTS,
+    ShardExecutionError,
+    derive_shard_decision,
+    get_worker_pool,
+    projected_parallel_ms,
+    shard_bounds,
+    shard_config,
+    shard_execution_disabled,
+    shutdown_worker_pool,
+)
+from repro.engine.types import DataType, Store
+from repro.query import Workload
+from repro.query.builder import aggregate, insert, select
+from repro.query.predicates import between, eq, ge
+
+pytestmark = pytest.mark.shard
+
+SCHEMA = TableSchema(
+    "metrics",
+    (
+        Column("id", DataType.INTEGER, primary_key=True),
+        Column("bucket", DataType.VARCHAR),
+        Column("value", DataType.DOUBLE, nullable=True),
+        Column("hits", DataType.INTEGER),
+    ),
+)
+
+NUM_ROWS = 4_000
+
+
+def make_rows(num_rows, offset=0):
+    """NULL-bearing (never NaN) rows: NaN would defeat the merge-safety proof."""
+    return [
+        {
+            "id": offset + i,
+            "bucket": f"b{i % 5}",
+            "value": None if i % 11 == 0 else round((i % 97) * 0.5, 2),
+            "hits": i % 13,
+        }
+        for i in range(num_rows)
+    ]
+
+
+def build_database(num_rows=NUM_ROWS, store=Store.COLUMN):
+    database = HybridDatabase()
+    database.create_table(SCHEMA, store=store)
+    database.load_rows("metrics", make_rows(num_rows))
+    return database
+
+
+def grouped_query():
+    return (
+        aggregate("metrics")
+        .sum("value").count().min("hits")
+        .group_by("bucket")
+        .where(ge("hits", 3))
+        .build()
+    )
+
+
+def rows_key(row):
+    return sorted((key, repr(value)) for key, value in row.items())
+
+
+def assert_same_rows(left, right):
+    assert sorted(left, key=rows_key) == sorted(right, key=rows_key)
+
+
+@pytest.fixture(autouse=True)
+def _pool_cleanup():
+    yield
+    shutdown_worker_pool()
+
+
+# -- bounds ----------------------------------------------------------------------------
+
+
+def test_shard_bounds_cover_and_balance():
+    for num_rows, fan_out in ((10, 4), (4_001, 4), (7, 7), (3, 2)):
+        bounds = shard_bounds(num_rows, fan_out)
+        assert len(bounds) == fan_out
+        assert bounds[0][0] == 0 and bounds[-1][1] == num_rows
+        sizes = [stop - start for start, stop in bounds]
+        assert sum(sizes) == num_rows
+        assert max(sizes) - min(sizes) <= 1
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+
+# -- the planner decision --------------------------------------------------------------
+
+
+class TestShardDecision:
+    def test_row_store_and_floor_reject(self):
+        query = grouped_query()
+        row_path = access_path_for(build_database(50, Store.ROW).table_object("metrics"))
+        decision = derive_shard_decision(row_path, query)
+        assert not decision.sharded and "column store" in decision.reason
+
+        column_path = access_path_for(build_database(50).table_object("metrics"))
+        decision = derive_shard_decision(column_path, query)
+        assert not decision.sharded and "floor" in decision.reason
+
+        with shard_config(min_rows=1):
+            decision = derive_shard_decision(column_path, query)
+        assert decision.sharded
+        assert decision.fan_out == 4
+        assert decision.bounds == shard_bounds(50, 4)
+        assert "fan-out 4" in decision.describe()
+
+    def test_delta_rows_block_until_merge(self):
+        database = build_database(200)
+        table = database.table_object("metrics")
+        table.backend.merge_threshold = 1_000_000
+        database.execute(insert("metrics", make_rows(3, offset=NUM_ROWS)))
+        assert table.delta_rows > 0
+        path = access_path_for(table)
+        with shard_config(min_rows=1):
+            decision = derive_shard_decision(path, grouped_query())
+            assert not decision.sharded and "delta" in decision.reason
+            database.merge_deltas("metrics")
+            assert derive_shard_decision(path, grouped_query()).sharded
+
+    def test_select_requires_predicate_and_joins_reject(self):
+        path = access_path_for(build_database(100).table_object("metrics"))
+        with shard_config(min_rows=1):
+            unfiltered = derive_shard_decision(path, select("metrics").build())
+            assert not unfiltered.sharded and "unfiltered" in unfiltered.reason
+            filtered = derive_shard_decision(
+                path, select("metrics").where(ge("hits", 3)).build()
+            )
+            assert filtered.sharded
+            joined = (
+                aggregate("metrics").count()
+                .join("other", "id", "id").build()
+            )
+            assert not derive_shard_decision(path, joined).sharded
+
+    def test_zero_scan_answers_never_shard(self):
+        path = access_path_for(build_database(100).table_object("metrics"))
+        query = aggregate("metrics").count().max("hits").build()
+        with shard_config(min_rows=1):
+            decision = derive_shard_decision(path, query)
+        assert not decision.sharded and "zero-scan" in decision.reason
+
+    def test_decision_staleness_and_reuse(self):
+        database = build_database(100)
+        path = access_path_for(database.table_object("metrics"))
+        query = grouped_query()
+        with shard_config(min_rows=1):
+            decision = path.plan_shards(query)
+            assert decision.sharded
+            # Fresh token, same config: the recorded object is reused.
+            assert path.shard_decision_for(query) is decision
+            # Toggle flip: stale, re-derived as serial.
+            with shard_execution_disabled():
+                redecided = path.shard_decision_for(query)
+                assert redecided is not decision and not redecided.sharded
+            # Config change: stale, re-derived with the new fan-out.
+            with shard_config(fan_out=2):
+                assert path.shard_decision_for(query).fan_out == 2
+            # DML moves the zone epoch: stale, re-derived (delta blocks).
+            assert path.shard_decision_for(query) is path.shard_decision
+            database.execute(insert("metrics", make_rows(1, offset=NUM_ROWS)))
+            redecided = path.shard_decision_for(query)
+            assert redecided is not decision
+        # Outside the config override the decision is stale by construction.
+        assert not path.shard_decision_for(query).sharded
+
+
+# -- charge identity against the serial reference --------------------------------------
+
+
+class TestChargeIdentity:
+    def assert_identical(self, database, query, expect_sharded=True):
+        with shard_config(min_rows=1):
+            sharded = database.execute(query)
+        with shard_execution_disabled():
+            reference = database.execute(query)
+        assert_same_rows(sharded.rows, reference.rows)
+        assert sharded.cost.components == reference.cost.components
+        assert not reference.shard_stats
+        if expect_sharded:
+            fan_out, shards = sharded.shard_stats["metrics"]
+            assert fan_out == 4
+            assert sum(scanned for scanned, _ in shards) == NUM_ROWS
+        return sharded
+
+    def test_grouped_aggregation_with_predicate(self):
+        database = build_database()
+        result = self.assert_identical(database, grouped_query())
+        assert len(result.rows) == 5
+
+    def test_ungrouped_aggregation_without_predicate(self):
+        database = build_database()
+        query = aggregate("metrics").sum("value").avg("hits").min("bucket").build()
+        self.assert_identical(database, query)
+
+    def test_grouped_aggregation_over_nullable_group_key(self):
+        database = build_database()
+        query = (
+            aggregate("metrics").count().sum("hits")
+            .group_by("value")
+            .where(between("hits", 2, 9))
+            .build()
+        )
+        self.assert_identical(database, query)
+
+    def test_select_with_predicate_and_limit(self):
+        database = build_database()
+        query = (
+            select("metrics").columns("id", "bucket")
+            .where(eq("bucket", "b2")).limit(17).build()
+        )
+        with shard_config(min_rows=1):
+            sharded = database.execute(query)
+        with shard_execution_disabled():
+            reference = database.execute(query)
+        # Selection preserves row order exactly: shard order == row order.
+        assert sharded.rows == reference.rows
+        assert len(sharded.rows) == 17
+        assert sharded.cost.components == reference.cost.components
+        assert sharded.shard_stats["metrics"][0] == 4
+
+    def test_repeated_queries_reuse_the_pool(self):
+        database = build_database()
+        with shard_config(min_rows=1):
+            database.execute(grouped_query())
+            pool = shard_module._POOL
+            assert pool is not None and pool.alive()
+            database.execute(grouped_query())
+            assert shard_module._POOL is pool
+
+
+class TestFallback:
+    def test_failed_scatter_leaves_no_charges(self, monkeypatch):
+        database = build_database()
+
+        def explode(*args, **kwargs):
+            raise ShardExecutionError("injected")
+
+        with shard_execution_disabled():
+            reference_agg = database.execute(grouped_query())
+            reference_sel = database.execute(
+                select("metrics").where(ge("hits", 5)).build()
+            )
+        monkeypatch.setattr(shard_module, "_scatter_gather", explode)
+        with shard_config(min_rows=1):
+            fallback_agg = database.execute(grouped_query())
+            fallback_sel = database.execute(
+                select("metrics").where(ge("hits", 5)).build()
+            )
+        for fallback, reference in (
+            (fallback_agg, reference_agg),
+            (fallback_sel, reference_sel),
+        ):
+            assert_same_rows(fallback.rows, reference.rows)
+            assert fallback.cost.components == reference.cost.components
+            assert not fallback.shard_stats
+
+
+# -- pool lifecycle --------------------------------------------------------------------
+
+
+def test_session_close_shuts_down_pool():
+    from repro.api import connect
+
+    session = connect()
+    session.create_table(SCHEMA, Store.COLUMN)
+    session.load_rows("metrics", make_rows(500))
+    with shard_config(min_rows=1):
+        result = session.execute(grouped_query())
+        assert result.shard_stats
+    assert shard_module._POOL is not None
+    session.close()
+    assert shard_module._POOL is None
+
+
+def test_spawn_and_fork_agree():
+    """Start-method determinism smoke: spawn workers == fork workers == serial."""
+    database = build_database(600)
+    query = grouped_query()
+    with shard_execution_disabled():
+        reference = database.execute(query)
+    with shard_config(fan_out=2, min_rows=1):
+        for method in ("fork", "spawn"):
+            shutdown_worker_pool()
+            pool = get_worker_pool(method)
+            assert pool.start_method == method
+            result = database.execute(query)
+            assert result.shard_stats["metrics"][0] == 2
+            assert_same_rows(result.rows, reference.rows)
+            assert result.cost.components == reference.cost.components
+
+
+# -- EXPLAIN surface -------------------------------------------------------------------
+
+
+def test_explain_analyze_reports_shards():
+    from repro.api import connect
+
+    session = connect()
+    session.create_table(SCHEMA, Store.COLUMN)
+    session.load_rows("metrics", make_rows(800))
+    with shard_config(min_rows=1):
+        text = session.explain(grouped_query(), analyze=True)
+    assert "shards: fan-out 4 (4 x ~200 rows)" in text
+    assert "shard execution (scanned/matched):" in text
+    assert "fan-out 4: 200/" in text
+    session.close()
+
+
+# -- advisor what-if -------------------------------------------------------------------
+
+
+class TestShardAdvisor:
+    def test_recommends_group_aligned_key_via_memo(self):
+        database = build_database(60_000)
+        advisor = StorageAdvisor()
+        workload = Workload(
+            [grouped_query()] * 10
+            + [select("metrics").where(ge("hits", 10)).build()] * 5,
+            name="shardable",
+        )
+        with shard_config(min_rows=1):
+            recommendations = advisor.recommend_shard_keys(database, workload)
+            assert set(recommendations) == {"metrics"}
+            recommendation = recommendations["metrics"]
+            assert recommendation.shard_key == "bucket"
+            assert recommendation.fan_out == 4
+            assert recommendation.estimated_speedup > 1.0
+            assert "shard by bucket x4" in recommendation.describe()
+            # Re-advising is served from the EstimateMemo.
+            hits_before = advisor.cost_model.cache_hits
+            again = advisor.recommend_shard_keys(database, workload)
+        assert advisor.cost_model.cache_hits > hits_before
+        assert again["metrics"].shard_key == "bucket"
+        assert again["metrics"].estimated_sharded_ms == pytest.approx(
+            recommendation.estimated_sharded_ms
+        )
+
+    def test_declines_when_dispatch_eats_the_gain(self):
+        database = build_database(300)
+        advisor = StorageAdvisor()
+        workload = Workload([grouped_query()], name="tiny")
+        with shard_config(min_rows=1):
+            assert advisor.recommend_shard_keys(database, workload) == {}
+
+    def test_session_wrapper_respects_row_floor(self):
+        from repro.api import connect
+
+        session = connect()
+        session.create_table(SCHEMA, Store.COLUMN)
+        session.load_rows("metrics", make_rows(2_000))
+        # Default 200k floor: the table is never shard-eligible.
+        assert session.recommend_shard_keys(Workload([grouped_query()])) == {}
+        session.close()
+
+
+# -- parallel-runtime projection -------------------------------------------------------
+
+
+def test_projected_parallel_ms_is_sub_serial_and_deterministic():
+    # Large enough that the parallelisable scan work dwarfs the per-shard
+    # dispatch overhead; tiny tables correctly project *slower* than serial.
+    database = build_database(60_000)
+    with shard_config(min_rows=1):
+        result = database.execute(grouped_query())
+    fan_out, shards = result.shard_stats["metrics"]
+    projected = projected_parallel_ms(
+        result.cost, shards, fan_out, database.device,
+        AGGREGATION_PARALLEL_COMPONENTS,
+    )
+    with shard_execution_disabled():
+        serial_ms = database.execute(grouped_query()).cost.total_ms
+    # Balanced shards put the critical fraction near 1/fan_out; with the
+    # scan dominating the bill the projection lands well under serial.
+    assert projected < serial_ms
+    assert projected == projected_parallel_ms(
+        result.cost, shards, fan_out, database.device,
+        AGGREGATION_PARALLEL_COMPONENTS,
+    )
+    # The select projection parallelises strictly less of the bill.
+    select_projected = projected_parallel_ms(
+        result.cost, shards, fan_out, database.device,
+        SELECT_PARALLEL_COMPONENTS,
+    )
+    assert select_projected >= projected
