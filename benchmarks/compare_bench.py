@@ -55,6 +55,9 @@ _FLOORS = {
     # 100k per-row inserts recorded in the hundreds of ms; a 50ms floor keeps
     # an absurdly fast machine from tripping the 2x budget on noise alone.
     "delta_insert_100k_ms": 50.0,
+    # View serving is a sub-0.1ms plan-cache hit + result copy; the agg
+    # floor keeps loaded machines from flaking the 2x budget.
+    "matview_grouped_agg_100k_ms": MIN_AGG_BUDGET_MS,
     **{key: MIN_SCAN_BUDGET_MS for key in SCAN_SCENARIOS},
     # The shard projections are deterministic simulated runtimes: no noise,
     # no floor needed.

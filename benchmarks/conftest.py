@@ -23,6 +23,11 @@ def pytest_configure(config):
         "shard: shard-parallel scatter/gather execution suite (the 1M-row "
         "projection gates; select standalone with -m shard)",
     )
+    config.addinivalue_line(
+        "markers",
+        "matview: materialized-view serve-vs-recompute gates "
+        "(select standalone with -m matview)",
+    )
 
 
 def run_and_record(benchmark, experiment_fn, **kwargs):

@@ -12,8 +12,13 @@
 #              pushdown scenarios additionally gate their live speedup over
 #              the decode-then-reduce reference (grouped >=3x, zero-scan
 #              MIN/MAX >=20x), the delta/main write split gates per-row
-#              inserts at >=5x over the inline path, and the 1M-row shard
-#              projections gate >=2x over serial at fan-out 4,
+#              inserts at >=5x over the inline path, the 1M-row shard
+#              projections gate >=2x over serial at fan-out 4, and the
+#              matview serve gates >=5x over recompute-per-query,
+#   matview  — the materialized-view suite, standalone: refresh machinery,
+#              session serving/EXPLAIN/advisor tests, the matview-vs-base
+#              differential fuzzer and the serve-vs-recompute perf gates
+#              (also runs inside tier-1; this run proves the marker works),
 #   shard    — the shard-parallel scatter/gather suite, standalone: decision
 #              staleness, charge bit-identity vs the serial reference, the
 #              sharded differential fuzzer, spawn-vs-fork determinism and
@@ -49,7 +54,11 @@ python benchmarks/compare_bench.py \
     --fail-under minmax_zero_scan_100k_ms=20 \
     --fail-under delta_insert_100k_ms=5 \
     --fail-under shard_grouped_agg_1m_ms=2 \
-    --fail-under shard_scan_1m_ms=2
+    --fail-under shard_scan_1m_ms=2 \
+    --fail-under matview_grouped_agg_100k_ms=5
+
+echo "== matview: materialized-view suite + serve-vs-recompute gates =="
+python -m pytest -m matview -q tests benchmarks
 
 echo "== shard: scatter/gather differential + projection gates =="
 python -m pytest -m shard -q tests benchmarks

@@ -306,6 +306,33 @@ def measure_delta_insert_ms(inline_baseline: bool = False) -> float:
     return best_of(run_inline if inline_baseline else run_delta, repetitions=1) * 1000.0
 
 
+# -- materialized views (serve vs recompute) -------------------------------------------
+
+
+def measure_matview_grouped_agg_ms(recompute_baseline: bool = False) -> float:
+    """Wall-clock of the recurring 100k-row grouped aggregate, served from a view.
+
+    The view session answers the statement from the materialized rows (a
+    plan-cache hit plus a copy of the grouped result);
+    ``recompute_baseline=True`` measures the identical statement under
+    ``matview_disabled()`` — the full scan-and-aggregate path, which is what
+    every recurrence pays without the view.
+    """
+    from repro.api import connect
+    from repro.engine.matview import matview_disabled
+
+    session = connect(
+        database=build_aggregation_database(Store.COLUMN, GROUP_BY_DISTINCT)
+    )
+    query = aggregate("facts").sum("amount").count().group_by("region").build()
+    session.create_view("mv_facts", query)
+    runner = lambda: session.execute(query)  # noqa: E731
+    if recompute_baseline:
+        with matview_disabled():
+            return best_of(runner) * 1000.0
+    return best_of(runner) * 1000.0
+
+
 # -- shard-parallel scatter/gather (1M-row projection scenarios) -----------------------
 
 SHARD_BENCH_ROWS = 1_000_000
@@ -543,6 +570,7 @@ MEASUREMENTS = {
         key: measure for key, (measure, _) in PUSHDOWN_SCENARIOS.items()
     },
     "delta_insert_100k_ms": measure_delta_insert_ms,
+    "matview_grouped_agg_100k_ms": measure_matview_grouped_agg_ms,
     **SHARD_BENCH_SCENARIOS,
     "fig10_s": measure_fig10_s,
 }
@@ -557,6 +585,12 @@ BASELINE_MEASUREMENTS = {
 #: exists behind ``delta_writes_disabled()`` and *is* the seed pipeline.
 BASELINE_MEASUREMENTS["delta_insert_100k_ms"] = lambda: measure_delta_insert_ms(
     inline_baseline=True
+)
+#: The matview baseline re-runs the recompute path live behind
+#: ``matview_disabled()`` — the full scan-and-aggregate every recurrence of
+#: the statement pays without the view.
+BASELINE_MEASUREMENTS["matview_grouped_agg_100k_ms"] = (
+    lambda: measure_matview_grouped_agg_ms(recompute_baseline=True)
 )
 #: The shard baselines re-run the serial path live behind
 #: ``shard_execution_disabled()`` — it *is* the reference the sharded
@@ -749,6 +783,42 @@ def test_shard_speedups_are_recorded():
         payload = json.load(handle)
     for key in SHARD_BENCH_SCENARIOS:
         assert payload["speedup"][key] >= 2.0, key
+
+
+@pytest.mark.perf
+@pytest.mark.matview
+def test_matview_serve_has_not_regressed(recorded):
+    measured_ms = measure_matview_grouped_agg_ms()
+    budget_ms = max(
+        recorded["matview_grouped_agg_100k_ms"] * REGRESSION_FACTOR,
+        MIN_AGG_BUDGET_MS,
+    )
+    assert measured_ms <= budget_ms, (
+        f"matview-served 100k grouped aggregate took {measured_ms:.3f}ms, "
+        f"budget is {budget_ms:.3f}ms "
+        f"(recorded {recorded['matview_grouped_agg_100k_ms']:.3f}ms)"
+    )
+
+
+@pytest.mark.perf
+@pytest.mark.matview
+def test_matview_live_speedup_holds():
+    """The matview acceptance bar, live: >= 5x over recompute-per-query."""
+    served_ms = measure_matview_grouped_agg_ms()
+    recompute_ms = measure_matview_grouped_agg_ms(recompute_baseline=True)
+    assert recompute_ms / served_ms >= 5.0, (
+        f"served {served_ms:.3f}ms vs recompute {recompute_ms:.3f}ms "
+        f"({recompute_ms / served_ms:.2f}x < 5x)"
+    )
+
+
+@pytest.mark.perf
+@pytest.mark.matview
+def test_matview_speedup_is_recorded():
+    """The recorded matview bar: >= 5x over the recompute baseline."""
+    with BENCH_FILE.open() as handle:
+        payload = json.load(handle)
+    assert payload["speedup"]["matview_grouped_agg_100k_ms"] >= 5.0
 
 
 @pytest.mark.perf

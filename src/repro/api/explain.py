@@ -66,6 +66,13 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
         for table in sorted(actual.delta_scans):
             main_rows, delta_rows = actual.delta_scans[table]
             lines.append(f"    {table:<22}{main_rows:>4} / {delta_rows}")
+    if actual is not None and actual.view_hits:
+        # Materialized-view telemetry: the query was answered from the named
+        # view — after a refresh when the view had gone stale (the refresh
+        # cost is part of the actual cost above; stale rows never serve).
+        lines.append("  materialized view:")
+        for view in sorted(actual.view_hits):
+            lines.append(f"    {view:<22}{actual.view_hits[view]}")
     if actual is not None and actual.agg_strategies:
         # Aggregate-pushdown telemetry: the strategy execution consumed —
         # pinned equal to the plan's recorded strategy in the Aggregate line.
@@ -165,6 +172,8 @@ def _operator_tree(plan: PhysicalPlan) -> List[str]:
         strategy = access[query.table].aggregate_strategy
         if strategy is not None:
             lines.append(f"   strategy: {strategy.describe()}")
+        if plan.view_rewrite is not None:
+            lines.append(f"   rewrite: {plan.view_rewrite.describe()}")
         shards = access[query.table].shard_decision
         if shards is not None and shards.sharded:
             lines.append(f"   shards: {shards.describe()}")

@@ -89,6 +89,25 @@ class TableAccessPlan:
         return text
 
 
+@dataclass(frozen=True)
+class ViewRewrite:
+    """A planner rewrite: answer the query from a materialized view.
+
+    Recorded in the :class:`PhysicalPlan` whenever the catalog holds a view
+    whose defining-query fingerprint equals the plan's — regardless of the
+    ``matview_disabled()`` toggle, which gates *serving*, not detection, so
+    EXPLAIN can always show what the planner would do.  A stale view is
+    refreshed before serving (never serve stale rows); the session falls back
+    to base-table execution when views are disabled or the view disappeared.
+    """
+
+    view: str
+    fingerprint: str
+
+    def describe(self) -> str:
+        return f"materialized view {self.view} [view {self.fingerprint}]"
+
+
 @dataclass
 class CostEstimate:
     """The cost model's estimate for one physical plan.
@@ -122,6 +141,9 @@ class PhysicalPlan:
     statistics_fingerprints: Dict[str, str]
     executions: int = 0
     last_actual: Optional[QueryResult] = None
+    #: Materialized-view rewrite (aggregations only); the session serves the
+    #: query from the named view when views are enabled.
+    view_rewrite: Optional[ViewRewrite] = None
 
     @property
     def query(self) -> Query:
@@ -186,7 +208,21 @@ class Planner:
                 name: database.catalog.statistics_of(name).fingerprint
                 for name in query.tables
             },
+            view_rewrite=self._view_rewrite(query),
         )
+
+    def _view_rewrite(self, query: Query) -> Optional[ViewRewrite]:
+        """A rewrite to a materialized view matching *query*, if one exists.
+
+        Matching is by defining-query fingerprint (the recurrence key the
+        online monitor counts too).  The plan cache keys plans by the view
+        catalog's version, so CREATE/DROP/refresh of any view makes plans
+        that recorded (or skipped) a rewrite unreachable.
+        """
+        view = self.database.matching_view(query)
+        if view is None:
+            return None
+        return ViewRewrite(view=view.name, fingerprint=view.fingerprint)
 
     # -- access-path description ---------------------------------------------------
 

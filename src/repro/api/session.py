@@ -45,15 +45,22 @@ from repro.config import AdvisorConfig, DeviceModelConfig, DurabilityConfig
 from repro.core.advisor.advisor import StorageAdvisor
 from repro.core.advisor.recommendation import Recommendation
 from repro.engine.database import HybridDatabase, WorkloadRunResult
+from repro.engine.matview import (
+    REFRESH_INCREMENTAL,
+    MaterializedView,
+    RefreshResult,
+    matview_enabled,
+    view_serve_bytes,
+)
 from repro.engine.shard import shutdown_worker_pool
 from repro.engine.wal import RecoveryReport, WriteAheadLog, recover as wal_recover
 from repro.engine.executor.executor import QueryResult
 from repro.engine.partitioning import TablePartitioning
 from repro.engine.schema import TableSchema
 from repro.engine.statistics import TableStatistics
-from repro.engine.timing import CostBreakdown
+from repro.engine.timing import CostAccountant, CostBreakdown
 from repro.engine.types import Store
-from repro.errors import BindError
+from repro.errors import BindError, CatalogError
 from repro.query.ast import Parameter, Query
 from repro.query.parser import parse
 from repro.query.workload import Workload
@@ -78,6 +85,15 @@ class SessionStats:
     plan_cache_evictions: int
     estimate_memo_hits: int
     estimate_memo_misses: int
+    #: Aggregations served from a materialized view.
+    view_rewrite_hits: int = 0
+    #: Plans that recorded a view rewrite but fell back to base-table
+    #: execution (views disabled, view dropped, defining-query mismatch).
+    view_rewrite_misses: int = 0
+    #: Serve-time refreshes that merged cached unit partials.
+    view_incremental_refreshes: int = 0
+    #: Serve-time refreshes that recomputed from scratch (incl. initial).
+    view_full_refreshes: int = 0
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -143,6 +159,10 @@ class Session:
         self._statements_parsed = 0
         self._parse_cache_hits = 0
         self._prepared_statements = 0
+        self._view_rewrite_hits = 0
+        self._view_rewrite_misses = 0
+        self._view_incremental_refreshes = 0
+        self._view_full_refreshes = 0
         self._closed = False
         if durability is not None:
             self.database.delta_merge_threshold = durability.delta_merge_threshold
@@ -243,12 +263,73 @@ class Session:
         template = self._template(query_or_sql)
         bound = bind(template, self.database.catalog, params)
         plan = self._cached_plan(template)
-        result = self.database.execute_with_paths(bound, plan.paths)
+        result = self._run_plan(bound, plan)
         plan.record_execution(result)
         self._queries_executed += 1
         for listener in self._plan_listeners:
             listener(bound, plan, result)
         return result
+
+    def _run_plan(self, bound: Query, plan: PhysicalPlan) -> QueryResult:
+        """Execute *bound* through *plan* — from its view when one matches."""
+        result = self._serve_from_view(bound, plan)
+        if result is None:
+            result = self.database.execute_with_paths(bound, plan.paths)
+        return result
+
+    def _serve_from_view(self, bound: Query, plan: PhysicalPlan) -> Optional[QueryResult]:
+        """Answer *bound* from the plan's materialized view, if possible.
+
+        ``None`` falls back to base-table execution.  A stale view is
+        refreshed first — incrementally when the partial-merge contract
+        allows, from scratch otherwise — and the refresh cost is charged to
+        this query's :class:`CostBreakdown`: freshness is never traded for
+        speed, the rewrite only amortizes the recompute across the recurring
+        executions that *don't* follow a write.
+        """
+        rewrite = plan.view_rewrite
+        if rewrite is None:
+            return None
+        if not matview_enabled():
+            self._view_rewrite_misses += 1
+            return None
+        database = self.database
+        try:
+            view = database.view(rewrite.view)
+        except CatalogError:
+            self._view_rewrite_misses += 1
+            return None
+        if view.query != bound:
+            # Defensive: binding rewrote the query (e.g. DATE literal
+            # coercion), so the materialized state answers a different
+            # question than the one being asked.
+            self._view_rewrite_misses += 1
+            return None
+        table_object = database.table_object(view.table)
+        accountant = CostAccountant(database.device)
+        accountant.charge_query_overhead()
+        served = "served"
+        if not view.is_fresh(table_object):
+            refresh = view.refresh(table_object, database.device)
+            if refresh.kind == REFRESH_INCREMENTAL:
+                self._view_incremental_refreshes += 1
+            else:
+                self._view_full_refreshes += 1
+            accountant.breakdown.merge(refresh.cost)
+            served = f"served after {refresh.kind} refresh"
+        accountant.charge_ns(
+            "view_scan",
+            database.device.sequential_read(
+                view_serve_bytes(view.num_rows, view.query)
+            ),
+        )
+        self._view_rewrite_hits += 1
+        return QueryResult(
+            rows=[dict(row) for row in view.result_rows],
+            affected_rows=0,
+            cost=accountant.breakdown,
+            view_hits={view.name: served},
+        )
 
     def sql(self, statement: str, params: Params = None) -> QueryResult:
         """Execute a SQL-ish statement.
@@ -296,7 +377,7 @@ class Session:
                     "EXPLAIN ANALYZE needs parameter values for a "
                     "parameterized statement"
                 )
-            actual = self.database.execute_with_paths(bound, plan.paths)
+            actual = self._run_plan(bound, plan)
             plan.record_execution(actual)
             self._queries_executed += 1
             for listener in self._plan_listeners:
@@ -337,6 +418,21 @@ class Session:
             self.database, workload, fan_out=fan_out, assignment=assignment
         )
 
+    def recommend_views(self, workload: Workload, min_occurrences: int = 2):
+        """Materialized views worth creating for *workload*'s recurring shapes.
+
+        Pass the online monitor's recorded workload
+        (:attr:`~repro.core.advisor.monitor.OnlineAdvisorMonitor.recorded`)
+        to recommend from live traffic.  Each proposal is priced through the
+        shared :class:`EstimateMemo` exactly like store moves — base-table
+        cost vs. serving the materialized rows — and carries both physical
+        plans, renderable via
+        :meth:`~repro.core.advisor.recommendation.ViewRecommendation.explain`.
+        """
+        return self._advisor.recommend_views(
+            self.database, workload, min_occurrences=min_occurrences
+        )
+
     def apply(self, recommendation: Recommendation) -> None:
         """Apply a recommendation (DDL bumps versions → plans invalidate)."""
         self._advisor.apply(self.database, recommendation)
@@ -365,6 +461,10 @@ class Session:
             plan_cache_evictions=self._plan_cache.evictions,
             estimate_memo_hits=memo.hits,
             estimate_memo_misses=memo.misses,
+            view_rewrite_hits=self._view_rewrite_hits,
+            view_rewrite_misses=self._view_rewrite_misses,
+            view_incremental_refreshes=self._view_incremental_refreshes,
+            view_full_refreshes=self._view_full_refreshes,
         )
 
     # -- DDL / data conveniences (delegation) --------------------------------------
@@ -377,6 +477,34 @@ class Session:
 
     def load_rows(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
         return self.database.load_rows(name, rows)
+
+    # -- materialized views ---------------------------------------------------------
+
+    def create_view(self, name: str,
+                    query_or_sql: Union[Query, str]) -> MaterializedView:
+        """Create a materialized view of an aggregation statement.
+
+        The defining statement is parsed and bound like any query, the view
+        materializes immediately, and the planner starts rewriting matching
+        statements to it (the view-catalog version bump invalidates every
+        cached plan).
+        """
+        template = self._template(query_or_sql)
+        bound = bind(template, self.database.catalog, None)
+        return self.database.create_view(name, bound)
+
+    def drop_view(self, name: str) -> None:
+        self.database.drop_view(name)
+
+    def refresh_view(self, name: str) -> RefreshResult:
+        """Explicitly bring one materialized view up to date."""
+        return self.database.refresh_view(name)
+
+    def views(self) -> List[str]:
+        return self.database.view_names()
+
+    def view(self, name: str) -> MaterializedView:
+        return self.database.view(name)
 
     def move_table(self, name: str, store: Store) -> CostBreakdown:
         return self.database.move_table(name, store)
@@ -426,6 +554,10 @@ class Session:
             planner.logical(template).fingerprint,
             self.database.layout_fingerprint(template.tables),
             self._advisor.cost_model.parameters_fingerprint,
+            # View DDL (and explicit refreshes) bump this version: a plan
+            # that recorded — or skipped — a view rewrite must not outlive
+            # the view catalog it was planned against.
+            self.database.catalog.view_catalog_version,
         )
         plan = self._plan_cache.get(key)
         if plan is None:

@@ -27,6 +27,7 @@ from repro.core.advisor.recommendation import (
     ShardKeyRecommendation,
     StorageLayout,
     TableRecommendation,
+    ViewRecommendation,
 )
 from repro.core.advisor.table_level import TableLevelAdvisor
 from repro.core.cost_model.calibration import CalibrationReport, CostModelCalibrator
@@ -37,6 +38,7 @@ from repro.core.cost_model.estimator import (
 )
 from repro.core.cost_model.model import CostModel
 from repro.engine.database import HybridDatabase
+from repro.engine.matview import view_serve_bytes
 from repro.engine.schema import TableSchema
 from repro.engine.shard import shard_fan_out, shard_min_rows
 from repro.engine.statistics import TableStatistics
@@ -259,8 +261,157 @@ class StorageAdvisor:
                 table=table, shard_key=best_key, fan_out=fan_out,
                 estimated_serial_ms=best_serial,
                 estimated_sharded_ms=best_sharded, reason=reason,
+                whatif_plan=self._hypothetical_plan(database, queries[0]),
             )
         return recommendations
+
+    def _hypothetical_plan(self, database: HybridDatabase, query):
+        """A renderable :class:`~repro.api.plan.PhysicalPlan` of *query*.
+
+        What-if output used to be cost scalars only; recommendations now
+        carry the representative query's physical plan so their ``explain()``
+        renders through the same renderer as ``EXPLAIN``.  Imported lazily:
+        the api layer depends on the advisor, not the other way around.
+        """
+        from repro.api.plan import Planner
+
+        return Planner(database, lambda: self.cost_model).plan(query)
+
+    # -- materialized-view recommendation ---------------------------------------------------------
+
+    def recommend_views(
+        self,
+        database: HybridDatabase,
+        workload: Workload,
+        min_occurrences: int = 2,
+    ) -> "list[ViewRecommendation]":
+        """Propose materialized views for *workload*'s recurring aggregations.
+
+        Recurrence is counted by query fingerprint — the same key the online
+        monitor records and the planner's rewrite matches on.  Each eligible
+        shape (aggregation, no joins, no placeholders, not already
+        materialized) is priced through the shared
+        :class:`~repro.core.cost_model.memo.EstimateMemo` exactly like store
+        moves: base cost = the cost model's estimate under the current
+        layout, view cost = query overhead plus a sequential read of the
+        estimated materialized rows (the same byte formula the session
+        charges when serving).  Proposals with positive total benefit are
+        returned best-first, each carrying renderable base/rewritten plans.
+        """
+        if len(workload) == 0:
+            raise AdvisorError("cannot recommend views for an empty workload")
+        database.refresh_statistics()
+        profiles = self.cost_model.profiles_from_catalog(database.catalog)
+        device = DeviceModel(self.device_config)
+        from repro.query.fingerprint import fingerprint_tokens, query_fingerprint
+
+        shapes: Dict[str, list] = {}
+        for query in workload:
+            if not isinstance(query, AggregationQuery) or query.joins:
+                continue
+            if query.table not in profiles:
+                continue
+            if "v:param:" in fingerprint_tokens(query):
+                continue
+            fingerprint = query_fingerprint(query)
+            shape = shapes.get(fingerprint)
+            if shape is None:
+                shapes[fingerprint] = [query, 1]
+            else:
+                shape[1] += 1
+
+        recommendations: list = []
+        for fingerprint in sorted(shapes):
+            query, occurrences = shapes[fingerprint]
+            if occurrences < min_occurrences:
+                continue
+            if database.catalog.view_for_fingerprint(fingerprint) is not None:
+                continue
+            assignment: Dict[str, Store] = {}
+            for name in query.tables:
+                entry = database.catalog.entry(name)
+                assignment[name] = (
+                    entry.store if not entry.is_partitioned else Store.COLUMN
+                )
+            base_ms = self.cost_model.estimate_query_ms(query, assignment, profiles)
+            rows = self._estimated_view_rows(query, profiles[query.table])
+            base_key = self.cost_model.estimate_key(query, assignment, profiles)
+            view_ms = None
+            if base_key is not None:
+                view_ms = self.cost_model.memo.get(("matview-whatif",) + base_key)
+            if view_ms is None:
+                view_ms = (
+                    device.query_overhead()
+                    + device.sequential_read(view_serve_bytes(rows, query))
+                ) / 1e6
+                if base_key is not None:
+                    self.cost_model.memo.put(
+                        ("matview-whatif",) + base_key, view_ms
+                    )
+            if base_ms <= view_ms:
+                continue  # serving the view would not beat the base plan
+            name = f"mv_{query.table}_{fingerprint[:8]}"
+            base_plan, view_plan = self._view_whatif_plans(
+                database, query, name, fingerprint, view_ms
+            )
+            recommendations.append(
+                ViewRecommendation(
+                    view=name,
+                    table=query.table,
+                    fingerprint=fingerprint,
+                    query=query,
+                    occurrences=occurrences,
+                    estimated_base_ms=base_ms,
+                    estimated_view_ms=view_ms,
+                    estimated_rows=rows,
+                    base_plan=base_plan,
+                    view_plan=view_plan,
+                )
+            )
+        recommendations.sort(
+            key=lambda item: item.estimated_benefit_ms, reverse=True
+        )
+        return recommendations
+
+    @staticmethod
+    def _estimated_view_rows(query: AggregationQuery, profile: TableProfile) -> int:
+        """Estimated materialized row count: the group-key cardinality product."""
+        if not query.group_by:
+            return 1
+        distinct = 1
+        for name in query.group_by:
+            _, column = split_qualified(name)
+            statistics = profile.statistics.columns.get(column)
+            if statistics is not None and statistics.num_distinct > 0:
+                distinct *= statistics.num_distinct
+        return max(1, min(distinct, max(profile.num_rows, 1)))
+
+    def _view_whatif_plans(self, database, query, name, fingerprint, view_ms):
+        """Hypothetical (base, rewritten) plans for a proposed view.
+
+        Imported lazily — the api layer depends on the advisor, not the
+        other way around.  The rewritten plan is the base plan with the
+        :class:`~repro.api.plan.ViewRewrite` recorded and the estimate
+        replaced by the view-serve price, so rendering both shows exactly
+        what ``EXPLAIN`` would print before and after ``create_view``.
+        """
+        import dataclasses
+
+        from repro.api.plan import CostEstimate, Planner, ViewRewrite
+
+        planner = Planner(database, lambda: self.cost_model)
+        base_plan = planner.plan(query)
+        view_plan = dataclasses.replace(
+            base_plan,
+            view_rewrite=ViewRewrite(view=name, fingerprint=fingerprint),
+            estimate=CostEstimate(
+                total_ms=view_ms,
+                per_table_ms={query.table: view_ms},
+                per_term_ms={"view_scan": view_ms},
+                assignment=dict(base_plan.estimate.assignment),
+            ),
+        )
+        return base_plan, view_plan
 
     @staticmethod
     def _shardable_query(query) -> bool:

@@ -152,6 +152,38 @@ class OnlineAdvisorMonitor:
             if recommendation is not None and self.on_adaptation is not None:
                 self.on_adaptation(recommendation)
 
+    # -- recurring shapes (materialized-view candidates) --------------------------------
+
+    def recurring_aggregates(self, min_occurrences: int = 2) -> Dict[str, int]:
+        """Fingerprint -> occurrence count of recurring recorded aggregations.
+
+        Counts the shapes :meth:`recommend_views` would consider — join-free,
+        placeholder-free aggregations — over the recorded window, using the
+        same query fingerprints the planner's view rewrite matches on.
+        """
+        from repro.query.ast import AggregationQuery
+        from repro.query.fingerprint import fingerprint_tokens, query_fingerprint
+
+        counts: Dict[str, int] = {}
+        for query in self.recorded:
+            if not isinstance(query, AggregationQuery) or query.joins:
+                continue
+            if "v:param:" in fingerprint_tokens(query):
+                continue
+            fingerprint = query_fingerprint(query)
+            counts[fingerprint] = counts.get(fingerprint, 0) + 1
+        return {
+            fingerprint: count
+            for fingerprint, count in counts.items()
+            if count >= min_occurrences
+        }
+
+    def recommend_views(self, min_occurrences: int = 2):
+        """Materialized views worth creating for the recorded window."""
+        return self.advisor.recommend_views(
+            self.database, self.recorded, min_occurrences=min_occurrences
+        )
+
     # -- evaluation ---------------------------------------------------------------------
 
     def evaluate(self) -> Optional[Recommendation]:

@@ -113,6 +113,10 @@ class ShardKeyRecommendation:
     estimated_serial_ms: float
     estimated_sharded_ms: float
     reason: str = ""
+    #: The hypothetical :class:`~repro.api.plan.PhysicalPlan` the what-if was
+    #: priced for (the table's representative shardable query), renderable by
+    #: the EXPLAIN renderer via :meth:`explain`.
+    whatif_plan: Optional[object] = None
 
     @property
     def estimated_speedup(self) -> float:
@@ -127,6 +131,71 @@ class ShardKeyRecommendation:
             f"(estimated {self.estimated_serial_ms:.2f} ms -> "
             f"{self.estimated_sharded_ms:.2f} ms)"
             f"{' - ' + self.reason if self.reason else ''}"
+        )
+
+    def explain(self) -> str:
+        """EXPLAIN rendering of the representative what-if plan."""
+        if self.whatif_plan is None:
+            return self.describe()
+        from repro.api.explain import render_plan
+
+        return render_plan(self.whatif_plan)
+
+
+@dataclass
+class ViewRecommendation:
+    """The advisor's proposal to materialize one recurring aggregation.
+
+    Priced through the same shared :class:`EstimateMemo` as store moves: the
+    base cost is the cost model's estimate of executing the defining query
+    against the current layout, the view cost prices serving the materialized
+    rows (query overhead + a sequential read of the view), and the benefit is
+    their difference accumulated over the shape's recurrences in the
+    monitored workload.  ``base_plan``/``view_plan`` are hypothetical
+    :class:`~repro.api.plan.PhysicalPlan` objects renderable by the EXPLAIN
+    renderer (:meth:`explain`).
+    """
+
+    view: str
+    table: str
+    fingerprint: str
+    query: object
+    occurrences: int
+    estimated_base_ms: float
+    estimated_view_ms: float
+    estimated_rows: int
+    base_plan: Optional[object] = None
+    view_plan: Optional[object] = None
+
+    @property
+    def estimated_benefit_ms(self) -> float:
+        """Estimated workload savings over all recurrences."""
+        return (self.estimated_base_ms - self.estimated_view_ms) * self.occurrences
+
+    @property
+    def estimated_speedup(self) -> float:
+        if self.estimated_view_ms <= 0:
+            return 0.0
+        return self.estimated_base_ms / self.estimated_view_ms
+
+    def describe(self) -> str:
+        return (
+            f"{self.view}: materialize query {self.fingerprint} over "
+            f"{self.table} (seen {self.occurrences}x, ~{self.estimated_rows} "
+            f"row(s); estimated {self.estimated_base_ms:.2f} ms -> "
+            f"{self.estimated_view_ms:.2f} ms per run, "
+            f"{self.estimated_benefit_ms:.2f} ms total)"
+        )
+
+    def explain(self) -> str:
+        """EXPLAIN rendering of the base plan vs. the rewritten what-if plan."""
+        if self.base_plan is None or self.view_plan is None:
+            return self.describe()
+        from repro.api.explain import render_plan
+
+        return (
+            "without view:\n" + render_plan(self.base_plan)
+            + "\nwith view:\n" + render_plan(self.view_plan)
         )
 
 

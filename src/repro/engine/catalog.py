@@ -42,11 +42,32 @@ class CatalogEntry:
         return f"{self.store.value} store"
 
 
+@dataclass(frozen=True)
+class ViewEntry:
+    """Catalog record of one materialized view.
+
+    The entry is the *definition* — name, base table and the defining query's
+    fingerprint (the planner's rewrite key).  The materialized state itself
+    lives with the database (:class:`~repro.engine.matview.MaterializedView`),
+    like table data lives outside the catalog.
+    """
+
+    name: str
+    table: str
+    fingerprint: str
+    query: object = field(repr=False, compare=False, default=None)
+
+    def describe(self) -> str:
+        return f"{self.name}: view {self.fingerprint} over {self.table}"
+
+
 class Catalog:
-    """Name -> :class:`CatalogEntry` registry."""
+    """Name -> :class:`CatalogEntry` registry (plus the materialized-view registry)."""
 
     def __init__(self) -> None:
         self._entries: Dict[str, CatalogEntry] = {}
+        self._views: Dict[str, ViewEntry] = {}
+        self._view_version = 0
 
     # -- registration ----------------------------------------------------------------
 
@@ -66,6 +87,70 @@ class Catalog:
         if name not in self._entries:
             raise CatalogError(f"unknown table {name!r}")
         del self._entries[name]
+
+    # -- materialized views ------------------------------------------------------------
+
+    @property
+    def view_catalog_version(self) -> int:
+        """Monotone counter bumped by view DDL and explicit refreshes.
+
+        Part of the plan-cache key: any change to the view catalog must
+        invalidate cached plans, or a plan recorded before ``CREATE VIEW``
+        would keep bypassing the view (and one recorded before ``DROP VIEW``
+        would keep rewriting to a view that no longer exists).
+        """
+        return self._view_version
+
+    def bump_view_version(self) -> None:
+        self._view_version += 1
+
+    def register_view(self, name: str, table: str, fingerprint: str,
+                      query: object = None) -> ViewEntry:
+        if name in self._views:
+            raise CatalogError(f"materialized view {name!r} already exists")
+        if not self.has_table(table):
+            raise CatalogError(
+                f"materialized view {name!r}: unknown base table {table!r}"
+            )
+        for other in self._views.values():
+            if other.fingerprint == fingerprint:
+                raise CatalogError(
+                    f"materialized view {other.name!r} already materializes "
+                    f"query {fingerprint}"
+                )
+        entry = ViewEntry(name=name, table=table, fingerprint=fingerprint, query=query)
+        self._views[name] = entry
+        self.bump_view_version()
+        return entry
+
+    def drop_view(self, name: str) -> None:
+        if name not in self._views:
+            raise CatalogError(f"unknown materialized view {name!r}")
+        del self._views[name]
+        self.bump_view_version()
+
+    def view_entry(self, name: str) -> ViewEntry:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"unknown materialized view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    def view_names(self) -> List[str]:
+        return sorted(self._views)
+
+    def views_on(self, table: str) -> List[ViewEntry]:
+        """View entries whose base table is *table* (sorted by name)."""
+        return [self._views[name] for name in self.view_names()
+                if self._views[name].table == table]
+
+    def view_for_fingerprint(self, fingerprint: str) -> Optional[ViewEntry]:
+        for entry in self._views.values():
+            if entry.fingerprint == fingerprint:
+                return entry
+        return None
 
     # -- lookup ------------------------------------------------------------------------
 
@@ -137,4 +222,6 @@ class Catalog:
             entry = self.entry(name)
             rows = entry.statistics.num_rows if entry.statistics else 0
             lines.append(f"{name}: {entry.describe_layout()} ({rows} rows)")
+        for name in self.view_names():
+            lines.append(f"{self._views[name].describe()} (materialized)")
         return "\n".join(lines)

@@ -21,6 +21,7 @@ from repro.config import DeviceModelConfig
 from repro.engine.catalog import Catalog
 from repro.engine.column_store import ColumnStoreTable
 from repro.engine.executor.executor import QueryExecutor, QueryResult
+from repro.engine.matview import MaterializedView, RefreshResult
 from repro.engine.partitioning import PartitionedTable, TablePartitioning
 from repro.engine.schema import TableSchema
 from repro.engine.statistics import TableStatistics, compute_table_statistics
@@ -103,6 +104,12 @@ class HybridDatabase:
         # this database (None = the backend's class default).  Configured
         # through DurabilityConfig at the session layer.
         self.delta_merge_threshold: Optional[int] = None
+        # Materialized-view state (definitions live in the catalog; the
+        # materialized partials/rows live here, next to the table objects).
+        # Views are derived state and deliberately NOT WAL-logged: recovery
+        # rebuilds base tables, and the first refresh after recovery
+        # rematerializes a recreated view from them.
+        self._views: Dict[str, "MaterializedView"] = {}
 
     # -- durability ----------------------------------------------------------------
 
@@ -193,6 +200,10 @@ class HybridDatabase:
         return table
 
     def drop_table(self, name: str) -> None:
+        # Dependent materialized views cascade: their state derives entirely
+        # from the dropped data.
+        for entry in self.catalog.views_on(name):
+            self.drop_view(entry.name)
         self.catalog.drop_table(name)
         del self._tables[name]
         # The version entry stays (and bumps): a plan cached against the
@@ -222,6 +233,71 @@ class HybridDatabase:
         if entry.is_partitioned:
             return None
         return entry.store
+
+    # -- materialized views ---------------------------------------------------------------
+
+    def create_view(self, name: str, query) -> MaterializedView:
+        """Create and materialize a view of *query* (an aggregation).
+
+        The defining query is registered in the catalog under its fingerprint
+        — the planner's rewrite key — and the initial refresh materializes the
+        state immediately, so a freshly created view is ready to serve.
+        """
+        view = MaterializedView(name, query)
+        if not self.has_table(view.table):
+            raise CatalogError(
+                f"materialized view {name!r}: unknown base table {view.table!r}"
+            )
+        self.catalog.register_view(name, view.table, view.fingerprint, query)
+        self._views[name] = view
+        view.refresh(self.table_object(view.table), self.device)
+        return view
+
+    def drop_view(self, name: str) -> None:
+        self.catalog.drop_view(name)
+        del self._views[name]
+
+    def view(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"unknown materialized view {name!r}") from None
+
+    def view_names(self) -> List[str]:
+        return sorted(self._views)
+
+    def views_on(self, table: str) -> List[MaterializedView]:
+        return [self._views[entry.name] for entry in self.catalog.views_on(table)]
+
+    def matching_view(self, query) -> Optional[MaterializedView]:
+        """The view materializing exactly *query*, if one exists.
+
+        Matches by query fingerprint — the same recurrence key the online
+        monitor counts — so the planner's rewrite detection and the advisor's
+        recurrence detection agree on what "the same query" means.
+        """
+        if getattr(query, "query_type", None) is not QueryType.AGGREGATION:
+            return None
+        from repro.query.fingerprint import query_fingerprint
+
+        entry = self.catalog.view_for_fingerprint(query_fingerprint(query))
+        if entry is None:
+            return None
+        return self._views.get(entry.name)
+
+    def refresh_view(self, name: str) -> RefreshResult:
+        """Explicitly bring one view up to date (DDL-level refresh).
+
+        Bumps the view-catalog version: cached plans may have been built
+        while the view was stale, and an explicit refresh is a user-visible
+        catalog event like CREATE/DROP.  (The session's serve-time refresh
+        goes through :meth:`MaterializedView.refresh` directly and does not
+        bump — serving is not DDL.)
+        """
+        view = self.view(name)
+        result = view.refresh(self.table_object(view.table), self.device)
+        self.catalog.bump_view_version()
+        return result
 
     # -- layout changes (what the advisor recommends) -----------------------------------
 

@@ -46,6 +46,10 @@ class QueryResult:
     shard_stats: Dict[str, Tuple[int, Tuple[Tuple[int, int], ...]]] = field(
         default_factory=dict
     )
+    #: Materialized-view serves: view name -> how it was served ("served", or
+    #: "served after <kind> refresh" when the view was stale).  Empty when the
+    #: query ran against base tables; reported by ``EXPLAIN ANALYZE``.
+    view_hits: Dict[str, str] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:

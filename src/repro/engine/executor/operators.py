@@ -57,19 +57,7 @@ def execute_aggregation(
     accountant identically.
     """
     base_path = paths[query.table]
-    base_schema = base_path.table.schema
 
-    # Determine which base-table columns have to be read.
-    base_columns: List[str] = []
-    for name in sorted(query.columns_of(query.table)):
-        if name == "*":
-            continue
-        if not base_schema.has_column(name):
-            raise QueryError(
-                f"aggregation query references unknown column {name!r} of table "
-                f"{query.table!r}"
-            )
-        base_columns.append(name)
     if query.predicate is not None:
         unknown = {
             name for name in query.predicate.columns()
@@ -80,19 +68,9 @@ def execute_aggregation(
                 "predicates on joined tables are not supported; qualify only "
                 f"base-table columns (got {sorted(unknown)})"
             )
-    if not base_columns:
-        # COUNT(*)-style query: read the narrowest column to obtain the row count.
-        narrowest = min(base_schema.columns, key=lambda column: column.width_bytes)
-        base_columns = [narrowest.name]
-
-    # Group-by keys benefit from a dictionary-encoded representation (the
-    # aggregation groups on codes); ask the access path to serve them
-    # interned/encoded where the store can.
-    encode_columns = []
-    for name in query.group_by:
-        owner, column = split_qualified(name)
-        if (owner is None or owner == query.table) and column in base_columns:
-            encode_columns.append(column)
+    base_columns, encode_columns = aggregation_scan_columns(
+        query, base_path.table.schema
+    )
 
     strategy = base_path.aggregate_decision_for(query)
     accountant.record_aggregate_strategy(query.table, strategy.describe())
@@ -186,6 +164,40 @@ def execute_aggregation(
         group_by_names=list(query.group_by),
     )
     return aggregation.run(aggregate_inputs, group_key_columns, num_rows)
+
+
+def aggregation_scan_columns(
+    query: AggregationQuery, base_schema
+) -> "tuple[List[str], List[str]]":
+    """Base-table columns an aggregation reads, and which to serve encoded.
+
+    Shared by :func:`execute_aggregation` and the materialized-view refresh so
+    both collect exactly the same columns in the same representation.  The
+    encode set is the group-by keys: the aggregation groups on dictionary
+    codes, so the access path serves them interned/encoded where the store
+    can.
+    """
+    base_columns: List[str] = []
+    for name in sorted(query.columns_of(query.table)):
+        if name == "*":
+            continue
+        if not base_schema.has_column(name):
+            raise QueryError(
+                f"aggregation query references unknown column {name!r} of table "
+                f"{query.table!r}"
+            )
+        base_columns.append(name)
+    if not base_columns:
+        # COUNT(*)-style query: read the narrowest column to obtain the row count.
+        narrowest = min(base_schema.columns, key=lambda column: column.width_bytes)
+        base_columns = [narrowest.name]
+
+    encode_columns: List[str] = []
+    for name in query.group_by:
+        owner, column = split_qualified(name)
+        if (owner is None or owner == query.table) and column in base_columns:
+            encode_columns.append(column)
+    return base_columns, encode_columns
 
 
 def _assemble_inputs(

@@ -125,3 +125,24 @@ class OlapQueryGenerator:
     def workload(self, num_queries: int, name: str = "olap", **kwargs) -> Workload:
         """Generate a pure-OLAP workload."""
         return Workload(self.generate(num_queries, **kwargs), name=name)
+
+    def recurring_report_workload(
+        self,
+        num_shapes: int = 3,
+        repetitions: int = 5,
+        name: str = "recurring-reports",
+        **kwargs,
+    ) -> Workload:
+        """A dashboard-style workload: *num_shapes* distinct grouped
+        aggregations, each recurring *repetitions* times round-robin.
+
+        Every shape is join-free and literal (no placeholders), so each one
+        is a materialized-view candidate: feed the workload to
+        ``Session.recommend_views`` / the online monitor to exercise the
+        advisor's recurring-shape detection.
+        """
+        kwargs.setdefault("group_by", True)
+        kwargs.setdefault("with_predicate", False)
+        shapes = self.generate(num_shapes, **kwargs)
+        queries = [shapes[i % num_shapes] for i in range(num_shapes * repetitions)]
+        return Workload(queries, name=name)

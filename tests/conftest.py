@@ -34,6 +34,11 @@ def pytest_configure(config):
         "shard: shard-parallel scatter/gather execution suite (runs in "
         "tier-1; select standalone with -m shard)",
     )
+    config.addinivalue_line(
+        "markers",
+        "matview: materialized-view subsystem suite (runs in tier-1; "
+        "select standalone with -m matview)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -615,6 +615,89 @@ def test_shard_toggle_preserves_results_and_charges(seed):
     )
 
 
+@pytest.mark.matview
+@pytest.mark.parametrize("seed", range(2))
+def test_matview_toggle_preserves_results_and_charges(seed):
+    """Matview differential: served views == base execution, in full.
+
+    Two sessions over identical databases — one with materialized views on
+    the recurring aggregate shapes, one without — run the same interleaved
+    stream of random DML and recurring aggregations.  Every DML must bill
+    identically on both sessions (maintenance is off the DML path), every
+    served aggregate must return the reference's row multiset (staleness is
+    repaired before serving, never served), and re-running under
+    ``matview_disabled()`` must charge the :class:`CostBreakdown`
+    bit-identically to the view-free session: views are a wall-clock
+    optimisation, never a cost-model or semantics change.  Seed 1 partitions
+    the base table, so refreshes alternate between the incremental
+    (hot-only DML) and full (main touched / NaN group keys) paths.
+    """
+    from repro.api import connect
+    from repro.engine.matview import matview_disabled
+
+    recurring = [
+        aggregate("facts").sum("quantity").count().group_by("category").build(),
+        aggregate("facts").avg("amount").count("tag").group_by("tag").build(),
+        # NaN group keys: the merge hazard forces the full-recompute refresh.
+        aggregate("facts").count().sum("quantity").group_by("amount").build(),
+    ]
+
+    rng = random.Random(6000 + seed)
+    rows = generate_rows(rng, rng.randrange(40, 200))
+
+    def build_database():
+        database = HybridDatabase()
+        database.create_table(FACTS_SCHEMA, store=Store.COLUMN)
+        database.create_table(DIM_SCHEMA, store=Store.COLUMN)
+        database.load_rows("facts", rows)
+        database.load_rows("customers", generate_dim_rows())
+        if seed % 2:
+            database.apply_partitioning(
+                "facts",
+                TablePartitioning(
+                    horizontal=HorizontalPartitionSpec(
+                        predicate=Comparison("quantity", CompareOp.GE, 4)
+                    )
+                ),
+            )
+        return database
+
+    viewful = connect(database=build_database())
+    plain = connect(database=build_database())
+    for index, query in enumerate(recurring):
+        viewful.create_view(f"mv_{index}", query)
+
+    next_id = len(rows)
+    aggregate_steps = 0
+    for step in range(24):
+        if step and step % 3 == 0:
+            statement, next_id = random_dml(rng, next_id)
+            with_views = viewful.execute(statement)
+            without = plain.execute(statement)
+            context = f"seed={seed} step={step} dml={statement!r}"
+            assert with_views.cost.components == without.cost.components, context
+            continue
+        aggregate_steps += 1
+        query = recurring[step % len(recurring)]
+        context = f"seed={seed} step={step} matview-vs-base query={query!r}"
+        served = viewful.execute(query)
+        reference = plain.execute(query)
+        assert served.view_hits, context  # always rewritten, stale or not
+        assert_rows_equivalent(context, served.rows, reference.rows)
+        with matview_disabled():
+            fallback = viewful.execute(query)
+        assert not fallback.view_hits, context
+        assert_rows_equivalent(context, fallback.rows, reference.rows)
+        assert fallback.cost.components == reference.cost.components, context
+
+    stats = viewful.stats()
+    assert stats.view_rewrite_hits == aggregate_steps
+    assert stats.view_incremental_refreshes + stats.view_full_refreshes > 0, (
+        f"seed={seed}: no refresh ever ran — the DML stream never staled "
+        f"the views"
+    )
+
+
 def test_fuzz_volume():
     """The suite executes the advertised ~200 differential queries."""
     assert 4 * QUERIES_PER_SEED >= 200

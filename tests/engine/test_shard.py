@@ -363,6 +363,11 @@ class TestShardAdvisor:
             assert recommendation.fan_out == 4
             assert recommendation.estimated_speedup > 1.0
             assert "shard by bucket x4" in recommendation.describe()
+            # The what-if plan renders through the EXPLAIN renderer.
+            assert recommendation.whatif_plan is not None
+            text = recommendation.explain()
+            assert "AggregationQuery" in text
+            assert "Scan metrics" in text
             # Re-advising is served from the EstimateMemo.
             hits_before = advisor.cost_model.cache_hits
             again = advisor.recommend_shard_keys(database, workload)

@@ -72,6 +72,32 @@ class TestQueryGenerators:
             for spec in query.aggregates:
                 assert spec.column in table.roles.keyfigures
 
+    @pytest.mark.matview
+    def test_recurring_report_workload_feeds_the_view_advisor(self):
+        from repro.core import StorageAdvisor
+        from repro.query.fingerprint import query_fingerprint
+
+        table = build_table(SyntheticTableConfig(num_rows=100))
+        generator = OlapQueryGenerator(table.roles, seed=5)
+        workload = generator.recurring_report_workload(num_shapes=3, repetitions=4)
+        assert workload.num_queries == 12
+        counts = {}
+        for query in workload:
+            assert query.query_type is QueryType.AGGREGATION
+            assert not query.joins
+            fingerprint = query_fingerprint(query)
+            counts[fingerprint] = counts.get(fingerprint, 0) + 1
+        assert sum(counts.values()) == 12
+        assert all(count % 4 == 0 for count in counts.values())
+
+        # The shapes are view candidates end-to-end: the advisor proposes
+        # materializing each recurring fingerprint.
+        database = HybridDatabase()
+        table.load_into(database, Store.COLUMN)
+        recommendations = StorageAdvisor().recommend_views(database, workload)
+        assert len(recommendations) == len(counts)
+        assert all(rec.estimated_benefit_ms > 0 for rec in recommendations)
+
     def test_oltp_generator_respects_mix(self):
         table = build_table(SyntheticTableConfig(num_rows=100))
         generator = OltpQueryGenerator(
