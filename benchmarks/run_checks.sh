@@ -31,6 +31,12 @@
 #              harness crashes the WAL/merge/checkpoint paths at every
 #              declared crash point and recovery must land on the committed
 #              prefix,
+#   resilience — the process-fault matrix over the supervised shard pool:
+#              worker kill/hang, poisoned results, shm unlink races and
+#              matview refresh crashes must all yield rows and charges
+#              bit-identical to the serial reference, with retries,
+#              individual worker replacement, deadline cancellation and a
+#              clean shared-memory segment audit,
 #   examples — the session-API examples as executable documentation.
 #
 # Usage, from the repository root or this directory:
@@ -68,6 +74,9 @@ python -m pytest -m fuzz -q tests
 
 echo "== faults: crash-point recovery suite =="
 python -m pytest -m faultinject -q tests
+
+echo "== resilience: process-fault matrix + supervised pool + deadlines =="
+python -m pytest -m resilience -q tests
 
 echo "== examples: session API smoke =="
 python examples/session_api.py > /dev/null

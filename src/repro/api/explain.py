@@ -90,6 +90,14 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
                 f"{scanned}/{matched}" for scanned, matched in shards
             )
             lines.append(f"    {table:<22}fan-out {fan_out}: {per_shard}")
+    if actual is not None and actual.degradations:
+        # Degradation-ladder telemetry: the execution walked down from its
+        # planned tier (e.g. shard-parallel -> retry -> serial).  A degraded
+        # query still charges the serial reference bit-identically; this
+        # block exists so the fallback never happens silently.
+        lines.append("  degraded:")
+        for table in sorted(actual.degradations):
+            lines.append(f"    {table:<22}{actual.degradations[table]}")
     if plan.estimate.per_term_ms:
         lines.append("  estimated cost terms (ms):")
         for term in sorted(plan.estimate.per_term_ms):
@@ -177,6 +185,7 @@ def _operator_tree(plan: PhysicalPlan) -> List[str]:
         shards = access[query.table].shard_decision
         if shards is not None and shards.sharded:
             lines.append(f"   shards: {shards.describe()}")
+            lines.append(f"   ladder: {shards.describe_ladder()}")
         depth = 1
         for join in query.joins:
             pad = "   " * depth
@@ -194,6 +203,7 @@ def _operator_tree(plan: PhysicalPlan) -> List[str]:
         shards = access[query.table].shard_decision
         if shards is not None and shards.sharded:
             lines.append(f"   shards: {shards.describe()}")
+            lines.append(f"   ladder: {shards.describe_ladder()}")
         scan_lines(query.table, 1, query.predicate)
     elif isinstance(query, InsertQuery):
         lines.append(f"-> Insert into {query.table} ({query.num_rows} row(s))")

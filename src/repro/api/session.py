@@ -41,7 +41,12 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.api.binder import Params, bind, statement_parameters
 from repro.api.explain import render_plan
 from repro.api.plan import PhysicalPlan, PlanCache, Planner
-from repro.config import AdvisorConfig, DeviceModelConfig, DurabilityConfig
+from repro.config import (
+    AdvisorConfig,
+    DeviceModelConfig,
+    DurabilityConfig,
+    ResilienceConfig,
+)
 from repro.core.advisor.advisor import StorageAdvisor
 from repro.core.advisor.recommendation import Recommendation
 from repro.engine.database import HybridDatabase, WorkloadRunResult
@@ -52,7 +57,13 @@ from repro.engine.matview import (
     matview_enabled,
     view_serve_bytes,
 )
-from repro.engine.shard import shutdown_worker_pool
+from repro.engine.deadline import query_deadline
+from repro.engine.shard import (
+    apply_resilience_config,
+    audit_shared_segments,
+    resilience_counters,
+    shutdown_worker_pool,
+)
 from repro.engine.wal import RecoveryReport, WriteAheadLog, recover as wal_recover
 from repro.engine.executor.executor import QueryResult
 from repro.engine.partitioning import TablePartitioning
@@ -60,7 +71,7 @@ from repro.engine.schema import TableSchema
 from repro.engine.statistics import TableStatistics
 from repro.engine.timing import CostAccountant, CostBreakdown
 from repro.engine.types import Store
-from repro.errors import BindError, CatalogError
+from repro.errors import BindError, CatalogError, QueryTimeoutError
 from repro.query.ast import Parameter, Query
 from repro.query.parser import parse
 from repro.query.workload import Workload
@@ -94,6 +105,19 @@ class SessionStats:
     view_incremental_refreshes: int = 0
     #: Serve-time refreshes that recomputed from scratch (incl. initial).
     view_full_refreshes: int = 0
+    #: Sharded attempts retried after a failure (resilience layer, this
+    #: session's lifetime — deltas of the process-wide counters).
+    shard_retries: int = 0
+    #: Worker processes the shard supervisor replaced individually.
+    shard_worker_replacements: int = 0
+    #: Queries that exhausted the sharded retry budget and ran serially.
+    shard_degradations: int = 0
+    #: Shared-memory segments the close/atexit audit had to reclaim.
+    shard_segments_reclaimed: int = 0
+    #: Unexpected (non-race) errors swallowed during pool teardown.
+    shard_teardown_errors: int = 0
+    #: Queries cancelled by an expired ``execute(timeout=...)`` deadline.
+    query_timeouts: int = 0
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -118,9 +142,11 @@ class PreparedStatement:
         #: The statement's placeholders (positional first, in index order).
         self.parameters: Tuple[Parameter, ...] = statement_parameters(template)
 
-    def execute(self, params: Params = None) -> QueryResult:
+    def execute(self, params: Params = None,
+                timeout: Optional[float] = None) -> QueryResult:
         """Bind *params* and execute through the cached plan."""
-        return self.session.execute(self.template, params=params)
+        return self.session.execute(self.template, params=params,
+                                    timeout=timeout)
 
     __call__ = execute
 
@@ -146,6 +172,7 @@ class Session:
         plan_cache_capacity: int = 512,
         wal_path: Optional[str] = None,
         durability: Optional[DurabilityConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.database = database if database is not None else HybridDatabase(device_config)
         self._advisor = StorageAdvisor(
@@ -163,7 +190,13 @@ class Session:
         self._view_rewrite_misses = 0
         self._view_incremental_refreshes = 0
         self._view_full_refreshes = 0
+        self._query_timeouts = 0
+        # Resilience counters are process-wide (the worker pool is shared);
+        # the session reports its own lifetime as deltas from this snapshot.
+        self._resilience_baseline = resilience_counters().snapshot()
         self._closed = False
+        if resilience is not None:
+            apply_resilience_config(resilience)
         if durability is not None:
             self.database.delta_merge_threshold = durability.delta_merge_threshold
         if wal_path is not None and self.database.wal is None:
@@ -208,7 +241,11 @@ class Session:
             # The shard worker pool is process-wide (shared-memory segments
             # plus worker processes); closing the session releases it.  The
             # next sharded query — from a later session — recreates it.
+            # The ledger audit then asserts every segment the pool ever
+            # published was unlinked exactly once, reclaiming (and counting)
+            # anything a mid-query worker death managed to orphan.
             shutdown_worker_pool()
+            audit_shared_segments()
         finally:
             wal = self.database.wal
             if wal is not None and not wal.closed:
@@ -258,12 +295,25 @@ class Session:
         template = self._template(query_or_sql)
         return self._cached_plan(template)
 
-    def execute(self, query_or_sql: Union[Query, str], params: Params = None) -> QueryResult:
-        """Run one statement through parse → bind → plan → execute."""
+    def execute(self, query_or_sql: Union[Query, str], params: Params = None,
+                timeout: Optional[float] = None) -> QueryResult:
+        """Run one statement through parse → bind → plan → execute.
+
+        *timeout* (seconds) arms a cooperative deadline over the execution:
+        on expiry :class:`~repro.errors.QueryTimeoutError` is raised, no
+        result is recorded, no cost is billed (the cancelled execution's
+        accountant dies with it) and the shard worker pool — if a wedged
+        worker had to be abandoned — is repaired before the error surfaces.
+        """
         template = self._template(query_or_sql)
         bound = bind(template, self.database.catalog, params)
         plan = self._cached_plan(template)
-        result = self._run_plan(bound, plan)
+        try:
+            with query_deadline(timeout):
+                result = self._run_plan(bound, plan)
+        except QueryTimeoutError:
+            self._query_timeouts += 1
+            raise
         plan.record_execution(result)
         self._queries_executed += 1
         for listener in self._plan_listeners:
@@ -331,13 +381,15 @@ class Session:
             view_hits={view.name: served},
         )
 
-    def sql(self, statement: str, params: Params = None) -> QueryResult:
+    def sql(self, statement: str, params: Params = None,
+            timeout: Optional[float] = None) -> QueryResult:
         """Execute a SQL-ish statement.
 
         ``EXPLAIN <statement>`` (optionally ``EXPLAIN ANALYZE``) returns the
         rendered plan as rows with a single ``plan`` column instead of
         executing the statement (``ANALYZE`` executes it once to show actual
-        costs).
+        costs).  *timeout* arms a cooperative deadline exactly like
+        :meth:`execute`.
         """
         stripped = statement.strip()
         lowered = stripped.lower()
@@ -352,7 +404,7 @@ class Session:
                 affected_rows=0,
                 cost=CostBreakdown(),
             )
-        return self.execute(stripped, params=params)
+        return self.execute(stripped, params=params, timeout=timeout)
 
     def prepare(self, statement: str) -> PreparedStatement:
         """Parse, validate and plan *statement* once for repeated execution."""
@@ -450,6 +502,8 @@ class Session:
     def stats(self) -> SessionStats:
         """Counter snapshot: pipeline, plan-cache and estimate-memo activity."""
         memo = self._advisor.cost_model.memo
+        live = resilience_counters()
+        base = self._resilience_baseline
         return SessionStats(
             queries_executed=self._queries_executed,
             statements_parsed=self._statements_parsed,
@@ -465,6 +519,20 @@ class Session:
             view_rewrite_misses=self._view_rewrite_misses,
             view_incremental_refreshes=self._view_incremental_refreshes,
             view_full_refreshes=self._view_full_refreshes,
+            shard_retries=live.shard_retries - base.shard_retries,
+            shard_worker_replacements=(
+                live.worker_replacements - base.worker_replacements
+            ),
+            shard_degradations=(
+                live.shard_degradations - base.shard_degradations
+            ),
+            shard_segments_reclaimed=(
+                live.segments_reclaimed - base.segments_reclaimed
+            ),
+            shard_teardown_errors=(
+                live.teardown_errors - base.teardown_errors
+            ),
+            query_timeouts=self._query_timeouts,
         )
 
     # -- DDL / data conveniences (delegation) --------------------------------------
@@ -578,6 +646,7 @@ def connect(
     plan_cache_capacity: int = 512,
     wal_path: Optional[str] = None,
     durability: Optional[DurabilityConfig] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Session:
     """Open a :class:`Session` over a new (or an existing) database.
 
@@ -585,6 +654,9 @@ def connect(
     log at that path so the database can be rebuilt with :func:`recover`
     after a crash.  *durability* tunes the WAL sync mode and the delta
     merge threshold (see :class:`~repro.config.DurabilityConfig`).
+    *resilience* tunes the resilient execution layer — shard retry budget,
+    gather timeout, backoff — process-wide (see
+    :class:`~repro.config.ResilienceConfig`).
     """
     return Session(
         database=database,
@@ -593,6 +665,7 @@ def connect(
         plan_cache_capacity=plan_cache_capacity,
         wal_path=wal_path,
         durability=durability,
+        resilience=resilience,
     )
 
 

@@ -141,6 +141,34 @@ class DurabilityConfig:
     delta_merge_threshold: int = 65536
 
 
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the resilient execution layer (shard retries, deadlines).
+
+    Consumed by :func:`repro.api.connect` (``resilience=...``) and applied to
+    the shard executor's process-wide defaults; ``shard_config(...)`` scopes
+    temporary overrides the same way tests override the fan-out.
+    """
+
+    #: Total sharded attempts per query (1 = no retry) before the query
+    #: degrades to the serial rung of the ladder.
+    max_attempts: int = 2
+    #: Base seconds the parent waits for a gather before declaring the crew
+    #: wedged.  Scaled up with the sharded row count (see
+    #: :func:`repro.engine.shard.gather_timeout_for`) so large benches under
+    #: CI load don't trip it.
+    gather_timeout_s: float = 30.0
+    #: Base of the bounded exponential backoff between retry attempts; the
+    #: delay for attempt *n* is ``backoff_s * 2**(n-1)`` plus deterministic
+    #: jitter, capped at :attr:`backoff_cap_s`.
+    backoff_s: float = 0.05
+    #: Upper bound on any single retry backoff sleep.
+    backoff_cap_s: float = 1.0
+    #: Poll interval of the gather loop — the granularity at which worker
+    #: deaths, gather timeouts and query deadlines are detected.
+    heartbeat_poll_s: float = 0.05
+
+
 @dataclass
 class ReproConfig:
     """Top-level configuration bundle used by examples and benchmarks."""
@@ -148,4 +176,5 @@ class ReproConfig:
     device: DeviceModelConfig = field(default_factory=DeviceModelConfig)
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     seed: int = DEFAULT_SEED

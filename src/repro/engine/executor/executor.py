@@ -13,6 +13,7 @@ from repro.engine.executor.operators import (
     execute_update,
 )
 from repro.engine.executor.rewrite import access_path_for
+from repro.engine.deadline import deadline_check
 from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel
 from repro.errors import QueryError
 from repro.query.ast import (
@@ -50,6 +51,12 @@ class QueryResult:
     #: "served after <kind> refresh" when the view was stale).  Empty when the
     #: query ran against base tables; reported by ``EXPLAIN ANALYZE``.
     view_hits: Dict[str, str] = field(default_factory=dict)
+    #: Per-table degradation-ladder walks: table -> a description of the
+    #: rungs walked (e.g. "shard-parallel -> retry x1 -> serial (...)").
+    #: Empty when every tier executed as planned; a degraded query still
+    #: charges exactly the serial reference — this keeps the fallback
+    #: visible in ``EXPLAIN ANALYZE``.
+    degradations: Dict[str, str] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:
@@ -115,6 +122,7 @@ class QueryExecutor:
         The cost charges are exactly those of :meth:`execute` — re-using a
         plan's paths never changes what a query costs.
         """
+        deadline_check()
         accountant = CostAccountant(self.device)
         accountant.charge_query_overhead()
 
@@ -124,14 +132,16 @@ class QueryExecutor:
                                scan_stats=accountant.scan_stats,
                                agg_strategies=accountant.aggregate_strategies,
                                delta_scans=accountant.delta_scans,
-                               shard_stats=accountant.shard_stats)
+                               shard_stats=accountant.shard_stats,
+                               degradations=accountant.degradations)
         path = paths[query.table]
         if isinstance(query, SelectQuery):
             rows = execute_select(query, path, accountant)
             return QueryResult(rows=rows, affected_rows=0, cost=accountant.breakdown,
                                scan_stats=accountant.scan_stats,
                                delta_scans=accountant.delta_scans,
-                               shard_stats=accountant.shard_stats)
+                               shard_stats=accountant.shard_stats,
+                               degradations=accountant.degradations)
         if isinstance(query, InsertQuery):
             affected = execute_insert(query, path, accountant)
         elif isinstance(query, UpdateQuery):

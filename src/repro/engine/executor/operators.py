@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.batch import BatchColumn, ColumnBatch, take_column
+from repro.engine.deadline import deadline_check
 from repro.engine.executor.access import AccessPath
 from repro.engine.executor.agg_pushdown import (
     TIER_PARTITION_PARTIAL,
@@ -104,6 +105,7 @@ def execute_aggregation(
         if sharded is not None:
             return sharded
 
+    deadline_check()
     batch = base_path.collect_batch(
         base_columns, query.predicate, accountant, encode_columns=encode_columns
     )
@@ -309,6 +311,7 @@ def execute_select(
         sharded = try_sharded_select(path, query, accountant)
         if sharded is not None:
             return sharded
+    deadline_check()
     return path.select_rows(list(query.columns), query.predicate, query.limit, accountant)
 
 

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.engine.deadline import deadline_check
 from repro.engine.executor.access import SimpleAccessPath, empty_batch
 from repro.engine.executor.agg_pushdown import _partial_merge_safe
 from repro.engine.executor.aggregates import (
@@ -47,6 +48,7 @@ from repro.engine.executor.rewrite import (
 from repro.engine.partitioning import PartitionedTable
 from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel
 from repro.errors import CatalogError
+from repro.testing.faults import fault_point
 from repro.query.ast import AggregationQuery
 from repro.query.fingerprint import fingerprint_tokens, query_fingerprint
 
@@ -234,6 +236,13 @@ class MaterializedView:
         if self._materialized and tokens == self._unit_tokens:
             return RefreshResult(view=self.name, kind=REFRESH_NOOP,
                                  cost=accountant.breakdown)
+        # Crash discipline: the view's served state is the atomically
+        # installed (result_rows, _unit_tokens, _materialized) triple at the
+        # bottom.  A crash at any declared point below leaves the old triple
+        # in place — _unit_partials may hold fresher per-unit states, but
+        # they are only ever consumed when _unit_tokens vouches for them, so
+        # the next refresh recomputes exactly the stale units.
+        fault_point("matview.refresh.before")
 
         query = self.query
         base_columns, encode_columns = aggregation_scan_columns(
@@ -256,6 +265,7 @@ class MaterializedView:
             partials_in_order: List[List[Dict[str, Any]]] = []
             new_partials: Dict[str, List[Dict[str, Any]]] = {}
             for label, token in specs:
+                deadline_check()
                 cached = self._unit_partials.get(label)
                 if cached is not None and self._unit_tokens.get(label) == token:
                     partials_in_order.append(cached)
@@ -282,6 +292,7 @@ class MaterializedView:
                 new_partials[label] = partial
                 partials_in_order.append(partial)
                 recomputed.append(label)
+                fault_point("matview.refresh.after_unit")
             try:
                 rows = merge_partition_partials(
                     query.aggregates, group_names, partials_in_order
@@ -299,6 +310,7 @@ class MaterializedView:
                 recomputed = [label for label, _ in specs]
                 reused = []
 
+        fault_point("matview.refresh.before_install")
         self.result_rows = rows
         self._unit_tokens = tokens
         self._materialized = True

@@ -161,6 +161,12 @@ class CostAccountant:
         # execution.  Counters only — sharding replays the serial charges
         # bit-identically; EXPLAIN ANALYZE reports these per shard.
         self._shard_execs: Dict[str, tuple] = {}
+        # Per-table degradation-ladder telemetry: a description of each walk
+        # down the ladder (e.g. "shard-parallel -> retry x1 -> serial (...)")
+        # taken while answering this query.  Telemetry only — a degraded
+        # query charges exactly what the serial path charges; EXPLAIN
+        # ANALYZE renders these so a silent fallback stays visible.
+        self._degradations: Dict[str, str] = {}
 
     # -- generic ---------------------------------------------------------------
 
@@ -288,6 +294,19 @@ class CostAccountant:
     def shard_stats(self) -> Dict[str, tuple]:
         """Per-table ``(fan_out, ((scanned, matched), ...))`` of sharded scans."""
         return dict(self._shard_execs)
+
+    def record_degradation(self, table: str, description: str) -> None:
+        """Record one walk down the degradation ladder for *table*.
+
+        *description* names the rungs walked and the triggering failure,
+        e.g. ``"shard-parallel -> retry x1 -> serial (shard worker died)"``.
+        """
+        self._degradations[table] = description
+
+    @property
+    def degradations(self) -> Dict[str, str]:
+        """Per-table degradation-ladder descriptions consumed by this query."""
+        return dict(self._degradations)
 
     # -- results ----------------------------------------------------------------
 

@@ -28,6 +28,23 @@ class ExecutionError(ReproError):
     """A query failed during execution."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    Raised by :func:`repro.engine.deadline.deadline_check` (and the shard
+    gather loop) when ``Session.execute(timeout=...)`` set a deadline that
+    expired mid-execution.  Cancellation is cooperative but prompt — the
+    sharded gather polls, so even a wedged worker is abandoned within a poll
+    interval of the deadline — and clean: no partial result is returned, no
+    cost is billed, and the worker pool is repaired before the error
+    propagates.  ``timeout_s`` carries the deadline that expired.
+    """
+
+    def __init__(self, message: str, timeout_s: "float | None" = None) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
 class PartitioningError(ReproError):
     """A partitioning specification is invalid or cannot be applied."""
 

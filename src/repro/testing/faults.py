@@ -1,17 +1,30 @@
-"""Fault-injection harness for the durability subsystem.
+"""Fault-injection harness: crash points, torn writes and process faults.
 
-The WAL, the delta merge and the checkpoint call :func:`fault_point` at every
-step that a crash could separate from its neighbours, naming the point (see
-:data:`CRASH_POINTS`).  Tests arm a :class:`FaultPlan` with :func:`inject`;
-an armed plan can
+Two families of fault live here.
+
+**Crash points** — the WAL, the delta merge, the checkpoint and the
+materialized-view refresh call :func:`fault_point` at every step that a
+crash could separate from its neighbours, naming the point (see
+:data:`CRASH_POINTS` and :data:`MATVIEW_CRASH_POINTS`).  Tests arm a
+:class:`FaultPlan` with :func:`inject`; an armed plan can
 
 * **crash** at a named point (``CrashError`` propagates out of the engine,
   standing in for the process dying at exactly that instruction), optionally
-  only at the *n*-th hit,
+  only at the *n*-th hit — or at *every* hit (``every_hit=True``), which the
+  resilience suite uses to exhaust the shard retry budget,
 * **tear a write**: the WAL routes every buffer flush through
   :func:`filter_write`, and a plan with ``torn_bytes`` set lets only that
   many bytes of the flush reach the file before crashing — the classic
   torn-page failure a recovery log must tolerate.
+
+**Process faults** — the shard-parallel executor asks :func:`process_fault`
+whether to sabotage the current scatter/gather (see :data:`PROCESS_FAULTS`).
+Unlike a crash point, triggering one does not raise in the parent: the
+parent *arranges* the fault — a worker killed mid-shard, a wedged worker, a
+poisoned (unpicklable) result, a shared-memory segment unlinked under the
+workers — and the resilience layer must absorb it: retry, fall back serial,
+and leave the pool healthy, with rows and charges bit-identical to the
+serial reference (pinned by ``pytest -m resilience``).
 
 Post-hoc corruption of a log file (for checksum-skip coverage) does not need
 an armed plan: :func:`flip_bit` and :func:`truncate_file` edit the file
@@ -28,9 +41,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
-#: Every crash point the engine declares, in rough execution order.  The
-#: recovery fuzzer iterates this list and a test asserts each name is
-#: actually reached by the workload that claims to cover it.
+#: Every durability crash point the engine declares, in rough execution
+#: order.  The recovery fuzzer iterates this list and a test asserts each
+#: name is actually reached by the workload that claims to cover it.
 CRASH_POINTS: Tuple[str, ...] = (
     "wal.append.before",
     "wal.append.buffered",
@@ -47,6 +60,28 @@ CRASH_POINTS: Tuple[str, ...] = (
     "checkpoint.after_reset",
 )
 
+#: Crash points inside :meth:`MaterializedView.refresh`.  Kept separate from
+#: :data:`CRASH_POINTS` because the recovery fuzzer's WAL workload does not
+#: reach them; the resilience suite covers them instead and pins that a
+#: crash anywhere in a refresh never installs a partial merge — the view
+#: serves its pre-refresh state (or recomputes) on the next query.
+MATVIEW_CRASH_POINTS: Tuple[str, ...] = (
+    "matview.refresh.before",
+    "matview.refresh.after_unit",
+    "matview.refresh.before_install",
+)
+
+#: The process-fault matrix of the shard-parallel executor, checked via
+#: :func:`process_fault` at the point in the scatter/gather where each fault
+#: would bite.  The resilience suite iterates this list; a registration test
+#: pins the count so new faults cannot land untested.
+PROCESS_FAULTS: Tuple[str, ...] = (
+    "shard.worker.kill",
+    "shard.worker.hang",
+    "shard.result.poison",
+    "shard.shm.unlink_race",
+)
+
 
 class CrashError(RuntimeError):
     """Raised by an armed fault plan; models the process dying at the point."""
@@ -59,11 +94,17 @@ class FaultPlan:
     ``torn_bytes`` only applies when ``crash_at`` names a flush point routed
     through :func:`filter_write` (``wal.flush.after_write``): the flush
     writes just ``torn_bytes`` bytes of its buffer and then crashes.
+
+    By default a plan fires exactly once (its *at_hit*-th hit) — a retried
+    shard attempt therefore succeeds, exercising the retry rung of the
+    degradation ladder.  ``every_hit=True`` makes the plan fire on every hit
+    of *crash_at*, exhausting the retry budget and forcing the serial rung.
     """
 
     crash_at: Optional[str] = None
     at_hit: int = 1
     torn_bytes: Optional[int] = None
+    every_hit: bool = False
     #: Every point name hit while this plan was armed (coverage telemetry).
     hits: List[str] = field(default_factory=list)
 
@@ -76,6 +117,8 @@ class FaultPlan:
         self.hits.append(name)
         if name != self.crash_at:
             return False
+        if self.every_hit:
+            return True
         self._countdown -= 1
         return self._countdown == 0
 
@@ -103,6 +146,17 @@ def fault_point(name: str) -> None:
     """Declare a crash point; raises :class:`CrashError` when a plan says so."""
     if _PLAN is not None and _PLAN.should_crash(name):
         raise CrashError(name)
+
+
+def process_fault(name: str) -> bool:
+    """Whether the armed plan wants process fault *name* arranged here.
+
+    Same arming, hit-counting and coverage telemetry as :func:`fault_point`,
+    but the caller — the shard-parallel parent — performs the sabotage
+    itself (kill/wedge a worker, poison a result, unlink a segment) instead
+    of raising.  Returns ``False`` with no plan armed.
+    """
+    return _PLAN is not None and _PLAN.should_crash(name)
 
 
 def filter_write(name: str, data: bytes) -> bytes:

@@ -39,6 +39,11 @@ def pytest_configure(config):
         "matview: materialized-view subsystem suite (runs in tier-1; "
         "select standalone with -m matview)",
     )
+    config.addinivalue_line(
+        "markers",
+        "resilience: process-fault matrix / supervised-pool / deadline "
+        "suite (runs in tier-1; select standalone with -m resilience)",
+    )
 
 
 @pytest.fixture(scope="session")
