@@ -32,11 +32,18 @@
 #              declared crash point and recovery must land on the committed
 #              prefix,
 #   resilience — the process-fault matrix over the supervised shard pool:
-#              worker kill/hang, poisoned results, shm unlink races and
-#              matview refresh crashes must all yield rows and charges
-#              bit-identical to the serial reference, with retries,
-#              individual worker replacement, deadline cancellation and a
-#              clean shared-memory segment audit,
+#              worker kill/hang, poisoned results, shm unlink races, shm
+#              bit flips and matview refresh crashes must all yield rows
+#              and charges bit-identical to the serial reference, with
+#              retries, individual worker replacement, deadline
+#              cancellation and a clean shared-memory segment audit,
+#   integrity — the corruption-fault matrix: flipped/truncated checkpoint
+#              snapshots are detected (never restored from), in-memory
+#              code-array flips are quarantined with typed errors naming
+#              the exact table/partition/column, WAL-backed repair restores
+#              rows and charges bit-identical, and checksum verification
+#              bills zero simulated cost (the delta_insert_100k_ms bench
+#              gate above doubles as the checksum-overhead guard),
 #   examples — the session-API examples as executable documentation.
 #
 # Usage, from the repository root or this directory:
@@ -77,6 +84,9 @@ python -m pytest -m faultinject -q tests
 
 echo "== resilience: process-fault matrix + supervised pool + deadlines =="
 python -m pytest -m resilience -q tests
+
+echo "== integrity: corruption matrix + scrub/quarantine/repair =="
+python -m pytest -m integrity -q tests
 
 echo "== examples: session API smoke =="
 python examples/session_api.py > /dev/null

@@ -98,6 +98,14 @@ def render_plan(plan: PhysicalPlan, actual: Optional[QueryResult] = None) -> str
         lines.append("  degraded:")
         for table in sorted(actual.degradations):
             lines.append(f"    {table:<22}{actual.degradations[table]}")
+    if actual is not None and actual.integrity:
+        # Integrity telemetry: checksum verifications (and any detections or
+        # quarantines) this execution performed.  Verification is billed
+        # zero simulated cost, so the block never shifts the numbers above;
+        # it exists so corruption handling never happens silently.
+        lines.append("  integrity:")
+        for event in sorted(actual.integrity):
+            lines.append(f"    {event:<22}{actual.integrity[event]}")
     if plan.estimate.per_term_ms:
         lines.append("  estimated cost terms (ms):")
         for term in sorted(plan.estimate.per_term_ms):

@@ -45,6 +45,7 @@ from repro.config import (
     AdvisorConfig,
     DeviceModelConfig,
     DurabilityConfig,
+    IntegrityConfig,
     ResilienceConfig,
 )
 from repro.core.advisor.advisor import StorageAdvisor
@@ -58,6 +59,12 @@ from repro.engine.matview import (
     view_serve_bytes,
 )
 from repro.engine.deadline import query_deadline
+from repro.engine.integrity import (
+    IntegrityReport,
+    apply_integrity_config,
+    integrity_counters,
+    scrub,
+)
 from repro.engine.shard import (
     apply_resilience_config,
     audit_shared_segments,
@@ -71,7 +78,7 @@ from repro.engine.schema import TableSchema
 from repro.engine.statistics import TableStatistics
 from repro.engine.timing import CostAccountant, CostBreakdown
 from repro.engine.types import Store
-from repro.errors import BindError, CatalogError, QueryTimeoutError
+from repro.errors import BindError, CatalogError, QueryTimeoutError, WalError
 from repro.query.ast import Parameter, Query
 from repro.query.parser import parse
 from repro.query.workload import Workload
@@ -118,6 +125,15 @@ class SessionStats:
     shard_teardown_errors: int = 0
     #: Queries cancelled by an expired ``execute(timeout=...)`` deadline.
     query_timeouts: int = 0
+    #: Checksum verifications performed (integrity layer, this session's
+    #: lifetime — deltas of the process-wide counters).
+    integrity_units_verified: int = 0
+    #: Checksum mismatches detected (scan-time or scrub).
+    integrity_corruption_detected: int = 0
+    #: Partition units placed in quarantine.
+    integrity_units_quarantined: int = 0
+    #: Quarantined units rebuilt by :meth:`Session.repair`.
+    integrity_units_repaired: int = 0
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -173,6 +189,7 @@ class Session:
         wal_path: Optional[str] = None,
         durability: Optional[DurabilityConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
+        integrity: Optional[IntegrityConfig] = None,
     ) -> None:
         self.database = database if database is not None else HybridDatabase(device_config)
         self._advisor = StorageAdvisor(
@@ -194,9 +211,13 @@ class Session:
         # Resilience counters are process-wide (the worker pool is shared);
         # the session reports its own lifetime as deltas from this snapshot.
         self._resilience_baseline = resilience_counters().snapshot()
+        # Integrity counters follow the same process-wide pattern.
+        self._integrity_baseline = integrity_counters().snapshot()
         self._closed = False
         if resilience is not None:
             apply_resilience_config(resilience)
+        if integrity is not None:
+            apply_integrity_config(integrity)
         if durability is not None:
             self.database.delta_merge_threshold = durability.delta_merge_threshold
         if wal_path is not None and self.database.wal is None:
@@ -504,6 +525,8 @@ class Session:
         memo = self._advisor.cost_model.memo
         live = resilience_counters()
         base = self._resilience_baseline
+        integrity_live = integrity_counters()
+        integrity_base = self._integrity_baseline
         return SessionStats(
             queries_executed=self._queries_executed,
             statements_parsed=self._statements_parsed,
@@ -533,6 +556,20 @@ class Session:
                 live.teardown_errors - base.teardown_errors
             ),
             query_timeouts=self._query_timeouts,
+            integrity_units_verified=(
+                integrity_live.units_verified - integrity_base.units_verified
+            ),
+            integrity_corruption_detected=(
+                integrity_live.corruption_detected
+                - integrity_base.corruption_detected
+            ),
+            integrity_units_quarantined=(
+                integrity_live.units_quarantined
+                - integrity_base.units_quarantined
+            ),
+            integrity_units_repaired=(
+                integrity_live.units_repaired - integrity_base.units_repaired
+            ),
         )
 
     # -- DDL / data conveniences (delegation) --------------------------------------
@@ -603,6 +640,68 @@ class Session:
         """Merge column-store delta rows into main (one table, or all)."""
         return self.database.merge_deltas(name)
 
+    # -- integrity -----------------------------------------------------------------
+
+    def verify_integrity(self) -> IntegrityReport:
+        """Scrub every table's partition units against their checksums.
+
+        Walks every column-store unit (per partition for partitioned
+        tables), verifies each against the checksum recorded when it was
+        last legitimately mutated, and quarantines any mismatch: later
+        access raises :class:`~repro.errors.DataCorruptionError` naming the
+        exact table/partition/column until :meth:`repair` rebuilds the
+        unit.  The scrub itself charges no simulated cost.
+        """
+        return scrub(
+            self.database.table_object(name)
+            for name in self.database.table_names()
+        )
+
+    def repair(self) -> int:
+        """Rebuild quarantined units from the WAL; returns units repaired.
+
+        Requires an attached write-ahead log: the committed state is
+        recovered from it (latest checkpoint snapshot plus replay, exactly
+        the crash-recovery path) and every table holding quarantined units
+        is swapped for its recovered — pristine — copy, restoring rows and
+        query costs bit-identical to the uncorrupted state.  Tables without
+        quarantined units are untouched.  A no-op (returning 0) when
+        nothing is quarantined.
+        """
+        database = self.database
+        wal = database.wal
+        if wal is None:
+            raise WalError(
+                "repair() needs an attached write-ahead log to rebuild "
+                "quarantined units from (connect with wal_path=...)"
+            )
+        damaged: Dict[str, int] = {}
+        for name in database.table_names():
+            count = 0
+            for _label, backend in database.table_object(name).integrity_units():
+                state = getattr(backend, "integrity", None)
+                if state is not None:
+                    count += len(state.quarantined_columns())
+            if count:
+                damaged[name] = count
+        if not damaged:
+            return 0
+        wal.flush()
+        recovered = wal_recover(wal.path, database.device.config)
+        repaired = 0
+        for name, count in damaged.items():
+            if name not in recovered.database.table_names():
+                raise WalError(
+                    f"cannot repair table {name!r}: the write-ahead log "
+                    "does not cover it"
+                )
+            database.adopt_table(name, recovered.database.table_object(name))
+            repaired += count
+        integrity_counters().units_repaired += repaired
+        # Plans and estimates priced against the replaced objects must go.
+        self.clear_caches()
+        return repaired
+
     def describe(self) -> str:
         return self.database.describe()
 
@@ -647,6 +746,7 @@ def connect(
     wal_path: Optional[str] = None,
     durability: Optional[DurabilityConfig] = None,
     resilience: Optional[ResilienceConfig] = None,
+    integrity: Optional[IntegrityConfig] = None,
 ) -> Session:
     """Open a :class:`Session` over a new (or an existing) database.
 
@@ -656,7 +756,9 @@ def connect(
     merge threshold (see :class:`~repro.config.DurabilityConfig`).
     *resilience* tunes the resilient execution layer — shard retry budget,
     gather timeout, backoff — process-wide (see
-    :class:`~repro.config.ResilienceConfig`).
+    :class:`~repro.config.ResilienceConfig`).  *integrity* tunes the
+    checksum layer — scan-time and shard-attach verification — also
+    process-wide (see :class:`~repro.config.IntegrityConfig`).
     """
     return Session(
         database=database,
@@ -666,6 +768,7 @@ def connect(
         wal_path=wal_path,
         durability=durability,
         resilience=resilience,
+        integrity=integrity,
     )
 
 
@@ -682,8 +785,11 @@ def recover(
     one exists), then re-opens the log for appending — truncating any torn
     tail — so the returned session is durable again.  The report describes
     what replay found: corrupt records skipped, torn bytes dropped, LSNs
-    applied.  Recovery itself is read-only and idempotent; only the re-open
-    for appending trims the file.
+    applied, and whether the checkpoint snapshot itself was corrupt
+    (``report.snapshot_corrupt`` — bad magic, framing, checksum or payload):
+    a corrupt snapshot is never restored from; recovery falls back to
+    replaying the full log instead.  Recovery itself is read-only and
+    idempotent; only the re-open for appending trims the file.
     """
     result = wal_recover(path, device_config)
     durability = durability or DurabilityConfig()

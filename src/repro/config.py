@@ -169,6 +169,29 @@ class ResilienceConfig:
     heartbeat_poll_s: float = 0.05
 
 
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Knobs of the data-integrity layer (checksums, scrub, quarantine).
+
+    Consumed by :func:`repro.api.connect` (``integrity=...``) and applied to
+    the engine's process-wide defaults (the shard worker pool and its shared
+    segments are process-wide, so checksum policy must be too).  Verification
+    is billed zero simulated cost either way — only wall clock and the
+    integrity counters are affected.
+    """
+
+    #: Master switch.  ``False`` disables checksum maintenance, scan-time
+    #: verification and shard shm verification entirely (quarantine state
+    #: already recorded keeps raising — corrupt data is never served).
+    enabled: bool = True
+    #: Verify a column-store unit's checksum (at most once per zone epoch)
+    #: when a scan first reads it.
+    verify_on_scan: bool = True
+    #: Ship expected code-array crcs with shard tasks so workers verify the
+    #: attached shared-memory segments before executing.
+    verify_on_attach: bool = True
+
+
 @dataclass
 class ReproConfig:
     """Top-level configuration bundle used by examples and benchmarks."""
@@ -177,4 +200,5 @@ class ReproConfig:
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
     seed: int = DEFAULT_SEED

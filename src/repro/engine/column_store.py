@@ -54,6 +54,7 @@ from repro.engine.batch import (
     values_to_array,
 )
 from repro.engine.compression import CompressedColumn, code_width_bytes
+from repro.engine.integrity import TableIntegrity, verify_on_scan_enabled
 from repro.engine.schema import TableSchema
 from repro.engine.timing import CostAccountant
 from repro.engine.types import Store
@@ -512,6 +513,9 @@ class ColumnStoreTable:
         # are rebuilt lazily on the next consult (see ``column_zone``).
         self._zone_epoch = next_zone_epoch()
         self._zone_cache: Dict[str, Tuple[int, ColumnZone]] = {}
+        # Integrity state: per-unit content checksums keyed by the same zone
+        # epoch, plus quarantine bookkeeping (see ``_integrity_check``).
+        self.integrity = TableIntegrity(schema.name)
 
     # -- basic properties --------------------------------------------------------
 
@@ -883,6 +887,32 @@ class ColumnStoreTable:
 
     # -- reads -----------------------------------------------------------------------
 
+    def _integrity_check(self, columns) -> None:
+        """Integrity gate of every read entry point.
+
+        Quarantined units raise :class:`~repro.errors.DataCorruptionError`
+        on every access; with scan verification enabled each unit is
+        additionally checksum-verified at most once per (column, zone
+        epoch) — a mutation bumps the epoch and records a fresh baseline,
+        so detection means the content changed *without* a mutation.
+        Verification charges zero simulated cost (no accountant involved);
+        only the process-wide integrity counters move.
+        """
+        state = self.integrity
+        for name in columns:
+            state.check_quarantine(name)
+        if not verify_on_scan_enabled():
+            return
+        epoch = self._zone_epoch
+        for name in columns:
+            if not state.scan_pending(name, epoch):
+                continue
+            compressed = self._columns[name]
+            if not state.verify(
+                name, compressed.codes, compressed.dictionary, epoch
+            ):
+                state.check_quarantine(name)  # raises the typed error
+
     def filter_positions(
         self, predicate: Optional[Predicate], accountant: Optional[CostAccountant] = None
     ) -> Optional[np.ndarray]:
@@ -896,6 +926,9 @@ class ColumnStoreTable:
         """
         if predicate is None:
             return None
+        self._integrity_check(
+            name for name in sorted(predicate.columns()) if name in self._columns
+        )
         delta_len = self._delta_len
         if accountant is not None and delta_len:
             accountant.record_delta_scan(
@@ -1040,6 +1073,7 @@ class ColumnStoreTable:
         selected = tuple(columns) if columns is not None else self.schema.column_names
         for name in selected:
             self.schema.column(name)
+        self._integrity_check(selected)
         if positions is None:
             gather = None
             num_positions = self._num_rows
@@ -1099,6 +1133,7 @@ class ColumnStoreTable:
         Charges are identical to the scalar accessor — the batch pipeline is a
         wall-clock optimisation, not a cost-model change.
         """
+        self._integrity_check((column,))
         if positions is None:
             if accountant is not None:
                 accountant.charge_sequential_read(
@@ -1193,6 +1228,7 @@ class ColumnStoreTable:
         every consumer handles both shapes).  Charges are unaffected — they
         were always the decode charges.
         """
+        self._integrity_check((column,))
         compressed = self._columns[column]
         if positions is None:
             if accountant is not None:
@@ -1240,6 +1276,7 @@ class ColumnStoreTable:
     def all_rows(self) -> List[Dict[str, Any]]:
         """Return every row as a dict, without cost accounting (for conversions)."""
         names = self.schema.column_names
+        self._integrity_check(names)
         batch = ColumnBatch(
             {name: self._union_values_array(name, None) for name in names},
             num_rows=self._num_rows,

@@ -224,6 +224,21 @@ class HybridDatabase:
         except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
 
+    def adopt_table(self, name: str, table_object: TableObject) -> None:
+        """Replace *name*'s table object in place (integrity repair).
+
+        The catalog entry (schema, store, partitioning) stays: the adopted
+        object must hold the same committed state — e.g. a copy rebuilt by
+        WAL recovery after corruption quarantined the original.  Statistics
+        are recomputed and the table version bumps, so no cached plan can
+        keep serving the replaced object.
+        """
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self._tables[name] = table_object
+        self._apply_merge_threshold(name)
+        self.refresh_statistics(name)
+
     def schema(self, name: str) -> TableSchema:
         return self.catalog.schema(name)
 

@@ -14,6 +14,7 @@ from repro.engine.executor.operators import (
 )
 from repro.engine.executor.rewrite import access_path_for
 from repro.engine.deadline import deadline_check
+from repro.engine.integrity import integrity_counters
 from repro.engine.timing import CostAccountant, CostBreakdown, DeviceModel
 from repro.errors import QueryError
 from repro.query.ast import (
@@ -57,6 +58,11 @@ class QueryResult:
     #: charges exactly the serial reference — this keeps the fallback
     #: visible in ``EXPLAIN ANALYZE``.
     degradations: Dict[str, str] = field(default_factory=dict)
+    #: Integrity-counter movements this query caused (checksum
+    #: verifications, detections, quarantines) — empty for the common
+    #: all-clean, already-verified case; reported by ``EXPLAIN ANALYZE``.
+    #: Verification charges no simulated cost, so this is telemetry only.
+    integrity: Dict[str, int] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:
@@ -125,6 +131,9 @@ class QueryExecutor:
         deadline_check()
         accountant = CostAccountant(self.device)
         accountant.charge_query_overhead()
+        # Integrity counters are process-wide; the per-query movement (for
+        # EXPLAIN ANALYZE) is the delta around this execution.
+        integrity_base = integrity_counters().snapshot()
 
         if isinstance(query, AggregationQuery):
             rows = execute_aggregation(query, paths, accountant)
@@ -133,7 +142,8 @@ class QueryExecutor:
                                agg_strategies=accountant.aggregate_strategies,
                                delta_scans=accountant.delta_scans,
                                shard_stats=accountant.shard_stats,
-                               degradations=accountant.degradations)
+                               degradations=accountant.degradations,
+                               integrity=integrity_counters().delta(integrity_base))
         path = paths[query.table]
         if isinstance(query, SelectQuery):
             rows = execute_select(query, path, accountant)
@@ -141,7 +151,8 @@ class QueryExecutor:
                                scan_stats=accountant.scan_stats,
                                delta_scans=accountant.delta_scans,
                                shard_stats=accountant.shard_stats,
-                               degradations=accountant.degradations)
+                               degradations=accountant.degradations,
+                               integrity=integrity_counters().delta(integrity_base))
         if isinstance(query, InsertQuery):
             affected = execute_insert(query, path, accountant)
         elif isinstance(query, UpdateQuery):
@@ -152,4 +163,5 @@ class QueryExecutor:
             raise QueryError(f"unsupported query type: {type(query).__name__}")
         return QueryResult(rows=[], affected_rows=affected, cost=accountant.breakdown,
                            scan_stats=accountant.scan_stats,
-                           delta_scans=accountant.delta_scans)
+                           delta_scans=accountant.delta_scans,
+                           integrity=integrity_counters().delta(integrity_base))

@@ -180,6 +180,7 @@ class PartitionedTable:
             self._vertical_row_part = None
             self._vertical_col_part = None
             self.main_parts = [StoredTable(schema, cold_store)]
+        self._label_integrity()
 
     # -- construction -------------------------------------------------------------
 
@@ -352,6 +353,40 @@ class PartitionedTable:
             return 1.0
         return total_compressed / total_raw
 
+    # -- integrity --------------------------------------------------------------------
+
+    def _labelled_parts(self) -> List[Tuple[str, StoredTable]]:
+        """Every physical part with its partition label (scrubber units).
+
+        The labels extend ``partition_zone_units``'s ``main``/``hot`` naming:
+        a vertically split main portion contributes ``main.row`` and
+        ``main.column`` so a corruption error names the exact half.
+        """
+        if self.has_vertical_split:
+            parts = [("main.row", self._vertical_row_part),
+                     ("main.column", self._vertical_col_part)]
+        else:
+            parts = [("main", self.main_parts[0])]
+        if self.hot is not None:
+            parts.append(("hot", self.hot))
+        return parts
+
+    def _label_integrity(self) -> None:
+        """Stamp each column-store part's integrity state with its label.
+
+        Done at construction (and after hot-partition replacement) so a
+        quarantine raised from a scan names the partition even before any
+        scrub walked the table.  Row-store parts carry no integrity state.
+        """
+        for label, part in self._labelled_parts():
+            state = getattr(part.backend, "integrity", None)
+            if state is not None:
+                state.partition = label
+
+    def integrity_units(self) -> List[Tuple[Optional[str], Any]]:
+        """Partition units for the integrity scrubber: ``(label, backend)``."""
+        return [(label, part.backend) for label, part in self._labelled_parts()]
+
     # -- column routing ----------------------------------------------------------------
 
     def main_parts_for_columns(self, columns: Sequence[str]) -> List[StoredTable]:
@@ -435,6 +470,7 @@ class PartitionedTable:
         self._insert_into_main(rows, accountant=None)
         moved = len(rows)
         self.hot = StoredTable(self.schema, self.partitioning.horizontal.hot_store)
+        self._label_integrity()
         return moved
 
     def to_stored_table(self, store: Store,

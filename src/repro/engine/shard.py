@@ -70,6 +70,7 @@ from repro.config import DEFAULT_SEED, ResilienceConfig
 from repro.engine.batch import EncodedColumn, evaluate_predicate_mask
 from repro.engine.column_store import ColumnStoreTable, compile_code_mask
 from repro.engine.deadline import deadline_check, deadline_remaining
+from repro.engine.integrity import codes_checksum, verify_on_attach_enabled
 from repro.engine.executor.agg_pushdown import (
     TIER_ZERO_SCAN,
     _partial_merge_safe,
@@ -613,6 +614,19 @@ def _run_shard_task(task, cache) -> Dict[str, Any]:
         # deadline) must abandon us; the supervisor terminates and replaces.
         time.sleep(task.get("hang_s", 3600.0))
     columns = _attach_columns(task, cache)
+    checksums = task.get("checksums")
+    if checksums:
+        # Verify the *whole* attached segment against the checksum the
+        # parent stamped from canonical memory at publish time.  Per task,
+        # not per attach: a warm pool skips re-shipping at an unchanged
+        # epoch, so attach-time-only verification would silently serve a
+        # segment corrupted after the first query.
+        for name, expected in checksums.items():
+            codes, _dictionary = columns[name]
+            if codes_checksum(codes) != expected:
+                raise ShardExecutionError(
+                    f"shared-memory checksum mismatch for column {name!r}"
+                )
     start, stop = task["start"], task["stop"]
     num = stop - start
     query = task["query"]
@@ -696,7 +710,7 @@ class ShardWorkerPool:
 
     One task queue per worker (shards go round-robin), one shared result
     queue.  ``_segments`` maps ``(namespace, column)`` to the published
-    ``(epoch, shm, length, dictionary)``; superseded epochs are unlinked
+    ``(epoch, shm, length, dictionary, checksum)``; superseded epochs are unlinked
     eagerly, everything else at :meth:`shutdown`.  ``_shipped`` tracks which
     ``(namespace, column, epoch)`` dictionaries each worker already holds.
 
@@ -718,7 +732,8 @@ class ShardWorkerPool:
         for _ in range(self.num_workers):
             self._workers.append(self._spawn_worker())
             self._shipped.append(set())
-        self._segments: Dict[Tuple[int, str], Tuple[int, Any, int, Any]] = {}
+        self._segments: Dict[Tuple[int, str],
+                             Tuple[int, Any, int, Any, Optional[int]]] = {}
 
     def _spawn_worker(self) -> Tuple[Any, Any]:
         tasks = self._context.Queue()
@@ -766,27 +781,41 @@ class ShardWorkerPool:
         return replaced
 
     def publish(self, namespace: int, epoch: int, backend: ColumnStoreTable,
-                names: Sequence[str]) -> Dict[str, Tuple[str, int]]:
-        """Ensure current-epoch segments exist for *names*; return specs."""
-        specs: Dict[str, Tuple[str, int]] = {}
+                names: Sequence[str]) -> Dict[str, Tuple[str, int, Optional[int]]]:
+        """Ensure current-epoch segments exist for *names*; return specs.
+
+        Each spec carries the column's expected code checksum (or ``None``
+        with attach verification disabled), computed from the *canonical*
+        backend memory at publish time — the workers recompute over the
+        attached segment per task, so any bit damage between the two
+        (a flipped segment byte, a stale attach) surfaces as a typed
+        shard error and walks the degradation ladder.
+        """
+        verify = verify_on_attach_enabled()
+        specs: Dict[str, Tuple[str, int, Optional[int]]] = {}
         for name in names:
             key = (namespace, name)
             entry = self._segments.get(key)
             if entry is None or entry[0] != epoch:
                 if entry is not None:
                     _unlink_segment(entry[1])
-                codes = np.ascontiguousarray(
-                    backend.compressed_column(name).codes, dtype=np.int64
-                )
+                compressed = backend.compressed_column(name)
+                codes = np.ascontiguousarray(compressed.codes, dtype=np.int64)
                 shm = shared_memory.SharedMemory(
                     create=True, size=max(1, codes.nbytes)
                 )
                 _ledger_create(shm.name)
                 np.ndarray(codes.shape, dtype=np.int64, buffer=shm.buf)[:] = codes
-                entry = (epoch, shm, len(codes),
-                         backend.compressed_column(name).dictionary)
+                checksum = (
+                    backend.integrity.expected(
+                        name, compressed.codes, compressed.dictionary, epoch
+                    )[0]
+                    if verify else None
+                )
+                entry = (epoch, shm, len(codes), compressed.dictionary, checksum)
                 self._segments[key] = entry
-            specs[name] = (entry[1].name, entry[2])
+            specs[name] = (entry[1].name, entry[2],
+                           entry[4] if verify else None)
         return specs
 
     def invalidate_namespace(self, namespace: int) -> None:
@@ -816,11 +845,26 @@ class ShardWorkerPool:
                 _unlink_segment(entry[1])
                 return
 
+    def sabotage_flip(self, namespace: int) -> None:
+        """Fault injector: flip one bit of a live shared segment.
+
+        Models silent memory corruption of a published segment (a DMA
+        scribble, a cosmic-ray flip): the segment stays attached and the
+        registry still advertises it, but its contents no longer match the
+        checksum stamped at publish time.  Workers must detect the mismatch
+        before executing over it, fail the attempt with a typed error, and
+        let the resilience ladder republish-and-retry.
+        """
+        for (ns, _name), entry in self._segments.items():
+            if ns == namespace:
+                entry[1].buf[0] ^= 0x01
+                return
+
     def ship_list(self, worker: int, namespace: int, epoch: int,
-                  specs: Dict[str, Tuple[str, int]]) -> List[Tuple]:
+                  specs: Dict[str, Tuple[str, int, Optional[int]]]) -> List[Tuple]:
         """The (column, segment, dictionary) payloads *worker* still lacks."""
         ship: List[Tuple] = []
-        for name, (shm_name, length) in specs.items():
+        for name, (shm_name, length, _checksum) in specs.items():
             token = (namespace, name, epoch)
             if token in self._shipped[worker]:
                 continue
@@ -927,7 +971,8 @@ class ShardWorkerPool:
             _teardown("worker queue join-thread", task_queue.cancel_join_thread)
         _teardown("result queue close", self._results.close)
         _teardown("result queue join-thread", self._results.cancel_join_thread)
-        for _epoch, shm, _length, _dictionary in self._segments.values():
+        for entry in self._segments.values():
+            shm = entry[1]
             _unlink_segment(shm)
         self._segments.clear()
         self._workers = []
@@ -1047,6 +1092,12 @@ def _scatter_gather(backend: ColumnStoreTable, query: Query,
             specs = pool.publish(namespace, epoch, backend, columns)
             if process_fault("shard.shm.unlink_race"):
                 pool.sabotage_unlink(namespace)
+            if process_fault("shard.shm.bit_flip"):
+                pool.sabotage_flip(namespace)
+            checksums = {
+                name: spec[2] for name, spec in specs.items()
+                if spec[2] is not None
+            } or None
             tasks = []
             for index, (start, stop) in enumerate(decision.bounds):
                 worker = index % pool.num_workers
@@ -1056,6 +1107,7 @@ def _scatter_gather(backend: ColumnStoreTable, query: Query,
                     "ship": pool.ship_list(worker, namespace, epoch, specs),
                     "columns": list(columns), "start": start, "stop": stop,
                     "query": query, "base_columns": list(columns),
+                    "checksums": checksums,
                 })
             _inject_process_faults(tasks)
             gathered = pool.run(tasks, timeout_s)

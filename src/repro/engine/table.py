@@ -217,6 +217,17 @@ class StoredTable:
         """A consistent read view of the table as of now (snapshot isolation)."""
         return self._backend.snapshot()
 
+    # -- integrity -----------------------------------------------------------------------
+
+    def integrity_units(self) -> List[Tuple[Optional[str], Backend]]:
+        """Partition units for the integrity scrubber: ``(label, backend)``.
+
+        An unpartitioned table is a single unlabelled unit; the scrubber
+        skips row-store backends (no checksums) by the absence of an
+        ``integrity`` attribute.
+        """
+        return [(None, self._backend)]
+
     # -- zone maps -----------------------------------------------------------------------
 
     @property

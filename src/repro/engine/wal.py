@@ -59,11 +59,17 @@ from repro.engine.database import HybridDatabase
 from repro.engine.partitioning import TablePartitioning
 from repro.engine.schema import TableSchema
 from repro.engine.types import Store
-from repro.errors import WalError
+from repro.errors import SnapshotCorruptError, WalError
 from repro.query.ast import Query
 from repro.testing import faults
 
 MAGIC = b"RPWAL1\n"
+
+#: Checkpoint snapshot side-car files carry their own magic + crc frame
+#: (``SNAPSHOT_MAGIC`` + ``_HEADER`` + pickle payload), so a flipped bit or
+#: a truncation is a typed :class:`SnapshotCorruptError`, never undefined
+#: pickle behaviour.  The version digit is part of the magic, like the log's.
+SNAPSHOT_MAGIC = b"RPSNAP1\n"
 
 #: ``[u32 payload length][u32 crc32(payload)]`` little-endian record header.
 _HEADER = struct.Struct("<II")
@@ -222,8 +228,15 @@ class WriteAheadLog:
             self._handle.write(MAGIC)
             _fsync(self._handle)
         if os.path.exists(self.snapshot_path):
-            snapshot_lsn = _read_snapshot(self.snapshot_path)[0]
-            self._lsn = max(self._lsn, snapshot_lsn)
+            try:
+                snapshot_lsn = _read_snapshot(self.snapshot_path)[0]
+            except SnapshotCorruptError:
+                # A corrupt side-car must not block re-opening the log: LSNs
+                # resume from the log's own maximum, and recovery reports the
+                # damage (``RecoveryReport.snapshot_corrupt``) when asked.
+                pass
+            else:
+                self._lsn = max(self._lsn, snapshot_lsn)
 
     # -- appending ---------------------------------------------------------------
 
@@ -325,6 +338,8 @@ class WriteAheadLog:
         )
         tmp_path = self.snapshot_path + ".tmp"
         with open(tmp_path, "wb") as handle:
+            handle.write(SNAPSHOT_MAGIC)
+            handle.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
             handle.write(payload)
             _fsync(handle)
         faults.fault_point("checkpoint.after_snapshot")
@@ -363,6 +378,13 @@ class RecoveryReport:
     torn_tail_bytes: int = 0
     #: Whether a checkpoint snapshot was restored before replay.
     snapshot_restored: bool = False
+    #: Whether a snapshot file existed but failed its frame validation (bad
+    #: magic, truncation, crc mismatch).  Restore is skipped and the whole
+    #: log is replayed — ``snapshot_lsn`` stays 0, so the LSN filter marks
+    #: nothing stale; full-log replay recovers the committed state whenever
+    #: the log still covers the prefix (e.g. a crash before the checkpoint's
+    #: truncate).
+    snapshot_corrupt: bool = False
     #: LSN recorded in the restored snapshot (0 without a snapshot).
     snapshot_lsn: int = 0
     #: Highest LSN replayed (or the snapshot LSN if nothing was replayed).
@@ -375,8 +397,12 @@ class RecoveryReport:
 
     @property
     def clean(self) -> bool:
-        """True when the log had no torn tail and no corrupt records."""
-        return self.torn_tail_offset is None and not self.corrupt_offsets
+        """True when neither the log nor the snapshot carried any damage."""
+        return (
+            self.torn_tail_offset is None
+            and not self.corrupt_offsets
+            and not self.snapshot_corrupt
+        )
 
 
 @dataclass(frozen=True)
@@ -386,8 +412,38 @@ class RecoveryResult:
 
 
 def _read_snapshot(path: str) -> Tuple[int, Any]:
+    """Read and validate a framed checkpoint snapshot.
+
+    Every defect — wrong or truncated magic, truncated header or payload,
+    crc mismatch, or a payload pickle that fails to load despite a matching
+    crc — raises the typed :class:`SnapshotCorruptError`.  Nothing here is
+    swallowed into torn-tail handling: a snapshot is atomically renamed
+    into place, so *any* damage is corruption, not a torn write.
+    """
     with open(path, "rb") as handle:
-        return pickle.load(handle)
+        data = handle.read()
+    if not data.startswith(SNAPSHOT_MAGIC):
+        raise SnapshotCorruptError(
+            f"{path!r} is not a checkpoint snapshot (bad magic)"
+        )
+    header_end = len(SNAPSHOT_MAGIC) + _HEADER.size
+    if len(data) < header_end:
+        raise SnapshotCorruptError(f"{path!r}: truncated snapshot header")
+    length, crc = _HEADER.unpack_from(data, len(SNAPSHOT_MAGIC))
+    payload = data[header_end:]
+    if len(payload) != length:
+        raise SnapshotCorruptError(
+            f"{path!r}: truncated snapshot payload "
+            f"(expected {length} bytes, found {len(payload)})"
+        )
+    if zlib.crc32(payload) != crc:
+        raise SnapshotCorruptError(f"{path!r}: snapshot checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise SnapshotCorruptError(
+            f"{path!r}: snapshot payload does not unpickle ({error!r})"
+        ) from error
 
 
 def recover(
@@ -405,11 +461,21 @@ def recover(
 
     snapshot_path = path + ".snapshot"
     if os.path.exists(snapshot_path):
-        snapshot_lsn, state = _read_snapshot(snapshot_path)
-        database.restore_state(state)
-        report.snapshot_restored = True
-        report.snapshot_lsn = snapshot_lsn
-        report.last_lsn = snapshot_lsn
+        try:
+            snapshot_lsn, state = _read_snapshot(snapshot_path)
+        except SnapshotCorruptError:
+            # Fall back to full-log replay: with snapshot_lsn at 0 the LSN
+            # filter below marks nothing stale, so every surviving record
+            # replays.  That recovers the committed state whenever the log
+            # still covers the snapshot's prefix (e.g. the crash windows
+            # before the checkpoint truncate); the report flags the damage
+            # either way.
+            report.snapshot_corrupt = True
+        else:
+            database.restore_state(state)
+            report.snapshot_restored = True
+            report.snapshot_lsn = snapshot_lsn
+            report.last_lsn = snapshot_lsn
 
     if os.path.exists(path):
         scan = _scan_log(path)

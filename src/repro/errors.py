@@ -45,6 +45,27 @@ class QueryTimeoutError(ExecutionError):
         self.timeout_s = timeout_s
 
 
+class DataCorruptionError(ExecutionError):
+    """A partition unit failed its content checksum and is quarantined.
+
+    Raised when a read touches a column whose crc32 no longer matches the
+    checksum recorded for the current zone epoch — a bit flip in the code
+    array or dictionary payload.  The unit stays quarantined (every further
+    access raises) until :meth:`repro.api.session.Session.repair` rebuilds
+    it from the checkpoint snapshot + WAL replay, so corrupt data is never
+    served silently.  ``table``, ``partition`` and ``column`` name the exact
+    unit (``partition`` is ``None`` for an unpartitioned table).
+    """
+
+    def __init__(self, message: str, table: "str | None" = None,
+                 partition: "str | None" = None,
+                 column: "str | None" = None) -> None:
+        super().__init__(message)
+        self.table = table
+        self.partition = partition
+        self.column = column
+
+
 class PartitioningError(ReproError):
     """A partitioning specification is invalid or cannot be applied."""
 
@@ -56,6 +77,18 @@ class WalError(ReproError):
     does not raise: recovery repairs around it and reports the damage in the
     :class:`~repro.engine.wal.RecoveryReport` instead.  ``WalError`` is for
     files that cannot be a WAL at all.
+    """
+
+
+class SnapshotCorruptError(WalError):
+    """A checkpoint snapshot file failed its frame validation.
+
+    Raised by the snapshot reader when the file's magic, length header or
+    payload crc32 does not match — a flipped bit, a truncation, or a file
+    that is not a snapshot at all.  Recovery catches it and falls back to
+    full-log replay (reported via
+    :attr:`~repro.engine.wal.RecoveryReport.snapshot_corrupt`); it only
+    propagates from direct snapshot reads.
     """
 
 

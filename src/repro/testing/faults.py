@@ -80,6 +80,7 @@ PROCESS_FAULTS: Tuple[str, ...] = (
     "shard.worker.hang",
     "shard.result.poison",
     "shard.shm.unlink_race",
+    "shard.shm.bit_flip",
 )
 
 
@@ -201,3 +202,50 @@ def truncate_file(path: str, num_bytes: int) -> None:
         handle.truncate(num_bytes)
         handle.flush()
         os.fsync(handle.fileno())
+
+
+#: Regions of a framed checkpoint snapshot :func:`flip_snapshot_bit` can
+#: target.  Offsets are computed from the WAL module's frame layout, so the
+#: injector cannot drift from the writer.
+SNAPSHOT_REGIONS = ("magic", "header", "payload")
+
+
+def flip_snapshot_bit(path: str, region: str = "payload", bit: int = 0) -> None:
+    """Flip one bit in a chosen *region* of a checkpoint snapshot file.
+
+    ``"magic"`` corrupts the file identification, ``"header"`` the
+    length/crc frame, ``"payload"`` the pickled state itself — recovery must
+    report every one of them as ``snapshot_corrupt``, never restore from the
+    file, and never crash with a raw pickle error.  (Imported lazily:
+    :mod:`repro.engine.wal` imports this module.)
+    """
+    from repro.engine.wal import _HEADER, SNAPSHOT_MAGIC
+
+    if region == "magic":
+        offset = 0
+    elif region == "header":
+        offset = len(SNAPSHOT_MAGIC)
+    elif region == "payload":
+        offset = len(SNAPSHOT_MAGIC) + _HEADER.size
+    else:
+        raise ValueError(
+            f"unknown snapshot region {region!r}; expected one of "
+            f"{SNAPSHOT_REGIONS}"
+        )
+    flip_bit(path, offset, bit)
+
+
+def flip_code_bit(backend, column: str, index: int = 0, bit: int = 0) -> None:
+    """Flip one bit of a live in-memory code array (silent-corruption injector).
+
+    Mutates ``backend``'s main code array for *column* directly — crucially
+    *without* bumping the zone epoch, which is exactly what distinguishes
+    corruption from a legitimate mutation.  The integrity layer must detect
+    the flip on the next verified read (or scrub) and quarantine the unit.
+    """
+    codes = backend.compressed_column(column).codes  # live view of main
+    if index >= len(codes):
+        raise ValueError(
+            f"index {index} is past the end of column {column!r}"
+        )
+    codes[index] = int(codes[index]) ^ (1 << bit)

@@ -44,6 +44,11 @@ def pytest_configure(config):
         "resilience: process-fault matrix / supervised-pool / deadline "
         "suite (runs in tier-1; select standalone with -m resilience)",
     )
+    config.addinivalue_line(
+        "markers",
+        "integrity: checksum / quarantine / scrub-and-repair corruption "
+        "matrix (runs in tier-1; select standalone with -m integrity)",
+    )
 
 
 @pytest.fixture(scope="session")

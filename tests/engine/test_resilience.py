@@ -4,7 +4,8 @@ The resilience fuzzer and its satellites.  The contracts pinned here:
 
 * **Process-fault matrix** — for every fault in
   :data:`repro.testing.faults.PROCESS_FAULTS` (worker killed mid-shard,
-  wedged worker, poisoned/unpicklable result, shared-memory unlink race), a
+  wedged worker, poisoned/unpicklable result, shared-memory unlink race,
+  shared-memory bit flip caught by the integrity checksums), a
   one-shot fault is healed by the retry rung (the query still executes
   sharded) and an ``every_hit`` fault exhausts the budget and degrades to
   serial — in both cases with rows and charges **bit-identical** to the
@@ -433,7 +434,7 @@ def test_declared_fault_registrations_are_pinned():
     """New crash points / process faults must land with their coverage."""
     assert len(CRASH_POINTS) == 13
     assert len(MATVIEW_CRASH_POINTS) == 3
-    assert len(PROCESS_FAULTS) == 4
+    assert len(PROCESS_FAULTS) == 5
     everything = CRASH_POINTS + MATVIEW_CRASH_POINTS + PROCESS_FAULTS
     assert len(set(everything)) == len(everything)
     assert all(point.startswith("matview.") for point in MATVIEW_CRASH_POINTS)
